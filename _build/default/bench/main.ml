@@ -1,0 +1,184 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Tables 1-2, Figures 1-2) and runs Bechamel micro-benchmarks
+   over the steady-state kernels behind them.
+
+   Scale knobs (the defaults finish in a few minutes):
+     JOINOPT_BENCH_SCALE=quick    tiny figure-2 grid, short quota
+     JOINOPT_BENCH_SCALE=default
+     JOINOPT_BENCH_SCALE=paper    the paper's grid: sizes up to 60 tables
+                                  and a 60 s budget per query (hours!) *)
+
+open Bechamel
+open Toolkit
+module Experiments = Joinopt.Experiments
+module Thresholds = Joinopt.Thresholds
+module Workload = Relalg.Workload
+module Join_graph = Relalg.Join_graph
+
+type scale = Quick | Default | Paper
+
+let scale =
+  match Sys.getenv_opt "JOINOPT_BENCH_SCALE" with
+  | Some "quick" -> Quick
+  | Some "paper" -> Paper
+  | _ -> Default
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks: one Test.make per experiment kernel                *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests =
+  let q10 = Workload.generate ~seed:7 ~shape:Join_graph.Star ~num_tables:10 () in
+  let q16 = Workload.generate ~seed:7 ~shape:Join_graph.Chain ~num_tables:16 () in
+  let e10 = Relalg.Card.estimator q10 in
+  let order10 = Array.init 10 (fun i -> i) in
+  let plan10 = Relalg.Plan.of_order order10 in
+  let enc_config =
+    { Joinopt.Encoding.default_config with Joinopt.Encoding.precision = Thresholds.Medium }
+  in
+  (* A prebuilt root LP for the simplex kernel. *)
+  let enc10 = Joinopt.Encoding.build ~config:enc_config q10 in
+  let _ = Joinopt.Cost_enc.install enc10 (Joinopt.Cost_enc.Fixed_operator Relalg.Plan.Hash_join) in
+  let sf10 = Milp.Stdform.of_problem enc10.Joinopt.Encoding.problem in
+  let lb10, ub10 = Milp.Stdform.bounds sf10 in
+  Test.make_grouped ~name:"joinopt"
+    [
+      (* Figure 1 kernel: building the MILP for one query. *)
+      Test.make ~name:"fig1/encode-10-tables"
+        (Staged.stage (fun () -> ignore (Joinopt.Encoding.build ~config:enc_config q10)));
+      (* Figure 2 kernels: the pieces each optimizer run is made of. *)
+      Test.make ~name:"fig2/simplex-root-10-tables"
+        (Staged.stage (fun () -> ignore (Milp.Simplex.solve sf10 ~lb:lb10 ~ub:ub10)));
+      Test.make ~name:"fig2/selinger-dp-16-tables"
+        (Staged.stage (fun () -> ignore (Dp_opt.Selinger.optimize q16)));
+      Test.make ~name:"fig2/greedy-mip-start-10-tables"
+        (Staged.stage (fun () -> ignore (Dp_opt.Greedy.order q10)));
+      (* Cost-model kernels shared by every experiment. *)
+      Test.make ~name:"cost/plan-cost-10-tables"
+        (Staged.stage (fun () -> ignore (Relalg.Cost_model.plan_cost q10 plan10)));
+      Test.make ~name:"cost/subset-card"
+        (Staged.stage (fun () -> ignore (Relalg.Card.subset_card e10 0x2ff)));
+      (* Table 1/2 kernel: the closed-form size analysis. *)
+      Test.make ~name:"table12/size-analysis"
+        (Staged.stage (fun () -> ignore (Joinopt.Analysis.predicted q10)));
+    ]
+
+let run_micro () =
+  let quota = match scale with Quick -> 0.25 | Default -> 0.5 | Paper -> 1.0 in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances micro_tests in
+  let results = Analyze.all ols (Instance.monotonic_clock :> Measure.witness) raw in
+  Format.printf "Micro-benchmarks (ns per run, OLS estimate):@.";
+  let rows = ref [] in
+  Hashtbl.iter (fun name ols -> rows := (name, ols) :: !rows) results;
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> Format.printf "  %-35s %14.0f@." name est
+      | Some [] | None -> Format.printf "  %-35s %14s@." name "-")
+    (List.sort compare !rows);
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig2_config () =
+  match scale with
+  | Quick ->
+    {
+      Experiments.default_fig2 with
+      Experiments.f2_sizes = [ 4; 6 ];
+      f2_queries_per_cell = 2;
+      f2_budget = 1.;
+      f2_sample_times = [ 0.5; 1. ];
+    }
+  | Default -> Experiments.default_fig2
+  | Paper ->
+    {
+      Experiments.default_fig2 with
+      Experiments.f2_sizes = [ 10; 20; 30; 40; 50; 60 ];
+      f2_queries_per_cell = 20;
+      f2_budget = 60.;
+      f2_sample_times = [ 6.; 12.; 18.; 24.; 30.; 36.; 42.; 48.; 54.; 60. ];
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Ablations over the encoding's design choices                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablations () =
+  let budget = match scale with Quick -> 2. | Default -> 5. | Paper -> 15. in
+  let q = Workload.generate ~seed:9 ~shape:Join_graph.Star ~num_tables:9 () in
+  Format.printf
+    "Ablations (star, 9 tables, %gs budget): encoding/solver design choices@." budget;
+  Format.printf "%-34s %6s %8s %8s %12s %10s %8s@." "configuration" "vars" "constrs" "nodes"
+    "true cost" "bound" "status";
+  let base_enc = Joinopt.Encoding.default_config in
+  let base_solver = { Milp.Solver.default_params with Milp.Solver.cut_rounds = 0 } in
+  let run name enc_config solver greedy_start =
+    let config =
+      {
+        Joinopt.Optimizer.default_config with
+        Joinopt.Optimizer.encoding = enc_config;
+        solver;
+        greedy_start;
+      }
+      |> Joinopt.Optimizer.with_time_limit budget
+    in
+    let r = Joinopt.Optimizer.optimize ~config q in
+    Format.printf "%-34s %6d %8d %8d %12s %10.3g %8s@." name r.Joinopt.Optimizer.num_vars
+      r.Joinopt.Optimizer.num_constrs r.Joinopt.Optimizer.nodes
+      (match r.Joinopt.Optimizer.true_cost with Some c -> Printf.sprintf "%.6g" c | None -> "-")
+      r.Joinopt.Optimizer.bound
+      (match r.Joinopt.Optimizer.status with
+      | Milp.Branch_bound.Optimal -> "opt"
+      | Milp.Branch_bound.Feasible -> "feas"
+      | Milp.Branch_bound.Infeasible -> "inf"
+      | Milp.Branch_bound.Unbounded -> "unb"
+      | Milp.Branch_bound.Unknown -> "unk")
+  in
+  run "baseline (reduced, mono, central)" base_enc base_solver true;
+  run "paper formulation"
+    { base_enc with Joinopt.Encoding.formulation = Joinopt.Encoding.Full_paper }
+    base_solver true;
+  run "no monotone ladder"
+    { base_enc with Joinopt.Encoding.monotone_ladder = false }
+    base_solver true;
+  run "floor-step rounding"
+    { base_enc with Joinopt.Encoding.rounding = Joinopt.Thresholds.Floor_steps }
+    base_solver true;
+  run "ceil-step rounding"
+    { base_enc with Joinopt.Encoding.rounding = Joinopt.Thresholds.Ceil_steps }
+    base_solver true;
+  run "no adaptive range cap"
+    { base_enc with Joinopt.Encoding.adaptive_cap = false }
+    base_solver true;
+  run "no greedy MIP start" base_enc base_solver false;
+  run "with root Gomory cuts" base_enc
+    { base_solver with Milp.Solver.cut_rounds = 3 }
+    true;
+  run "no presolve" base_enc { base_solver with Milp.Solver.presolve = false } true;
+  Format.printf "@."
+
+let () =
+  Format.printf "%a@." Experiments.pp_table1 ();
+  Format.printf "%a@." Experiments.pp_table2 ();
+  let fig1 = Experiments.figure1 () in
+  Format.printf "%a@." Experiments.pp_figure1 fig1;
+  run_micro ();
+  run_ablations ();
+  let config = fig2_config () in
+  Format.printf
+    "Running Figure 2 grid: %d shapes x %d sizes x 4 algorithms x %d queries, %gs budget...@."
+    (List.length config.Experiments.f2_shapes)
+    (List.length config.Experiments.f2_sizes)
+    config.Experiments.f2_queries_per_cell config.Experiments.f2_budget;
+  let fig2 = Experiments.figure2 ~config () in
+  Format.printf "%a@." Experiments.pp_figure2 fig2

@@ -1,0 +1,375 @@
+(* joinopt — MILP-based join ordering from the command line.
+
+   Subcommands:
+     optimize    compile a query to a MILP and solve it (anytime)
+     dp          run the Selinger dynamic programming baseline
+     greedy      run the greedy heuristic
+     export-lp   write the MILP in CPLEX LP format
+     fig1/fig2   reproduce the paper's figures
+     tables      print the paper's Tables 1 and 2 *)
+
+open Cmdliner
+module Workload = Relalg.Workload
+module Join_graph = Relalg.Join_graph
+module Query_file = Relalg.Query_file
+module Plan = Relalg.Plan
+module Optimizer = Joinopt.Optimizer
+module Cost_enc = Joinopt.Cost_enc
+module Thresholds = Joinopt.Thresholds
+module Experiments = Joinopt.Experiments
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let shape_conv =
+  let parse = function
+    | "chain" -> Ok Join_graph.Chain
+    | "star" -> Ok Join_graph.Star
+    | "cycle" -> Ok Join_graph.Cycle
+    | "clique" -> Ok Join_graph.Clique
+    | s -> Error (`Msg ("unknown shape: " ^ s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Join_graph.shape_to_string s))
+
+let precision_conv =
+  let parse = function
+    | "low" -> Ok Thresholds.Low
+    | "medium" -> Ok Thresholds.Medium
+    | "high" -> Ok Thresholds.High
+    | s -> (
+      match float_of_string_opt s with
+      | Some f when f > 1. -> Ok (Thresholds.Custom f)
+      | _ -> Error (`Msg ("unknown precision: " ^ s)))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Thresholds.precision_to_string p))
+
+let cost_conv =
+  let parse = function
+    | "hash" -> Ok (Cost_enc.Fixed_operator Plan.Hash_join)
+    | "smj" -> Ok (Cost_enc.Fixed_operator Plan.Sort_merge_join)
+    | "bnl" -> Ok (Cost_enc.Fixed_operator Plan.Block_nested_loop)
+    | "cout" -> Ok Cost_enc.Cout
+    | "choose" ->
+      Ok
+        (Cost_enc.Choose_operator
+           [ Plan.Hash_join; Plan.Sort_merge_join; Plan.Block_nested_loop ])
+    | s -> Error (`Msg ("unknown cost model: " ^ s))
+  in
+  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Cost_enc.spec_to_string c))
+
+let query_term =
+  let file =
+    Arg.(value & opt (some string) None & info [ "query"; "q" ] ~docv:"FILE"
+           ~doc:"Query file (see lib/relalg/query_file.mli for the format).")
+  in
+  let shape =
+    Arg.(value & opt shape_conv Join_graph.Star & info [ "shape" ] ~docv:"SHAPE"
+           ~doc:"Join graph shape for generated queries: chain, star, cycle, clique.")
+  in
+  let tables =
+    Arg.(value & opt int 10 & info [ "tables"; "n" ] ~docv:"N"
+           ~doc:"Number of tables for generated queries.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.") in
+  let build file shape tables seed =
+    match file with
+    | Some path -> (
+      match Query_file.of_file path with Ok q -> Ok q | Error m -> Error (`Msg m))
+    | None -> Ok (Workload.generate ~seed ~shape ~num_tables:tables ())
+  in
+  Term.(term_result (const build $ file $ shape $ tables $ seed))
+
+let budget_term =
+  Arg.(value & opt float 10. & info [ "budget"; "t" ] ~docv:"SECONDS"
+         ~doc:"Optimization time budget.")
+
+let precision_term =
+  Arg.(value & opt precision_conv Thresholds.Medium & info [ "precision"; "p" ]
+         ~docv:"PRECISION" ~doc:"Cardinality approximation precision: low, medium, high, or a \
+                                 tolerance factor > 1.")
+
+let cost_term =
+  Arg.(value & opt cost_conv (Cost_enc.Fixed_operator Plan.Hash_join)
+         & info [ "cost" ] ~docv:"MODEL" ~doc:"Cost model: hash, smj, bnl, cout, choose.")
+
+(* ------------------------------------------------------------------ *)
+(* optimize                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_optimize query budget precision cost verbose =
+  let config =
+    { Optimizer.default_config with Optimizer.cost }
+    |> Optimizer.with_precision precision
+    |> Optimizer.with_time_limit budget
+  in
+  Format.printf "Query: %a@." Relalg.Query.pp query;
+  let on_progress =
+    if verbose then
+      Some
+        (fun tp ->
+          Format.printf "  t=%6.2fs incumbent=%s bound=%.4g@." tp.Optimizer.tp_elapsed
+            (match tp.Optimizer.tp_objective with Some v -> Printf.sprintf "%.4g" v | None -> "-")
+            tp.Optimizer.tp_bound)
+    else None
+  in
+  let r = Optimizer.optimize ~config ?on_progress query in
+  Format.printf "MILP: %d vars, %d constraints; %d nodes in %.2fs@." r.Optimizer.num_vars
+    r.Optimizer.num_constrs r.Optimizer.nodes r.Optimizer.elapsed;
+  (match (r.Optimizer.plan, r.Optimizer.true_cost, r.Optimizer.objective) with
+  | Some plan, Some cost, Some obj ->
+    Format.printf "plan: %a@.true cost: %.6g  (MILP objective %.6g, bound %.6g, factor %s)@."
+      (Plan.pp_with_query query) plan cost obj r.Optimizer.bound
+      (match Optimizer.guaranteed_factor ~objective:obj ~bound:r.Optimizer.bound with
+      | f when Float.is_finite f -> Printf.sprintf "%.3g" f
+      | _ -> "unbounded")
+  | _ -> Format.printf "no plan found within the budget@.");
+  Format.printf "status: %s@."
+    (match r.Optimizer.status with
+    | Milp.Branch_bound.Optimal -> "optimal (within MILP approximation)"
+    | Milp.Branch_bound.Feasible -> "feasible (budget exhausted)"
+    | Milp.Branch_bound.Infeasible -> "infeasible"
+    | Milp.Branch_bound.Unbounded -> "unbounded"
+    | Milp.Branch_bound.Unknown -> "unknown")
+
+let optimize_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Stream anytime progress.")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Optimize a join query through the MILP encoding")
+    Term.(const run_optimize $ query_term $ budget_term $ precision_term $ cost_term $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* dp / greedy                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_dp query budget =
+  match Dp_opt.Selinger.optimize ~time_limit:budget query with
+  | Dp_opt.Selinger.Complete r ->
+    Format.printf "plan: %a@.cost: %.6g  (%d subsets, %.2fs)@."
+      (Plan.pp_with_query query) r.Dp_opt.Selinger.plan r.Dp_opt.Selinger.cost
+      r.Dp_opt.Selinger.subsets_explored r.Dp_opt.Selinger.elapsed
+  | Dp_opt.Selinger.Timed_out { elapsed; subsets_explored } ->
+    Format.printf "no plan: dynamic programming %s after %.2fs (%d subsets)@."
+      (if subsets_explored = 0 then "refused (memory)" else "timed out")
+      elapsed subsets_explored
+
+let dp_cmd =
+  Cmd.v
+    (Cmd.info "dp" ~doc:"Run the Selinger dynamic programming baseline")
+    Term.(const run_dp $ query_term $ budget_term)
+
+let run_greedy query =
+  let plan, cost = Dp_opt.Greedy.plan query in
+  Format.printf "plan: %a@.cost: %.6g@." (Plan.pp_with_query query) plan cost
+
+let greedy_cmd =
+  Cmd.v (Cmd.info "greedy" ~doc:"Run the greedy heuristic") Term.(const run_greedy $ query_term)
+
+let run_ikkbz query =
+  match Dp_opt.Ikkbz.plan query with
+  | Ok (plan, cost) ->
+    Format.printf "plan: %a@.C_out: %.6g@." (Plan.pp_with_query query) plan cost
+  | Error Dp_opt.Ikkbz.Not_a_tree ->
+    Format.printf "IKKBZ needs an acyclic join graph of binary predicates@."
+
+let ikkbz_cmd =
+  Cmd.v
+    (Cmd.info "ikkbz" ~doc:"Run the IKKBZ polynomial algorithm (acyclic queries)")
+    Term.(const run_ikkbz $ query_term)
+
+let run_anneal query budget seed =
+  let r = Dp_opt.Annealing.simulated_annealing ~seed ~time_limit:budget query in
+  Format.printf "plan: %a@.cost: %.6g  (%d moves — note: no optimality bound, the property                  the MILP approach adds)@."
+    (Plan.pp_with_query query) r.Dp_opt.Annealing.plan r.Dp_opt.Annealing.cost
+    r.Dp_opt.Annealing.moves_tried
+
+let anneal_cmd =
+  let seed = Arg.(value & opt int 0 & info [ "anneal-seed" ] ~docv:"SEED" ~doc:"Annealing seed.") in
+  Cmd.v
+    (Cmd.info "anneal" ~doc:"Run simulated annealing (randomized; no bounds)")
+    Term.(const run_anneal $ query_term $ budget_term $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* Section 5 extensions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let encoding_config precision =
+  { Joinopt.Encoding.default_config with Joinopt.Encoding.precision }
+
+let run_expensive query budget precision =
+  let solver =
+    Milp.Solver.with_time_limit budget
+      { Milp.Solver.default_params with Milp.Solver.cut_rounds = 0 }
+  in
+  let result, outcome =
+    Joinopt.Ext_expensive.optimize ~config:(encoding_config precision) ~solver query
+  in
+  match result with
+  | Some (plan, schedule, cost) ->
+    Format.printf "plan: %a@." (Plan.pp_with_query query) plan;
+    Format.printf "schedule (predicate -> evaluated during join): %s@."
+      (String.concat ", "
+         (Array.to_list
+            (Array.mapi
+               (fun pi j -> Printf.sprintf "%s@j%d" query.Relalg.Query.predicates.(pi).Relalg.Predicate.pred_name j)
+               schedule)));
+    Format.printf "true cost (schedule-aware): %.6g  status: %s@." cost
+      (match outcome.Milp.Branch_bound.o_status with
+      | Milp.Branch_bound.Optimal -> "optimal"
+      | _ -> "budget exhausted")
+  | None -> Format.printf "no plan found within the budget@."
+
+let expensive_cmd =
+  Cmd.v
+    (Cmd.info "expensive"
+       ~doc:"Optimize with postponable expensive predicates (paper Section 5.1)")
+    Term.(const run_expensive $ query_term $ budget_term $ precision_term)
+
+let run_orders query budget precision sorted =
+  let solver =
+    Milp.Solver.with_time_limit budget
+      { Milp.Solver.default_params with Milp.Solver.cut_rounds = 0 }
+  in
+  let result, outcome =
+    Joinopt.Ext_orders.optimize ~config:(encoding_config precision) ~solver
+      ~sorted_tables:sorted query
+  in
+  match result with
+  | Some (order, variants, cost) ->
+    Array.iteri
+      (fun j v ->
+        Format.printf "join %d: %s %s %s@." j
+          (if j = 0 then query.Relalg.Query.tables.(order.(0)).Relalg.Catalog.tbl_name
+           else "(previous)")
+          (Joinopt.Ext_orders.variant_to_string v)
+          query.Relalg.Query.tables.(order.(j + 1)).Relalg.Catalog.tbl_name)
+      variants;
+    Format.printf "exact cost: %.6g  status: %s@." cost
+      (match outcome.Milp.Branch_bound.o_status with
+      | Milp.Branch_bound.Optimal -> "optimal"
+      | _ -> "budget exhausted")
+  | None -> Format.printf "no plan found within the budget@."
+
+let orders_cmd =
+  let sorted =
+    Arg.(value & opt (list int) [] & info [ "sorted" ] ~docv:"T,T,..."
+           ~doc:"Indices of tables stored sorted on their join keys.")
+  in
+  Cmd.v
+    (Cmd.info "orders"
+       ~doc:"Optimize with interesting orders / sorted base tables (paper Section 5.4)")
+    Term.(const run_orders $ query_term $ budget_term $ precision_term $ sorted)
+
+let run_projection query budget precision =
+  let solver =
+    Milp.Solver.with_time_limit budget
+      { Milp.Solver.default_params with Milp.Solver.cut_rounds = 0 }
+  in
+  match Joinopt.Ext_projection.optimize ~config:(encoding_config precision) ~solver query with
+  | Some (plan, cost), outcome ->
+    Format.printf "plan: %a@.byte-aware cost: %.6g  status: %s@."
+      (Plan.pp_with_query query) plan cost
+      (match outcome.Milp.Branch_bound.o_status with
+      | Milp.Branch_bound.Optimal -> "optimal"
+      | _ -> "budget exhausted")
+  | None, _ -> Format.printf "no plan found within the budget@."
+  | exception Invalid_argument m -> Format.printf "error: %s@." m
+
+let projection_cmd =
+  Cmd.v
+    (Cmd.info "projection"
+       ~doc:"Optimize with column projection / byte-size costs (paper Section 5.2; tables              need declared columns, e.g. cols= in the query file)")
+    Term.(const run_projection $ query_term $ budget_term $ precision_term)
+
+(* ------------------------------------------------------------------ *)
+(* export-lp                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_export query precision cost output =
+  let enc =
+    Joinopt.Encoding.build
+      ~config:{ Joinopt.Encoding.default_config with Joinopt.Encoding.precision }
+      query
+  in
+  let _ = Cost_enc.install enc cost in
+  (match output with
+  | Some path ->
+    Milp.Lp_format.to_file path enc.Joinopt.Encoding.problem;
+    Format.printf "wrote %s@." path
+  | None -> print_string (Milp.Lp_format.to_string enc.Joinopt.Encoding.problem))
+
+let export_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
+           ~doc:"Output file (stdout when omitted).")
+  in
+  Cmd.v
+    (Cmd.info "export-lp" ~doc:"Write the MILP encoding in CPLEX LP format")
+    Term.(const run_export $ query_term $ precision_term $ cost_term $ output)
+
+(* ------------------------------------------------------------------ *)
+(* figures and tables                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig1 () = Format.printf "%a@." Experiments.pp_figure1 (Experiments.figure1 ())
+
+let fig1_cmd =
+  Cmd.v (Cmd.info "fig1" ~doc:"Reproduce Figure 1 (MILP sizes)") Term.(const run_fig1 $ const ())
+
+let run_fig2 sizes budget cells =
+  let config =
+    {
+      Experiments.default_fig2 with
+      Experiments.f2_sizes = sizes;
+      f2_budget = budget;
+      f2_queries_per_cell = cells;
+      f2_sample_times = [ budget /. 4.; budget /. 2.; budget ];
+    }
+  in
+  Format.printf "%a@." Experiments.pp_figure2 (Experiments.figure2 ~config ())
+
+let fig2_cmd =
+  let sizes =
+    Arg.(value & opt (list int) [ 4; 6; 8; 10; 12 ] & info [ "sizes" ] ~docv:"N,N,..."
+           ~doc:"Query sizes (tables per query).")
+  in
+  let cells =
+    Arg.(value & opt int 3 & info [ "cells" ] ~docv:"K" ~doc:"Queries per cell.")
+  in
+  let budget =
+    Arg.(value & opt float 3. & info [ "budget" ] ~docv:"SECONDS" ~doc:"Budget per query.")
+  in
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"Reproduce Figure 2 (guaranteed factor over time)")
+    Term.(const run_fig2 $ sizes $ budget $ cells)
+
+let run_tables () =
+  Format.printf "%a@.%a@." Experiments.pp_table1 () Experiments.pp_table2 ()
+
+let tables_cmd =
+  Cmd.v (Cmd.info "tables" ~doc:"Print the paper's Tables 1 and 2") Term.(const run_tables $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "MILP-based join ordering (reproduction of Trummer & Koch, SIGMOD 2017)" in
+  let info = Cmd.info "joinopt" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            optimize_cmd;
+            dp_cmd;
+            greedy_cmd;
+            ikkbz_cmd;
+            anneal_cmd;
+            expensive_cmd;
+            orders_cmd;
+            projection_cmd;
+            export_cmd;
+            fig1_cmd;
+            fig2_cmd;
+            tables_cmd;
+          ]))

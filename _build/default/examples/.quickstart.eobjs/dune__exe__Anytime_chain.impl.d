@@ -1,0 +1,1 @@
+examples/anytime_chain.ml: Dp_opt Float Format Joinopt Printf Relalg Unix

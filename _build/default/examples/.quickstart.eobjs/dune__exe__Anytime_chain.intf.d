@@ -1,0 +1,1 @@
+examples/anytime_chain.mli:

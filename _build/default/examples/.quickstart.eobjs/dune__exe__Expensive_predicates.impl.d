@@ -1,0 +1,1 @@
+examples/expensive_predicates.ml: Dp_opt Format List Relalg

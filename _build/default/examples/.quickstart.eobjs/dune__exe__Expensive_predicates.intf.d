@@ -1,0 +1,1 @@
+examples/expensive_predicates.mli:

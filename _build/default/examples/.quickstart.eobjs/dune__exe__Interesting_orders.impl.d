@@ -1,0 +1,1 @@
+examples/interesting_orders.ml: Array Format Joinopt List Milp Printf Relalg String

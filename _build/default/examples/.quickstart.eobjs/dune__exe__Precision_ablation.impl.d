@@ -1,0 +1,1 @@
+examples/precision_ablation.ml: Dp_opt Format Joinopt List Relalg

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dp_opt Float Format Joinopt List Printf Relalg

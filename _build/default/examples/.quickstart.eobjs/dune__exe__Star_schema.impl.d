@@ -1,0 +1,1 @@
+examples/star_schema.ml: Dp_opt Format Joinopt List Relalg

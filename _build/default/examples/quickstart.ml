@@ -1,0 +1,58 @@
+(* Quickstart: the paper's running example (Sections 4.1-4.2).
+
+   Three tables R(10), S(1000), T(100) and one predicate between R and S
+   with selectivity 0.1. We compile the join ordering problem to a MILP,
+   solve it, and compare against the classical dynamic programming
+   optimizer.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Catalog = Relalg.Catalog
+module Predicate = Relalg.Predicate
+module Query = Relalg.Query
+module Plan = Relalg.Plan
+module Optimizer = Joinopt.Optimizer
+module Thresholds = Joinopt.Thresholds
+
+let () =
+  let query =
+    Query.create
+      ~predicates:[ Predicate.binary ~name:"R.x = S.x" 0 1 0.1 ]
+      [ Catalog.table "R" 10.; Catalog.table "S" 1000.; Catalog.table "T" 100. ]
+  in
+  Format.printf "Query: %a@.@." Query.pp query;
+
+  (* MILP-based optimization (hash joins, high approximation precision). *)
+  let config =
+    Optimizer.default_config
+    |> Optimizer.with_precision Thresholds.High
+    |> Optimizer.with_time_limit 10.
+  in
+  let result = Optimizer.optimize ~config query in
+  Format.printf "MILP size: %d variables, %d constraints@." result.Optimizer.num_vars
+    result.Optimizer.num_constrs;
+  (match (result.Optimizer.plan, result.Optimizer.true_cost) with
+  | Some plan, Some cost ->
+    Format.printf "MILP plan: %a   (true hash-join cost %.0f, %d branch-and-bound nodes)@."
+      (Plan.pp_with_query query) plan cost result.Optimizer.nodes
+  | _ -> Format.printf "MILP found no plan@.");
+
+  (* The classical baseline. *)
+  (match Dp_opt.Selinger.optimize query with
+  | Dp_opt.Selinger.Complete r ->
+    Format.printf "DP plan:   %a   (cost %.0f)@." (Plan.pp_with_query query)
+      r.Dp_opt.Selinger.plan r.Dp_opt.Selinger.cost
+  | Dp_opt.Selinger.Timed_out _ -> Format.printf "DP timed out@.");
+
+  (* The anytime trace: incumbents and proven bounds over time. *)
+  Format.printf "@.Anytime trace (objective = approximate cost):@.";
+  List.iter
+    (fun tp ->
+      Format.printf "  t=%6.3fs  incumbent=%-12s bound=%-12s factor=%s@."
+        tp.Optimizer.tp_elapsed
+        (match tp.Optimizer.tp_objective with Some v -> Printf.sprintf "%.0f" v | None -> "-")
+        (Printf.sprintf "%.0f" tp.Optimizer.tp_bound)
+        (match tp.Optimizer.tp_factor with
+        | Some f when Float.is_finite f -> Printf.sprintf "%.2f" f
+        | _ -> "-"))
+    result.Optimizer.trace

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Encoding Format List Milp Relalg Thresholds

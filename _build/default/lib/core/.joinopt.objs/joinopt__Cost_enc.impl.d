@@ -1,0 +1,1 @@
+lib/core/cost_enc.ml: Array Encoding List Milp Printf Relalg String Thresholds

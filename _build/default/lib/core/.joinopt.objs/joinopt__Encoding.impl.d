@@ -1,0 +1,1 @@
+lib/core/encoding.ml: Array Dp_opt Hashtbl List Milp Printf Relalg Thresholds

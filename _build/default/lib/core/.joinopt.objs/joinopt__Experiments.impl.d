@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Analysis Dp_opt Encoding Float Format List Optimizer Printf Relalg Thresholds Unix

@@ -1,0 +1,1 @@
+lib/core/ext_expensive.ml: Array Cost_enc Dp_opt Encoding Hashtbl List Milp Printf Relalg Thresholds

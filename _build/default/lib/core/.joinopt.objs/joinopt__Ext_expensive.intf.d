@@ -1,0 +1,1 @@
+lib/core/ext_expensive.mli: Encoding Milp Relalg

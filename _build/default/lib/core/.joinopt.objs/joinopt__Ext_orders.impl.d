@@ -1,0 +1,1 @@
+lib/core/ext_orders.ml: Array Cost_enc Dp_opt Encoding List Milp Printf Relalg Thresholds

@@ -1,0 +1,1 @@
+lib/core/ext_orders.mli: Encoding Milp Relalg

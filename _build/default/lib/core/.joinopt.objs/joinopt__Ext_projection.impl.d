@@ -1,0 +1,1 @@
+lib/core/ext_projection.ml: Array Dp_opt Encoding List Milp Printf Relalg Thresholds

@@ -1,0 +1,1 @@
+lib/core/ext_projection.mli: Encoding Milp Relalg

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Array Cost_enc Dp_opt Encoding List Milp Relalg Unix

@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Cost_enc Encoding Milp Relalg Thresholds

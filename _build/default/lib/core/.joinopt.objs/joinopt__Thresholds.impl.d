@@ -1,0 +1,1 @@
+lib/core/thresholds.ml: Array Printf

@@ -1,0 +1,133 @@
+module Problem = Milp.Problem
+
+type counts = { c_vars : int; c_binaries : int; c_constraints : int }
+
+let pp_counts ppf c =
+  Format.fprintf ppf "%d variables (%d binary), %d constraints" c.c_vars c.c_binaries
+    c.c_constraints
+
+(* Encoded predicate shape: non-unary real predicates plus one virtual
+   predicate per correlated group. Returns, per encoded predicate, its
+   referenced-table count and (for groups) the count of non-unary plus
+   unary members — the inputs of the constraint-count formulas. This
+   mirrors the inventory that Encoding.build constructs; the test suite
+   pins them together. *)
+let encoded_pred_shapes q =
+  let reals =
+    Array.to_list q.Relalg.Query.predicates
+    |> List.filter_map (fun p ->
+           match p.Relalg.Predicate.pred_tables with
+           | [ _ ] -> None
+           | tables -> Some (List.length tables, 0))
+  in
+  let groups =
+    Array.to_list q.Relalg.Query.correlations
+    |> List.map (fun c ->
+           let members =
+             List.map (fun pi -> q.Relalg.Query.predicates.(pi)) c.Relalg.Predicate.corr_members
+           in
+           let tables =
+             List.sort_uniq compare
+               (List.concat_map (fun p -> p.Relalg.Predicate.pred_tables) members)
+           in
+           (List.length tables, List.length members))
+  in
+  reals @ groups
+
+let predicted ?(config = Encoding.default_config) q =
+  let n = Relalg.Query.num_tables q in
+  if n < 2 then invalid_arg "Analysis.predicted: need at least two tables";
+  let shapes = encoded_pred_shapes q in
+  let mp = List.length shapes in
+  let l = Thresholds.num_thresholds (Encoding.planned_ladder config q) in
+  let joins = n - 1 in
+  let inner_joins = n - 2 in
+  (* joins with a non-trivial outer operand (j >= 1) *)
+  let full = config.Encoding.formulation = Encoding.Full_paper in
+  let tio_vars = if full then n * joins else n in
+  let vars =
+    tio_vars (* tio *)
+    + (n * joins) (* tii *)
+    + (mp * inner_joins) (* pao *)
+    + inner_joins (* lco *)
+    + (l * inner_joins) (* cto *)
+    + inner_joins (* co *)
+    + joins (* ci *)
+  in
+  let binaries =
+    n (* tio of join 0; later tio are continuous in the full formulation *)
+    + (n * joins)
+    + (mp * inner_joins)
+    + (l * inner_joins)
+  in
+  let order_constraints =
+    if full then 1 + joins + (n * joins) + (n * inner_joins)
+      (* outer0, inner one-hots, overlaps, chaining *)
+    else 1 + joins + n (* outer0, inner one-hots, at-most-once *)
+  in
+  (* Per join j >= 1: one applicability row per referenced table; a
+     correlated group additionally adds one upper-bound row per non-unary
+     member and one forcing row. *)
+  let unary pi = List.length q.Relalg.Query.predicates.(pi).Relalg.Predicate.pred_tables = 1 in
+  let group_extra =
+    Array.to_list q.Relalg.Query.correlations
+    |> List.map (fun c ->
+           let non_unary =
+             List.length
+               (List.filter (fun pi -> not (unary pi)) c.Relalg.Predicate.corr_members)
+           in
+           (* forcing row always present; one <= row per non-unary member *)
+           non_unary + 1)
+    |> List.fold_left ( + ) 0
+  in
+  let applicability =
+    (List.fold_left (fun acc (tables, _) -> acc + tables) 0 shapes + group_extra) * inner_joins
+  in
+  let cardinality_constraints =
+    joins (* ci defs *)
+    + inner_joins (* lco defs *)
+    + (l * inner_joins) (* threshold activations *)
+    + (if config.Encoding.monotone_ladder then (l - 1) * inner_joins else 0)
+    + inner_joins (* co defs *)
+  in
+  {
+    c_vars = vars;
+    c_binaries = binaries;
+    c_constraints = order_constraints + applicability + cardinality_constraints;
+  }
+
+let measured enc =
+  let p = enc.Encoding.problem in
+  let binaries = ref 0 in
+  Problem.iter_vars
+    (fun _ info -> if info.Problem.v_kind = Problem.Binary then incr binaries)
+    p;
+  { c_vars = Problem.num_vars p; c_binaries = !binaries; c_constraints = Problem.num_constrs p }
+
+let asymptotic ~n ~m ~l = n * (n + m + l)
+
+let variable_inventory =
+  [
+    ("tio_tj / tii_tj", "table t is in the outer/inner operand of the j-th join");
+    ("pao_pj", "predicate p can be evaluated on the outer operand of the j-th join");
+    ("lco_j", "logarithm of the cardinality of the outer operand of the j-th join");
+    ("cto_rj", "cardinality of the outer operand of the j-th join reaches threshold r");
+    ("co_j / ci_j", "approximated cardinality of the outer/inner operand of the j-th join");
+  ]
+
+let constraint_inventory =
+  [
+    ("sum_t tio_t0 = 1 ; forall j: sum_t tii_tj = 1",
+     "one table as first outer operand / as every inner operand");
+    ("forall j,t: tio_tj + tii_tj <= 1", "join operands never overlap");
+    ("forall j>=1,t: tio_tj = tio_t,j-1 + tii_t,j-1",
+     "the previous join's result is the next outer operand");
+    ("forall p,j, t in tables(p): pao_pj <= tio_tj",
+     "a predicate applies only when all its tables are present");
+    ("forall j: ci_j = sum_t Card(t) tii_tj", "inner operand cardinality");
+    ("forall j: lco_j = sum_t log Card(t) tio_tj + sum_p log Sel(p) pao_pj",
+     "log-cardinality of the outer operand");
+    ("forall j,r: lco_j - M_r cto_rj <= log theta_r",
+     "threshold flags activate when the cardinality reaches them");
+    ("forall j: co_j = sum_r delta_r cto_rj", "staircase approximation of the raw cardinality");
+  ]

@@ -1,0 +1,77 @@
+(** Cost objectives over the join-order encoding (Section 4.3), plus the
+    operator-selection extension (Section 5.3).
+
+    Outer-operand quantities (pages, sort cost, loop blocks) are
+    approximated by threshold staircases over the [cto] variables — any
+    monotone function of the cardinality can be encoded this way, which is
+    how the paper handles the non-linear sort-merge and nested-loop
+    formulas. Inner-operand quantities are exact sums over the [tii]
+    selectors since inner operands are single tables. *)
+
+type spec =
+  | Cout  (** sum of intermediate result cardinalities (Cluet & Moerkotte) *)
+  | Fixed_operator of Relalg.Plan.operator
+      (** every join uses this operator (the paper's experiments fix hash
+          joins) *)
+  | Choose_operator of Relalg.Plan.operator list
+      (** the MILP selects one operator per join via [jos] binaries and
+          actual-vs-potential cost linearization *)
+
+val spec_to_string : spec -> string
+
+type t
+
+val encoding : t -> Encoding.t
+val spec : t -> spec
+val page_model : t -> Relalg.Cost_model.page_model
+
+val install : ?pm:Relalg.Cost_model.page_model -> Encoding.t -> spec -> t
+(** Adds any auxiliary variables/constraints and sets the minimization
+    objective on [enc.problem]. Must be called exactly once per encoding.
+    The [Cout] objective carries the (constant) final-result cardinality
+    so that objective values compare directly to
+    {!Relalg.Cost_model.plan_cost}. *)
+
+val extend_assignment : t -> int array -> float array -> unit
+(** [extend_assignment c order x] fills the auxiliary cost variables in
+    [x] (an assignment from {!Encoding.assignment_of_order}) with the
+    values forced by the given join order, so the result passes
+    [Problem.check_feasible] and can serve as a MIP start. *)
+
+val objective_of_order : t -> int array -> float
+(** The MILP objective value (the approximate cost) assigned to a join
+    order — i.e. the objective under {!Encoding.assignment_of_order} +
+    {!extend_assignment}. *)
+
+val decode_operators : t -> (Milp.Problem.var -> float) -> int array -> Relalg.Plan.t
+(** Builds the final plan from a solved assignment: for
+    [Choose_operator], reads the [jos] selection; for [Fixed_operator],
+    uses it everywhere; for [Cout], completes the order with
+    {!Relalg.Cost_model.optimal_operators} (the paper's post-processing
+    step). *)
+
+(** {2 Expression builders}
+
+    Exported for the Section-5 extensions ({!Extensions}), which assemble
+    their own objectives out of the same operand quantities. *)
+
+val g_pages : Relalg.Cost_model.page_model -> float -> float
+(** Disk pages of an operand of the given cardinality. *)
+
+val g_smj : Relalg.Cost_model.page_model -> float -> float
+(** Sort cost term [2 pg ceil(log2 pg) + pg]. *)
+
+val outer_expr : Encoding.t -> (float -> float) -> int -> Milp.Linexpr.t
+(** [outer_expr enc g j] — linear expression approximating [g] of the
+    outer operand cardinality of join [j]: exact over the [tio] selectors
+    for [j = 0], a threshold staircase otherwise. [g 0. = 0.] required. *)
+
+val inner_expr : Encoding.t -> (float -> float) -> int -> Milp.Linexpr.t
+(** Exact sum over the inner operand's [tii] selectors. *)
+
+val outer_upper_bound : Encoding.t -> (float -> float) -> float
+(** Upper bound of [g] over any outer operand (top staircase step or any
+    single table). *)
+
+val outer_value : t -> int array -> (float -> float) -> int -> float
+(** The value {!outer_expr} takes under an honest order assignment. *)

@@ -1,0 +1,469 @@
+module Problem = Milp.Problem
+module Linexpr = Milp.Linexpr
+
+type formulation = Full_paper | Reduced
+
+type config = {
+  precision : Thresholds.precision;
+  rounding : Thresholds.rounding;
+  max_modeled_card : float;
+  adaptive_cap : bool;
+  monotone_ladder : bool;
+  formulation : formulation;
+}
+
+let default_config =
+  {
+    precision = Thresholds.Medium;
+    rounding = Thresholds.Central;
+    max_modeled_card = 1e30;
+    adaptive_cap = true;
+    monotone_ladder = true;
+    formulation = Reduced;
+  }
+
+type t = {
+  problem : Problem.t;
+  query : Relalg.Query.t;
+  config : config;
+  ladder : Thresholds.t;
+  num_joins : int;
+  tio : Problem.var array array;
+  tio_expr : Linexpr.t array array;
+  tii : Problem.var array array;
+  pao : Problem.var array array;
+  lco : Problem.var array;
+  cto : Problem.var array array;
+  co : Problem.var array;
+  ci : Problem.var array;
+  effective_card : float array;
+  pred_ids : int array;
+  log10_sels : float array;
+  pred_masks : int array;  (* table bitmask per encoded predicate *)
+}
+
+(* Per-table cardinality with unary predicate selectivities folded in
+   (unary predicates run at scan time; see Cost_model). *)
+let effective_cards q =
+  let n = Relalg.Query.num_tables q in
+  let cards = Array.init n (fun t -> Relalg.Query.table_card q t) in
+  Array.iter
+    (fun p ->
+      match p.Relalg.Predicate.pred_tables with
+      | [ t ] -> cards.(t) <- cards.(t) *. p.Relalg.Predicate.selectivity
+      | _ -> ())
+    q.Relalg.Query.predicates;
+  cards
+
+(* Encoded predicate inventory: non-unary real predicates first (recording
+   their index into the query), then one virtual predicate per correlated
+   group. A group's "members" are split into non-unary ones (tracked by
+   their encoded index) and unary ones (tracked by their table, since they
+   are applied whenever their table is present). *)
+type encoded_pred = {
+  ep_id : int;  (* query predicate index, or -1 for a correlation group *)
+  ep_tables : int list;
+  ep_log10_sel : float;
+  ep_members : int list;  (* encoded indices of non-unary members (groups only) *)
+  ep_unary_member_tables : int list;  (* tables of unary members (groups only) *)
+}
+
+let encoded_preds q =
+  let reals = ref [] and index_of_query_pred = Hashtbl.create 16 in
+  let count = ref 0 in
+  Array.iteri
+    (fun pi p ->
+      match p.Relalg.Predicate.pred_tables with
+      | [ _ ] -> ()
+      | tables ->
+        Hashtbl.replace index_of_query_pred pi !count;
+        incr count;
+        reals :=
+          {
+            ep_id = pi;
+            ep_tables = tables;
+            ep_log10_sel = log10 p.Relalg.Predicate.selectivity;
+            ep_members = [];
+            ep_unary_member_tables = [];
+          }
+          :: !reals)
+    q.Relalg.Query.predicates;
+  let groups =
+    Array.to_list
+      (Array.map
+         (fun c ->
+           let member_preds =
+             List.map (fun pi -> (pi, q.Relalg.Query.predicates.(pi))) c.Relalg.Predicate.corr_members
+           in
+           let tables =
+             List.sort_uniq compare
+               (List.concat_map (fun (_, p) -> p.Relalg.Predicate.pred_tables) member_preds)
+           in
+           let encoded_members =
+             List.filter_map
+               (fun (pi, _) -> Hashtbl.find_opt index_of_query_pred pi)
+               member_preds
+           in
+           let unary_tables =
+             List.filter_map
+               (fun (_, p) ->
+                 match p.Relalg.Predicate.pred_tables with [ t ] -> Some t | _ -> None)
+               member_preds
+           in
+           {
+             ep_id = -1;
+             ep_tables = tables;
+             ep_log10_sel = log10 c.Relalg.Predicate.corr_correction;
+             ep_members = encoded_members;
+             ep_unary_member_tables = unary_tables;
+           })
+         q.Relalg.Query.correlations)
+  in
+  Array.of_list (List.rev !reals @ groups)
+
+let num_encoded_preds enc = Array.length enc.pred_ids
+
+(* The threshold ladder [build] constructs for a query: the range covers
+   cardinalities up to the product of all (unary-filtered) table
+   cardinalities, clipped by the configured cap and — when enabled — by
+   the adaptive cap. Any plan with an intermediate result two orders of
+   magnitude above the greedy plan's total C_out is dominated by the
+   greedy plan, so the staircase can saturate there; this keeps the
+   coefficient range of the MILP manageable (the raw range for large
+   queries spans hundreds of orders of magnitude, which no LP arithmetic
+   survives). *)
+let planned_ladder config q =
+  let cards = effective_cards q in
+  let max_card =
+    min config.max_modeled_card (Array.fold_left (fun acc c -> acc *. c) 1. cards)
+  in
+  let max_card =
+    if config.adaptive_cap && Relalg.Query.num_tables q >= 2 then begin
+      let greedy_cout =
+        Array.fold_left ( +. ) 0. (Relalg.Card.prefix_cards q (Dp_opt.Greedy.order q))
+      in
+      min max_card (max (greedy_cout *. 100.) 1e6)
+    end
+    else max_card
+  in
+  Thresholds.make ~rounding:config.rounding ~max_card:(max max_card 2.) config.precision
+
+let build ?(config = default_config) q =
+  let n = Relalg.Query.num_tables q in
+  if n < 2 then invalid_arg "Encoding.build: need at least two tables";
+  let jmax = n - 2 in
+  let num_joins = n - 1 in
+  let cards = effective_cards q in
+  let log_cards = Array.map log10 cards in
+  let preds = encoded_preds q in
+  let mp = Array.length preds in
+  let pred_ids = Array.map (fun ep -> ep.ep_id) preds in
+  let log10_sels = Array.map (fun ep -> ep.ep_log10_sel) preds in
+  let pred_masks =
+    Array.map (fun ep -> List.fold_left (fun m t -> m lor (1 lsl t)) 0 ep.ep_tables) preds
+  in
+  let ladder = planned_ladder config q in
+  let l = Thresholds.num_thresholds ladder in
+  let p = Problem.create ~name:"join-order" () in
+  (* --- variables ------------------------------------------------- *)
+  (* Branching priority: the order-defining binaries first, early joins
+     before late ones (their fixing cascades through the chaining
+     constraints). tio for j >= 1 is forced to tii+tio of the previous
+     join, hence automatically integral: declaring those continuous in
+     [0,1] keeps the branching space minimal without changing the
+     feasible set. *)
+  let tio =
+    Array.init num_joins (fun j ->
+        if j > 0 && config.formulation = Reduced then [||]
+        else
+          Array.init n (fun t ->
+              let priority = if j = 0 then 1000 else 0 in
+              let kind = if j = 0 then Problem.Binary else Problem.Continuous in
+              Problem.add_var p ~name:(Printf.sprintf "tio_t%d_j%d" t j) ~lb:0. ~ub:1. ~kind
+                ~priority ()))
+  in
+  let tii =
+    Array.init num_joins (fun j ->
+        Array.init n (fun t ->
+            Problem.add_var p
+              ~name:(Printf.sprintf "tii_t%d_j%d" t j)
+              ~kind:Problem.Binary ~priority:(900 - (10 * j)) ()))
+  in
+  (* Presence of table t in the outer operand of join j, as a linear
+     expression: a dedicated variable in the paper's formulation, or the
+     cumulative sum tio0_t + sum_(k<j) tii_kt in the reduced one (the
+     elimination a solver's presolve would perform). *)
+  let tio_expr =
+    Array.init num_joins (fun j ->
+        Array.init n (fun t ->
+            match config.formulation with
+            | Full_paper -> Linexpr.var tio.(j).(t)
+            | Reduced ->
+              if j = 0 then Linexpr.var tio.(0).(t)
+              else
+                Linexpr.of_terms
+                  ((tio.(0).(t), 1.) :: List.init j (fun k -> (tii.(k).(t), 1.)))))
+  in
+  let pao =
+    Array.init num_joins (fun j ->
+        if j = 0 then [||]
+        else
+          Array.init mp (fun pi ->
+              Problem.add_var p ~name:(Printf.sprintf "pao_p%d_j%d" pi j) ~kind:Problem.Binary ()))
+  in
+  let max_log = Array.fold_left ( +. ) 0. log_cards in
+  let min_log = Array.fold_left ( +. ) 0. log10_sels in
+  let lco =
+    Array.init num_joins (fun j ->
+        if j = 0 then -1
+        else
+          Problem.add_var p ~name:(Printf.sprintf "lco_j%d" j) ~lb:(min_log -. 1.)
+            ~ub:(max_log +. 1.) ())
+  in
+  let cto =
+    Array.init num_joins (fun j ->
+        if j = 0 then [||]
+        else
+          Array.init l (fun r ->
+              Problem.add_var p ~name:(Printf.sprintf "cto_r%d_j%d" r j) ~kind:Problem.Binary ()))
+  in
+  (* Explicit finite upper bounds keep the LP from wandering along
+     near-rays of the staircase variables. *)
+  let co_ub = Array.fold_left ( +. ) 0. ladder.Thresholds.deltas in
+  let ci_ub = Array.fold_left (fun acc c -> max acc c) 1. cards in
+  let co =
+    Array.init num_joins (fun j ->
+        if j = 0 then -1
+        else Problem.add_var p ~name:(Printf.sprintf "co_j%d" j) ~lb:0. ~ub:co_ub ())
+  in
+  let ci =
+    Array.init num_joins (fun j ->
+        Problem.add_var p ~name:(Printf.sprintf "ci_j%d" j) ~lb:0. ~ub:ci_ub ())
+  in
+  (* --- join order constraints (Table 2) --------------------------- *)
+  let sum_over vars = Linexpr.of_terms (Array.to_list (Array.map (fun v -> (v, 1.)) vars)) in
+  (* One table as the outer operand of the first join. *)
+  Problem.add_constr p ~name:"outer0_single" (sum_over tio.(0)) Problem.Eq 1.;
+  (* One table per inner operand. *)
+  for j = 0 to jmax do
+    Problem.add_constr p
+      ~name:(Printf.sprintf "inner%d_single" j)
+      (sum_over tii.(j)) Problem.Eq 1.
+  done;
+  (match config.formulation with
+  | Full_paper ->
+    (* Operands of one join never overlap. *)
+    for j = 0 to jmax do
+      for t = 0 to n - 1 do
+        Problem.add_constr p
+          ~name:(Printf.sprintf "no_overlap_t%d_j%d" t j)
+          Linexpr.(add (var tio.(j).(t)) (var tii.(j).(t)))
+          Problem.Le 1.
+      done
+    done;
+    (* The next outer operand is the previous join's result. *)
+    for j = 1 to jmax do
+      for t = 0 to n - 1 do
+        Problem.add_constr p
+          ~name:(Printf.sprintf "chain_t%d_j%d" t j)
+          Linexpr.(sub (var tio.(j).(t)) (add (var tio.(j - 1).(t)) (var tii.(j - 1).(t))))
+          Problem.Eq 0.
+      done
+    done
+  | Reduced ->
+    (* Each table fills at most one slot (first outer or some inner);
+       together with the one-hot slot constraints and the slot count this
+       forces exactly the left-deep permutations. *)
+    for t = 0 to n - 1 do
+      Problem.add_constr p
+        ~name:(Printf.sprintf "at_most_once_t%d" t)
+        (Linexpr.of_terms
+           ((tio.(0).(t), 1.) :: List.init num_joins (fun j -> (tii.(j).(t), 1.))))
+        Problem.Le 1.
+    done);
+  (* --- predicate applicability ------------------------------------ *)
+  for j = 1 to jmax do
+    Array.iteri
+      (fun pi ep ->
+        (* Applicable only when every referenced table is present (for
+           groups this covers unary members' tables as well). *)
+        List.iter
+          (fun t ->
+            Problem.add_constr p
+              ~name:(Printf.sprintf "applicable_p%d_t%d_j%d" pi t j)
+              (Linexpr.sub (Linexpr.var pao.(j).(pi)) tio_expr.(j).(t))
+              Problem.Le 0.)
+          ep.ep_tables;
+        if ep.ep_id = -1 then begin
+          (* Correlated group (Section 5.1): forced on exactly when every
+             member is applied. Upper bounds against each non-unary
+             member; the lower bound counts non-unary members' pao and
+             unary members' table presence. *)
+          List.iter
+            (fun mi ->
+              Problem.add_constr p
+                ~name:(Printf.sprintf "group%d_le_p%d_j%d" pi mi j)
+                Linexpr.(sub (var pao.(j).(pi)) (var pao.(j).(mi)))
+                Problem.Le 0.)
+            ep.ep_members;
+          let k =
+            List.length ep.ep_members + List.length ep.ep_unary_member_tables
+          in
+          let expr =
+            List.fold_left
+              (fun e t -> Linexpr.sub e tio_expr.(j).(t))
+              (Linexpr.of_terms
+                 ((pao.(j).(pi), 1.) :: List.map (fun mi -> (pao.(j).(mi), -1.)) ep.ep_members))
+              ep.ep_unary_member_tables
+          in
+          Problem.add_constr p
+            ~name:(Printf.sprintf "group%d_forced_j%d" pi j)
+            expr Problem.Ge
+            (1. -. float_of_int k)
+        end)
+      preds
+  done;
+  (* --- cardinalities ---------------------------------------------- *)
+  (* Inner operand cardinality (exact). *)
+  for j = 0 to jmax do
+    let e =
+      Linexpr.of_terms
+        ((ci.(j), -1.) :: Array.to_list (Array.mapi (fun t v -> (v, cards.(t))) tii.(j)))
+    in
+    Problem.add_constr p ~name:(Printf.sprintf "ci_def_j%d" j) e Problem.Eq 0.
+  done;
+  (* Log-cardinality of outer operands (exact, Section 4.2). *)
+  for j = 1 to jmax do
+    let table_part = ref Linexpr.zero in
+    for t = 0 to n - 1 do
+      table_part := Linexpr.add !table_part (Linexpr.scale log_cards.(t) tio_expr.(j).(t))
+    done;
+    let pred_terms = Array.to_list (Array.mapi (fun pi v -> (v, log10_sels.(pi))) pao.(j)) in
+    let e =
+      Linexpr.add !table_part (Linexpr.of_terms ((lco.(j), -1.) :: pred_terms))
+    in
+    Problem.add_constr p ~name:(Printf.sprintf "lco_def_j%d" j) e Problem.Eq 0.
+  done;
+  (* Threshold activation: lco_j - M_r * cto_rj <= log theta_r, with the
+     tightest valid big-M per threshold. *)
+  for j = 1 to jmax do
+    for r = 0 to l - 1 do
+      let log_theta = ladder.Thresholds.log10_thetas.(r) in
+      let big_m = max_log +. 1. -. log_theta in
+      Problem.add_constr p
+        ~name:(Printf.sprintf "cto_def_r%d_j%d" r j)
+        Linexpr.(sub (var lco.(j)) (var ~coeff:big_m cto.(j).(r)))
+        Problem.Le log_theta
+    done;
+    if config.monotone_ladder then
+      for r = 0 to l - 2 do
+        Problem.add_constr p
+          ~name:(Printf.sprintf "cto_mono_r%d_j%d" r j)
+          Linexpr.(sub (var cto.(j).(r + 1)) (var cto.(j).(r)))
+          Problem.Le 0.
+      done
+  done;
+  (* Raw cardinality from the staircase. *)
+  for j = 1 to jmax do
+    let e =
+      Linexpr.of_terms
+        ((co.(j), -1.)
+        :: Array.to_list (Array.mapi (fun r v -> (v, ladder.Thresholds.deltas.(r))) cto.(j)))
+    in
+    Problem.add_constr p ~name:(Printf.sprintf "co_def_j%d" j) e Problem.Eq 0.
+  done;
+  {
+    problem = p;
+    query = q;
+    config;
+    ladder;
+    num_joins;
+    tio;
+    tio_expr;
+    tii;
+    pao;
+    lco;
+    cto;
+    co;
+    ci;
+    effective_card = cards;
+    pred_ids;
+    log10_sels;
+    pred_masks;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reading and writing assignments                                      *)
+(* ------------------------------------------------------------------ *)
+
+let order_of_assignment enc value =
+  let n = Relalg.Query.num_tables enc.query in
+  let pick vars what =
+    let best = ref (-1) in
+    Array.iteri (fun t v -> if value v > 0.5 && !best < 0 then best := t) vars;
+    match !best with
+    | -1 -> failwith (Printf.sprintf "Encoding.order_of_assignment: no table selected for %s" what)
+    | t -> t
+  in
+  let order = Array.make n 0 in
+  order.(0) <- pick enc.tio.(0) "outer 0";
+  for j = 0 to enc.num_joins - 1 do
+    order.(j + 1) <- pick enc.tii.(j) (Printf.sprintf "inner %d" j)
+  done;
+  let seen = Array.make n false in
+  Array.iter
+    (fun t ->
+      if seen.(t) then failwith "Encoding.order_of_assignment: not a permutation";
+      seen.(t) <- true)
+    order;
+  order
+
+(* Applicable encoded predicates for a table bitmask; groups are
+   "applicable" exactly when all their tables are present, which matches
+   the constraint system (members applicable too). *)
+let encoded_applicable enc tables_mask =
+  let acc = ref 0 in
+  Array.iteri
+    (fun pi mask -> if mask land tables_mask = mask then acc := !acc lor (1 lsl pi))
+    enc.pred_masks;
+  !acc
+
+let log10_outer_card enc order j =
+  if j < 1 || j > enc.num_joins - 1 then invalid_arg "Encoding.log10_outer_card";
+  let mask = ref 0 and logc = ref 0. in
+  for k = 0 to j do
+    mask := !mask lor (1 lsl order.(k));
+    logc := !logc +. log10 enc.effective_card.(order.(k))
+  done;
+  let app = encoded_applicable enc !mask in
+  Array.iteri (fun pi ls -> if app land (1 lsl pi) <> 0 then logc := !logc +. ls) enc.log10_sels;
+  !logc
+
+let assignment_of_order enc order =
+  let n = Relalg.Query.num_tables enc.query in
+  if Array.length order <> n then invalid_arg "Encoding.assignment_of_order: length";
+  let x = Array.make (Problem.num_vars enc.problem) 0. in
+  (* Table membership and inner cardinalities. *)
+  for j = 0 to enc.num_joins - 1 do
+    if Array.length enc.tio.(j) > 0 then
+      for k = 0 to j do
+        x.(enc.tio.(j).(order.(k))) <- 1.
+      done;
+    x.(enc.tii.(j).(order.(j + 1))) <- 1.;
+    x.(enc.ci.(j)) <- enc.effective_card.(order.(j + 1))
+  done;
+  (* Predicates, log-cardinalities, thresholds. *)
+  for j = 1 to enc.num_joins - 1 do
+    let mask = ref 0 in
+    for k = 0 to j do
+      mask := !mask lor (1 lsl order.(k))
+    done;
+    let app = encoded_applicable enc !mask in
+    Array.iteri (fun pi v -> if app land (1 lsl pi) <> 0 then x.(v) <- 1.) enc.pao.(j);
+    let lc = log10_outer_card enc order j in
+    x.(enc.lco.(j)) <- lc;
+    let hits = Thresholds.reached enc.ladder lc in
+    Array.iteri (fun r v -> if hits.(r) then x.(v) <- 1.) enc.cto.(j);
+    x.(enc.co.(j)) <- Thresholds.approx_card enc.ladder lc
+  done;
+  x

@@ -1,0 +1,106 @@
+(** The paper's core contribution: compiling a join ordering problem into
+    a mixed integer linear program (Section 4).
+
+    Variables (Table 1), for a query over n tables, m predicates and a
+    ladder of l thresholds, with joins numbered j = 0 .. n-2:
+
+    - [tio t j] / [tii t j]: table t in the outer / inner operand of join j;
+    - [pao p j]: predicate p applicable in the outer operand of join j
+      (j >= 1; the outer operand of join 0 is a single table), including
+      one virtual predicate per correlated group (Section 5.1);
+    - [lco j]: log10 of the outer operand cardinality of join j (j >= 1);
+    - [cto r j]: outer cardinality of join j reaches threshold r;
+    - [co j]: approximate raw outer cardinality (j >= 1);
+    - [ci j]: exact inner operand cardinality.
+
+    Constraints are those of Table 2. Unary predicates are folded into
+    the table cardinalities (they are always evaluated at scan time, see
+    {!Relalg.Cost_model}), so predicate variables only exist for
+    predicates over two or more tables.
+
+    The inner-operand binaries [tii] (and [tio _ 0]) carry high branching
+    priority: they alone determine the join order, and once they are
+    integral every other binary is forced by the constraints or by cost
+    monotonicity. *)
+
+(** The paper's formulation keeps one [tio] variable per (table, join)
+    with chaining equalities (Table 2); the reduced formulation eliminates
+    those definitional variables — each table fills at most one order slot
+    — exactly the substitution a commercial solver's presolve performs
+    (the paper, Section 4.1, notes this explicitly). Both describe the
+    same plan space; [Reduced] solves markedly faster. *)
+type formulation = Full_paper | Reduced
+
+type config = {
+  precision : Thresholds.precision;
+  rounding : Thresholds.rounding;
+  max_modeled_card : float;
+  (** cap on the cardinality range covered by thresholds; larger
+      intermediate results saturate at the top step (the paper caps the
+      ladder too: 60-100 thresholds cover far less than the worst-case
+      10^300 of a 60-way cross product) *)
+  adaptive_cap : bool;
+  (** additionally cap the range at 100x the greedy plan's total C_out:
+      plans with an intermediate result beyond that are dominated anyway,
+      and the reduced coefficient range keeps the LP numerically sane *)
+  monotone_ladder : bool;
+  (** add the (redundant but tightening) constraints
+      [cto (r+1) j <= cto r j] *)
+  formulation : formulation;
+}
+
+val default_config : config
+(** Medium precision, [Central] rounding, cap [1e30], monotone ladder,
+    [Reduced] formulation. *)
+
+type t = private {
+  problem : Milp.Problem.t;
+  query : Relalg.Query.t;
+  config : config;
+  ladder : Thresholds.t;
+  num_joins : int;
+  tio : Milp.Problem.var array array;
+  (** [tio.(j).(t)]; under [Reduced], rows [j >= 1] are empty *)
+  tio_expr : Milp.Linexpr.t array array;
+  (** presence of table [t] in the outer operand of join [j], valid in
+      both formulations *)
+  tii : Milp.Problem.var array array;
+  pao : Milp.Problem.var array array;
+  (** [pao.(j).(p)], j >= 1; row 0 is an empty array. Predicate indices
+      cover non-unary real predicates then correlation groups; see
+      {!pred_index}. *)
+  lco : Milp.Problem.var array;  (** j >= 1; index 0 unused (dummy) *)
+  cto : Milp.Problem.var array array;  (** [cto.(j).(r)], j >= 1 *)
+  co : Milp.Problem.var array;  (** j >= 1 *)
+  ci : Milp.Problem.var array;
+  effective_card : float array;  (** per-table cardinality after unary predicates *)
+  pred_ids : int array;  (** encoded predicate -> index in the query's predicate array, or -1 for a correlation group *)
+  log10_sels : float array;  (** per encoded predicate *)
+  pred_masks : int array;  (** table bitmask per encoded predicate *)
+}
+
+val planned_ladder : config -> Relalg.Query.t -> Thresholds.t
+(** The threshold ladder {!build} would construct for this query (range
+    capped by [max_modeled_card] and, when enabled, the adaptive greedy
+    cap). *)
+
+val build : ?config:config -> Relalg.Query.t -> t
+(** Builds variables and the join-order / cardinality constraints; no
+    objective yet (see {!Cost_enc}). Raises [Invalid_argument] for
+    queries with fewer than 2 tables. *)
+
+val num_encoded_preds : t -> int
+
+val order_of_assignment : t -> (Milp.Problem.var -> float) -> int array
+(** Reads the join order out of a (possibly fractional, but integral on
+    [tii] and [tio _ 0]) assignment. Raises [Failure] if the assignment
+    does not determine a permutation. *)
+
+val assignment_of_order : t -> int array -> float array
+(** The honest full assignment representing a join order: every variable
+    set to the value the constraints force. Satisfies
+    [Problem.check_feasible]; used for MIP starts. *)
+
+val log10_outer_card : t -> int array -> int -> float
+(** [log10_outer_card enc order j] — the exact value [lco j] takes under
+    {!assignment_of_order}, for tests and cost accounting. *)

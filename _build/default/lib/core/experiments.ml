@@ -1,0 +1,227 @@
+module Workload = Relalg.Workload
+module Join_graph = Relalg.Join_graph
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: model sizes                                                *)
+(* ------------------------------------------------------------------ *)
+
+type fig1_config = {
+  f1_sizes : int list;
+  f1_queries_per_size : int;
+  f1_shape : Join_graph.shape;
+  f1_seed : int;
+}
+
+let default_fig1 =
+  {
+    f1_sizes = [ 10; 20; 30; 40; 50; 60 ];
+    f1_queries_per_size = 20;
+    f1_shape = Join_graph.Star;
+    f1_seed = 1;
+  }
+
+type fig1_row = {
+  f1_tables : int;
+  f1_precision : Thresholds.precision;
+  f1_median_vars : int;
+  f1_median_constraints : int;
+}
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> 0
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+(* Fixed-range ladders for the size plot: the paper uses a fixed number
+   of thresholds per configuration, so sizes must not depend on the
+   individual query's cardinalities. *)
+let fig1_encoding_config precision =
+  {
+    Encoding.default_config with
+    Encoding.precision;
+    formulation = Encoding.Full_paper;
+    adaptive_cap = false;
+    max_modeled_card = 1e30;
+  }
+
+let figure1 ?(config = default_fig1) () =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun precision ->
+          let counts =
+            List.init config.f1_queries_per_size (fun i ->
+                let q =
+                  Workload.generate
+                    ~seed:(config.f1_seed + (1009 * i))
+                    ~shape:config.f1_shape ~num_tables:n ()
+                in
+                Analysis.predicted ~config:(fig1_encoding_config precision) q)
+          in
+          {
+            f1_tables = n;
+            f1_precision = precision;
+            f1_median_vars = median (List.map (fun c -> c.Analysis.c_vars) counts);
+            f1_median_constraints =
+              median (List.map (fun c -> c.Analysis.c_constraints) counts);
+          })
+        [ Thresholds.Low; Thresholds.Medium; Thresholds.High ])
+    config.f1_sizes
+
+let pp_figure1 ppf rows =
+  Format.fprintf ppf "Figure 1: median MILP size per query (%s)@."
+    "paper formulation, fixed cardinality range";
+  Format.fprintf ppf "%-8s %-10s %12s %14s@." "tables" "precision" "variables" "constraints";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-8d %-10s %12d %14d@." r.f1_tables
+        (Thresholds.precision_to_string r.f1_precision)
+        r.f1_median_vars r.f1_median_constraints)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: guaranteed optimality factor over time                     *)
+(* ------------------------------------------------------------------ *)
+
+type algorithm = Dp | Ilp of Thresholds.precision
+
+let algorithm_to_string = function
+  | Dp -> "DP"
+  | Ilp p -> "ILP-" ^ Thresholds.precision_to_string p
+
+type fig2_config = {
+  f2_sizes : int list;
+  f2_shapes : Join_graph.shape list;
+  f2_queries_per_cell : int;
+  f2_budget : float;
+  f2_sample_times : float list;
+  f2_seed : int;
+}
+
+let default_fig2 =
+  {
+    f2_sizes = [ 4; 6; 8; 10; 12 ];
+    f2_shapes = [ Join_graph.Chain; Join_graph.Cycle; Join_graph.Star ];
+    f2_queries_per_cell = 3;
+    f2_budget = 3.;
+    f2_sample_times = [ 0.5; 1.; 2.; 3. ];
+    f2_seed = 42;
+  }
+
+type fig2_row = {
+  f2_shape : Join_graph.shape;
+  f2_tables : int;
+  f2_algorithm : algorithm;
+  f2_factors : (float * float option) list;
+}
+
+(* Guaranteed factor of one algorithm on one query, per sample time. *)
+let run_one config algo q =
+  match algo with
+  | Dp ->
+    let started = Unix.gettimeofday () in
+    let outcome = Dp_opt.Selinger.optimize ~time_limit:config.f2_budget q in
+    let finished = Unix.gettimeofday () -. started in
+    List.map
+      (fun t ->
+        match outcome with
+        | Dp_opt.Selinger.Complete _ when finished <= t ->
+          (* DP is exhaustive: once finished, the plan is optimal. *)
+          (t, Some 1.)
+        | Dp_opt.Selinger.Complete _ | Dp_opt.Selinger.Timed_out _ -> (t, None))
+      config.f2_sample_times
+  | Ilp precision ->
+    let opt_config =
+      Optimizer.default_config
+      |> Optimizer.with_precision precision
+      |> Optimizer.with_time_limit config.f2_budget
+    in
+    let r = Optimizer.optimize ~config:opt_config q in
+    (* Factor at time t: from the last trace point at or before t. *)
+    List.map
+      (fun t ->
+        let best = ref None in
+        List.iter
+          (fun tp -> if tp.Optimizer.tp_elapsed <= t then best := Some tp)
+          r.Optimizer.trace;
+        let factor =
+          match !best with
+          | Some { Optimizer.tp_factor = Some f; _ } when Float.is_finite f -> Some f
+          | _ -> None
+        in
+        (t, factor))
+      config.f2_sample_times
+
+let median_factors per_query_factors sample_times =
+  List.mapi
+    (fun i t ->
+      let values =
+        List.filter_map (fun factors -> snd (List.nth factors i)) per_query_factors
+      in
+      (* The paper reports medians; a missing value (no plan / no bound)
+         dominates, so the median is defined only when a majority of
+         queries have one. *)
+      let missing = List.length per_query_factors - List.length values in
+      if missing * 2 > List.length per_query_factors then (t, None)
+      else
+        match List.sort compare values with
+        | [] -> (t, None)
+        | sorted -> (t, Some (List.nth sorted (List.length sorted / 2))))
+    sample_times
+
+let figure2 ?(config = default_fig2) () =
+  List.concat_map
+    (fun shape ->
+      List.concat_map
+        (fun n ->
+          let queries =
+            Workload.generate_many ~seed:config.f2_seed ~shape ~num_tables:n
+              ~count:config.f2_queries_per_cell ()
+          in
+          List.map
+            (fun algo ->
+              let per_query = List.map (run_one config algo) queries in
+              {
+                f2_shape = shape;
+                f2_tables = n;
+                f2_algorithm = algo;
+                f2_factors = median_factors per_query config.f2_sample_times;
+              })
+            [ Dp; Ilp Thresholds.High; Ilp Thresholds.Medium; Ilp Thresholds.Low ])
+        config.f2_sizes)
+    config.f2_shapes
+
+let pp_factor ppf = function
+  | None -> Format.fprintf ppf "%10s" "-"
+  | Some f -> if f > 1e4 then Format.fprintf ppf "%10.2e" f else Format.fprintf ppf "%10.2f" f
+
+let pp_figure2 ppf rows =
+  Format.fprintf ppf
+    "Figure 2: median guaranteed optimality factor (Cost/LB) over optimization time@.";
+  let times = match rows with [] -> [] | r :: _ -> List.map fst r.f2_factors in
+  Format.fprintf ppf "%-7s %-7s %-12s" "graph" "tables" "algorithm";
+  List.iter (fun t -> Format.fprintf ppf "%10s" (Printf.sprintf "@%gs" t)) times;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-7s %-7d %-12s"
+        (Join_graph.shape_to_string r.f2_shape)
+        r.f2_tables
+        (algorithm_to_string r.f2_algorithm);
+      List.iter (fun (_, f) -> pp_factor ppf f) r.f2_factors;
+      Format.fprintf ppf "@.")
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1 and 2                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let pp_inventory title ppf rows =
+  Format.fprintf ppf "%s@." title;
+  List.iter (fun (sym, sem) -> Format.fprintf ppf "  %-55s %s@." sym sem) rows
+
+let pp_table1 ppf () =
+  pp_inventory "Table 1: variables of the join-ordering MILP" ppf Analysis.variable_inventory
+
+let pp_table2 ppf () =
+  pp_inventory "Table 2: constraints of the join-ordering MILP" ppf Analysis.constraint_inventory

@@ -1,0 +1,74 @@
+(** Reproduction harnesses for the paper's evaluation (Section 7).
+
+    Figure 1 plots the median number of MILP variables and constraints
+    against the number of query tables for the three precision
+    configurations. Figure 2 plots, for every join-graph shape and query
+    size, the guaranteed optimality factor (Cost/LB) over optimization
+    time for the dynamic programming baseline and the three ILP
+    configurations. Tables 1 and 2 are the formalization inventories.
+
+    All experiments are deterministic given the seed. Scale knobs
+    (sizes, per-cell query counts, time budget) default to a
+    laptop-friendly grid; the paper's full grid (up to 60 tables, 60 s,
+    20 queries per cell) is reachable through the same records. *)
+
+type fig1_config = {
+  f1_sizes : int list;
+  f1_queries_per_size : int;
+  f1_shape : Relalg.Join_graph.shape;
+  f1_seed : int;
+}
+
+val default_fig1 : fig1_config
+(** Sizes 10..60 step 10 (matching the paper's x-axis — only counting,
+    no solving), 20 queries per size, star graphs, seed 1. *)
+
+type fig1_row = {
+  f1_tables : int;
+  f1_precision : Thresholds.precision;
+  f1_median_vars : int;
+  f1_median_constraints : int;
+}
+
+val figure1 : ?config:fig1_config -> unit -> fig1_row list
+(** Counts use the paper's formulation ({!Encoding.Full_paper}) and a
+    fixed cardinality range cap, like the paper's fixed threshold
+    ladders. *)
+
+val pp_figure1 : Format.formatter -> fig1_row list -> unit
+
+type algorithm = Dp | Ilp of Thresholds.precision
+
+val algorithm_to_string : algorithm -> string
+
+type fig2_config = {
+  f2_sizes : int list;
+  f2_shapes : Relalg.Join_graph.shape list;
+  f2_queries_per_cell : int;
+  f2_budget : float;  (** seconds per query per algorithm *)
+  f2_sample_times : float list;  (** instants at which Cost/LB is sampled *)
+  f2_seed : int;
+}
+
+val default_fig2 : fig2_config
+(** Sizes {4, 6, 8, 10, 12}, all three shapes, 3 queries per cell, 3 s
+    budget, samples at 0.5/1/2/3 s — a scaled-down version of the paper's
+    {10..60} x 60 s x 20-query grid (see DESIGN.md on the solver
+    substitution). *)
+
+type fig2_row = {
+  f2_shape : Relalg.Join_graph.shape;
+  f2_tables : int;
+  f2_algorithm : algorithm;
+  f2_factors : (float * float option) list;
+  (** per sample instant: median guaranteed factor Cost/LB across the
+      cell's queries; [None] when no plan (DP before completion) or no
+      positive bound yet (ILP before the root solves) *)
+}
+
+val figure2 : ?config:fig2_config -> unit -> fig2_row list
+
+val pp_figure2 : Format.formatter -> fig2_row list -> unit
+
+val pp_table1 : Format.formatter -> unit -> unit
+val pp_table2 : Format.formatter -> unit -> unit

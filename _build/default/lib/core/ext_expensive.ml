@@ -1,0 +1,309 @@
+module Problem = Milp.Problem
+module Linexpr = Milp.Linexpr
+module Linearize = Milp.Linearize
+module Cost_model = Relalg.Cost_model
+module Plan = Relalg.Plan
+
+type t = {
+  enc : Encoding.t;
+  pm : Cost_model.page_model;
+  priced : (int * int * float) list;
+  (* (encoded index, query predicate index, eval cost) for priced
+     non-unary predicates *)
+  pco : (int, Problem.var array) Hashtbl.t;  (* encoded index -> per-join pco *)
+  lcob : Problem.var array;  (* per join *)
+  ctob : Problem.var array array;  (* [j][r] *)
+  cob : Problem.var array;
+  charges : (int, Problem.var array) Hashtbl.t;  (* encoded index -> pco*cob products *)
+}
+
+let encoding t = t.enc
+
+(* log10 of the output cardinality of join j BEFORE its newly evaluated
+   predicates, as a linear expression: the tables of the next outer
+   operand (all tables for the last join) and the predicates applied in
+   THIS join's outer operand. *)
+let lcob_rhs enc j =
+  let n = Relalg.Query.num_tables enc.Encoding.query in
+  let jmax = enc.Encoding.num_joins - 1 in
+  let table_part = ref Linexpr.zero in
+  for tbl = 0 to n - 1 do
+    let logc = log10 enc.Encoding.effective_card.(tbl) in
+    if j < jmax then
+      table_part := Linexpr.add !table_part (Linexpr.scale logc enc.Encoding.tio_expr.(j + 1).(tbl))
+    else table_part := Linexpr.add !table_part (Linexpr.const logc)
+  done;
+  let pred_part =
+    if j = 0 then Linexpr.zero
+    else
+      Linexpr.of_terms
+        (Array.to_list (Array.mapi (fun pi v -> (v, enc.Encoding.log10_sels.(pi))) enc.Encoding.pao.(j)))
+  in
+  Linexpr.add !table_part pred_part
+
+let install ?(pm = Cost_model.default_page_model) enc =
+  let p = enc.Encoding.problem in
+  let jmax = enc.Encoding.num_joins - 1 in
+  let q = enc.Encoding.query in
+  let ladder = enc.Encoding.ladder in
+  let l = Thresholds.num_thresholds ladder in
+  let priced =
+    List.filter_map
+      (fun pi ->
+        let id = enc.Encoding.pred_ids.(pi) in
+        if id < 0 then None
+        else
+          let c = q.Relalg.Query.predicates.(id).Relalg.Predicate.eval_cost in
+          if c > 0. then Some (pi, id, c) else None)
+      (List.init (Encoding.num_encoded_preds enc) (fun i -> i))
+  in
+  (* cob ladder per join (0 .. jmax). *)
+  let max_log =
+    Array.fold_left (fun acc c -> acc +. log10 c) 0. enc.Encoding.effective_card
+  in
+  let lcob =
+    Array.init enc.Encoding.num_joins (fun j ->
+        Problem.add_var p ~name:(Printf.sprintf "lcob_j%d" j) ~lb:(-100.) ~ub:(max_log +. 1.) ())
+  in
+  let ctob =
+    Array.init enc.Encoding.num_joins (fun j ->
+        Array.init l (fun r ->
+            Problem.add_var p ~name:(Printf.sprintf "ctob_r%d_j%d" r j) ~kind:Problem.Binary ()))
+  in
+  let cob_ub = Array.fold_left ( +. ) 0. ladder.Thresholds.deltas in
+  let cob =
+    Array.init enc.Encoding.num_joins (fun j ->
+        Problem.add_var p ~name:(Printf.sprintf "cob_j%d" j) ~lb:0. ~ub:cob_ub ())
+  in
+  for j = 0 to jmax do
+    Problem.add_constr p
+      ~name:(Printf.sprintf "lcob_def_j%d" j)
+      (Linexpr.sub (Linexpr.var lcob.(j)) (lcob_rhs enc j))
+      Problem.Eq 0.;
+    for r = 0 to l - 1 do
+      let log_theta = ladder.Thresholds.log10_thetas.(r) in
+      let big_m = max_log +. 1. -. log_theta in
+      Problem.add_constr p
+        ~name:(Printf.sprintf "ctob_def_r%d_j%d" r j)
+        Linexpr.(sub (var lcob.(j)) (var ~coeff:big_m ctob.(j).(r)))
+        Problem.Le log_theta
+    done;
+    Problem.add_constr p
+      ~name:(Printf.sprintf "cob_def_j%d" j)
+      (Linexpr.of_terms
+         ((cob.(j), -1.)
+         :: Array.to_list (Array.mapi (fun r v -> (v, ladder.Thresholds.deltas.(r))) ctob.(j))))
+      Problem.Eq 0.
+  done;
+  (* pco variables and their definitions. *)
+  let pco_tbl = Hashtbl.create 8 and charges_tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (pi, _, eval_cost) ->
+      let pco =
+        Array.init enc.Encoding.num_joins (fun j ->
+            Problem.add_var p ~name:(Printf.sprintf "pco_p%d_j%d" pi j) ~kind:Problem.Binary ())
+      in
+      for j = 0 to jmax do
+        let rhs_expr =
+          (* pao p (j+1) - pao p j, with the boundary conventions. *)
+          let next = if j = jmax then Linexpr.const 1. else Linexpr.var enc.Encoding.pao.(j + 1).(pi) in
+          let cur = if j = 0 then Linexpr.zero else Linexpr.var enc.Encoding.pao.(j).(pi) in
+          Linexpr.sub next cur
+        in
+        Problem.add_constr p
+          ~name:(Printf.sprintf "pco_def_p%d_j%d" pi j)
+          (Linexpr.sub (Linexpr.var pco.(j)) rhs_expr)
+          Problem.Eq 0.
+      done;
+      Hashtbl.replace pco_tbl pi pco;
+      (* Evaluation charges: eval_cost * pco * cob per join. *)
+      ignore eval_cost;
+      let charges =
+        Array.init enc.Encoding.num_joins (fun j ->
+            Linearize.product_binary_continuous p
+              ~name:(Printf.sprintf "evalq_p%d_j%d" pi j)
+              ~binary:pco.(j) ~continuous:cob.(j) ~lb:0. ~ub:cob_ub ())
+      in
+      Hashtbl.replace charges_tbl pi charges)
+    priced;
+  (* Objective: hash cost plus evaluation charges. *)
+  let obj = ref Linexpr.zero in
+  for j = 0 to jmax do
+    obj :=
+      Linexpr.add !obj
+        (Linexpr.scale 3.
+           (Linexpr.add
+              (Cost_enc.outer_expr enc (Cost_enc.g_pages pm) j)
+              (Cost_enc.inner_expr enc (Cost_enc.g_pages pm) j)))
+  done;
+  List.iter
+    (fun (pi, _, eval_cost) ->
+      Array.iter
+        (fun v -> obj := Linexpr.add_term !obj v eval_cost)
+        (Hashtbl.find charges_tbl pi))
+    priced;
+  Problem.set_objective p Problem.Minimize !obj;
+  { enc; pm; priced; pco = pco_tbl; lcob; ctob; cob; charges = charges_tbl }
+
+(* ------------------------------------------------------------------ *)
+(* Schedules and honest assignments                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* First join of [order] at which encoded predicate [pi] is applicable. *)
+let first_applicable t order pi =
+  let n = Array.length order in
+  let mask_needed = t.enc.Encoding.pred_masks.(pi) in
+  let rec go j mask =
+    let mask = mask lor (1 lsl order.(j + 1)) in
+    if mask_needed land mask = mask_needed then j
+    else if j = n - 2 then j
+    else go (j + 1) mask
+  in
+  go 0 (1 lsl order.(0))
+
+let earliest_schedule t order =
+  let q = t.enc.Encoding.query in
+  let m = Relalg.Query.num_predicates q in
+  let schedule = Array.make m 0 in
+  Array.iteri
+    (fun pi id ->
+      if id >= 0 then schedule.(id) <- first_applicable t order pi)
+    t.enc.Encoding.pred_ids;
+  schedule
+
+(* Applied encoded-predicate bitmask in the outer operand of join j
+   (i.e. after join j-1) under a schedule: scheduled non-unary real
+   predicates, groups once all members are applied. *)
+let applied_mask t schedule j =
+  let enc = t.enc in
+  let acc = ref 0 in
+  (* A predicate is applied in the outer operand of join j exactly when
+     its scheduled evaluation happened during an earlier join (schedules
+     are validated to be at or after the first applicable join). *)
+  Array.iteri
+    (fun pi id -> if id >= 0 && schedule.(id) < j then acc := !acc lor (1 lsl pi))
+    enc.Encoding.pred_ids;
+  (* Groups fire when every non-unary member is applied (unary members
+     are applied from the start). *)
+  Array.iteri
+    (fun pi id ->
+      if id < 0 then begin
+        let q = enc.Encoding.query in
+        let gi = pi - (Encoding.num_encoded_preds enc - Array.length q.Relalg.Query.correlations) in
+        let c = q.Relalg.Query.correlations.(gi) in
+        let member_applied qpi =
+          let p = q.Relalg.Query.predicates.(qpi) in
+          List.length p.Relalg.Predicate.pred_tables = 1 || schedule.(qpi) < j
+        in
+        if List.for_all member_applied c.Relalg.Predicate.corr_members then
+          acc := !acc lor (1 lsl pi)
+      end)
+    enc.Encoding.pred_ids;
+  !acc
+
+(* log10 of join j's output before its newly evaluated predicates. *)
+let log10_cob t order schedule j =
+  let enc = t.enc in
+  let n = Array.length order in
+  let logc = ref 0. in
+  for k = 0 to min (j + 1) (n - 1) do
+    logc := !logc +. log10 enc.Encoding.effective_card.(order.(k))
+  done;
+  let applied = applied_mask t schedule j in
+  Array.iteri
+    (fun pi ls -> if applied land (1 lsl pi) <> 0 then logc := !logc +. ls)
+    enc.Encoding.log10_sels;
+  !logc
+
+let assignment_of t order schedule =
+  let enc = t.enc in
+  let jmax = enc.Encoding.num_joins - 1 in
+  let x = Array.make (Problem.num_vars enc.Encoding.problem) 0. in
+  (* Table membership and inner cardinalities (as in the base encoding). *)
+  for j = 0 to jmax do
+    if Array.length enc.Encoding.tio.(j) > 0 then
+      for k = 0 to j do
+        x.(enc.Encoding.tio.(j).(order.(k))) <- 1.
+      done;
+    x.(enc.Encoding.tii.(j).(order.(j + 1))) <- 1.;
+    x.(enc.Encoding.ci.(j)) <- enc.Encoding.effective_card.(order.(j + 1))
+  done;
+  (* pao per the schedule; lco / cto / co follow. *)
+  for j = 1 to jmax do
+    let applied = applied_mask t schedule j in
+    Array.iteri (fun pi v -> if applied land (1 lsl pi) <> 0 then x.(v) <- 1.) enc.Encoding.pao.(j);
+    let lc =
+      let logc = ref 0. in
+      for k = 0 to j do
+        logc := !logc +. log10 enc.Encoding.effective_card.(order.(k))
+      done;
+      Array.iteri
+        (fun pi ls -> if applied land (1 lsl pi) <> 0 then logc := !logc +. ls)
+        enc.Encoding.log10_sels;
+      !logc
+    in
+    x.(enc.Encoding.lco.(j)) <- lc;
+    let hits = Thresholds.reached enc.Encoding.ladder lc in
+    Array.iteri (fun r v -> if hits.(r) then x.(v) <- 1.) enc.Encoding.cto.(j);
+    x.(enc.Encoding.co.(j)) <- Thresholds.approx_card enc.Encoding.ladder lc
+  done;
+  (* Extension variables. *)
+  for j = 0 to jmax do
+    let lc = log10_cob t order schedule j in
+    x.(t.lcob.(j)) <- lc;
+    let hits = Thresholds.reached enc.Encoding.ladder lc in
+    Array.iteri (fun r v -> if hits.(r) then x.(v) <- 1.) t.ctob.(j);
+    x.(t.cob.(j)) <- Thresholds.approx_card enc.Encoding.ladder lc
+  done;
+  List.iter
+    (fun (pi, id, _) ->
+      let pco = Hashtbl.find t.pco pi and charges = Hashtbl.find t.charges pi in
+      let j_eval = schedule.(id) in
+      x.(pco.(j_eval)) <- 1.;
+      x.(charges.(j_eval)) <- x.(t.cob.(j_eval)))
+    t.priced;
+  x
+
+let objective_of t order schedule =
+  let x = assignment_of t order schedule in
+  Problem.eval_objective t.enc.Encoding.problem (fun v -> x.(v))
+
+let decode_schedule t value order =
+  let enc = t.enc in
+  let jmax = enc.Encoding.num_joins - 1 in
+  let q = enc.Encoding.query in
+  let m = Relalg.Query.num_predicates q in
+  let schedule = earliest_schedule t order in
+  Array.iteri
+    (fun pi id ->
+      if id >= 0 then begin
+        (* Evaluated during join j when pao becomes 1 at j+1. *)
+        let rec find j =
+          if j > jmax then jmax
+          else if j = jmax then jmax
+          else if value enc.Encoding.pao.(j + 1).(pi) > 0.5 then j
+          else find (j + 1)
+        in
+        let decoded = find 0 in
+        schedule.(id) <- max decoded (first_applicable t order pi)
+      end)
+    enc.Encoding.pred_ids;
+  ignore m;
+  schedule
+
+let optimize ?(pm = Cost_model.default_page_model) ?(config = Encoding.default_config)
+    ?(solver = { Milp.Solver.default_params with Milp.Solver.cut_rounds = 0 }) q =
+  let enc = Encoding.build ~config q in
+  let t = install ~pm enc in
+  let greedy_order = Dp_opt.Greedy.order q in
+  let mip_start = assignment_of t greedy_order (earliest_schedule t greedy_order) in
+  let outcome = Milp.Solver.solve ~params:solver ~mip_start enc.Encoding.problem in
+  match outcome.Milp.Branch_bound.o_x with
+  | Some x ->
+    let order = Encoding.order_of_assignment enc (fun v -> x.(v)) in
+    let schedule = decode_schedule t (fun v -> x.(v)) order in
+    let n = Array.length order in
+    let plan = Plan.of_order ~operators:(Array.make (n - 1) Plan.Hash_join) order in
+    let true_cost = Cost_model.plan_cost_with_schedule ~pm q plan ~schedule in
+    (Some (plan, schedule, true_cost), outcome)
+  | None -> (None, outcome)

@@ -1,0 +1,58 @@
+(** Expensive predicates in the MILP (Section 5.1 of the paper).
+
+    The basic encoding treats predicate evaluation as free, so applying a
+    predicate as early as possible is always right and the [pao]
+    variables need no forcing. With per-tuple evaluation costs the
+    optimizer must be able to postpone predicates, and the encoding gains:
+
+    - [pco p j]: predicate [p] is evaluated while executing join [j]
+      (the difference of consecutive [pao] values, with the conventions
+      [pao p 0 = 0] and [pao p (jmax+1) = 1] — every predicate is
+      evaluated by the end);
+    - [cob j]: approximate cardinality of join [j]'s output before the
+      predicates newly evaluated there (its own log variable and
+      threshold ladder, following Section 4.2);
+    - products [pco * cob] (linearized) charging
+      [eval_cost * tuples tested], matching
+      {!Relalg.Cost_model.plan_cost_with_schedule}.
+
+    The operator cost is fixed hash joins (the paper's evaluation
+    setting). Unary predicates stay at scan time and are never
+    postponed. *)
+
+type t
+
+val install : ?pm:Relalg.Cost_model.page_model -> Encoding.t -> t
+(** Adds the extension variables/constraints and sets the objective
+    (hash-join cost plus evaluation charges). Call instead of
+    {!Cost_enc.install}. *)
+
+val encoding : t -> Encoding.t
+
+val earliest_schedule : t -> int array -> int array
+(** The push-down schedule for an order: each non-unary predicate at its
+    first applicable join (entries for unary predicates are 0). *)
+
+val assignment_of : t -> int array -> int array -> float array
+(** [assignment_of t order schedule] — the honest full assignment for a
+    join order and a predicate schedule; feasible by construction and
+    usable as a MIP start. *)
+
+val objective_of : t -> int array -> int array -> float
+(** MILP objective (approximate hash cost + evaluation charges) of an
+    order under a schedule. *)
+
+val decode_schedule : t -> (Milp.Problem.var -> float) -> int array -> int array
+(** Reads the evaluation schedule out of a solved assignment (clamped to
+    each predicate's earliest applicable join). *)
+
+val optimize :
+  ?pm:Relalg.Cost_model.page_model ->
+  ?config:Encoding.config ->
+  ?solver:Milp.Solver.params ->
+  Relalg.Query.t ->
+  (Relalg.Plan.t * int array * float) option * Milp.Branch_bound.outcome
+(** End-to-end convenience: encode with this extension, solve (seeding
+    the greedy order with its push-down schedule as a MIP start), and
+    decode [(plan, schedule, true cost)] — the true cost evaluated by
+    {!Relalg.Cost_model.plan_cost_with_schedule}. *)

@@ -1,0 +1,358 @@
+module Problem = Milp.Problem
+module Linexpr = Milp.Linexpr
+module Linearize = Milp.Linearize
+module Cost_model = Relalg.Cost_model
+
+type variant =
+  | Hash
+  | Sort_both_merge
+  | Merge_outer_presorted
+  | Merge_inner_presorted
+  | Merge_both_presorted
+
+let all_variants =
+  [ Hash; Sort_both_merge; Merge_outer_presorted; Merge_inner_presorted; Merge_both_presorted ]
+
+let variant_to_string = function
+  | Hash -> "hash"
+  | Sort_both_merge -> "sort-both-merge"
+  | Merge_outer_presorted -> "merge-outer-presorted"
+  | Merge_inner_presorted -> "merge-inner-presorted"
+  | Merge_both_presorted -> "merge-both-presorted"
+
+(* Whether the variant's output arrives sorted, and which inputs it needs
+   presorted. *)
+let produces_sorted = function
+  | Hash -> false
+  | Sort_both_merge | Merge_outer_presorted | Merge_inner_presorted | Merge_both_presorted ->
+    true
+
+let needs_outer_sorted = function
+  | Merge_outer_presorted | Merge_both_presorted -> true
+  | Hash | Sort_both_merge | Merge_inner_presorted -> false
+
+let needs_inner_sorted = function
+  | Merge_inner_presorted | Merge_both_presorted -> true
+  | Hash | Sort_both_merge | Merge_outer_presorted -> false
+
+let variant_cost pm variant ~outer_card ~inner_card =
+  let pgo = Cost_enc.g_pages pm outer_card and pgi = Cost_enc.g_pages pm inner_card in
+  let sort_o = Cost_enc.g_smj pm outer_card and sort_i = Cost_enc.g_smj pm inner_card in
+  match variant with
+  | Hash -> 3. *. (pgo +. pgi)
+  | Sort_both_merge -> sort_o +. sort_i
+  | Merge_outer_presorted -> pgo +. sort_i
+  | Merge_inner_presorted -> sort_o +. pgi
+  | Merge_both_presorted -> pgo +. pgi
+
+type t = {
+  enc : Encoding.t;
+  pm : Cost_model.page_model;
+  sorted_mask : int;
+  jos : Problem.var array array;  (* [j][variant index] *)
+  pjc : Problem.var array array;
+  ajc : Problem.var array array;
+  ohp : Problem.var array;  (* outer-sorted property, per join *)
+}
+
+let encoding t = t.enc
+
+(* Outer / inner cost expressions per variant, over the encoding. *)
+let variant_cost_expr enc pm variant j =
+  let outer g = Cost_enc.outer_expr enc g j and inner g = Cost_enc.inner_expr enc g j in
+  match variant with
+  | Hash -> Linexpr.scale 3. (Linexpr.add (outer (Cost_enc.g_pages pm)) (inner (Cost_enc.g_pages pm)))
+  | Sort_both_merge -> Linexpr.add (outer (Cost_enc.g_smj pm)) (inner (Cost_enc.g_smj pm))
+  | Merge_outer_presorted ->
+    Linexpr.add (outer (Cost_enc.g_pages pm)) (inner (Cost_enc.g_smj pm))
+  | Merge_inner_presorted ->
+    Linexpr.add (outer (Cost_enc.g_smj pm)) (inner (Cost_enc.g_pages pm))
+  | Merge_both_presorted ->
+    Linexpr.add (outer (Cost_enc.g_pages pm)) (inner (Cost_enc.g_pages pm))
+
+let variant_cost_bound enc pm variant =
+  let outer g = Cost_enc.outer_upper_bound enc g in
+  let inner g =
+    Array.fold_left (fun acc c -> max acc (g c)) 0. enc.Encoding.effective_card
+  in
+  match variant with
+  | Hash -> 3. *. (outer (Cost_enc.g_pages pm) +. inner (Cost_enc.g_pages pm))
+  | Sort_both_merge -> outer (Cost_enc.g_smj pm) +. inner (Cost_enc.g_smj pm)
+  | Merge_outer_presorted -> outer (Cost_enc.g_pages pm) +. inner (Cost_enc.g_smj pm)
+  | Merge_inner_presorted -> outer (Cost_enc.g_smj pm) +. inner (Cost_enc.g_pages pm)
+  | Merge_both_presorted -> outer (Cost_enc.g_pages pm) +. inner (Cost_enc.g_pages pm)
+
+let install ?(pm = Cost_model.default_page_model) ~sorted_tables enc =
+  let p = enc.Encoding.problem in
+  let n = Relalg.Query.num_tables enc.Encoding.query in
+  let sorted_mask = List.fold_left (fun m t -> m lor (1 lsl t)) 0 sorted_tables in
+  let num_joins = enc.Encoding.num_joins in
+  let nv = List.length all_variants in
+  let jos =
+    Array.init num_joins (fun j ->
+        Array.init nv (fun i ->
+            Problem.add_var p
+              ~name:(Printf.sprintf "jos_j%d_v%d" j i)
+              ~kind:Problem.Binary ()))
+  in
+  let pjc =
+    Array.init num_joins (fun j ->
+        Array.of_list
+          (List.mapi
+             (fun i v ->
+               let bound = variant_cost_bound enc pm v in
+               let var =
+                 Problem.add_var p ~name:(Printf.sprintf "pjc_j%d_v%d" j i) ~lb:0. ~ub:bound ()
+               in
+               Problem.add_constr p
+                 ~name:(Printf.sprintf "pjc_def_j%d_v%d" j i)
+                 (Linexpr.sub (Linexpr.var var) (variant_cost_expr enc pm v j))
+                 Problem.Eq 0.;
+               var)
+             all_variants))
+  in
+  let ajc =
+    Array.init num_joins (fun j ->
+        Array.of_list
+          (List.mapi
+             (fun i v ->
+               Linearize.product_binary_continuous p
+                 ~name:(Printf.sprintf "ajc_j%d_v%d" j i)
+                 ~binary:jos.(j).(i) ~continuous:pjc.(j).(i) ~lb:0.
+                 ~ub:(variant_cost_bound enc pm v)
+                 ())
+             all_variants))
+  in
+  (* One operator per join. *)
+  for j = 0 to num_joins - 1 do
+    Problem.add_constr p
+      ~name:(Printf.sprintf "one_variant_j%d" j)
+      (Linexpr.of_terms (Array.to_list (Array.map (fun v -> (v, 1.)) jos.(j))))
+      Problem.Eq 1.
+  done;
+  (* Outer-sorted property. *)
+  let ohp =
+    Array.init num_joins (fun j ->
+        Problem.add_var p ~name:(Printf.sprintf "ohp_j%d" j) ~kind:Problem.Binary ())
+  in
+  (* ohp 0: the chosen first table is stored sorted. *)
+  let sorted_tio0 =
+    Linexpr.of_terms
+      (List.filter_map
+         (fun tbl ->
+           if sorted_mask land (1 lsl tbl) <> 0 then Some (enc.Encoding.tio.(0).(tbl), 1.)
+           else None)
+         (List.init n (fun i -> i)))
+  in
+  Problem.add_constr p ~name:"ohp0_def"
+    (Linexpr.sub (Linexpr.var ohp.(0)) sorted_tio0)
+    Problem.Eq 0.;
+  (* ohp (j+1): the previous join's operator produced sorted output. *)
+  for j = 1 to num_joins - 1 do
+    let producers =
+      Linexpr.of_terms
+        (List.filteri (fun i _ -> produces_sorted (List.nth all_variants i)) (Array.to_list jos.(j - 1))
+        |> List.map (fun v -> (v, 1.)))
+    in
+    Problem.add_constr p
+      ~name:(Printf.sprintf "ohp%d_def" j)
+      (Linexpr.sub (Linexpr.var ohp.(j)) producers)
+      Problem.Eq 0.
+  done;
+  (* Applicability of presorted variants. *)
+  let sorted_tii j =
+    Linexpr.of_terms
+      (List.filter_map
+         (fun tbl ->
+           if sorted_mask land (1 lsl tbl) <> 0 then Some (enc.Encoding.tii.(j).(tbl), 1.)
+           else None)
+         (List.init n (fun i -> i)))
+  in
+  for j = 0 to num_joins - 1 do
+    List.iteri
+      (fun i v ->
+        if needs_outer_sorted v then
+          Problem.add_constr p
+            ~name:(Printf.sprintf "needs_outer_j%d_v%d" j i)
+            (Linexpr.sub (Linexpr.var jos.(j).(i)) (Linexpr.var ohp.(j)))
+            Problem.Le 0.;
+        if needs_inner_sorted v then
+          Problem.add_constr p
+            ~name:(Printf.sprintf "needs_inner_j%d_v%d" j i)
+            (Linexpr.sub (Linexpr.var jos.(j).(i)) (sorted_tii j))
+            Problem.Le 0.)
+      all_variants
+  done;
+  (* Objective: sum of actual variant costs. *)
+  let obj = ref Linexpr.zero in
+  Array.iter (fun row -> Array.iter (fun v -> obj := Linexpr.add_term !obj v 1.) row) ajc;
+  Problem.set_objective p Problem.Minimize !obj;
+  { enc; pm; sorted_mask; jos; pjc; ajc; ohp }
+
+(* ------------------------------------------------------------------ *)
+(* Exact-cost ground truth                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Cardinalities of the outer operand per join under an order, exact. *)
+let exact_outer_cards t order =
+  Relalg.Card.prefix_cards t.enc.Encoding.query order
+
+let inner_card t order j = t.enc.Encoding.effective_card.(order.(j + 1))
+
+let applicable t order sorted_before j v =
+  (not (needs_outer_sorted v) || sorted_before)
+  && (not (needs_inner_sorted v) || t.sorted_mask land (1 lsl order.(j + 1)) <> 0)
+
+let true_cost t order variants =
+  let cards = exact_outer_cards t order in
+  let num_joins = t.enc.Encoding.num_joins in
+  let total = ref 0. in
+  let sorted = ref (t.sorted_mask land (1 lsl order.(0)) <> 0) in
+  for j = 0 to num_joins - 1 do
+    let v = variants.(j) in
+    if not (applicable t order !sorted j v) then
+      invalid_arg
+        (Printf.sprintf "Ext_orders.true_cost: %s not applicable at join %d"
+           (variant_to_string v) j);
+    total :=
+      !total
+      +. variant_cost t.pm v ~outer_card:cards.(j) ~inner_card:(inner_card t order j);
+    sorted := produces_sorted v
+  done;
+  !total
+
+(* 2-state DP over the sorted flag: cheapest variant sequence, exactly. *)
+let best_variants t order =
+  let num_joins = t.enc.Encoding.num_joins in
+  let cards = exact_outer_cards t order in
+  (* best.(state) = (cost, reversed variant list) reaching a join with
+     outer-sorted = state *)
+  let init_sorted = t.sorted_mask land (1 lsl order.(0)) <> 0 in
+  let start = if init_sorted then [ (true, (0., [])) ] else [ (false, (0., [])) ] in
+  let step acc j =
+    let candidates =
+      List.concat_map
+        (fun (sorted, (cost, rev_vs)) ->
+          List.filter_map
+            (fun v ->
+              if applicable t order sorted j v then
+                Some
+                  ( produces_sorted v,
+                    ( cost
+                      +. variant_cost t.pm v ~outer_card:cards.(j)
+                           ~inner_card:(inner_card t order j),
+                      v :: rev_vs ) )
+              else None)
+            all_variants)
+        acc
+    in
+    (* Keep the cheapest per resulting state. *)
+    List.filter_map
+      (fun state ->
+        let matching = List.filter (fun (s, _) -> s = state) candidates in
+        match List.sort (fun (_, (c1, _)) (_, (c2, _)) -> compare c1 c2) matching with
+        | best :: _ -> Some best
+        | [] -> None)
+      [ true; false ]
+  in
+  let final = List.fold_left step start (List.init num_joins (fun j -> j)) in
+  match List.sort (fun (_, (c1, _)) (_, (c2, _)) -> compare c1 c2) final with
+  | (_, (cost, rev_vs)) :: _ -> (Array.of_list (List.rev rev_vs), cost)
+  | [] -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Honest assignments, objectives, decoding                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Approximate (staircase) operand quantities, consistent with pjc. *)
+let approx_variant_cost t order v j =
+  let enc = t.enc in
+  let inner g = g enc.Encoding.effective_card.(order.(j + 1)) in
+  let outer g =
+    if j = 0 then g enc.Encoding.effective_card.(order.(0))
+    else Thresholds.approx_fn enc.Encoding.ladder g (Encoding.log10_outer_card enc order j)
+  in
+  match v with
+  | Hash -> 3. *. (outer (Cost_enc.g_pages t.pm) +. inner (Cost_enc.g_pages t.pm))
+  | Sort_both_merge -> outer (Cost_enc.g_smj t.pm) +. inner (Cost_enc.g_smj t.pm)
+  | Merge_outer_presorted -> outer (Cost_enc.g_pages t.pm) +. inner (Cost_enc.g_smj t.pm)
+  | Merge_inner_presorted -> outer (Cost_enc.g_smj t.pm) +. inner (Cost_enc.g_pages t.pm)
+  | Merge_both_presorted -> outer (Cost_enc.g_pages t.pm) +. inner (Cost_enc.g_pages t.pm)
+
+let assignment_of t order variants =
+  let enc = t.enc in
+  (* assignment_of_order sizes its array from the problem, which already
+     includes this extension's variables. *)
+  let x = Encoding.assignment_of_order enc order in
+  let sorted = ref (t.sorted_mask land (1 lsl order.(0)) <> 0) in
+  for j = 0 to enc.Encoding.num_joins - 1 do
+    if !sorted then x.(t.ohp.(j)) <- 1.;
+    List.iteri
+      (fun i v ->
+        let cost = approx_variant_cost t order v j in
+        x.(t.pjc.(j).(i)) <- cost;
+        if v = variants.(j) then begin
+          x.(t.jos.(j).(i)) <- 1.;
+          x.(t.ajc.(j).(i)) <- cost
+        end)
+      all_variants;
+    sorted := produces_sorted variants.(j)
+  done;
+  x
+
+let objective_of t order variants =
+  let x = assignment_of t order variants in
+  Problem.eval_objective t.enc.Encoding.problem (fun v -> x.(v))
+
+let decode t value order =
+  ignore order;
+  Array.init t.enc.Encoding.num_joins (fun j ->
+      let best = ref 0 in
+      Array.iteri (fun i v -> if value v > value t.jos.(j).(!best) then best := i) t.jos.(j);
+      List.nth all_variants !best)
+
+(* Approximate-cost variant choice for the MIP start (mirrors
+   best_variants but over staircase costs, so the assignment is what the
+   solver would price). *)
+let best_variants_approx t order =
+  let num_joins = t.enc.Encoding.num_joins in
+  let init_sorted = t.sorted_mask land (1 lsl order.(0)) <> 0 in
+  let start = [ (init_sorted, (0., [])) ] in
+  let step acc j =
+    let candidates =
+      List.concat_map
+        (fun (sorted, (cost, rev_vs)) ->
+          List.filter_map
+            (fun v ->
+              if applicable t order sorted j v then
+                Some (produces_sorted v, (cost +. approx_variant_cost t order v j, v :: rev_vs))
+              else None)
+            all_variants)
+        acc
+    in
+    List.filter_map
+      (fun state ->
+        let matching = List.filter (fun (s, _) -> s = state) candidates in
+        match List.sort (fun (_, (c1, _)) (_, (c2, _)) -> compare c1 c2) matching with
+        | best :: _ -> Some best
+        | [] -> None)
+      [ true; false ]
+  in
+  let final = List.fold_left step start (List.init num_joins (fun j -> j)) in
+  match List.sort (fun (_, (c1, _)) (_, (c2, _)) -> compare c1 c2) final with
+  | (_, (_, rev_vs)) :: _ -> Array.of_list (List.rev rev_vs)
+  | [] -> assert false
+
+let optimize ?(pm = Cost_model.default_page_model) ?(config = Encoding.default_config)
+    ?(solver = { Milp.Solver.default_params with Milp.Solver.cut_rounds = 0 }) ~sorted_tables q =
+  let enc = Encoding.build ~config q in
+  let t = install ~pm ~sorted_tables enc in
+  let greedy_order = Dp_opt.Greedy.order q in
+  let mip_start = assignment_of t greedy_order (best_variants_approx t greedy_order) in
+  let outcome = Milp.Solver.solve ~params:solver ~mip_start enc.Encoding.problem in
+  match outcome.Milp.Branch_bound.o_x with
+  | Some x ->
+    let order = Encoding.order_of_assignment enc (fun v -> x.(v)) in
+    let variants = decode t (fun v -> x.(v)) order in
+    (Some (order, variants, true_cost t order variants), outcome)
+  | None -> (None, outcome)

@@ -1,0 +1,64 @@
+(** Intermediate result properties / interesting orders (Section 5.4).
+
+    Sort order is the canonical physical property: a merge join whose
+    input is already sorted skips that input's sort phase. The extension
+    decomposes the sort-merge join into variants (Section 5.4 suggests
+    exactly this decomposition), selects one operator per join through
+    [jos] binaries (as in Section 5.3), and tracks the property "the
+    outer operand is sorted" through [ohp] variables:
+
+    - [ohp 0] is determined by whether the first outer table is stored
+      sorted on its join key;
+    - [ohp (j+1) = sum of jos j i] over the sorted-output operators;
+    - merge variants that skip a sort require the corresponding input to
+      be sorted ([jos <= ohp] / [jos <= sum of sorted tii]). *)
+
+(** Physical operator variants distinguished by the property machinery.
+    [Merge_*] all produce sorted output; [Hash] destroys order. *)
+type variant =
+  | Hash
+  | Sort_both_merge  (** sort both inputs, then merge *)
+  | Merge_outer_presorted  (** outer already sorted: sort only the inner *)
+  | Merge_inner_presorted  (** inner (a sorted base table) needs no sort *)
+  | Merge_both_presorted  (** pure merge *)
+
+val variant_to_string : variant -> string
+
+val variant_cost :
+  Relalg.Cost_model.page_model -> variant -> outer_card:float -> inner_card:float -> float
+(** Exact cost of a variant given operand cardinalities. *)
+
+type t
+
+val install :
+  ?pm:Relalg.Cost_model.page_model -> sorted_tables:int list -> Encoding.t -> t
+(** [sorted_tables] lists the tables stored sorted on their join key.
+    Sets the objective; call instead of {!Cost_enc.install}. *)
+
+val encoding : t -> Encoding.t
+
+val best_variants : t -> int array -> variant array * float
+(** Exact-cost dynamic program over the sorted-state for a fixed order:
+    the cheapest variant sequence and its true cost (ground truth for
+    the MILP's choices). *)
+
+val true_cost : t -> int array -> variant array -> float
+(** Exact cost of an order with explicit variant choices (validates
+    applicability; raises [Invalid_argument] on an inapplicable merge). *)
+
+val assignment_of : t -> int array -> variant array -> float array
+(** Honest full assignment (MIP start) for an order and variant choices. *)
+
+val objective_of : t -> int array -> variant array -> float
+
+val decode : t -> (Milp.Problem.var -> float) -> int array -> variant array
+(** Reads the per-join variant selection from a solved assignment. *)
+
+val optimize :
+  ?pm:Relalg.Cost_model.page_model ->
+  ?config:Encoding.config ->
+  ?solver:Milp.Solver.params ->
+  sorted_tables:int list ->
+  Relalg.Query.t ->
+  (int array * variant array * float) option * Milp.Branch_bound.outcome
+(** End-to-end: returns [(order, variants, true cost)]. *)

@@ -1,0 +1,244 @@
+module Problem = Milp.Problem
+module Linexpr = Milp.Linexpr
+module Linearize = Milp.Linearize
+module Cost_model = Relalg.Cost_model
+module Catalog = Relalg.Catalog
+module Plan = Relalg.Plan
+
+(* Global column registry: (table, column position, bytes). *)
+type column = { cl_table : int; cl_pos : int; cl_bytes : float }
+
+type t = {
+  enc : Encoding.t;
+  pm : Cost_model.page_model;
+  columns : column array;
+  required : bool array;  (* required in the final result *)
+  first_of_table : int array;  (* table -> global id of its first column *)
+  clo : Problem.var array array;  (* [j][l], j >= 1; row 0 empty *)
+  y : Problem.var array array;  (* clo * co products, same layout *)
+}
+
+let encoding t = t.enc
+
+(* Full-width pages of a base table (used for inner operands and the
+   first outer operand, which are unprojected scans). *)
+let pages_full t tbl =
+  let table = t.enc.Encoding.query.Relalg.Query.tables.(tbl) in
+  let bytes = Catalog.row_bytes table in
+  max 1. (ceil (t.enc.Encoding.effective_card.(tbl) *. bytes /. t.pm.Cost_model.page_bytes))
+
+let build_columns q =
+  let cols = ref [] in
+  Array.iteri
+    (fun tbl table ->
+      if table.Catalog.tbl_columns = [] then
+        invalid_arg
+          (Printf.sprintf "Ext_projection: table %s declares no columns" table.Catalog.tbl_name);
+      List.iteri
+        (fun pos c -> cols := { cl_table = tbl; cl_pos = pos; cl_bytes = c.Catalog.col_bytes } :: !cols)
+        table.Catalog.tbl_columns)
+    q.Relalg.Query.tables;
+  Array.of_list (List.rev !cols)
+
+let build_required q columns =
+  let required = Array.make (Array.length columns) false in
+  if q.Relalg.Query.output_columns = [] then Array.fill required 0 (Array.length required) true
+  else
+    List.iter
+      (fun (tbl, col) ->
+        Array.iteri
+          (fun l c ->
+            if c.cl_table = tbl then begin
+              let declared = List.nth q.Relalg.Query.tables.(tbl).Catalog.tbl_columns c.cl_pos in
+              if declared.Catalog.col_name = col.Catalog.col_name then required.(l) <- true
+            end)
+          columns)
+      q.Relalg.Query.output_columns;
+  required
+
+let install ?(pm = Cost_model.default_page_model) enc =
+  let p = enc.Encoding.problem in
+  let q = enc.Encoding.query in
+  let jmax = enc.Encoding.num_joins - 1 in
+  let columns = build_columns q in
+  let nl = Array.length columns in
+  let required = build_required q columns in
+  let first_of_table =
+    let firsts = Array.make (Relalg.Query.num_tables q) (-1) in
+    Array.iteri (fun l c -> if firsts.(c.cl_table) < 0 then firsts.(c.cl_table) <- l) columns;
+    firsts
+  in
+  let clo =
+    Array.init enc.Encoding.num_joins (fun j ->
+        if j = 0 then [||]
+        else
+          Array.init nl (fun l ->
+              Problem.add_var p ~name:(Printf.sprintf "clo_l%d_j%d" l j) ~kind:Problem.Binary ()))
+  in
+  let co_ub = Array.fold_left ( +. ) 0. enc.Encoding.ladder.Thresholds.deltas in
+  let y =
+    Array.init enc.Encoding.num_joins (fun j ->
+        if j = 0 then [||]
+        else
+          Array.init nl (fun l ->
+              Linearize.product_binary_continuous p
+                ~name:(Printf.sprintf "cloy_l%d_j%d" l j)
+                ~binary:clo.(j).(l) ~continuous:enc.Encoding.co.(j) ~lb:0. ~ub:co_ub ()))
+  in
+  for j = 1 to jmax do
+    Array.iteri
+      (fun l c ->
+        (* A column needs its table. *)
+        Problem.add_constr p
+          ~name:(Printf.sprintf "col_table_l%d_j%d" l j)
+          (Linexpr.sub (Linexpr.var clo.(j).(l)) enc.Encoding.tio_expr.(j).(c.cl_table))
+          Problem.Le 0.;
+        (* No reappearance: dropped while the table was present => stays
+           dropped. *)
+        if j < jmax then
+          Problem.add_constr p
+            ~name:(Printf.sprintf "col_mono_l%d_j%d" l j)
+            (Linexpr.add
+               (Linexpr.sub (Linexpr.var clo.(j + 1).(l)) (Linexpr.var clo.(j).(l)))
+               enc.Encoding.tio_expr.(j).(c.cl_table))
+            Problem.Le 1.;
+        (* Output columns survive to the final result. *)
+        if j = jmax && required.(l) then
+          Problem.add_constr p
+            ~name:(Printf.sprintf "col_out_l%d" l)
+            (Linexpr.sub enc.Encoding.tio_expr.(j).(c.cl_table) (Linexpr.var clo.(j).(l)))
+            Problem.Le 0.)
+      columns
+  done;
+  (* Predicate columns stay until the predicate is applied. *)
+  Array.iteri
+    (fun pi id ->
+      if id >= 0 then
+        List.iter
+          (fun tbl ->
+            let l = first_of_table.(tbl) in
+            for j = 1 to jmax do
+              (* clo >= tio - pao *)
+              Problem.add_constr p
+                ~name:(Printf.sprintf "col_pred_p%d_t%d_j%d" pi tbl j)
+                (Linexpr.add
+                   (Linexpr.sub enc.Encoding.tio_expr.(j).(tbl) (Linexpr.var clo.(j).(l)))
+                   (Linexpr.scale (-1.) (Linexpr.var enc.Encoding.pao.(j).(pi))))
+                Problem.Le 0.
+            done)
+          q.Relalg.Query.predicates.(id).Relalg.Predicate.pred_tables)
+    enc.Encoding.pred_ids;
+  (* Objective: hash cost with byte-derived outer pages. *)
+  let t =
+    { enc; pm; columns; required; first_of_table; clo; y }
+  in
+  let obj = ref Linexpr.zero in
+  for j = 0 to jmax do
+    let pgi =
+      Linexpr.of_terms
+        (Array.to_list (Array.mapi (fun tbl v -> (v, pages_full t tbl)) enc.Encoding.tii.(j)))
+    in
+    let pgo =
+      if j = 0 then
+        Linexpr.of_terms
+          (Array.to_list (Array.mapi (fun tbl v -> (v, pages_full t tbl)) enc.Encoding.tio.(0)))
+      else
+        Linexpr.of_terms
+          (Array.to_list
+             (Array.mapi
+                (fun l v -> (v, columns.(l).cl_bytes /. pm.Cost_model.page_bytes))
+                y.(j)))
+    in
+    obj := Linexpr.add !obj (Linexpr.scale 3. (Linexpr.add pgo pgi))
+  done;
+  Problem.set_objective p Problem.Minimize !obj;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Earliest-projection ground truth                                     *)
+(* ------------------------------------------------------------------ *)
+
+let kept_columns t order j =
+  let enc = t.enc in
+  if j < 1 || j > enc.Encoding.num_joins - 1 then invalid_arg "Ext_projection.kept_columns";
+  let mask = ref 0 in
+  for k = 0 to j do
+    mask := !mask lor (1 lsl order.(k))
+  done;
+  let q = enc.Encoding.query in
+  (* Encoded predicates not yet applicable keep their tables' first
+     columns. *)
+  let pending_first = Array.make (Relalg.Query.num_tables q) false in
+  Array.iteri
+    (fun pi id ->
+      if id >= 0 && enc.Encoding.pred_masks.(pi) land !mask <> enc.Encoding.pred_masks.(pi) then
+        List.iter
+          (fun tbl -> pending_first.(tbl) <- true)
+          q.Relalg.Query.predicates.(id).Relalg.Predicate.pred_tables)
+    enc.Encoding.pred_ids;
+  let kept = ref [] in
+  Array.iteri
+    (fun l c ->
+      if !mask land (1 lsl c.cl_table) <> 0 then
+        if t.required.(l) || (pending_first.(c.cl_table) && t.first_of_table.(c.cl_table) = l)
+        then kept := (c.cl_table, c.cl_pos) :: !kept)
+    t.columns;
+  List.rev !kept
+
+let true_cost t order =
+  let enc = t.enc in
+  let q = enc.Encoding.query in
+  let cards = Relalg.Card.prefix_cards q order in
+  let total = ref 0. in
+  for j = 0 to enc.Encoding.num_joins - 1 do
+    let pgi = pages_full t order.(j + 1) in
+    let pgo =
+      if j = 0 then pages_full t order.(0)
+      else begin
+        let bytes =
+          List.fold_left
+            (fun acc (tbl, pos) ->
+              let col = List.nth q.Relalg.Query.tables.(tbl).Catalog.tbl_columns pos in
+              acc +. col.Catalog.col_bytes)
+            0. (kept_columns t order j)
+        in
+        max 1. (ceil (cards.(j) *. bytes /. t.pm.Cost_model.page_bytes))
+      end
+    in
+    total := !total +. (3. *. (pgo +. pgi))
+  done;
+  !total
+
+let assignment_of t order =
+  let enc = t.enc in
+  let x = Encoding.assignment_of_order enc order in
+  for j = 1 to enc.Encoding.num_joins - 1 do
+    let kept = kept_columns t order j in
+    Array.iteri
+      (fun l c ->
+        if List.mem (c.cl_table, c.cl_pos) kept then begin
+          x.(t.clo.(j).(l)) <- 1.;
+          x.(t.y.(j).(l)) <- x.(enc.Encoding.co.(j))
+        end)
+      t.columns
+  done;
+  x
+
+let objective_of t order =
+  let x = assignment_of t order in
+  Problem.eval_objective t.enc.Encoding.problem (fun v -> x.(v))
+
+let optimize ?(pm = Cost_model.default_page_model) ?(config = Encoding.default_config)
+    ?(solver = { Milp.Solver.default_params with Milp.Solver.cut_rounds = 0 }) q =
+  let enc = Encoding.build ~config q in
+  let t = install ~pm enc in
+  let greedy_order = Dp_opt.Greedy.order q in
+  let mip_start = assignment_of t greedy_order in
+  let outcome = Milp.Solver.solve ~params:solver ~mip_start enc.Encoding.problem in
+  match outcome.Milp.Branch_bound.o_x with
+  | Some x ->
+    let order = Encoding.order_of_assignment enc (fun v -> x.(v)) in
+    let n = Array.length order in
+    let plan = Plan.of_order ~operators:(Array.make (n - 1) Plan.Hash_join) order in
+    (Some (plan, true_cost t order), outcome)
+  | None -> (None, outcome)

@@ -1,0 +1,51 @@
+(** Projection / column selection (Section 5.2 of the paper).
+
+    The basic model assumes a fixed byte size per tuple. This extension
+    models the columns present in each intermediate result with [clo]
+    binaries and prices operands by their byte size:
+
+    - a column can only be present when its table is ([clo <= tio]);
+    - a column projected out never reappears;
+    - columns the query outputs must survive to the final result;
+    - a predicate's columns must stay until the predicate is applied
+      (each predicate binds to the first declared column of each table
+      it references — a documented simplification of the paper's sketch);
+    - the outer operand's page count becomes
+      [co * sum Byte(l) clo / page_bytes], a binary-times-continuous
+      product per column, linearized as in Section 5.2.
+
+    The objective is hash-join cost over byte-derived page counts. Every
+    table must declare at least one column. *)
+
+type t
+
+val install : ?pm:Relalg.Cost_model.page_model -> Encoding.t -> t
+(** Uses the query's [output_columns] as the required final columns; when
+    empty, every column is required (projection then saves nothing on the
+    final operand but still trims predicate columns after use). *)
+
+val encoding : t -> Encoding.t
+
+val kept_columns : t -> int array -> int -> (int * int) list
+(** [kept_columns t order j] — the (table, column index) pairs an
+    earliest-evaluation plan keeps in the outer operand of join [j]
+    (j >= 1): output columns of present tables plus columns of still
+    unapplied predicates. *)
+
+val true_cost : t -> int array -> float
+(** Exact hash cost of an order under the byte-size model with earliest
+    projection. *)
+
+val assignment_of : t -> int array -> float array
+(** Honest full assignment (MIP start) for an order: columns per
+    {!kept_columns}. *)
+
+val objective_of : t -> int array -> float
+
+val optimize :
+  ?pm:Relalg.Cost_model.page_model ->
+  ?config:Encoding.config ->
+  ?solver:Milp.Solver.params ->
+  Relalg.Query.t ->
+  (Relalg.Plan.t * float) option * Milp.Branch_bound.outcome
+(** End-to-end: [(plan, true byte-aware cost)]. *)

@@ -1,0 +1,113 @@
+module Problem = Milp.Problem
+module Solver = Milp.Solver
+module Branch_bound = Milp.Branch_bound
+module Plan = Relalg.Plan
+module Cost_model = Relalg.Cost_model
+
+type config = {
+  encoding : Encoding.config;
+  cost : Cost_enc.spec;
+  pm : Cost_model.page_model;
+  solver : Solver.params;
+  greedy_start : bool;
+}
+
+let default_config =
+  {
+    encoding = Encoding.default_config;
+    cost = Cost_enc.Fixed_operator Plan.Hash_join;
+    pm = Cost_model.default_page_model;
+    (* Root Gomory cuts rarely pay off on the big-M threshold rows and
+       each round costs a cold LP solve; leave them opt-in here. *)
+    solver = { Solver.default_params with Solver.cut_rounds = 0 };
+    greedy_start = true;
+  }
+
+let with_precision precision config =
+  { config with encoding = { config.encoding with Encoding.precision } }
+
+let with_time_limit t config = { config with solver = Solver.with_time_limit t config.solver }
+
+type trace_point = {
+  tp_elapsed : float;
+  tp_objective : float option;
+  tp_bound : float;
+  tp_factor : float option;
+}
+
+type result = {
+  plan : Plan.t option;
+  true_cost : float option;
+  objective : float option;
+  bound : float;
+  status : Branch_bound.status;
+  trace : trace_point list;
+  nodes : int;
+  num_vars : int;
+  num_constrs : int;
+  elapsed : float;
+}
+
+let guaranteed_factor ~objective ~bound =
+  if bound <= 0. then infinity else objective /. bound
+
+let exact_metric = function
+  | Cost_enc.Cout -> Cost_model.Cout
+  | Cost_enc.Fixed_operator _ | Cost_enc.Choose_operator _ -> Cost_model.Operator_costs
+
+let trace_of_progress pr =
+  let tp_factor =
+    match pr.Branch_bound.pr_incumbent with
+    | Some obj -> Some (guaranteed_factor ~objective:obj ~bound:pr.Branch_bound.pr_bound)
+    | None -> None
+  in
+  {
+    tp_elapsed = pr.Branch_bound.pr_elapsed;
+    tp_objective = pr.Branch_bound.pr_incumbent;
+    tp_bound = pr.Branch_bound.pr_bound;
+    tp_factor;
+  }
+
+let optimize ?(config = default_config) ?on_progress q =
+  let started = Unix.gettimeofday () in
+  let enc = Encoding.build ~config:config.encoding q in
+  let cost = Cost_enc.install ~pm:config.pm enc config.cost in
+  let mip_start =
+    if config.greedy_start && Relalg.Query.num_tables q >= 2 then begin
+      let order = Dp_opt.Greedy.order q in
+      let x = Encoding.assignment_of_order enc order in
+      Cost_enc.extend_assignment cost order x;
+      Some x
+    end
+    else None
+  in
+  let wrap_progress =
+    match on_progress with
+    | None -> None
+    | Some f -> Some (fun pr -> f (trace_of_progress pr))
+  in
+  let outcome =
+    Solver.solve ~params:config.solver ?mip_start ?on_progress:wrap_progress
+      enc.Encoding.problem
+  in
+  let plan, true_cost =
+    match outcome.Branch_bound.o_x with
+    | Some x ->
+      let order = Encoding.order_of_assignment enc (fun v -> x.(v)) in
+      let plan = Cost_enc.decode_operators cost (fun v -> x.(v)) order in
+      let metric = exact_metric config.cost in
+      (Some plan, Some (Cost_model.plan_cost ~metric ~pm:config.pm q plan))
+    | None -> (None, None)
+  in
+  {
+    plan;
+    true_cost;
+    objective = outcome.Branch_bound.o_objective;
+    bound = outcome.Branch_bound.o_bound;
+    status = outcome.Branch_bound.o_status;
+    trace = List.map trace_of_progress outcome.Branch_bound.o_trace;
+    nodes = outcome.Branch_bound.o_nodes;
+    num_vars = Problem.num_vars enc.Encoding.problem;
+    num_constrs = Problem.num_constrs enc.Encoding.problem;
+    elapsed = Unix.gettimeofday () -. started;
+  }

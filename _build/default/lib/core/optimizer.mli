@@ -1,0 +1,53 @@
+(** End-to-end MILP-based join ordering: encode the query, hand the MILP
+    to the solver, stream anytime progress (incumbent cost and proven
+    lower bound — the paper's Cost/LB criterion, Section 7.1), and decode
+    the winning assignment back into a left-deep plan. *)
+
+type config = {
+  encoding : Encoding.config;
+  cost : Cost_enc.spec;
+  pm : Relalg.Cost_model.page_model;
+  solver : Milp.Solver.params;
+  greedy_start : bool;
+  (** seed the solver with the greedy heuristic's plan as a MIP start, so
+      an incumbent exists from the first instant (mirrors warm-start use
+      of commercial solvers) *)
+}
+
+val default_config : config
+(** Medium precision, hash joins (the paper's experimental setup), greedy
+    start, solver defaults. *)
+
+val with_precision : Thresholds.precision -> config -> config
+val with_time_limit : float -> config -> config
+
+type trace_point = {
+  tp_elapsed : float;
+  tp_objective : float option;  (** incumbent MILP objective (approx. cost) *)
+  tp_bound : float;  (** proven lower bound on the MILP objective *)
+  tp_factor : float option;
+  (** objective / bound — the guaranteed optimality factor the paper
+      plots; [None] before the first incumbent *)
+}
+
+type result = {
+  plan : Relalg.Plan.t option;
+  true_cost : float option;  (** decoded plan's cost under the exact model *)
+  objective : float option;  (** its MILP objective *)
+  bound : float;
+  status : Milp.Branch_bound.status;
+  trace : trace_point list;  (** chronological *)
+  nodes : int;
+  num_vars : int;
+  num_constrs : int;
+  elapsed : float;
+}
+
+val guaranteed_factor : objective:float -> bound:float -> float
+(** [objective / max bound eps]; [infinity] when the bound is not yet
+    positive. *)
+
+val optimize : ?config:config -> ?on_progress:(trace_point -> unit) -> Relalg.Query.t -> result
+
+val exact_metric : Cost_enc.spec -> Relalg.Cost_model.metric
+(** The exact cost metric a spec's plans should be judged by. *)

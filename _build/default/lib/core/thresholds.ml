@@ -1,0 +1,77 @@
+type precision = Low | Medium | High | Custom of float
+
+let tolerance = function
+  | Low -> 100.
+  | Medium -> 10.
+  | High -> 3.
+  | Custom f ->
+    if f <= 1. then invalid_arg "Thresholds.tolerance: factor must be > 1";
+    f
+
+let precision_to_string = function
+  | Low -> "low"
+  | Medium -> "medium"
+  | High -> "high"
+  | Custom f -> Printf.sprintf "custom(%g)" f
+
+type rounding = Floor_steps | Ceil_steps | Central
+
+type t = {
+  thetas : float array;
+  log10_thetas : float array;
+  deltas : float array;
+  max_log10 : float;
+  rounding : rounding;
+  step_factor : float;  (* staircase value at level r is step_factor * theta_r *)
+}
+
+let rounding_factor tol = function
+  | Floor_steps -> 1.
+  | Ceil_steps -> tol
+  | Central -> sqrt tol
+
+let make ?(rounding = Central) ?(min_card = 1.) ~max_card precision =
+  let tol = tolerance precision in
+  if min_card < 1. then invalid_arg "Thresholds.make: min_card must be >= 1";
+  if max_card < min_card then invalid_arg "Thresholds.make: max_card < min_card";
+  let count = max 1 (int_of_float (ceil (log (max_card /. min_card) /. log tol))) in
+  let thetas = Array.init count (fun r -> min_card *. (tol ** float_of_int (r + 1))) in
+  let log10_thetas = Array.map log10 thetas in
+  let step_factor = rounding_factor tol rounding in
+  (* Staircase value at level r is [step_factor * theta_r]; deltas
+     telescope so that summing the reached levels reproduces it. *)
+  let deltas =
+    Array.init count (fun r ->
+        if r = 0 then step_factor *. thetas.(0)
+        else step_factor *. (thetas.(r) -. thetas.(r - 1)))
+  in
+  { thetas; log10_thetas; deltas; max_log10 = log10 (max_card *. tol); rounding; step_factor }
+
+let num_thresholds l = Array.length l.thetas
+
+let reached l log10_card = Array.map (fun lt -> log10_card >= lt -. 1e-12) l.log10_thetas
+
+let approx_card l log10_card =
+  let acc = ref 0. in
+  Array.iteri (fun r hit -> if hit then acc := !acc +. l.deltas.(r)) (reached l log10_card);
+  !acc
+
+let approx_fn l g log10_card =
+  let hits = reached l log10_card in
+  let acc = ref 0. in
+  Array.iteri
+    (fun r hit ->
+      if hit then begin
+        let v = g (l.step_factor *. l.thetas.(r)) in
+        let prev = if r = 0 then 0. else g (l.step_factor *. l.thetas.(r - 1)) in
+        acc := !acc +. (v -. prev)
+      end)
+    hits;
+  !acc
+
+let levels l g =
+  if g 0. <> 0. then invalid_arg "Thresholds.levels: g must satisfy g(0) = 0";
+  Array.init (num_thresholds l) (fun r ->
+      let v = g (l.step_factor *. l.thetas.(r)) in
+      let prev = if r = 0 then 0. else g (l.step_factor *. l.thetas.(r - 1)) in
+      v -. prev)

@@ -1,0 +1,63 @@
+(** Cardinality threshold ladders (Section 4.2 of the paper).
+
+    The MILP represents the logarithm of an intermediate result's
+    cardinality exactly (it is a linear function of the table and
+    predicate variables) and recovers an approximate raw cardinality
+    through a ladder of threshold indicator variables: [cto_r = 1] iff the
+    cardinality reaches threshold [theta_r], and the approximate
+    cardinality is [sum_r delta_r * cto_r].
+
+    Thresholds are spaced geometrically by a tolerance factor; the paper's
+    three configurations (Section 7.1) are tolerance 3 (High precision),
+    10 (Medium) and 100 (Low). *)
+
+type precision = Low | Medium | High | Custom of float
+
+val tolerance : precision -> float
+(** 100, 10, 3, or the custom factor (must be > 1). *)
+
+val precision_to_string : precision -> string
+
+(** How the staircase rounds within a tolerance step: the paper describes
+    both the lower-bounding variant ([delta_r = theta_r - theta_r-1]) and
+    an upper-bounding one; [Central] multiplies the lower staircase by
+    [sqrt tolerance], halving the worst-case log-error on both sides. *)
+type rounding = Floor_steps | Ceil_steps | Central
+
+type t = private {
+  thetas : float array;  (** ascending thresholds, [thetas.(0) = min_card * tol] *)
+  log10_thetas : float array;
+  deltas : float array;  (** staircase increments for the raw cardinality *)
+  max_log10 : float;  (** log10 of the largest modeled cardinality *)
+  rounding : rounding;
+  step_factor : float;  (** staircase value at level r is [step_factor * thetas.(r)] *)
+}
+
+val make : ?rounding:rounding -> ?min_card:float -> max_card:float -> precision -> t
+(** Ladder covering cardinalities in [[min_card, max_card]] (defaults:
+    [Central], [min_card = 1.]). The number of thresholds is
+    [ceil (log (max_card / min_card) / log tolerance)]; cardinalities
+    above [max_card] saturate at the top step. Raises [Invalid_argument]
+    when [max_card < min_card] or the tolerance is <= 1. *)
+
+val num_thresholds : t -> int
+
+val approx_card : t -> float -> float
+(** [approx_card l log10_card] is the staircase value
+    [sum (delta_r : log10_theta_r <= log10_card)] — what the MILP computes
+    when its threshold variables are set honestly. *)
+
+val levels : t -> (float -> float) -> float array
+(** [levels l g] are staircase increments for a monotone function [g] of
+    the cardinality: [sum_r levels.(r) * cto_r] approximates [g (card)]
+    the same way {!approx_card} approximates the identity. [g] must
+    satisfy [g 0. = 0.] (cost functions do). Used for page counts and the
+    sort-merge [n log n] term (Section 4.3). *)
+
+val reached : t -> float -> bool array
+(** Honest threshold-variable assignment for a given log10 cardinality. *)
+
+val approx_fn : t -> (float -> float) -> float -> float
+(** [approx_fn l g log10_card] evaluates the staircase of {!levels}: the
+    value [sum_r levels.(r) * cto_r] takes under the honest assignment
+    {!reached}. *)

@@ -1,0 +1,1 @@
+lib/dp_opt/annealing.ml: Array Random Relalg Unix

@@ -1,0 +1,1 @@
+lib/dp_opt/bitset.mli:

@@ -1,0 +1,1 @@
+lib/dp_opt/enumerate.ml: Array List Relalg Selinger

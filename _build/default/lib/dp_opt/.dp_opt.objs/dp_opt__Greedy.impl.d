@@ -1,0 +1,1 @@
+lib/dp_opt/greedy.ml: Array Relalg Selinger

@@ -1,0 +1,1 @@
+lib/dp_opt/ikkbz.ml: Array Hashtbl List Relalg

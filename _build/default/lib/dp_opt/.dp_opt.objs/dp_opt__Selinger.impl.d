@@ -1,0 +1,1 @@
+lib/dp_opt/selinger.ml: Array Bitset List Relalg Unix

@@ -1,0 +1,160 @@
+module Plan = Relalg.Plan
+module Cost_model = Relalg.Cost_model
+module Query = Relalg.Query
+
+type result = { plan : Plan.t; cost : float; moves_tried : int; restarts : int }
+
+let cost_of metric pm q order = Cost_model.plan_cost ~metric ~pm q (Plan.of_order order)
+
+let random_order st n =
+  let order = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  order
+
+(* Neighbourhood: swap two random positions, or remove a table and
+   re-insert it elsewhere (Steinbrunn's swap and 3-cycle flavours). The
+   move is applied in place and an undo closure is returned. *)
+let random_move st order =
+  let n = Array.length order in
+  let swap i j =
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  in
+  let distinct_pair () =
+    let i = Random.State.int st n in
+    let j = ref (Random.State.int st n) in
+    while n > 1 && !j = i do
+      j := Random.State.int st n
+    done;
+    (i, !j)
+  in
+  if Random.State.bool st then begin
+    let i, j = distinct_pair () in
+    swap i j;
+    fun () -> swap i j
+  end
+  else begin
+    (* Rotate the segment [i..j] left by one (re-insertion). *)
+    let i, j = distinct_pair () in
+    let i, j = (min i j, max i j) in
+    let first = order.(i) in
+    for k = i to j - 1 do
+      order.(k) <- order.(k + 1)
+    done;
+    order.(j) <- first;
+    fun () ->
+      let last = order.(j) in
+      for k = j downto i + 1 do
+        order.(k) <- order.(k - 1)
+      done;
+      order.(i) <- last
+  end
+
+let iterative_improvement ?(metric = Cost_model.Operator_costs)
+    ?(pm = Cost_model.default_page_model) ?(seed = 0) ?(restarts = 10) ?time_limit q =
+  let n = Query.num_tables q in
+  let st = Random.State.make [| seed; 17 |] in
+  let started = Unix.gettimeofday () in
+  let out_of_time () =
+    match time_limit with Some t -> Unix.gettimeofday () -. started > t | None -> false
+  in
+  let moves = ref 0 in
+  let stall_limit = max 20 (3 * n * n) in
+  let best_order = ref (random_order st n) in
+  let best_cost = ref (cost_of metric pm q !best_order) in
+  let descents = ref 0 in
+  (try
+     for _ = 1 to restarts do
+       incr descents;
+       let order = random_order st n in
+       let cost = ref (cost_of metric pm q order) in
+       let stall = ref 0 in
+       while !stall < stall_limit do
+         if out_of_time () then raise Exit;
+         incr moves;
+         let undo = random_move st order in
+         let c = cost_of metric pm q order in
+         if c < !cost -. 1e-12 then begin
+           cost := c;
+           stall := 0
+         end
+         else begin
+           undo ();
+           incr stall
+         end
+       done;
+       if !cost < !best_cost then begin
+         best_cost := !cost;
+         best_order := Array.copy order
+       end
+     done
+   with Exit -> ());
+  {
+    plan = Plan.of_order !best_order;
+    cost = !best_cost;
+    moves_tried = !moves;
+    restarts = !descents;
+  }
+
+let simulated_annealing ?(metric = Cost_model.Operator_costs)
+    ?(pm = Cost_model.default_page_model) ?(seed = 0) ?initial_temperature ?(cooling = 0.9)
+    ?moves_per_temperature ?time_limit q =
+  let n = Query.num_tables q in
+  let st = Random.State.make [| seed; 43 |] in
+  let started = Unix.gettimeofday () in
+  let out_of_time () =
+    match time_limit with Some t -> Unix.gettimeofday () -. started > t | None -> false
+  in
+  let order = random_order st n in
+  let cost = ref (cost_of metric pm q order) in
+  let best_order = ref (Array.copy order) in
+  let best_cost = ref !cost in
+  let temperature = ref (match initial_temperature with Some t -> t | None -> max 1. !cost) in
+  let per_level = match moves_per_temperature with Some m -> m | None -> max 16 (4 * n * n) in
+  let moves = ref 0 in
+  let frozen = ref 0 in
+  (* Zero-cost-delta moves are always "accepted", so freezing on the raw
+     acceptance count alone can spin forever; a hard level cap bounds the
+     schedule regardless. *)
+  let levels = ref 0 in
+  let max_levels = 400 in
+  (try
+     while !frozen < 3 && !levels < max_levels do
+       incr levels;
+       let accepted = ref 0 in
+       for _ = 1 to per_level do
+         if out_of_time () then raise Exit;
+         incr moves;
+         let undo = random_move st order in
+         let c = cost_of metric pm q order in
+         let delta = c -. !cost in
+         let accept =
+           delta < 0.
+           || Random.State.float st 1. < exp (-.delta /. max 1e-9 !temperature)
+         in
+         if accept then begin
+           cost := c;
+           if delta <> 0. then incr accepted;
+           if c < !best_cost then begin
+             best_cost := c;
+             best_order := Array.copy order
+           end
+         end
+         else undo ()
+       done;
+       if !accepted = 0 then incr frozen else frozen := 0;
+       temperature := !temperature *. cooling
+     done
+   with Exit -> ());
+  {
+    plan = Plan.of_order !best_order;
+    cost = !best_cost;
+    moves_tried = !moves;
+    restarts = 1;
+  }

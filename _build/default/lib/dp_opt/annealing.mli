@@ -1,0 +1,44 @@
+(** Randomized join-ordering heuristics from Steinbrunn et al. (VLDBJ'97):
+    iterative improvement and simulated annealing over left-deep orders.
+
+    The paper's evaluation deliberately excludes this class (Section 7.1):
+    such algorithms produce plans of improving quality but can never bound
+    their distance from the optimum, which is exactly the property the
+    MILP approach adds. They are provided as baselines so that trade-off
+    can be demonstrated. Deterministic for a given [seed]. *)
+
+type result = {
+  plan : Relalg.Plan.t;
+  cost : float;
+  moves_tried : int;
+  restarts : int;  (** for iterative improvement: descents performed *)
+}
+
+val iterative_improvement :
+  ?metric:Relalg.Cost_model.metric ->
+  ?pm:Relalg.Cost_model.page_model ->
+  ?seed:int ->
+  ?restarts:int ->
+  ?time_limit:float ->
+  Relalg.Query.t ->
+  result
+(** Random-restart local search: from a random order, apply improving
+    random swap/insertion moves until a local minimum (no improvement in
+    [3 n^2] consecutive tries), then restart. Defaults: hash-join costs,
+    seed 0, 10 restarts, no time limit. *)
+
+val simulated_annealing :
+  ?metric:Relalg.Cost_model.metric ->
+  ?pm:Relalg.Cost_model.page_model ->
+  ?seed:int ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  ?moves_per_temperature:int ->
+  ?time_limit:float ->
+  Relalg.Query.t ->
+  result
+(** Classic annealing: accept worsening moves with probability
+    [exp (-delta / T)], geometric cooling. The initial temperature
+    defaults to the starting plan's cost (accept almost anything at
+    first); [cooling] defaults to 0.9, [moves_per_temperature] to
+    [4 n^2]; stops frozen (acceptance ratio ~ 0) or at the time limit. *)

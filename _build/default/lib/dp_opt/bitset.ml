@@ -1,0 +1,42 @@
+let full n =
+  if n < 0 || n > 62 then invalid_arg "Bitset.full";
+  (1 lsl n) - 1
+
+let mem mask i = mask land (1 lsl i) <> 0
+
+let add mask i = mask lor (1 lsl i)
+
+let remove mask i = mask land lnot (1 lsl i)
+
+let cardinal mask =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go mask 0
+
+let members mask =
+  let rec go i m acc =
+    if m = 0 then List.rev acc
+    else if m land 1 <> 0 then go (i + 1) (m lsr 1) (i :: acc)
+    else go (i + 1) (m lsr 1) acc
+  in
+  go 0 mask []
+
+let iter_members f mask = List.iter f (members mask)
+
+let subsets_by_cardinality n =
+  let total = 1 lsl n in
+  let result = Array.make total 0 in
+  let counts = Array.make (n + 1) 0 in
+  for s = 0 to total - 1 do
+    counts.(cardinal s) <- counts.(cardinal s) + 1
+  done;
+  let offsets = Array.make (n + 1) 0 in
+  for k = 1 to n do
+    offsets.(k) <- offsets.(k - 1) + counts.(k - 1)
+  done;
+  let cursor = Array.copy offsets in
+  for s = 0 to total - 1 do
+    let k = cardinal s in
+    result.(cursor.(k)) <- s;
+    cursor.(k) <- cursor.(k) + 1
+  done;
+  result

@@ -1,0 +1,23 @@
+(** Table subsets as int bitmasks (bit i = table i, up to 62 tables). *)
+
+val full : int -> int
+(** [full n] has the low [n] bits set. *)
+
+val mem : int -> int -> bool
+(** [mem mask i] tests bit [i]. *)
+
+val add : int -> int -> int
+val remove : int -> int -> int
+
+val cardinal : int -> int
+(** Population count. *)
+
+val members : int -> int list
+(** Set bits in increasing order. *)
+
+val iter_members : (int -> unit) -> int -> unit
+
+val subsets_by_cardinality : int -> int array
+(** All subsets of [full n] ordered by population count (the order a
+    dynamic program needs); index 0 is the empty set. Allocates [2^n]
+    ints — callers must keep [n] small. *)

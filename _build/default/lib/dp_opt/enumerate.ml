@@ -1,0 +1,28 @@
+let best_operators_for_order metric pm q order =
+  (* Operator choices are independent across joins, so the cheapest plan
+     for a fixed order picks each join's operator separately. For the
+     C_out metric operators are irrelevant. *)
+  match metric with
+  | Relalg.Cost_model.Cout -> Relalg.Plan.of_order order
+  | Relalg.Cost_model.Operator_costs -> Relalg.Cost_model.optimal_operators ~pm q order
+
+let optimize ?(metric = Relalg.Cost_model.Operator_costs) ?(pm = Relalg.Cost_model.default_page_model)
+    ?(operators = Selinger.Fixed Relalg.Plan.Hash_join) q =
+  let n = Relalg.Query.num_tables q in
+  if n > 9 then invalid_arg "Enumerate.optimize: too many tables for brute force";
+  let orders = Relalg.Plan.all_orders n in
+  let plan_of_order order =
+    match operators with
+    | Selinger.Fixed op -> Relalg.Plan.of_order ~operators:(Array.make (max 0 (n - 1)) op) order
+    | Selinger.Best_per_join -> best_operators_for_order metric pm q order
+  in
+  let best = ref None in
+  List.iter
+    (fun order ->
+      let plan = plan_of_order order in
+      let cost = Relalg.Cost_model.plan_cost ~metric ~pm q plan in
+      match !best with
+      | Some (_, bc) when bc <= cost -> ()
+      | _ -> best := Some (plan, cost))
+    orders;
+  match !best with Some r -> r | None -> assert false

@@ -1,0 +1,15 @@
+(** Exhaustive enumeration of all left-deep join orders.
+
+    Ground truth for testing the DP and the MILP encoding on tiny
+    queries; factorially expensive, hard-capped at 9 tables. *)
+
+val optimize :
+  ?metric:Relalg.Cost_model.metric ->
+  ?pm:Relalg.Cost_model.page_model ->
+  ?operators:Selinger.operator_choice ->
+  Relalg.Query.t ->
+  Relalg.Plan.t * float
+(** Minimal-cost plan by brute force over every permutation (and, for
+    [Best_per_join], every per-join operator assignment via
+    {!Relalg.Cost_model.optimal_operators}-style independent choice). Raises
+    [Invalid_argument] beyond 9 tables. *)

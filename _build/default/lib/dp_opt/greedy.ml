@@ -1,0 +1,48 @@
+let order_from q start =
+  let e = Relalg.Card.estimator q in
+  let n = Relalg.Query.num_tables q in
+  let order = Array.make n start in
+  let mask = ref (1 lsl start) in
+  let card = ref (Relalg.Card.subset_card e !mask) in
+  for k = 1 to n - 1 do
+    let best = ref None in
+    for t = 0 to n - 1 do
+      if !mask land (1 lsl t) = 0 then begin
+        let c = Relalg.Card.extend_card e ~mask:!mask ~card:!card ~table:t in
+        match !best with
+        | Some (_, bc) when bc <= c -> ()
+        | _ -> best := Some (t, c)
+      end
+    done;
+    match !best with
+    | Some (t, c) ->
+      order.(k) <- t;
+      mask := !mask lor (1 lsl t);
+      card := c
+    | None -> assert false
+  done;
+  order
+
+let order q =
+  let n = Relalg.Query.num_tables q in
+  let best = ref None in
+  for start = 0 to n - 1 do
+    let o = order_from q start in
+    (* Rank starts by the sum of intermediate cardinalities (C_out). *)
+    let score = Array.fold_left ( +. ) 0. (Relalg.Card.prefix_cards q o) in
+    match !best with
+    | Some (_, bs) when bs <= score -> ()
+    | _ -> best := Some (o, score)
+  done;
+  match !best with Some (o, _) -> o | None -> assert false
+
+let plan ?(metric = Relalg.Cost_model.Operator_costs) ?(pm = Relalg.Cost_model.default_page_model)
+    ?(operators = Selinger.Fixed Relalg.Plan.Hash_join) q =
+  let o = order q in
+  let n = Array.length o in
+  let p =
+    match operators with
+    | Selinger.Fixed op -> Relalg.Plan.of_order ~operators:(Array.make (max 0 (n - 1)) op) o
+    | Selinger.Best_per_join -> Relalg.Cost_model.optimal_operators ~pm q o
+  in
+  (p, Relalg.Cost_model.plan_cost ~metric ~pm q p)

@@ -1,0 +1,21 @@
+(** Greedy join-order heuristic: grow the left-deep chain by always
+    appending the table that minimizes the resulting intermediate
+    cardinality, trying every starting table.
+
+    No optimality guarantee — the class of algorithm the paper's
+    comparison criterion deliberately excludes (Section 7.1) — but a good
+    source of MIP-start incumbents for the MILP optimizer, mirroring how
+    practical solvers seed the search. *)
+
+val order : Relalg.Query.t -> int array
+(** The greedy join order. *)
+
+val plan :
+  ?metric:Relalg.Cost_model.metric ->
+  ?pm:Relalg.Cost_model.page_model ->
+  ?operators:Selinger.operator_choice ->
+  Relalg.Query.t ->
+  Relalg.Plan.t * float
+(** Greedy order completed with operators ([Fixed op] uses [op]
+    everywhere; [Best_per_join] picks the cheapest per join) and its true
+    cost under the metric. *)

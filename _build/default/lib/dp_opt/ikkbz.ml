@@ -1,0 +1,122 @@
+module Query = Relalg.Query
+module Predicate = Relalg.Predicate
+module Plan = Relalg.Plan
+module Cost_model = Relalg.Cost_model
+
+type error = Not_a_tree
+
+(* A module of the precedence chain: a run of tables already forced into
+   this relative order, with the ASI quantities
+   T = prod (sel_i * card_i) and C = sum of intermediate contributions. *)
+type chain_module = { nodes : int list; t_val : float; c_val : float }
+
+let rank m = (m.t_val -. 1.) /. m.c_val
+
+let merge_modules a b =
+  {
+    nodes = a.nodes @ b.nodes;
+    c_val = a.c_val +. (a.t_val *. b.c_val);
+    t_val = a.t_val *. b.t_val;
+  }
+
+(* Undirected adjacency with the product of selectivities per edge;
+   [None] when the graph is not a tree of binary predicates. *)
+let tree_adjacency q =
+  let n = Query.num_tables q in
+  let sel = Hashtbl.create 16 in
+  let ok = ref true in
+  Array.iter
+    (fun p ->
+      match p.Predicate.pred_tables with
+      | [ a; b ] ->
+        let key = (min a b, max a b) in
+        let cur = match Hashtbl.find_opt sel key with Some s -> s | None -> 1. in
+        Hashtbl.replace sel key (cur *. p.Predicate.selectivity)
+      | _ -> ok := false)
+    q.Query.predicates;
+  if not !ok then None
+  else begin
+    let edges = Hashtbl.fold (fun k _ acc -> k :: acc) sel [] in
+    if List.length edges <> n - 1 then None
+    else begin
+      let adj = Array.make n [] in
+      List.iter
+        (fun (a, b) ->
+          let s = Hashtbl.find sel (a, b) in
+          adj.(a) <- (b, s) :: adj.(a);
+          adj.(b) <- (a, s) :: adj.(b))
+        edges;
+      (* Connectivity: n-1 edges + connected = tree. *)
+      let seen = Array.make n false in
+      let rec visit v =
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          List.iter (fun (u, _) -> visit u) adj.(v)
+        end
+      in
+      visit 0;
+      if Array.for_all (fun b -> b) seen then Some adj else None
+    end
+  end
+
+(* Normalize the subtree below [v] (whose edge selectivity to its parent
+   is [sel_to_parent]) into an ascending-rank chain whose head contains
+   [v]. *)
+let rec normalize q adj parent v sel_to_parent =
+  let children = List.filter (fun (u, _) -> u <> parent) adj.(v) in
+  let chains = List.map (fun (u, s) -> normalize q adj v u s) children in
+  (* Child chains are each ascending; a k-way rank merge keeps them so. *)
+  let rec merge_two a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | ma :: ta, mb :: tb ->
+      if rank ma <= rank mb then ma :: merge_two ta b else mb :: merge_two a tb
+  in
+  let merged = List.fold_left merge_two [] chains in
+  let tv = sel_to_parent *. Query.table_card q v in
+  let head = { nodes = [ v ]; t_val = tv; c_val = tv } in
+  (* v must precede its subtree: merge precedence violations into the
+     head until the sequence is ascending. *)
+  let rec fixup head rest =
+    match rest with
+    | m :: tail when rank head > rank m -> fixup (merge_modules head m) tail
+    | _ -> head :: rest
+  in
+  fixup head merged
+
+let order_for_root q adj root =
+  let chains = List.map (fun (u, s) -> normalize q adj root u s) adj.(root) in
+  let rec merge_two a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | ma :: ta, mb :: tb ->
+      if rank ma <= rank mb then ma :: merge_two ta b else mb :: merge_two a tb
+  in
+  let merged = List.fold_left merge_two [] chains in
+  Array.of_list (root :: List.concat_map (fun m -> m.nodes) merged)
+
+let order q =
+  let n = Query.num_tables q in
+  if n = 1 then Ok [| 0 |]
+  else
+    match tree_adjacency q with
+    | None -> Error Not_a_tree
+    | Some adj ->
+      let best = ref None in
+      for root = 0 to n - 1 do
+        let o = order_for_root q adj root in
+        let cost =
+          Cost_model.plan_cost ~metric:Cost_model.Cout q (Plan.of_order o)
+        in
+        match !best with
+        | Some (_, c) when c <= cost -> ()
+        | _ -> best := Some (o, cost)
+      done;
+      (match !best with Some (o, _) -> Ok o | None -> Error Not_a_tree)
+
+let plan q =
+  match order q with
+  | Error e -> Error e
+  | Ok o ->
+    let p = Plan.of_order o in
+    Ok (p, Cost_model.plan_cost ~metric:Cost_model.Cout q p)

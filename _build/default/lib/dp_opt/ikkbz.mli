@@ -1,0 +1,22 @@
+(** The IKKBZ algorithm (Ibaraki-Kameda / Krishnamurthy-Boral-Zaniolo):
+    polynomial-time optimal left-deep ordering for acyclic join graphs
+    under ASI cost functions (here C_out), cross products excluded.
+
+    The classical polynomial baseline of the join-ordering literature
+    (Steinbrunn et al., which the paper's workload generator follows,
+    benchmarks against it). For each choice of first table the join tree
+    is rooted, subtrees are normalized into rank-sorted chains by merging
+    precedence-violating modules, and chains are merged by ascending
+    rank; the best root wins.
+
+    Only applicable when the join graph is a tree (chains, stars, other
+    acyclic connected graphs) with binary predicates. *)
+
+type error =
+  | Not_a_tree  (** cyclic, disconnected, or n-ary predicates present *)
+
+val order : Relalg.Query.t -> (int array, error) result
+(** The IKKBZ-optimal connected left-deep order under C_out. *)
+
+val plan : Relalg.Query.t -> (Relalg.Plan.t * float, error) result
+(** The order as an all-hash-join plan with its C_out cost. *)

@@ -1,0 +1,166 @@
+type operator_choice = Fixed of Relalg.Plan.operator | Best_per_join
+
+type result = { plan : Relalg.Plan.t; cost : float; subsets_explored : int; elapsed : float }
+
+type outcome =
+  | Complete of result
+  | Timed_out of { elapsed : float; subsets_explored : int }
+
+exception Out_of_time of int
+
+let max_tables_for_memory = 24
+
+let op_candidates = function
+  | Fixed op -> [ op ]
+  | Best_per_join -> [ Relalg.Plan.Hash_join; Relalg.Plan.Sort_merge_join; Relalg.Plan.Block_nested_loop ]
+
+let op_index = function
+  | Relalg.Plan.Hash_join -> 0
+  | Relalg.Plan.Sort_merge_join -> 1
+  | Relalg.Plan.Block_nested_loop -> 2
+
+let op_of_index = function
+  | 0 -> Relalg.Plan.Hash_join
+  | 1 -> Relalg.Plan.Sort_merge_join
+  | 2 -> Relalg.Plan.Block_nested_loop
+  | _ -> invalid_arg "Selinger.op_of_index"
+
+let optimize ?(metric = Relalg.Cost_model.Operator_costs) ?(pm = Relalg.Cost_model.default_page_model)
+    ?(operators = Fixed Relalg.Plan.Hash_join) ?time_limit q =
+  let n = Relalg.Query.num_tables q in
+  let started = Unix.gettimeofday () in
+  if n > max_tables_for_memory then
+    Timed_out { elapsed = Unix.gettimeofday () -. started; subsets_explored = 0 }
+  else begin
+    let e = Relalg.Card.estimator q in
+    let total = 1 lsl n in
+    let best = Array.make total infinity in
+    let choice = Array.make total (-1) in
+    (* Per-subset caches: estimated cardinality (all applicable predicates
+       applied) and the applicable-predicate mask. *)
+    let cards = Array.make total 1. in
+    let app = Array.make total 0 in
+    let eval_costs = Array.map (fun p -> p.Relalg.Predicate.eval_cost) q.Relalg.Query.predicates in
+    (* Unary predicates are evaluated at scan time (see Cost_model), never
+       charged at a join. *)
+    let um =
+      let acc = ref 0 in
+      Array.iteri
+        (fun pi p ->
+          if List.length p.Relalg.Predicate.pred_tables = 1 then acc := !acc lor (1 lsl pi))
+        q.Relalg.Query.predicates;
+      !acc
+    in
+    let scan_charge t =
+      Array.fold_left
+        (fun acc p ->
+          match p.Relalg.Predicate.pred_tables with
+          | [ t' ] when t' = t && p.Relalg.Predicate.eval_cost > 0. ->
+            acc +. (p.Relalg.Predicate.eval_cost *. q.Relalg.Query.tables.(t).Relalg.Catalog.tbl_card)
+          | _ -> acc)
+        0. q.Relalg.Query.predicates
+    in
+    let fresh_eval_cost s s' =
+      (* Sum of eval costs of non-unary predicates newly applicable in s'. *)
+      let fresh = app.(s') land lnot app.(s) land lnot um in
+      if fresh = 0 then 0.
+      else begin
+        let acc = ref 0. in
+        Array.iteri
+          (fun pi c -> if c > 0. && fresh land (1 lsl pi) <> 0 then acc := !acc +. c)
+          eval_costs;
+        !acc
+      end
+    in
+    let subsets = Bitset.subsets_by_cardinality n in
+    let explored = ref 0 in
+    let check_time =
+      match time_limit with
+      | None -> fun () -> ()
+      | Some limit ->
+        fun () ->
+          if !explored land 1023 = 0 && Unix.gettimeofday () -. started > limit then
+            raise (Out_of_time !explored)
+    in
+    match
+      Array.iter
+        (fun s ->
+          incr explored;
+          check_time ();
+          let k = Bitset.cardinal s in
+          if k >= 1 then begin
+            app.(s) <- Relalg.Card.applicable_preds e s;
+            if k = 1 then begin
+              (match Bitset.members s with
+              | [ t ] ->
+                (* Scan-filtered by unary predicates, charged here. *)
+                cards.(s) <- Relalg.Card.subset_card e s;
+                best.(s) <- scan_charge t
+              | _ -> assert false)
+            end
+            else begin
+              (* Fill cardinality once per subset using any member. *)
+              (match Bitset.members s with
+              | t :: _ ->
+                let sub = Bitset.remove s t in
+                cards.(s) <- Relalg.Card.extend_card e ~mask:sub ~card:cards.(sub) ~table:t
+              | [] -> assert false);
+              Bitset.iter_members
+                (fun t ->
+                  let sub = Bitset.remove s t in
+                  if best.(sub) < infinity then begin
+                    let inner_card = cards.(1 lsl t) in
+                    let tuples_tested = cards.(sub) *. inner_card in
+                    (* The inner table's scan-time unary charge enters the
+                       plan when the table does. *)
+                    let eval_charge = (fresh_eval_cost sub s *. tuples_tested) +. scan_charge t in
+                    let consider op =
+                      let step =
+                        match metric with
+                        | Relalg.Cost_model.Cout -> cards.(s)
+                        | Relalg.Cost_model.Operator_costs ->
+                          Relalg.Cost_model.join_cost op pm ~outer_card:cards.(sub) ~inner_card
+                      in
+                      let cost = best.(sub) +. step +. eval_charge in
+                      if cost < best.(s) then begin
+                        best.(s) <- cost;
+                        choice.(s) <- t lor (op_index op lsl 6)
+                      end
+                    in
+                    List.iter consider (op_candidates operators)
+                  end)
+                s
+            end
+          end)
+        subsets
+    with
+    | exception Out_of_time subsets_explored ->
+      Timed_out { elapsed = Unix.gettimeofday () -. started; subsets_explored }
+    | () ->
+      let full = total - 1 in
+      assert (best.(full) < infinity);
+      (* Reconstruct order and operators by unwinding the choices. *)
+      let order = Array.make n 0 and ops = Array.make (max 0 (n - 1)) Relalg.Plan.Hash_join in
+      let rec unwind s k =
+        if k = 0 then
+          match Bitset.members s with
+          | [ t ] -> order.(0) <- t
+          | _ -> assert false
+        else begin
+          let c = choice.(s) in
+          let t = c land 63 and op = op_of_index (c lsr 6) in
+          order.(k) <- t;
+          ops.(k - 1) <- op;
+          unwind (Bitset.remove s t) (k - 1)
+        end
+      in
+      unwind full (n - 1);
+      let plan = Relalg.Plan.of_order ~operators:ops order in
+      Complete
+        {
+          plan;
+          cost = best.(full);
+          subsets_explored = !explored;
+          elapsed = Unix.gettimeofday () -. started;
+        }
+  end

@@ -1,0 +1,37 @@
+(** Classical dynamic programming over table subsets (Selinger et al.),
+    specialized to left-deep plans with cross products allowed — the
+    baseline of the paper's evaluation (Section 7).
+
+    State: the set of already-joined tables; transition: choose the inner
+    table of the last join. O(2^n * n) time and O(2^n) space, which is
+    exactly the wall the paper exhibits at 20-30 tables. *)
+
+type operator_choice =
+  | Fixed of Relalg.Plan.operator  (** the paper's experiments fix hash joins *)
+  | Best_per_join  (** pick the cheapest operator at every join *)
+
+type result = {
+  plan : Relalg.Plan.t;
+  cost : float;
+  subsets_explored : int;
+  elapsed : float;  (** seconds *)
+}
+
+type outcome =
+  | Complete of result
+  | Timed_out of { elapsed : float; subsets_explored : int }
+      (** No plan at all — dynamic programming is not an anytime
+          algorithm; this is what the paper plots as "DP returns nothing
+          within the budget". Also returned immediately when [2^n] state
+          would exceed memory (n > 24). *)
+
+val optimize :
+  ?metric:Relalg.Cost_model.metric ->
+  ?pm:Relalg.Cost_model.page_model ->
+  ?operators:operator_choice ->
+  ?time_limit:float ->
+  Relalg.Query.t ->
+  outcome
+(** Defaults: [Operator_costs] metric, default page model, [Fixed
+    Hash_join], no time limit. The returned cost equals
+    {!Relalg.Cost_model.plan_cost} of the returned plan. *)

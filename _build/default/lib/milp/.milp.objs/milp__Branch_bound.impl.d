@@ -1,0 +1,1 @@
+lib/milp/branch_bound.ml: Array Float Hashtbl Linexpr List Logs Option Pqueue Problem Simplex Stdform Unix

@@ -1,0 +1,1 @@
+lib/milp/cuts.ml: Array Float Linexpr List Printf Problem Simplex Stdform

@@ -1,0 +1,1 @@
+lib/milp/cuts.mli: Problem Simplex

@@ -1,0 +1,1 @@
+lib/milp/dense.ml: Array Printf

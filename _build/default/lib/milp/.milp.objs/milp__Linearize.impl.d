@@ -1,0 +1,1 @@
+lib/milp/linearize.ml: Float Linexpr List Problem

@@ -1,0 +1,1 @@
+lib/milp/linexpr.mli: Format

@@ -1,0 +1,1 @@
+lib/milp/lp_format.ml: Array Bytes Float Format Hashtbl Linexpr List Printf Problem String

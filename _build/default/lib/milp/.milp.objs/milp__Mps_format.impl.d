@@ -1,0 +1,1 @@
+lib/milp/mps_format.ml: Array Bytes Format Hashtbl Linexpr List Printf Problem

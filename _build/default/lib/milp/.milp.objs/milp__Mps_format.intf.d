@@ -1,0 +1,1 @@
+lib/milp/mps_format.mli: Format Problem

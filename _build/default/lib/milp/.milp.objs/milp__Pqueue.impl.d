@@ -1,0 +1,1 @@
+lib/milp/pqueue.ml: Array

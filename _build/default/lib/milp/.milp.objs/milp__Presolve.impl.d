@@ -1,0 +1,1 @@
+lib/milp/presolve.ml: Array Format Linexpr List Printf Problem

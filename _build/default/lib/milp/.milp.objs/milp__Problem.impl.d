@@ -1,0 +1,1 @@
+lib/milp/problem.ml: Float Hashtbl Linexpr Printf Vecbuf

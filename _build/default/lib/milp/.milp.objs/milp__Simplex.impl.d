@@ -1,0 +1,1 @@
+lib/milp/simplex.ml: Array Dense List Sparse_lu Stdform Unix

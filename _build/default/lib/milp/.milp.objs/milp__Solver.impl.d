@@ -1,0 +1,1 @@
+lib/milp/solver.ml: Branch_bound Cuts Logs Presolve Simplex Unix

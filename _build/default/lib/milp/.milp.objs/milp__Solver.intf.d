@@ -1,0 +1,1 @@
+lib/milp/solver.mli: Branch_bound Problem

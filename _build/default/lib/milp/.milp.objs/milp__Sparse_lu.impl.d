@@ -1,0 +1,1 @@
+lib/milp/sparse_lu.ml: Array List Pqueue

@@ -1,0 +1,1 @@
+lib/milp/sparse_lu.mli:

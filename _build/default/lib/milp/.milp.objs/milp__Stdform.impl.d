@@ -1,0 +1,1 @@
+lib/milp/stdform.ml: Array Float Linexpr List Problem

@@ -1,0 +1,1 @@
+lib/milp/stdform.mli: Problem

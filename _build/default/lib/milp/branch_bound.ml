@@ -1,0 +1,469 @@
+type node_order = Best_bound | Depth_first
+
+type params = {
+  time_limit : float option;
+  node_limit : int option;
+  gap_tol : float;
+  int_tol : float;
+  dive_period : int;
+  max_dive_depth : int;
+  node_order : node_order;
+  simplex : Simplex.params;
+}
+
+let default_params =
+  {
+    time_limit = None;
+    node_limit = None;
+    gap_tol = 1e-6;
+    int_tol = 1e-5;
+    dive_period = 64;
+    max_dive_depth = 50;
+    node_order = Best_bound;
+    simplex = Simplex.default_params;
+  }
+
+type progress = {
+  pr_elapsed : float;
+  pr_nodes : int;
+  pr_incumbent : float option;
+  pr_bound : float;
+  pr_gap : float option;
+}
+
+type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
+
+type outcome = {
+  o_status : status;
+  o_objective : float option;
+  o_x : float array option;
+  o_bound : float;
+  o_nodes : int;
+  o_simplex_iters : int;
+  o_trace : progress list;
+  o_bound_is_proven : bool;
+}
+
+let gap ~incumbent ~bound =
+  if incumbent = bound then 0.
+  else abs_float (incumbent -. bound) /. max (abs_float incumbent) 1e-10
+
+(* A node stores its bound-override chain relative to the root arrays.
+   Chains stay short (one entry per branching decision on the path). *)
+type node = {
+  n_id : int;
+  n_bound : float;  (* parent LP objective: a valid lower bound (min sense) *)
+  n_depth : int;
+  n_fixes : (int * [ `Lb | `Ub ] * float) list;
+  n_warm : (int array * Simplex.vstat array) option;
+}
+
+type search = {
+  sf : Stdform.t;
+  problem : Problem.t;
+  p : params;
+  root_lb : float array;
+  root_ub : float array;
+  heap : node Pqueue.t;
+  (* Mirror of [heap] keyed by LP bound, with lazy deletion through
+     [closed]: supplies the proven dual bound when [node_order] is not
+     best-bound. *)
+  bound_heap : node Pqueue.t;
+  closed : (int, unit) Hashtbl.t;
+  mutable next_node_id : int;
+  started : float;
+  on_progress : progress -> unit;
+  mutable incumbent : (float * float array) option;  (* internal min sense, full x *)
+  mutable root_done : bool;  (* the root LP bound has been established *)
+  mutable in_flight : float option;  (* bound of the node being processed *)
+  mutable nodes : int;
+  mutable simplex_iters : int;
+  mutable bound_is_proven : bool;
+  mutable trace : progress list;
+  mutable last_reported : (float option * float) option;
+}
+
+let elapsed s = Unix.gettimeofday () -. s.started
+
+(* The proven global bound: the minimum over open node bounds (including
+   the node currently being processed), the incumbent when the tree is
+   exhausted, or -inf before the root relaxation has been solved. Under
+   best-bound ordering the heap minimum IS the bound; under other
+   orderings the open minimum is tracked separately. *)
+let global_bound s =
+  let rec open_min () =
+    match Pqueue.peek s.bound_heap with
+    | None -> None
+    | Some (k, n) ->
+      if Hashtbl.mem s.closed n.n_id then begin
+        ignore (Pqueue.pop s.bound_heap);
+        open_min ()
+      end
+      else Some k
+  in
+  let heap_bound =
+    match s.p.node_order with
+    | Best_bound -> Pqueue.min_key s.heap
+    | Depth_first -> open_min ()
+  in
+  let open_bound =
+    match (heap_bound, s.in_flight) with
+    | Some b, Some f -> Some (min b f)
+    | (Some _ as b), None -> b
+    | None, (Some _ as f) -> f
+    | None, None -> None
+  in
+  match (open_bound, s.incumbent) with
+  | Some b, Some (inc, _) -> min b inc
+  | Some b, None -> b
+  | None, _ when not s.root_done -> neg_infinity
+  | None, Some (inc, _) -> inc
+  | None, None -> infinity
+
+let incumbent_value s = match s.incumbent with Some (v, _) -> Some v | None -> None
+
+let current_progress s =
+  let bound = global_bound s in
+  let inc = incumbent_value s in
+  let g = match inc with Some v -> Some (gap ~incumbent:v ~bound) | None -> None in
+  {
+    pr_elapsed = elapsed s;
+    pr_nodes = s.nodes;
+    pr_incumbent = Option.map (Stdform.user_objective s.sf) inc;
+    pr_bound = Stdform.user_objective s.sf bound;
+    pr_gap = g;
+  }
+
+let report ?(force = false) s =
+  let key = (incumbent_value s, global_bound s) in
+  let changed =
+    match s.last_reported with
+    | None -> true
+    | Some (inc, bound) ->
+      let inc', bound' = key in
+      inc <> inc' || abs_float (bound -. bound') > 1e-12
+  in
+  if changed || force then begin
+    s.last_reported <- Some key;
+    let pr = current_progress s in
+    s.trace <- pr :: s.trace;
+    s.on_progress pr
+  end
+
+let materialize_bounds s fixes =
+  let lb = Array.copy s.root_lb and ub = Array.copy s.root_ub in
+  List.iter
+    (fun (v, side, value) ->
+      match side with
+      | `Lb -> lb.(v) <- max lb.(v) value
+      | `Ub -> ub.(v) <- min ub.(v) value)
+    fixes;
+  (lb, ub)
+
+let fractionality x = abs_float (x -. Float.round x)
+
+(* Most fractional variable among the highest-priority fractional ones.
+   A variable whose node bounds already pin it to a single integer is not
+   branchable: its residual fractionality is solver noise, and branching
+   on it would recreate the same subproblem forever. *)
+let branch_variable s ~lb ~ub x =
+  let best = ref None in
+  for j = 0 to s.sf.Stdform.nstruct - 1 do
+    if s.sf.Stdform.integer.(j) && ub.(j) -. lb.(j) >= 0.5 then begin
+      let f = fractionality x.(j) in
+      if f > s.p.int_tol && floor x.(j) >= lb.(j) -. s.p.int_tol && ceil x.(j) <= ub.(j) +. s.p.int_tol
+      then begin
+        let prio = (Problem.var_info s.problem j).Problem.v_priority in
+        match !best with
+        | None -> best := Some (j, prio, f)
+        | Some (_, bp, bf) ->
+          if prio > bp || (prio = bp && f > bf) then best := Some (j, prio, f)
+      end
+    end
+  done;
+  Option.map (fun (j, _, _) -> j) !best
+
+(* Accept an integral LP point as incumbent: snap the integer components,
+   re-verify against the original problem, fall back to the raw LP point
+   (feasible to LP tolerance) if snapping broke a constraint. *)
+let try_incumbent s (x : float array) lp_obj =
+  let snapped = Array.copy x in
+  for j = 0 to s.sf.Stdform.nstruct - 1 do
+    if s.sf.Stdform.integer.(j) then snapped.(j) <- Float.round snapped.(j)
+  done;
+  let value v = snapped.(v) in
+  let candidate =
+    match Problem.check_feasible ~tol:(10. *. s.p.simplex.Simplex.feas_tol) s.problem value with
+    | Ok _ ->
+      let user_obj = Problem.eval_objective s.problem value in
+      Some (Stdform.internal_of_user s.sf user_obj, snapped)
+    | Error _ -> Some (lp_obj, Array.copy x)
+  in
+  match candidate with
+  | Some (obj, x') ->
+    let improves = match s.incumbent with None -> true | Some (best, _) -> obj < best -. 1e-12 in
+    if improves then begin
+      s.incumbent <- Some (obj, x');
+      report s
+    end;
+    improves
+  | None -> false
+
+let solve_node s ~warm ~lb ~ub =
+  (* Per-node simplex deadline from the global budget, so one long LP
+     cannot blow through the time limit. *)
+  let params =
+    match s.p.time_limit with
+    | Some t -> { s.p.simplex with Simplex.deadline = Some (s.started +. t) }
+    | None -> s.p.simplex
+  in
+  let res = Simplex.solve ~params ?warm s.sf ~lb ~ub in
+  s.simplex_iters <- s.simplex_iters + res.Simplex.iters;
+  res
+
+let is_integral s x =
+  let ok = ref true in
+  for j = 0 to s.sf.Stdform.nstruct - 1 do
+    if s.sf.Stdform.integer.(j) && fractionality x.(j) > s.p.int_tol then ok := false
+  done;
+  !ok
+
+(* Diving heuristic: from a fractional LP point, repeatedly fix the
+   *least* fractional integer variable to its nearest integer and
+   re-solve; stops on infeasibility, depth, or an integral point. *)
+let dive s node res0 =
+  let rec go fixes res depth =
+    if depth > s.p.max_dive_depth then ()
+    else if is_integral s res.Simplex.x then ignore (try_incumbent s res.Simplex.x res.Simplex.objective)
+    else begin
+      (* Find least fractional (but still fractional) integer var. *)
+      let best = ref None in
+      for j = 0 to s.sf.Stdform.nstruct - 1 do
+        if s.sf.Stdform.integer.(j) then begin
+          let f = fractionality res.Simplex.x.(j) in
+          if f > s.p.int_tol then
+            match !best with
+            | None -> best := Some (j, f)
+            | Some (_, bf) -> if f < bf then best := Some (j, f)
+        end
+      done;
+      match !best with
+      | None -> ()
+      | Some (j, _) ->
+        let target = Float.round res.Simplex.x.(j) in
+        let fixes = (j, `Lb, target) :: (j, `Ub, target) :: fixes in
+        let lb, ub = materialize_bounds s fixes in
+        if lb.(j) > ub.(j) then ()
+        else begin
+          let res' =
+            solve_node s ~warm:(Some (res.Simplex.basis, res.Simplex.vstatus)) ~lb ~ub
+          in
+          match res'.Simplex.status with
+          | Simplex.Optimal ->
+            (* Abandon the dive once it can no longer beat the incumbent. *)
+            let pruned =
+              match s.incumbent with
+              | Some (best_obj, _) -> res'.Simplex.objective >= best_obj -. 1e-12
+              | None -> false
+            in
+            if not pruned then go fixes res' (depth + 1)
+          | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit
+          | Simplex.Numerical_failure ->
+            ()
+        end
+    end
+  in
+  go node.n_fixes res0 0
+
+let out_of_budget s =
+  (match s.p.time_limit with Some t -> elapsed s > t | None -> false)
+  || match s.p.node_limit with Some n -> s.nodes >= n | None -> false
+
+let gap_closed s =
+  match s.incumbent with
+  | None -> false
+  | Some (inc, _) -> gap ~incumbent:inc ~bound:(global_bound s) <= s.p.gap_tol
+
+let finish s status_when_done =
+  report ~force:true s;
+  (* "Tree exhausted" only certifies optimality when the root bound was
+     actually established and no node LP was dropped on a failure. *)
+  let exhausted = Pqueue.is_empty s.heap && s.root_done && s.bound_is_proven in
+  let status =
+    match (status_when_done, s.incumbent) with
+    | (Infeasible | Unbounded), _ -> status_when_done
+    | _, Some _ -> if gap_closed s || exhausted then Optimal else Feasible
+    | _, None -> if exhausted then Infeasible else Unknown
+  in
+  let objective, x =
+    match s.incumbent with
+    | Some (obj, x) ->
+      (Some (Stdform.user_objective s.sf obj), Some (Array.sub x 0 s.sf.Stdform.nstruct))
+    | None -> (None, None)
+  in
+  {
+    o_status = status;
+    o_objective = objective;
+    o_x = x;
+    o_bound = Stdform.user_objective s.sf (global_bound s);
+    o_nodes = s.nodes;
+    o_simplex_iters = s.simplex_iters;
+    o_trace = List.rev s.trace;
+    o_bound_is_proven = s.bound_is_proven;
+  }
+
+let process_node s node =
+  let lb, ub = materialize_bounds s node.n_fixes in
+  let res = solve_node s ~warm:node.n_warm ~lb ~ub in
+  let retry_cold () = solve_node s ~warm:None ~lb ~ub in
+  let res =
+    match res.Simplex.status with
+    | Simplex.Numerical_failure | Simplex.Iteration_limit -> retry_cold ()
+    | _ -> res
+  in
+  match res.Simplex.status with
+  | Simplex.Infeasible -> ()
+  | Simplex.Unbounded ->
+    (* A bounded-relaxation MILP cannot have an unbounded node unless the
+       root was unbounded, which is handled before the loop. *)
+    s.bound_is_proven <- false
+  | Simplex.Iteration_limit | Simplex.Numerical_failure -> s.bound_is_proven <- false
+  | Simplex.Optimal ->
+    let obj = res.Simplex.objective in
+    let dominated =
+      match s.incumbent with Some (best, _) -> obj >= best -. 1e-12 | None -> false
+    in
+    if not dominated then begin
+      if is_integral s res.Simplex.x then ignore (try_incumbent s res.Simplex.x obj)
+      else begin
+        (match branch_variable s ~lb ~ub res.Simplex.x with
+        | None -> ignore (try_incumbent s res.Simplex.x obj)
+        | Some j ->
+          let xj = res.Simplex.x.(j) in
+          let warm = Some (res.Simplex.basis, res.Simplex.vstatus) in
+          let child fixes =
+            s.next_node_id <- s.next_node_id + 1;
+            {
+              n_id = s.next_node_id;
+              n_bound = obj;
+              n_depth = node.n_depth + 1;
+              n_fixes = fixes;
+              n_warm = warm;
+            }
+          in
+          let down = child ((j, `Ub, Float.of_int (int_of_float (floor xj))) :: node.n_fixes) in
+          let up = child ((j, `Lb, Float.of_int (int_of_float (ceil xj))) :: node.n_fixes) in
+          (* Depth-first keys dive toward incumbents (deeper = smaller
+             key), tie-broken by the LP bound; the true dual bound stays
+             correct because global_bound reads node bounds, not keys. *)
+          let key n =
+            match s.p.node_order with
+            | Best_bound -> n.n_bound
+            | Depth_first -> float_of_int (-n.n_depth)
+          in
+          let push n =
+            Pqueue.push s.heap (key n) n;
+            if s.p.node_order <> Best_bound then Pqueue.push s.bound_heap n.n_bound n
+          in
+          push down;
+          push up);
+        if s.p.dive_period > 0 && s.nodes mod s.p.dive_period = 1 then dive s node res
+      end
+    end
+
+let solve ?(params = default_params) ?mip_start ?(on_progress = fun _ -> ()) problem =
+  let sf = Stdform.of_problem problem in
+  let root_lb, root_ub = Stdform.bounds sf in
+  let s =
+    {
+      sf;
+      problem;
+      p = params;
+      root_lb;
+      root_ub;
+      heap = Pqueue.create ();
+      bound_heap = Pqueue.create ();
+      closed = Hashtbl.create 256;
+      next_node_id = 0;
+      started = Unix.gettimeofday ();
+      on_progress;
+      incumbent = None;
+      root_done = false;
+      in_flight = None;
+      nodes = 0;
+      simplex_iters = 0;
+      bound_is_proven = true;
+      trace = [];
+      last_reported = None;
+    }
+  in
+  (* Install the MIP start, if any. *)
+  (match mip_start with
+  | None -> ()
+  | Some x0 ->
+    if Array.length x0 <> sf.Stdform.nstruct then
+      invalid_arg "Branch_bound.solve: mip_start length mismatch";
+    let value v = x0.(v) in
+    (match Problem.check_feasible problem value with
+    | Ok _ ->
+      let obj = Stdform.internal_of_user sf (Problem.eval_objective problem value) in
+      let full = Array.make sf.Stdform.ncols 0. in
+      Array.blit x0 0 full 0 sf.Stdform.nstruct;
+      (* Logical values follow from the structural ones. *)
+      Problem.iter_constrs
+        (fun i c ->
+          full.(sf.Stdform.nstruct + i) <-
+            c.Problem.c_rhs -. Linexpr.eval value c.Problem.c_expr)
+        problem;
+      s.incumbent <- Some (obj, full);
+      (* The anytime contract: a warm start is an incumbent before any
+         search happens (its bound is still unproven, hence -inf). *)
+      report s
+    | Error msg -> Logs.warn (fun m -> m "MIP start rejected: %s" msg)));
+  (* Root relaxation. *)
+  let res = solve_node s ~warm:None ~lb:root_lb ~ub:root_ub in
+  match res.Simplex.status with
+  | Simplex.Infeasible ->
+    s.root_done <- true;
+    finish s Infeasible
+  | Simplex.Unbounded -> finish s Unbounded
+  | Simplex.Iteration_limit | Simplex.Numerical_failure ->
+    s.bound_is_proven <- false;
+    finish s Unknown
+  | Simplex.Optimal ->
+    s.root_done <- true;
+    let root =
+      { n_id = 0; n_bound = res.Simplex.objective; n_depth = 0; n_fixes = []; n_warm = None }
+    in
+    if is_integral s res.Simplex.x then begin
+      ignore (try_incumbent s res.Simplex.x res.Simplex.objective);
+      finish s Optimal
+    end
+    else begin
+      Pqueue.push s.heap root.n_bound root;
+      if s.p.node_order <> Best_bound then Pqueue.push s.bound_heap root.n_bound root;
+      let rec loop () =
+        if out_of_budget s || gap_closed s then finish s Unknown
+        else
+          match Pqueue.pop s.heap with
+          | None -> finish s Unknown
+          | Some (_, node) ->
+            Hashtbl.replace s.closed node.n_id ();
+            let bound = node.n_bound in
+            let dominated =
+              match s.incumbent with
+              | Some (best, _) -> bound >= best -. 1e-12
+              | None -> false
+            in
+            if dominated then loop ()
+            else begin
+              s.nodes <- s.nodes + 1;
+              s.in_flight <- Some bound;
+              process_node s node;
+              s.in_flight <- None;
+              report s;
+              loop ()
+            end
+      in
+      loop ()
+    end

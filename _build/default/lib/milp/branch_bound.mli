@@ -1,0 +1,70 @@
+(** LP-relaxation branch & bound over a {!Problem.t}.
+
+    Best-bound node selection with warm-started simplex re-solves, variable
+    branching guided by user priorities then fractionality, an optional
+    diving primal heuristic, MIP starts, and anytime progress reporting
+    (incumbent, proven dual bound, relative gap) — the features of
+    commercial MILP solvers that the paper's query optimizer relies on. *)
+
+(** Node selection: [Best_bound] explores the most promising subtree
+    first and keeps the proven bound as tight as possible; [Depth_first]
+    plunges toward integer solutions, often finding incumbents sooner at
+    the price of a weaker early bound. *)
+type node_order = Best_bound | Depth_first
+
+type params = {
+  time_limit : float option;  (** wall-clock seconds *)
+  node_limit : int option;
+  gap_tol : float;  (** stop when relative gap falls below this *)
+  int_tol : float;  (** integrality tolerance on LP values *)
+  dive_period : int;  (** run the diving heuristic every N nodes; 0 disables *)
+  max_dive_depth : int;
+  node_order : node_order;
+  simplex : Simplex.params;
+}
+
+val default_params : params
+(** No limits, [gap_tol = 1e-6], [int_tol = 1e-6], diving every 64 nodes. *)
+
+type progress = {
+  pr_elapsed : float;
+  pr_nodes : int;
+  pr_incumbent : float option;  (** user-sense objective of best solution *)
+  pr_bound : float;  (** user-sense proven bound on the optimum *)
+  pr_gap : float option;  (** relative gap, when an incumbent exists *)
+}
+
+type status =
+  | Optimal  (** incumbent proven optimal within [gap_tol] *)
+  | Feasible  (** stopped at a limit with an incumbent in hand *)
+  | Infeasible
+  | Unbounded
+  | Unknown  (** stopped at a limit before finding any solution *)
+
+type outcome = {
+  o_status : status;
+  o_objective : float option;  (** user sense *)
+  o_x : float array option;  (** structural variable values *)
+  o_bound : float;  (** user-sense dual bound (best possible objective) *)
+  o_nodes : int;
+  o_simplex_iters : int;
+  o_trace : progress list;  (** chronological progress records *)
+  o_bound_is_proven : bool;
+  (** [false] when a node LP failed numerically and had to be dropped, in
+      which case [o_bound] is best-effort rather than a certificate. *)
+}
+
+val gap : incumbent:float -> bound:float -> float
+(** Relative gap [|incumbent - bound| / max(|incumbent|, eps)], in
+    minimization user sense; 0 when they coincide. *)
+
+val solve :
+  ?params:params ->
+  ?mip_start:float array ->
+  ?on_progress:(progress -> unit) ->
+  Problem.t ->
+  outcome
+(** [mip_start] is a full assignment to structural variables; it is
+    verified with {!Problem.check_feasible} and, when valid, installed as
+    the initial incumbent (warm starts mirror Gurobi's MIP starts, which
+    the paper's anytime experiments depend on for early plans). *)

@@ -1,0 +1,201 @@
+type stats = { cuts_added : int; rounds_run : int; final_lp_bound : float option }
+
+let frac x = x -. floor x
+
+(* Copy a problem (variables, constraints, objective) so the caller's
+   instance is left untouched. *)
+let copy_problem p =
+  let q = Problem.create ~name:(Problem.name p) () in
+  Problem.iter_vars
+    (fun _ info ->
+      ignore
+        (Problem.add_var q ~name:info.Problem.v_name ~lb:info.Problem.v_lb ~ub:info.Problem.v_ub
+           ~kind:info.Problem.v_kind ~priority:info.Problem.v_priority ()))
+    p;
+  Problem.iter_constrs
+    (fun _ c -> Problem.add_constr q ~name:c.Problem.c_name c.Problem.c_expr c.Problem.c_sense c.Problem.c_rhs)
+    p;
+  let sense, obj = Problem.objective p in
+  Problem.set_objective q sense obj;
+  q
+
+(* Derive one GMI cut from a tableau row of a fractional basic integer
+   variable. Returns the cut as (expr-over-structural-vars, rhs) meaning
+   [expr >= rhs], or None when the row is unusable.
+
+   The LP runs with slightly relaxed (perturbed) bounds, so nonbasic
+   values in [res] can sit a hair outside their true bounds; the basic
+   value entering the GMI formula must be re-anchored to the true bounds
+   or the cut is off by the perturbation and shaves integer points. *)
+let gmi_cut p sf (res : Simplex.result) row basic_value =
+  (* b_true = basic value when every nonbasic sits exactly on its bound:
+     correct the observed value by the nonbasics' deviations. *)
+  let basic_value =
+    let correction = ref 0. in
+    for j = 0 to sf.Stdform.ncols - 1 do
+      if res.Simplex.vstatus.(j) <> Simplex.SBasic && abs_float row.(j) > 1e-12 then begin
+        let bound =
+          match res.Simplex.vstatus.(j) with
+          | Simplex.SUpper -> sf.Stdform.ub.(j)
+          | Simplex.SLower -> sf.Stdform.lb.(j)
+          | Simplex.SFree | Simplex.SBasic -> res.Simplex.x.(j)
+        in
+        if Float.is_finite bound then
+          correction := !correction +. (row.(j) *. (res.Simplex.x.(j) -. bound))
+      end
+    done;
+    basic_value +. !correction
+  in
+  let f0 = frac basic_value in
+  if f0 < 1e-4 || f0 > 1. -. 1e-4 then None
+  else begin
+    let expr = ref Linexpr.zero in
+    let rhs = ref 1. in
+    let usable = ref true in
+    (* Contribution of gamma * t_j where t_j is the shifted nonbasic. *)
+    let add_shifted j gamma =
+      match res.Simplex.vstatus.(j) with
+      | Simplex.SLower ->
+        (* t_j = x_j - lb_j *)
+        let l = sf.Stdform.lb.(j) in
+        if j < sf.Stdform.nstruct then begin
+          expr := Linexpr.add_term !expr j gamma;
+          rhs := !rhs +. (gamma *. l)
+        end
+        else begin
+          (* Slack: s_i = rhs_i - a_i . x; gamma * (s_i - l) with l = 0 or
+             the slack's lower bound (0 in all senses that can be SLower). *)
+          let i = j - sf.Stdform.nstruct in
+          let c = Problem.constr_info p i in
+          expr := Linexpr.sub !expr (Linexpr.scale gamma c.Problem.c_expr);
+          rhs := !rhs -. (gamma *. c.Problem.c_rhs) +. (gamma *. l)
+        end
+      | Simplex.SUpper ->
+        (* t_j = ub_j - x_j *)
+        let u = sf.Stdform.ub.(j) in
+        if j < sf.Stdform.nstruct then begin
+          expr := Linexpr.add_term !expr j (-.gamma);
+          rhs := !rhs -. (gamma *. u)
+        end
+        else begin
+          let i = j - sf.Stdform.nstruct in
+          let c = Problem.constr_info p i in
+          expr := Linexpr.add !expr (Linexpr.scale gamma c.Problem.c_expr);
+          rhs := !rhs +. (gamma *. c.Problem.c_rhs) -. (gamma *. u)
+        end
+      | Simplex.SFree -> usable := false
+      | Simplex.SBasic -> assert false
+    in
+    (try
+       for j = 0 to sf.Stdform.ncols - 1 do
+         if res.Simplex.vstatus.(j) <> Simplex.SBasic then begin
+           let a = row.(j) in
+           if abs_float a > 1e-10 then begin
+             (* Shifted coefficient: negated when the nonbasic sits at its
+                upper bound. *)
+             let a' =
+               match res.Simplex.vstatus.(j) with
+               | Simplex.SUpper -> -.a
+               | Simplex.SLower | Simplex.SFree -> a
+               | Simplex.SBasic -> a
+             in
+             if res.Simplex.vstatus.(j) = Simplex.SFree then usable := false
+             else begin
+               (* Integer shifted variables need integral shift bounds. *)
+               let bound_integral =
+                 let b =
+                   match res.Simplex.vstatus.(j) with
+                   | Simplex.SUpper -> sf.Stdform.ub.(j)
+                   | _ -> sf.Stdform.lb.(j)
+                 in
+                 Float.is_finite b && abs_float (b -. Float.round b) < 1e-9
+               in
+               let gamma =
+                 if sf.Stdform.integer.(j) && bound_integral then begin
+                   let fj = frac a' in
+                   if fj <= f0 then fj /. f0 else (1. -. fj) /. (1. -. f0)
+                 end
+                 else if a' >= 0. then a' /. f0
+                 else -.a' /. (1. -. f0)
+               in
+               if abs_float gamma > 1e-10 then add_shifted j gamma;
+               if not !usable then raise Exit
+             end
+           end
+         end
+       done
+     with Exit -> ());
+    if not !usable then None
+    else begin
+      (* Reject numerically wild cuts. *)
+      let max_c =
+        List.fold_left (fun acc (_, c) -> max acc (abs_float c)) 0. (Linexpr.terms !expr)
+      in
+      let min_c =
+        List.fold_left (fun acc (_, c) -> min acc (abs_float c)) infinity (Linexpr.terms !expr)
+      in
+      if Linexpr.terms !expr = [] || max_c > 1e7 || max_c /. min_c > 1e9 then None
+      else begin
+        (* Safety slack: weaken the cut by a relative epsilon so points
+           feasible up to solver tolerance are never shaved off. *)
+        let rhs = !rhs -. (1e-6 *. (1. +. abs_float !rhs)) in
+        Some (!expr, rhs)
+      end
+    end
+  end
+
+let gomory_strengthen ?(max_rounds = 5) ?(max_per_round = 20)
+    ?(simplex_params = Simplex.default_params) p =
+  let q = copy_problem p in
+  let cuts_added = ref 0 in
+  let rounds_run = ref 0 in
+  let final_bound = ref None in
+  (try
+     for _round = 1 to max_rounds do
+       incr rounds_run;
+       let sf = Stdform.of_problem q in
+       let lb, ub = Stdform.bounds sf in
+       let res = Simplex.solve ~params:simplex_params sf ~lb ~ub in
+       match res.Simplex.status with
+       | Simplex.Optimal ->
+         final_bound := Some (Stdform.user_objective sf res.Simplex.objective);
+         (* Fractional basic integer structural variables, most fractional
+            first. *)
+         let candidates = ref [] in
+         Array.iteri
+           (fun pos v ->
+             if v < sf.Stdform.nstruct && sf.Stdform.integer.(v) then begin
+               let f = frac res.Simplex.x.(v) in
+               if f > 1e-6 && f < 1. -. 1e-6 then
+                 candidates := (abs_float (f -. 0.5), pos) :: !candidates
+             end)
+           res.Simplex.basis;
+         let candidates =
+           List.sort compare !candidates |> List.map snd
+           |> List.filteri (fun i _ -> i < max_per_round)
+         in
+         if candidates = [] then raise Exit;
+         let rows = Simplex.tableau_rows sf res candidates in
+         if rows = [] then raise Exit;
+         let added_this_round = ref 0 in
+         List.iter
+           (fun (pos, row, value) ->
+             ignore pos;
+             match gmi_cut q sf res row value with
+             | Some (expr, rhs) ->
+               (* Only add when the cut actually separates the LP point. *)
+               let lhs = Linexpr.eval (fun v -> res.Simplex.x.(v)) expr in
+               if lhs < rhs -. 1e-6 then begin
+                 Problem.add_constr q ~name:(Printf.sprintf "gmi%d" !cuts_added) expr Problem.Ge rhs;
+                 incr cuts_added;
+                 incr added_this_round
+               end
+             | None -> ())
+           rows;
+         if !added_this_round = 0 then raise Exit
+       | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit
+       | Simplex.Numerical_failure ->
+         raise Exit
+     done
+   with Exit -> ());
+  (q, { cuts_added = !cuts_added; rounds_run = !rounds_run; final_lp_bound = !final_bound })

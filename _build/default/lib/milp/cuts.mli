@@ -1,0 +1,22 @@
+(** Gomory mixed-integer cuts separated at the root relaxation.
+
+    Each round solves the LP relaxation, reads the simplex tableau rows of
+    basic integer variables with fractional values, and derives GMI cuts
+    (nonbasic variables shifted to their bounds so the cut is valid for
+    bounded variables; rows touching a free nonbasic are skipped). Cuts
+    are appended to a copy of the problem as ordinary [>=] constraints
+    over the structural variables — logical (slack) coefficients are
+    substituted out using the defining row. *)
+
+type stats = { cuts_added : int; rounds_run : int; final_lp_bound : float option }
+(** [final_lp_bound] is the root LP value (user sense) after the last
+    round, when the LP solved to optimality. *)
+
+val gomory_strengthen :
+  ?max_rounds:int ->
+  ?max_per_round:int ->
+  ?simplex_params:Simplex.params ->
+  Problem.t ->
+  Problem.t * stats
+(** Defaults: 5 rounds, 20 cuts per round. The input is not mutated; the
+    returned problem shares variable indexing with the input. *)

@@ -1,0 +1,110 @@
+exception Singular of int
+
+(* LU with partial pivoting, stored in place: strictly-lower part of [mat]
+   holds the multipliers of L (unit diagonal), upper triangle holds U.
+   [perm.(k)] records which original row provides elimination step k. *)
+type lu = { mat : float array array; perm : int array; dim : int }
+
+let lu_factorize ?(pivot_tol = 1e-11) a =
+  let n = Array.length a in
+  Array.iteri (fun i row -> if Array.length row <> n then invalid_arg (Printf.sprintf "Dense.lu_factorize: row %d not square" i)) a;
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: pick the largest magnitude in column k at/below row k. *)
+    let best = ref k in
+    for i = k + 1 to n - 1 do
+      if abs_float a.(i).(k) > abs_float a.(!best).(k) then best := i
+    done;
+    if abs_float a.(!best).(k) <= pivot_tol then raise (Singular k);
+    if !best <> k then begin
+      let tmp = a.(k) in
+      a.(k) <- a.(!best);
+      a.(!best) <- tmp;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!best);
+      perm.(!best) <- tp
+    end;
+    let pivot = a.(k).(k) in
+    for i = k + 1 to n - 1 do
+      let m = a.(i).(k) /. pivot in
+      if m <> 0. then begin
+        a.(i).(k) <- m;
+        let ri = a.(i) and rk = a.(k) in
+        for j = k + 1 to n - 1 do
+          ri.(j) <- ri.(j) -. (m *. rk.(j))
+        done
+      end
+      else a.(i).(k) <- 0.
+    done
+  done;
+  { mat = a; perm; dim = n }
+
+let lu_dim lu = lu.dim
+
+let lu_solve lu r =
+  let n = lu.dim in
+  if Array.length r <> n then invalid_arg "Dense.lu_solve: dimension mismatch";
+  (* Apply the row permutation: y = P r. *)
+  let y = Array.make n 0. in
+  for i = 0 to n - 1 do
+    y.(i) <- r.(lu.perm.(i))
+  done;
+  (* Forward substitution with unit-lower L. *)
+  for i = 1 to n - 1 do
+    let row = lu.mat.(i) in
+    let acc = ref y.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (row.(j) *. y.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  (* Back substitution with U. *)
+  for i = n - 1 downto 0 do
+    let row = lu.mat.(i) in
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (row.(j) *. y.(j))
+    done;
+    y.(i) <- !acc /. row.(i)
+  done;
+  Array.blit y 0 r 0 n
+
+let lu_solve_transposed lu r =
+  let n = lu.dim in
+  if Array.length r <> n then invalid_arg "Dense.lu_solve_transposed: dimension mismatch";
+  (* B = P^-1 L U, so B^T = U^T L^T P; solve U^T z = r, L^T w = z, y = P^T w. *)
+  let y = Array.copy r in
+  (* Forward substitution with U^T (lower triangular with diagonal of U). *)
+  for i = 0 to n - 1 do
+    let acc = ref y.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (lu.mat.(j).(i) *. y.(j))
+    done;
+    y.(i) <- !acc /. lu.mat.(i).(i)
+  done;
+  (* Back substitution with L^T (unit upper triangular). *)
+  for i = n - 2 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (lu.mat.(j).(i) *. y.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  (* Undo the permutation: r.(perm.(i)) <- y.(i). *)
+  for i = 0 to n - 1 do
+    r.(lu.perm.(i)) <- y.(i)
+  done
+
+let mat_vec a x =
+  let n = Array.length a in
+  Array.init n (fun i ->
+      let row = a.(i) in
+      let acc = ref 0. in
+      for j = 0 to Array.length row - 1 do
+        acc := !acc +. (row.(j) *. x.(j))
+      done;
+      !acc)
+
+let identity n = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1. else 0.))
+
+let copy_matrix a = Array.map Array.copy a

@@ -1,0 +1,31 @@
+(** Dense linear algebra: the minimum needed for a simplex basis backend.
+
+    Matrices are square, row-major [float array array]. The LU
+    factorization uses Gaussian elimination with partial pivoting and
+    supports both [B y = r] (ftran) and [B^T y = r] (btran) solves. *)
+
+type lu
+
+exception Singular of int
+(** Raised by {!lu_factorize} when no acceptable pivot exists in the given
+    column; the payload is the failing elimination step. *)
+
+val lu_factorize : ?pivot_tol:float -> float array array -> lu
+(** Factorizes a copy-free view: the input matrix is consumed (overwritten
+    with the LU factors). Callers must pass a matrix they own. Default
+    [pivot_tol] 1e-11. *)
+
+val lu_dim : lu -> int
+
+val lu_solve : lu -> float array -> unit
+(** [lu_solve lu r] overwrites [r] with the solution of [B y = r]. *)
+
+val lu_solve_transposed : lu -> float array -> unit
+(** [lu_solve_transposed lu r] overwrites [r] with the solution of
+    [B^T y = r]. *)
+
+val mat_vec : float array array -> float array -> float array
+
+val identity : int -> float array array
+
+val copy_matrix : float array array -> float array array

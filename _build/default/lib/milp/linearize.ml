@@ -1,0 +1,38 @@
+let product_binary_continuous p ?name ~binary ~continuous ~lb ~ub () =
+  if not (Float.is_finite lb && Float.is_finite ub) then
+    invalid_arg "Linearize.product_binary_continuous: bounds must be finite";
+  if lb > ub then invalid_arg "Linearize.product_binary_continuous: lb > ub";
+  let y = Problem.add_var p ?name ~lb:(min lb 0.) ~ub:(max ub 0.) () in
+  let open Linexpr in
+  (* y <= ub * b            (y = 0 when b = 0, y <= ub when b = 1) *)
+  Problem.add_constr p (sub (var y) (var ~coeff:ub binary)) Problem.Le 0.;
+  (* y >= lb * b *)
+  Problem.add_constr p (sub (var y) (var ~coeff:lb binary)) Problem.Ge 0.;
+  (* y <= x - lb * (1 - b), i.e. y - x - lb*b <= -lb  (y = x when b = 1) *)
+  Problem.add_constr p
+    (add (sub (var y) (var continuous)) (var ~coeff:(-.lb) binary))
+    Problem.Le (-.lb);
+  (* y >= x - ub * (1 - b), i.e. y - x - ub*b >= -ub *)
+  Problem.add_constr p
+    (add (sub (var y) (var continuous)) (var ~coeff:(-.ub) binary))
+    Problem.Ge (-.ub);
+  y
+
+let bool_and p ?name bs =
+  if bs = [] then invalid_arg "Linearize.bool_and: empty conjunction";
+  let z = Problem.add_var p ?name ~kind:Problem.Binary () in
+  List.iter (fun b -> Problem.add_constr p Linexpr.(sub (var z) (var b)) Problem.Le 0.) bs;
+  let sum = List.fold_left (fun e b -> Linexpr.add_term e b 1.) Linexpr.zero bs in
+  Problem.add_constr p
+    (Linexpr.sub (Linexpr.var z) sum)
+    Problem.Ge
+    (1. -. float_of_int (List.length bs));
+  z
+
+let bool_or p ?name bs =
+  if bs = [] then invalid_arg "Linearize.bool_or: empty disjunction";
+  let z = Problem.add_var p ?name ~kind:Problem.Binary () in
+  List.iter (fun b -> Problem.add_constr p Linexpr.(sub (var z) (var b)) Problem.Ge 0.) bs;
+  let sum = List.fold_left (fun e b -> Linexpr.add_term e b 1.) Linexpr.zero bs in
+  Problem.add_constr p (Linexpr.sub (Linexpr.var z) sum) Problem.Le 0.;
+  z

@@ -1,0 +1,28 @@
+(** Standard MILP linearization tricks (Bisschop, "Integer Linear
+    Programming Tricks"), used by the join-ordering encoding for products
+    of binary and continuous variables — e.g. actual-vs-potential join
+    cost, predicate evaluation cost and byte-size formulas in the paper's
+    Sections 4.3, 5.1 and 5.2. *)
+
+val product_binary_continuous :
+  Problem.t ->
+  ?name:string ->
+  binary:Problem.var ->
+  continuous:Problem.var ->
+  lb:float ->
+  ub:float ->
+  unit ->
+  Problem.var
+(** [product_binary_continuous p ~binary:b ~continuous:x ~lb ~ub ()]
+    returns a fresh continuous variable [y] constrained to equal [b * x],
+    assuming [lb <= x <= ub] with both bounds finite. Adds four
+    constraints. Raises [Invalid_argument] on non-finite bounds. *)
+
+val bool_and : Problem.t -> ?name:string -> Problem.var list -> Problem.var
+(** [bool_and p bs] returns a fresh binary [z] with [z = min bs]
+    (conjunction of binaries): [z <= b_i] for each [i] and
+    [z >= sum b_i - (|bs| - 1)]. *)
+
+val bool_or : Problem.t -> ?name:string -> Problem.var list -> Problem.var
+(** [bool_or p bs] returns a fresh binary [z] with [z = max bs]:
+    [z >= b_i] for each [i] and [z <= sum b_i]. *)

@@ -1,0 +1,77 @@
+type t = { terms : (int * float) list; (* sorted by var, no zeros, no dups *) const : float }
+
+let zero = { terms = []; const = 0. }
+
+let const k = { terms = []; const = k }
+
+let var ?(coeff = 1.) v =
+  if coeff = 0. then zero else { terms = [ (v, coeff) ]; const = 0. }
+
+(* Merge-sort based canonicalization: sort by var, then fuse runs. *)
+let canonicalize terms =
+  let sorted = List.stable_sort (fun (v1, _) (v2, _) -> compare v1 v2) terms in
+  let rec fuse = function
+    | [] -> []
+    | (v, c) :: rest ->
+      let rec take acc = function
+        | (v', c') :: rest' when v' = v -> take (acc +. c') rest'
+        | rest' -> (acc, rest')
+      in
+      let total, rest = take c rest in
+      if abs_float total = 0. then fuse rest else (v, total) :: fuse rest
+  in
+  fuse sorted
+
+let of_terms ?(const = 0.) terms = { terms = canonicalize terms; const }
+
+(* Linear-time merge of two canonical term lists. *)
+let merge_terms f ta tb =
+  let rec go ta tb =
+    match (ta, tb) with
+    | [], [] -> []
+    | (v, c) :: ta', [] -> (v, f c 0.) :: go ta' []
+    | [], (v, c) :: tb' -> (v, f 0. c) :: go [] tb'
+    | (va, ca) :: ta', (vb, cb) :: tb' ->
+      if va < vb then (va, f ca 0.) :: go ta' tb
+      else if vb < va then (vb, f 0. cb) :: go ta tb'
+      else (va, f ca cb) :: go ta' tb'
+  in
+  List.filter (fun (_, c) -> abs_float c <> 0.) (go ta tb)
+
+let add a b = { terms = merge_terms ( +. ) a.terms b.terms; const = a.const +. b.const }
+
+let sub a b = { terms = merge_terms ( -. ) a.terms b.terms; const = a.const -. b.const }
+
+let scale k e =
+  if k = 0. then zero
+  else { terms = List.map (fun (v, c) -> (v, k *. c)) e.terms; const = k *. e.const }
+
+let add_term e v c = add e (var ~coeff:c v)
+
+let constant e = e.const
+
+let terms e = e.terms
+
+let coeff e v = match List.assoc_opt v e.terms with Some c -> c | None -> 0.
+
+let is_constant e = e.terms = []
+
+let eval value e = List.fold_left (fun acc (v, c) -> acc +. (c *. value v)) e.const e.terms
+
+let map_vars f e = of_terms ~const:e.const (List.map (fun (v, c) -> (f v, c)) e.terms)
+
+let pp ~names ppf e =
+  let print_term first c body =
+    if first then
+      if c < 0. then Format.fprintf ppf "- %s" body else Format.fprintf ppf "%s" body
+    else if c < 0. then Format.fprintf ppf " - %s" body
+    else Format.fprintf ppf " + %s" body
+  in
+  let first = ref true in
+  List.iter
+    (fun (v, c) ->
+      print_term !first c (Format.asprintf "%g %s" (abs_float c) (names v));
+      first := false)
+    e.terms;
+  if e.const <> 0. || e.terms = [] then
+    print_term !first e.const (Format.asprintf "%g" (abs_float e.const))

@@ -1,0 +1,45 @@
+(** Sparse linear expressions [sum_i c_i * x_i + k] over integer-indexed
+    variables.
+
+    Expressions are canonical: term lists are sorted by variable index,
+    duplicate variables are merged and zero coefficients dropped, so
+    structural equality coincides with mathematical equality (up to
+    floating-point addition order). *)
+
+type t
+
+val zero : t
+
+val const : float -> t
+(** [const k] is the constant expression [k]. *)
+
+val var : ?coeff:float -> int -> t
+(** [var ~coeff v] is [coeff * x_v]; [coeff] defaults to [1.]. *)
+
+val of_terms : ?const:float -> (int * float) list -> t
+(** [of_terms ~const terms] builds [sum (v, c) in terms. c * x_v + const].
+    Terms may repeat variables and appear in any order. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val add_term : t -> int -> float -> t
+(** [add_term e v c] is [e + c * x_v]. *)
+
+val constant : t -> float
+val terms : t -> (int * float) list
+(** Sorted by variable index; no zero coefficients; no duplicates. *)
+
+val coeff : t -> int -> float
+(** Coefficient of a variable, [0.] when absent. *)
+
+val is_constant : t -> bool
+
+val eval : (int -> float) -> t -> float
+(** [eval value e] substitutes [value v] for each variable [v]. *)
+
+val map_vars : (int -> int) -> t -> t
+(** Renames variables; the result is re-canonicalized (useful after
+    presolve substitutions). *)
+
+val pp : names:(int -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,415 @@
+(* ------------------------------------------------------------------ *)
+(* Writing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let is_valid_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || String.contains "!\"#$%&()/,.;?@_'`{}|~" c
+
+let sanitize_name idx name =
+  let b = Bytes.of_string name in
+  for i = 0 to Bytes.length b - 1 do
+    if not (is_valid_char (Bytes.get b i)) then Bytes.set b i '_'
+  done;
+  let s = Bytes.to_string b in
+  let s = if s = "" || (s.[0] >= '0' && s.[0] <= '9') || s.[0] = '.' then "x_" ^ s else s in
+  (* 'e'/'E' followed by a digit is ambiguous with scientific notation. *)
+  if String.length s >= 2 && (s.[0] = 'e' || s.[0] = 'E') && s.[1] >= '0' && s.[1] <= '9' then
+    Printf.sprintf "v%d_%s" idx s
+  else s
+
+(* Unique sanitized names per variable index. *)
+let variable_names p =
+  let n = Problem.num_vars p in
+  let names = Array.make n "" in
+  let seen = Hashtbl.create n in
+  for v = 0 to n - 1 do
+    let base = sanitize_name v (Problem.var_info p v).Problem.v_name in
+    let name = if Hashtbl.mem seen base then Printf.sprintf "%s_%d" base v else base in
+    Hashtbl.replace seen name ();
+    names.(v) <- name
+  done;
+  names
+
+let pp_term ppf ~first coeff name =
+  if first then
+    if coeff = 1. then Format.fprintf ppf "%s" name
+    else if coeff = -1. then Format.fprintf ppf "- %s" name
+    else Format.fprintf ppf "%.17g %s" coeff name
+  else begin
+    let sign = if coeff < 0. then "-" else "+" in
+    let mag = abs_float coeff in
+    if mag = 1. then Format.fprintf ppf " %s %s" sign name
+    else Format.fprintf ppf " %s %.17g %s" sign mag name
+  end
+
+let pp_expr names ppf e =
+  let first = ref true in
+  List.iter
+    (fun (v, c) ->
+      pp_term ppf ~first:!first c names.(v);
+      first := false)
+    (Linexpr.terms e);
+  let k = Linexpr.constant e in
+  if k <> 0. then begin
+    if !first then Format.fprintf ppf "%.17g" k
+    else Format.fprintf ppf " %s %.17g" (if k < 0. then "-" else "+") (abs_float k);
+    first := false
+  end;
+  if !first then Format.fprintf ppf "0 %s" names.(0)
+
+let write ppf p =
+  if Problem.num_vars p = 0 then invalid_arg "Lp_format.write: problem has no variables";
+  let names = variable_names p in
+  Format.fprintf ppf "\\ Problem: %s@." (Problem.name p);
+  let sense, obj = Problem.objective p in
+  Format.fprintf ppf "%s@."
+    (match sense with Problem.Minimize -> "Minimize" | Problem.Maximize -> "Maximize");
+  Format.fprintf ppf " obj: %a@." (pp_expr names) obj;
+  Format.fprintf ppf "Subject To@.";
+  Problem.iter_constrs
+    (fun i c ->
+      let op =
+        match c.Problem.c_sense with Problem.Le -> "<=" | Problem.Ge -> ">=" | Problem.Eq -> "="
+      in
+      Format.fprintf ppf " %s: %a %s %.17g@."
+        (sanitize_name i c.Problem.c_name)
+        (pp_expr names) c.Problem.c_expr op c.Problem.c_rhs)
+    p;
+  Format.fprintf ppf "Bounds@.";
+  Problem.iter_vars
+    (fun v info ->
+      let lb = info.Problem.v_lb and ub = info.Problem.v_ub in
+      let name = names.(v) in
+      (* Default LP bounds are [0, +inf); only print deviations. *)
+      if lb = neg_infinity && ub = infinity then Format.fprintf ppf " %s free@." name
+      else if lb = ub then Format.fprintf ppf " %s = %.17g@." name lb
+      else begin
+        if lb <> 0. then
+          if lb = neg_infinity then Format.fprintf ppf " -inf <= %s@." name
+          else Format.fprintf ppf " %s >= %.17g@." name lb;
+        if ub <> infinity then Format.fprintf ppf " %s <= %.17g@." name ub
+      end)
+    p;
+  let by_kind k =
+    let acc = ref [] in
+    Problem.iter_vars (fun v info -> if info.Problem.v_kind = k then acc := v :: !acc) p;
+    List.rev !acc
+  in
+  let generals = by_kind Problem.Integer and binaries = by_kind Problem.Binary in
+  if generals <> [] then begin
+    Format.fprintf ppf "Generals@.";
+    List.iter (fun v -> Format.fprintf ppf " %s@." names.(v)) generals
+  end;
+  if binaries <> [] then begin
+    Format.fprintf ppf "Binaries@.";
+    List.iter (fun v -> Format.fprintf ppf " %s@." names.(v)) binaries
+  end;
+  Format.fprintf ppf "End@."
+
+let to_string p = Format.asprintf "%a" write p
+
+let to_file path p =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  (try write ppf p
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Format.pp_print_flush ppf ();
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of int * string
+
+type token = Tword of string | Tnum of float | Top of string | Tcolon
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_word_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || String.contains "!\"#$%&()/,.;?@_'`{}|~" c
+
+let is_word_char c = is_word_start c || is_digit c
+
+(* Tokenize one line (comments already stripped). *)
+let tokenize_line lineno s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let c = s.[i] in
+      if c = ' ' || c = '\t' || c = '\r' then go (i + 1) acc
+      else if c = ':' then go (i + 1) (Tcolon :: acc)
+      else if c = '<' || c = '>' || c = '=' then begin
+        let j = if i + 1 < n && s.[i + 1] = '=' then i + 2 else i + 1 in
+        let op = match c with '<' -> "<=" | '>' -> ">=" | _ -> "=" in
+        go j (Top op :: acc)
+      end
+      else if c = '+' || c = '-' then go (i + 1) (Top (String.make 1 c) :: acc)
+      else if is_digit c || c = '.' then begin
+        let j = ref i in
+        while
+          !j < n
+          && (is_digit s.[!j]
+             || s.[!j] = '.'
+             || s.[!j] = 'e'
+             || s.[!j] = 'E'
+             || ((s.[!j] = '+' || s.[!j] = '-')
+                && !j > i
+                && (s.[!j - 1] = 'e' || s.[!j - 1] = 'E')))
+        do
+          incr j
+        done;
+        let text = String.sub s i (!j - i) in
+        match float_of_string_opt text with
+        | Some f -> go !j (Tnum f :: acc)
+        | None -> raise (Parse_error (lineno, "bad number: " ^ text))
+      end
+      else if is_word_start c then begin
+        let j = ref i in
+        while !j < n && is_word_char s.[!j] do
+          incr j
+        done;
+        go !j (Tword (String.sub s i (!j - i)) :: acc)
+      end
+      else raise (Parse_error (lineno, Printf.sprintf "unexpected character %C" c))
+  in
+  go 0 []
+
+type section = Sobjective of Problem.objective_sense | Sconstraints | Sbounds | Sgenerals | Sbinaries | Send
+
+let section_of_word w rest =
+  match (String.lowercase_ascii w, rest) with
+  | ("minimize" | "minimum" | "min"), _ -> Some (Sobjective Problem.Minimize)
+  | ("maximize" | "maximum" | "max"), _ -> Some (Sobjective Problem.Maximize)
+  | "subject", Tword to_ :: _ when String.lowercase_ascii to_ = "to" -> Some Sconstraints
+  | ("st" | "s.t." | "st."), _ -> Some Sconstraints
+  | ("bounds" | "bound"), _ -> Some Sbounds
+  | ("generals" | "general" | "gen" | "integers" | "integer"), _ -> Some Sgenerals
+  | ("binaries" | "binary" | "bin"), _ -> Some Sbinaries
+  | "end", _ -> Some Send
+  | _ -> None
+
+type pstate = {
+  problem : Problem.t;
+  vars : (string, Problem.var) Hashtbl.t;
+  mutable bounds : (string * float * float) list;  (* merged at the end *)
+  mutable kinds : (string * Problem.kind) list;
+}
+
+let lookup st name =
+  match Hashtbl.find_opt st.vars name with
+  | Some v -> v
+  | None ->
+    let v = Problem.add_var st.problem ~name ~lb:0. ~ub:infinity () in
+    Hashtbl.replace st.vars name v;
+    v
+
+(* Parse a linear expression prefix of [tokens]; returns (expr, rest). *)
+let parse_expr st lineno tokens =
+  let rec go acc sign pending_coeff tokens =
+    match tokens with
+    | Top "+" :: rest when pending_coeff = None -> go acc (sign *. 1.) None rest
+    | Top "-" :: rest when pending_coeff = None -> go acc (sign *. -1.) None rest
+    | Tnum f :: rest -> (
+      match pending_coeff with
+      | Some _ -> raise (Parse_error (lineno, "two numbers in a row"))
+      | None -> (
+        match rest with
+        | Tword _ :: _ -> go acc sign (Some f) rest
+        | _ -> go (Linexpr.add acc (Linexpr.const (sign *. f))) 1. None rest))
+    | Tword w :: rest ->
+      let coeff = match pending_coeff with Some f -> f | None -> 1. in
+      let v = lookup st w in
+      go (Linexpr.add_term acc v (sign *. coeff)) 1. None rest
+    | rest ->
+      if pending_coeff <> None then raise (Parse_error (lineno, "dangling coefficient"));
+      (acc, rest)
+  in
+  go Linexpr.zero 1. None tokens
+
+let strip_label tokens =
+  match tokens with Tword _ :: Tcolon :: rest -> rest | _ -> tokens
+
+let parse text =
+  let st =
+    { problem = Problem.create ~name:"parsed" (); vars = Hashtbl.create 64; bounds = []; kinds = [] }
+  in
+  let lines = String.split_on_char '\n' text in
+  let section = ref None in
+  let obj_acc = ref Linexpr.zero in
+  let obj_sense = ref Problem.Minimize in
+  (* Multi-line statements: constraints may span lines, so accumulate
+     tokens until a sense operator + rhs completes a constraint. *)
+  let pending : token list ref = ref [] in
+  let flush_constraint lineno tokens =
+    match tokens with
+    | [] -> ()
+    | _ ->
+      let tokens = strip_label tokens in
+      let lhs, rest = parse_expr st lineno tokens in
+      (match rest with
+      | [ Top op; Tnum rhs ] ->
+        let sense =
+          match op with
+          | "<=" -> Problem.Le
+          | ">=" -> Problem.Ge
+          | "=" -> Problem.Eq
+          | _ -> raise (Parse_error (lineno, "bad sense " ^ op))
+        in
+        Problem.add_constr st.problem lhs sense rhs
+      | [ Top op; Top "-"; Tnum rhs ] ->
+        let sense =
+          match op with
+          | "<=" -> Problem.Le
+          | ">=" -> Problem.Ge
+          | "=" -> Problem.Eq
+          | _ -> raise (Parse_error (lineno, "bad sense " ^ op))
+        in
+        Problem.add_constr st.problem lhs sense (-.rhs)
+      | _ -> raise (Parse_error (lineno, "malformed constraint")))
+  in
+  let constraint_complete tokens =
+    match List.rev tokens with
+    | Tnum _ :: Top ("<=" | ">=" | "=") :: _ -> true
+    | Tnum _ :: Top "-" :: Top ("<=" | ">=" | "=") :: _ -> true
+    | _ -> false
+  in
+  let set_bound lineno name lb ub =
+    ignore lineno;
+    st.bounds <- (name, lb, ub) :: st.bounds
+  in
+  let parse_bounds_line lineno tokens =
+    let word_is w kw = String.lowercase_ascii w = kw in
+    match tokens with
+    | [ Tword x; Tword f ] when word_is f "free" ->
+      set_bound lineno x neg_infinity infinity
+    | [ Tword x; Top "<="; Tnum u ] -> set_bound lineno x nan u
+    | [ Tword x; Top "<="; Top "-"; Tnum u ] -> set_bound lineno x nan (-.u)
+    | [ Tword x; Top ">="; Tnum l ] -> set_bound lineno x l nan
+    | [ Tword x; Top ">="; Top "-"; Tnum l ] -> set_bound lineno x (-.l) nan
+    | [ Tword x; Top "="; Tnum v ] -> set_bound lineno x v v
+    | [ Tword x; Top "="; Top "-"; Tnum v ] -> set_bound lineno x (-.v) (-.v)
+    | [ Tnum l; Top "<="; Tword x ] -> set_bound lineno x l nan
+    | [ Top "-"; Tnum l; Top "<="; Tword x ] -> set_bound lineno x (-.l) nan
+    | [ Tnum l; Top "<="; Tword x; Top "<="; Tnum u ] -> set_bound lineno x l u
+    | [ Top "-"; Tnum l; Top "<="; Tword x; Top "<="; Tnum u ] -> set_bound lineno x (-.l) u
+    | [ Top "-"; Tnum l; Top "<="; Tword x; Top "<="; Top "-"; Tnum u ] ->
+      set_bound lineno x (-.l) (-.u)
+    | [ Top "-"; Tword inf_; Top "<="; Tword x ] when word_is inf_ "inf" || word_is inf_ "infinity"
+      ->
+      set_bound lineno x neg_infinity nan
+    | [ Tword x; Top "<="; Tword inf_ ] when word_is inf_ "inf" || word_is inf_ "infinity" ->
+      set_bound lineno x nan infinity
+    | _ -> raise (Parse_error (lineno, "malformed bounds line"))
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      (* Strip comments. *)
+      let line =
+        match String.index_opt line '\\' with Some k -> String.sub line 0 k | None -> line
+      in
+      let tokens = tokenize_line lineno line in
+      match tokens with
+      | [] -> ()
+      | Tword w :: rest when section_of_word w rest <> None && !pending = [] ->
+        (match section_of_word w rest with
+        | Some (Sobjective sense) ->
+          obj_sense := sense;
+          section := Some (Sobjective sense)
+        | Some s -> section := Some s
+        | None -> assert false)
+      | _ -> (
+        match !section with
+        | None -> raise (Parse_error (lineno, "content before objective section"))
+        | Some (Sobjective _) ->
+          let tokens = strip_label tokens in
+          let e, rest = parse_expr st lineno tokens in
+          if rest <> [] then raise (Parse_error (lineno, "trailing tokens in objective"));
+          obj_acc := Linexpr.add !obj_acc e
+        | Some Sconstraints ->
+          pending := !pending @ tokens;
+          if constraint_complete !pending then begin
+            flush_constraint lineno !pending;
+            pending := []
+          end
+        | Some Sbounds -> parse_bounds_line lineno tokens
+        | Some Sgenerals ->
+          List.iter
+            (fun t ->
+              match t with
+              | Tword w -> st.kinds <- (w, Problem.Integer) :: st.kinds
+              | _ -> raise (Parse_error (lineno, "expected variable name")))
+            tokens
+        | Some Sbinaries ->
+          List.iter
+            (fun t ->
+              match t with
+              | Tword w -> st.kinds <- (w, Problem.Binary) :: st.kinds
+              | _ -> raise (Parse_error (lineno, "expected variable name")))
+            tokens
+        | Some Send -> raise (Parse_error (lineno, "content after End"))))
+    lines;
+  if !pending <> [] then raise (Parse_error (List.length lines, "unterminated constraint"));
+  Problem.set_objective st.problem !obj_sense !obj_acc;
+  (* Apply kinds before bounds so Binary defaults can be overridden. *)
+  List.iter
+    (fun (name, kind) ->
+      let v = lookup st name in
+      let info = Problem.var_info st.problem v in
+      ignore (info : Problem.var_info);
+      (* Re-adding kind: emulate by bounds + integer marker. Problem has no
+         set_kind, so rebuild bounds for binaries. *)
+      match kind with
+      | Problem.Binary -> st.bounds <- (name, 0., 1.) :: st.bounds
+      | _ -> ())
+    (List.rev st.kinds);
+  let kinds_tbl = Hashtbl.create 16 in
+  List.iter (fun (name, kind) -> Hashtbl.replace kinds_tbl name kind) st.kinds;
+  (* Problem.add_var fixed kinds at creation; since the parser created all
+     variables as continuous, rebuild the problem with final kinds/bounds. *)
+  let final = Problem.create ~name:"parsed" () in
+  let mapping = Hashtbl.create 64 in
+  let bounds_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, lb, ub) ->
+      let cur_lb, cur_ub =
+        match Hashtbl.find_opt bounds_tbl name with Some b -> b | None -> (nan, nan)
+      in
+      let pick fresh old = if Float.is_nan fresh then old else fresh in
+      Hashtbl.replace bounds_tbl name (pick lb cur_lb, pick ub cur_ub))
+    (List.rev st.bounds);
+  Problem.iter_vars
+    (fun v info ->
+      let name = info.Problem.v_name in
+      let kind = match Hashtbl.find_opt kinds_tbl name with Some k -> k | None -> Problem.Continuous in
+      let lb, ub = match Hashtbl.find_opt bounds_tbl name with Some b -> b | None -> (nan, nan) in
+      let lb = if Float.is_nan lb then if kind = Problem.Binary then 0. else 0. else lb in
+      let ub =
+        if Float.is_nan ub then if kind = Problem.Binary then 1. else infinity else ub
+      in
+      let v' = Problem.add_var final ~name ~lb ~ub ~kind () in
+      Hashtbl.replace mapping v v')
+    st.problem;
+  let remap e = Linexpr.map_vars (fun v -> Hashtbl.find mapping v) e in
+  Problem.iter_constrs
+    (fun _ c ->
+      Problem.add_constr final ~name:c.Problem.c_name (remap c.Problem.c_expr) c.Problem.c_sense
+        c.Problem.c_rhs)
+    st.problem;
+  let sense, obj = Problem.objective st.problem in
+  Problem.set_objective final sense (remap obj);
+  final
+
+let of_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text

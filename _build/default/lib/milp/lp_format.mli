@@ -1,0 +1,25 @@
+(** CPLEX LP file format: writer and parser.
+
+    Lets models built by the encoder be inspected with external tools,
+    diffed in tests, and round-tripped. The supported subset is the core
+    of the format: objective, [Subject To], [Bounds], [Generals],
+    [Binaries], [End], with [\ ...] comments. *)
+
+val write : Format.formatter -> Problem.t -> unit
+(** Variable names are sanitized for the format (invalid characters become
+    ['_']; names that could parse as numbers get an ["x_"] prefix);
+    sanitized names stay unique because the original index is appended on
+    collision. *)
+
+val to_string : Problem.t -> string
+
+val to_file : string -> Problem.t -> unit
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse : string -> Problem.t
+(** Parses the string contents of an LP file. Objective sense keywords
+    recognized: minimize/maximize and their abbreviations. *)
+
+val of_file : string -> Problem.t

@@ -1,0 +1,109 @@
+let sanitize idx name =
+  let b = Bytes.of_string name in
+  for i = 0 to Bytes.length b - 1 do
+    let c = Bytes.get b i in
+    let ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' in
+    if not ok then Bytes.set b i '_'
+  done;
+  let s = Bytes.to_string b in
+  if s = "" then Printf.sprintf "n%d" idx else s
+
+let unique_names count name_of =
+  let names = Array.make count "" in
+  let seen = Hashtbl.create count in
+  for i = 0 to count - 1 do
+    let base = sanitize i (name_of i) in
+    let name = if Hashtbl.mem seen base then Printf.sprintf "%s_%d" base i else base in
+    Hashtbl.replace seen name ();
+    names.(i) <- name
+  done;
+  names
+
+let write ppf p =
+  let var_names = unique_names (Problem.num_vars p) (fun v -> (Problem.var_info p v).Problem.v_name) in
+  let row_names =
+    unique_names (Problem.num_constrs p) (fun i -> (Problem.constr_info p i).Problem.c_name)
+  in
+  Format.fprintf ppf "NAME %s@." (sanitize 0 (Problem.name p));
+  (* The objective row; MPS always minimizes or maximizes per solver
+     convention — we emit minimization data (negating for Maximize). *)
+  let sense, obj = Problem.objective p in
+  let obj_sign = match sense with Problem.Minimize -> 1. | Problem.Maximize -> -1. in
+  Format.fprintf ppf "ROWS@. N  COST@.";
+  Problem.iter_constrs
+    (fun i c ->
+      let tag =
+        match c.Problem.c_sense with Problem.Le -> "L" | Problem.Ge -> "G" | Problem.Eq -> "E"
+      in
+      Format.fprintf ppf " %s  %s@." tag row_names.(i))
+    p;
+  (* Column-major coefficients. *)
+  let cols = Array.make (Problem.num_vars p) [] in
+  Problem.iter_constrs
+    (fun i c ->
+      List.iter (fun (v, coeff) -> cols.(v) <- (row_names.(i), coeff) :: cols.(v))
+        (Linexpr.terms c.Problem.c_expr))
+    p;
+  List.iter
+    (fun (v, coeff) -> cols.(v) <- ("COST", obj_sign *. coeff) :: cols.(v))
+    (Linexpr.terms obj);
+  Format.fprintf ppf "COLUMNS@.";
+  let in_int = ref false in
+  let marker_count = ref 0 in
+  Problem.iter_vars
+    (fun v info ->
+      let integer =
+        match info.Problem.v_kind with
+        | Problem.Integer | Problem.Binary -> true
+        | Problem.Continuous -> false
+      in
+      if integer && not !in_int then begin
+        Format.fprintf ppf "    MARK%d 'MARKER' 'INTORG'@." !marker_count;
+        incr marker_count;
+        in_int := true
+      end
+      else if (not integer) && !in_int then begin
+        Format.fprintf ppf "    MARK%d 'MARKER' 'INTEND'@." !marker_count;
+        incr marker_count;
+        in_int := false
+      end;
+      List.iter
+        (fun (row, coeff) -> Format.fprintf ppf "    %s %s %.17g@." var_names.(v) row coeff)
+        (List.rev cols.(v)))
+    p;
+  if !in_int then Format.fprintf ppf "    MARK%d 'MARKER' 'INTEND'@." !marker_count;
+  Format.fprintf ppf "RHS@.";
+  Problem.iter_constrs
+    (fun i c ->
+      if c.Problem.c_rhs <> 0. then
+        Format.fprintf ppf "    RHS %s %.17g@." row_names.(i) c.Problem.c_rhs)
+    p;
+  Format.fprintf ppf "BOUNDS@.";
+  Problem.iter_vars
+    (fun v info ->
+      let name = var_names.(v) in
+      let lb = info.Problem.v_lb and ub = info.Problem.v_ub in
+      match info.Problem.v_kind with
+      | Problem.Binary when lb = 0. && ub = 1. -> Format.fprintf ppf " BV BND %s@." name
+      | _ ->
+        if lb = ub then Format.fprintf ppf " FX BND %s %.17g@." name lb
+        else begin
+          (if lb = neg_infinity then Format.fprintf ppf " MI BND %s@." name
+           else if lb <> 0. then Format.fprintf ppf " LO BND %s %.17g@." name lb);
+          if ub < infinity then Format.fprintf ppf " UP BND %s %.17g@." name ub
+          else if lb = neg_infinity then Format.fprintf ppf " PL BND %s@." name
+        end)
+    p;
+  Format.fprintf ppf "ENDATA@."
+
+let to_string p = Format.asprintf "%a" write p
+
+let to_file path p =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  (try write ppf p
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Format.pp_print_flush ppf ();
+  close_out oc

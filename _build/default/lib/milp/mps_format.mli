@@ -1,0 +1,14 @@
+(** MPS file writer (free format).
+
+    The second lingua franca of MILP solvers next to the LP format;
+    having both lets models built by the encoder be fed to any external
+    solver for cross-checking. Integer variables are wrapped in
+    INTORG/INTEND markers; binary variables get BV bounds. *)
+
+val write : Format.formatter -> Problem.t -> unit
+(** Row and column names are sanitized to MPS-safe tokens (no spaces);
+    uniqueness is enforced by suffixing the index on collision. *)
+
+val to_string : Problem.t -> string
+
+val to_file : string -> Problem.t -> unit

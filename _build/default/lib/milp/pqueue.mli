@@ -1,0 +1,16 @@
+(** Mutable binary min-heap keyed by floats. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+val min_key : 'a t -> float option
+(** Smallest key currently stored, without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the entry with the smallest key. *)
+
+val peek : 'a t -> (float * 'a) option
+(** The entry with the smallest key, without removing it. *)

@@ -1,0 +1,181 @@
+type stats = { rounds : int; rows_removed : int; vars_fixed : int; bounds_tightened : int }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "presolve: %d rounds, %d rows removed, %d vars fixed, %d bounds tightened"
+    s.rounds s.rows_removed s.vars_fixed s.bounds_tightened
+
+type outcome = Reduced of Problem.t * stats | Proven_infeasible of string
+
+exception Infeasible of string
+
+type row = { name : string; mutable expr : Linexpr.t; sense : Problem.sense; mutable rhs : float; mutable live : bool }
+
+let feas_eps = 1e-9
+
+let run ?(max_rounds = 10) p =
+  let n = Problem.num_vars p in
+  let lb = Array.make n 0. and ub = Array.make n 0. in
+  let kind = Array.make n Problem.Continuous in
+  Problem.iter_vars
+    (fun v info ->
+      lb.(v) <- info.Problem.v_lb;
+      ub.(v) <- info.Problem.v_ub;
+      kind.(v) <- info.Problem.v_kind)
+    p;
+  let rows = ref [] in
+  Problem.iter_constrs
+    (fun _ c ->
+      rows :=
+        { name = c.Problem.c_name; expr = c.Problem.c_expr; sense = c.Problem.c_sense; rhs = c.Problem.c_rhs; live = true }
+        :: !rows)
+    p;
+  let rows = List.rev !rows in
+  let rows_removed = ref 0 and vars_fixed = ref 0 and bounds_tightened = ref 0 in
+  let substituted = Array.make n false in
+  (* Round integer bounds inward; raise on empty domains. *)
+  let round_integer_bounds v =
+    match kind.(v) with
+    | Problem.Integer | Problem.Binary ->
+      let l = ceil (lb.(v) -. feas_eps) and u = floor (ub.(v) +. feas_eps) in
+      if l > lb.(v) +. feas_eps then begin
+        lb.(v) <- l;
+        incr bounds_tightened
+      end;
+      if u < ub.(v) -. feas_eps then begin
+        ub.(v) <- u;
+        incr bounds_tightened
+      end
+    | Problem.Continuous -> ()
+  in
+  let tighten v ~new_lb ~new_ub =
+    let changed = ref false in
+    if new_lb > lb.(v) +. feas_eps then begin
+      lb.(v) <- new_lb;
+      incr bounds_tightened;
+      changed := true
+    end;
+    if new_ub < ub.(v) -. feas_eps then begin
+      ub.(v) <- new_ub;
+      incr bounds_tightened;
+      changed := true
+    end;
+    round_integer_bounds v;
+    if lb.(v) > ub.(v) +. feas_eps then
+      raise
+        (Infeasible
+           (Printf.sprintf "variable %s has empty domain [%g, %g]"
+              (Problem.var_info p v).Problem.v_name lb.(v) ub.(v)));
+    !changed
+  in
+  (* One presolve round; returns true when anything changed. *)
+  let round () =
+    let changed = ref false in
+    (* Substitute newly fixed variables into live rows. *)
+    let fixed_now = ref [] in
+    for v = 0 to n - 1 do
+      if (not substituted.(v)) && ub.(v) -. lb.(v) <= feas_eps then begin
+        substituted.(v) <- true;
+        incr vars_fixed;
+        fixed_now := (v, lb.(v)) :: !fixed_now
+      end
+    done;
+    if !fixed_now <> [] then changed := true;
+    List.iter
+      (fun (v, value) ->
+        List.iter
+          (fun r ->
+            if r.live then begin
+              let c = Linexpr.coeff r.expr v in
+              if c <> 0. then begin
+                r.expr <- Linexpr.add_term r.expr v (-.c);
+                r.rhs <- r.rhs -. (c *. value)
+              end
+            end)
+          rows)
+      !fixed_now;
+    (* Singleton and empty rows. *)
+    List.iter
+      (fun r ->
+        if r.live then
+          match Linexpr.terms r.expr with
+          | [] ->
+            let ok =
+              match r.sense with
+              | Problem.Le -> 0. <= r.rhs +. feas_eps
+              | Problem.Ge -> 0. >= r.rhs -. feas_eps
+              | Problem.Eq -> abs_float r.rhs <= feas_eps
+            in
+            if not ok then
+              raise (Infeasible (Printf.sprintf "constraint %s reduced to a false fact" r.name));
+            r.live <- false;
+            incr rows_removed;
+            changed := true
+          | [ (v, a) ] ->
+            let bound = r.rhs /. a in
+            (match (r.sense, a > 0.) with
+            | Problem.Le, true | Problem.Ge, false ->
+              ignore (tighten v ~new_lb:neg_infinity ~new_ub:bound)
+            | Problem.Ge, true | Problem.Le, false ->
+              ignore (tighten v ~new_lb:bound ~new_ub:infinity)
+            | Problem.Eq, _ -> ignore (tighten v ~new_lb:bound ~new_ub:bound));
+            r.live <- false;
+            incr rows_removed;
+            changed := true
+          | _ :: _ :: _ -> ())
+      rows;
+    !changed
+  in
+  match
+    let rounds = ref 0 in
+    for v = 0 to n - 1 do
+      round_integer_bounds v;
+      if lb.(v) > ub.(v) +. feas_eps then
+        raise
+          (Infeasible
+             (Printf.sprintf "variable %s has empty integer domain"
+                (Problem.var_info p v).Problem.v_name))
+    done;
+    let continue = ref true in
+    while !continue && !rounds < max_rounds do
+      incr rounds;
+      continue := round ()
+    done;
+    !rounds
+  with
+  | exception Infeasible msg -> Proven_infeasible msg
+  | rounds ->
+    (* Rebuild a problem with the tightened bounds and surviving rows. *)
+    let reduced = Problem.create ~name:(Problem.name p ^ "+presolved") () in
+    Problem.iter_vars
+      (fun v info ->
+        let l, u = (lb.(v), ub.(v)) in
+        (* Guard against crossing caused only by eps noise. *)
+        let l = min l u in
+        ignore
+          (Problem.add_var reduced ~name:info.Problem.v_name ~lb:l ~ub:u
+             ~kind:info.Problem.v_kind ~priority:info.Problem.v_priority ()))
+      p;
+    List.iter
+      (fun r ->
+        if r.live then Problem.add_constr reduced ~name:r.name r.expr r.sense r.rhs)
+      rows;
+    let sense, obj = Problem.objective p in
+    (* Fold fixed variables out of the objective (keeps simplex columns
+       cold); the constant is preserved so objective values agree. *)
+    let obj =
+      List.fold_left
+        (fun e (v, c) ->
+          if substituted.(v) then
+            Linexpr.add (Linexpr.add_term e v (-.c)) (Linexpr.const (c *. lb.(v)))
+          else e)
+        obj (Linexpr.terms obj)
+    in
+    Problem.set_objective reduced sense obj;
+    Reduced
+      (reduced,
+       {
+         rounds;
+         rows_removed = !rows_removed;
+         vars_fixed = !vars_fixed;
+         bounds_tightened = !bounds_tightened;
+       })

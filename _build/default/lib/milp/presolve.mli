@@ -1,0 +1,26 @@
+(** Problem reductions applied before branch & bound.
+
+    The reductions keep the variable indexing intact (variables are never
+    removed, only fixed or tightened), so any solution of the reduced
+    problem is directly a solution of the original — no postsolve pass is
+    needed. Implemented reductions, iterated to a fixpoint:
+
+    - singleton rows become variable bounds and are dropped;
+    - variables fixed by their bounds are substituted into all rows and
+      the objective;
+    - empty rows are dropped (or prove infeasibility);
+    - bounds of integer variables are rounded inward. *)
+
+type stats = {
+  rounds : int;
+  rows_removed : int;
+  vars_fixed : int;  (** variables newly fixed by bound tightening *)
+  bounds_tightened : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type outcome = Reduced of Problem.t * stats | Proven_infeasible of string
+
+val run : ?max_rounds:int -> Problem.t -> outcome
+(** Default [max_rounds] 10. The input problem is not mutated. *)

@@ -1,0 +1,126 @@
+type var = int
+
+type kind = Continuous | Integer | Binary
+
+type sense = Le | Ge | Eq
+
+type var_info = { v_name : string; v_lb : float; v_ub : float; v_kind : kind; v_priority : int }
+
+type constr_info = { c_name : string; c_expr : Linexpr.t; c_sense : sense; c_rhs : float }
+
+type objective_sense = Minimize | Maximize
+
+type t = {
+  p_name : string;
+  vars : var_info Vecbuf.t;
+  constrs : constr_info Vecbuf.t;
+  mutable obj_sense : objective_sense;
+  mutable obj : Linexpr.t;
+  mutable name_index : (string, var) Hashtbl.t option;
+}
+
+let dummy_var = { v_name = ""; v_lb = 0.; v_ub = 0.; v_kind = Continuous; v_priority = 0 }
+
+let dummy_constr = { c_name = ""; c_expr = Linexpr.zero; c_sense = Eq; c_rhs = 0. }
+
+let create ?(name = "milp") () =
+  {
+    p_name = name;
+    vars = Vecbuf.create ~dummy:dummy_var;
+    constrs = Vecbuf.create ~dummy:dummy_constr;
+    obj_sense = Minimize;
+    obj = Linexpr.zero;
+    name_index = None;
+  }
+
+let name t = t.p_name
+
+let add_var t ?name ?(lb = 0.) ?(ub = infinity) ?(kind = Continuous) ?(priority = 0) () =
+  let lb, ub =
+    match kind with Binary -> (max lb 0., min ub 1.) | Continuous | Integer -> (lb, ub)
+  in
+  if lb > ub then invalid_arg "Problem.add_var: lb > ub";
+  let idx = Vecbuf.length t.vars in
+  let v_name = match name with Some n -> n | None -> Printf.sprintf "x%d" idx in
+  t.name_index <- None;
+  Vecbuf.push t.vars { v_name; v_lb = lb; v_ub = ub; v_kind = kind; v_priority = priority }
+
+let add_constr t ?name lhs sense rhs =
+  let k = Linexpr.constant lhs in
+  let expr = Linexpr.sub lhs (Linexpr.const k) in
+  let idx = Vecbuf.length t.constrs in
+  let c_name = match name with Some n -> n | None -> Printf.sprintf "c%d" idx in
+  ignore (Vecbuf.push t.constrs { c_name; c_expr = expr; c_sense = sense; c_rhs = rhs -. k })
+
+let set_objective t sense e =
+  t.obj_sense <- sense;
+  t.obj <- e
+
+let set_bounds t v ~lb ~ub =
+  if lb > ub then invalid_arg "Problem.set_bounds: lb > ub";
+  let info = Vecbuf.get t.vars v in
+  Vecbuf.set t.vars v { info with v_lb = lb; v_ub = ub }
+
+let set_priority t v p =
+  let info = Vecbuf.get t.vars v in
+  Vecbuf.set t.vars v { info with v_priority = p }
+
+let num_vars t = Vecbuf.length t.vars
+
+let num_constrs t = Vecbuf.length t.constrs
+
+let var_info t v = Vecbuf.get t.vars v
+
+let constr_info t i = Vecbuf.get t.constrs i
+
+let objective t = (t.obj_sense, t.obj)
+
+let iter_constrs f t = Vecbuf.iteri f t.constrs
+
+let iter_vars f t = Vecbuf.iteri f t.vars
+
+let var_by_name t n =
+  let index =
+    match t.name_index with
+    | Some index -> index
+    | None ->
+      let index = Hashtbl.create (num_vars t) in
+      (* Insert in reverse so that the first occurrence of a name wins. *)
+      for i = num_vars t - 1 downto 0 do
+        Hashtbl.replace index (Vecbuf.get t.vars i).v_name i
+      done;
+      t.name_index <- Some index;
+      index
+  in
+  Hashtbl.find_opt index n
+
+let eval_objective t value = Linexpr.eval value t.obj
+
+let check_feasible ?(tol = 1e-6) t value =
+  let violation = ref None in
+  let report msg = if !violation = None then violation := Some msg in
+  iter_vars
+    (fun v info ->
+      let x = value v in
+      if x < info.v_lb -. tol || x > info.v_ub +. tol then
+        report (Printf.sprintf "variable %s = %g outside [%g, %g]" info.v_name x info.v_lb info.v_ub);
+      match info.v_kind with
+      | Integer | Binary ->
+        if abs_float (x -. Float.round x) > tol then
+          report (Printf.sprintf "variable %s = %g not integral" info.v_name x)
+      | Continuous -> ())
+    t;
+  iter_constrs
+    (fun _ c ->
+      let lhs = Linexpr.eval value c.c_expr in
+      let ok =
+        match c.c_sense with
+        | Le -> lhs <= c.c_rhs +. tol
+        | Ge -> lhs >= c.c_rhs -. tol
+        | Eq -> abs_float (lhs -. c.c_rhs) <= tol
+      in
+      if not ok then
+        report
+          (Printf.sprintf "constraint %s violated: lhs = %g, rhs = %g" c.c_name lhs c.c_rhs))
+    t;
+  match !violation with None -> Ok t.p_name | Some msg -> Error msg

@@ -1,0 +1,73 @@
+(** Incremental builder for mixed integer linear programs.
+
+    A problem is a set of variables with bounds and kinds, a set of linear
+    constraints, and a linear objective. Variables and constraints are
+    identified by dense integer indices in creation order, which is what the
+    standard-form conversion and the LP-file writer rely on. *)
+
+type t
+
+type var = int
+(** Variable index; only values returned by {!add_var} are meaningful. *)
+
+type kind =
+  | Continuous
+  | Integer
+  | Binary  (** integer with implied bounds [0, 1] *)
+
+type sense = Le | Ge | Eq
+
+type var_info = {
+  v_name : string;
+  v_lb : float;  (** [neg_infinity] when unbounded below *)
+  v_ub : float;  (** [infinity] when unbounded above *)
+  v_kind : kind;
+  v_priority : int;  (** branching priority; larger = branch earlier *)
+}
+
+type constr_info = { c_name : string; c_expr : Linexpr.t; c_sense : sense; c_rhs : float }
+(** The constraint [c_expr c_sense c_rhs]; any constant inside [c_expr] has
+    already been folded into [c_rhs] by {!add_constr}. *)
+
+type objective_sense = Minimize | Maximize
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+val add_var :
+  t -> ?name:string -> ?lb:float -> ?ub:float -> ?kind:kind -> ?priority:int -> unit -> var
+(** Defaults: [lb = 0.], [ub = infinity], [kind = Continuous],
+    [priority = 0]. [Binary] forces bounds into [0, 1] (intersected with any
+    explicit bounds). Raises [Invalid_argument] if [lb > ub]. *)
+
+val add_constr : t -> ?name:string -> Linexpr.t -> sense -> float -> unit
+(** [add_constr t lhs sense rhs] adds the constraint [lhs sense rhs]. A
+    constant term in [lhs] is moved to the right-hand side. *)
+
+val set_objective : t -> objective_sense -> Linexpr.t -> unit
+(** The constant part of the objective is kept and reported in optimal
+    values. Default objective: minimize 0. *)
+
+val set_bounds : t -> var -> lb:float -> ub:float -> unit
+val set_priority : t -> var -> int -> unit
+
+val num_vars : t -> int
+val num_constrs : t -> int
+val var_info : t -> var -> var_info
+val constr_info : t -> int -> constr_info
+val objective : t -> objective_sense * Linexpr.t
+val iter_constrs : (int -> constr_info -> unit) -> t -> unit
+val iter_vars : (int -> var_info -> unit) -> t -> unit
+
+val var_by_name : t -> string -> var option
+(** Linear scan on first use, then cached; names need not be unique — the
+    first variable with the name wins. *)
+
+val check_feasible : ?tol:float -> t -> (var -> float) -> (string, string) result
+(** [check_feasible t value] verifies bounds, integrality and every
+    constraint under the assignment [value]. [Ok name] returns the problem
+    name; [Error msg] describes the first violation. Default [tol] 1e-6. *)
+
+val eval_objective : t -> (var -> float) -> float
+(** Objective value (including its constant) under an assignment. *)

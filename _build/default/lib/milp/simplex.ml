@@ -1,0 +1,867 @@
+type vstat = SBasic | SLower | SUpper | SFree
+
+type basis_backend = Dense_backend | Sparse_backend
+
+type params = {
+  feas_tol : float;
+  dual_tol : float;
+  pivot_tol : float;
+  max_iters : int;
+  refactor_every : int;
+  backend : basis_backend;
+  deadline : float option;
+  perturb : float;  (* bound-relaxation noise, as a multiple of feas_tol; 0 = off *)
+  warm_dual : bool;  (* attempt the dual simplex on warm starts *)
+}
+
+let default_params =
+  {
+    feas_tol = 1e-7;
+    dual_tol = 1e-9;
+    pivot_tol = 1e-8;
+    max_iters = 0;
+    refactor_every = 40;
+    backend = Sparse_backend;
+    deadline = None;
+    perturb = 0.;
+    warm_dual = false;
+  }
+
+type status = Optimal | Infeasible | Unbounded | Iteration_limit | Numerical_failure
+
+type result = {
+  status : status;
+  objective : float;
+  x : float array;
+  iters : int;
+  basis : int array;
+  vstatus : vstat array;
+}
+
+(* Product-form eta update: basis column [row] was replaced. The eta
+   vector is stored sparse (nonzeros of the ftran'd entering column) with
+   the pivot element kept separately; typical etas touch a small fraction
+   of the rows, which keeps ftran/btran cheap between refactorizations. *)
+type eta = { e_row : int; e_pivot : float; e_nz : (int * float) array }
+
+(* Basis factorization backends share one interface: [solve] maps a
+   row-indexed right-hand side to position-indexed values, and
+   [solve_transposed] the reverse (see Sparse_lu). *)
+type factor = Dense_f of Dense.lu | Sparse_f of Sparse_lu.t
+
+exception Factor_singular of int
+
+let factor_solve f y =
+  match f with Dense_f lu -> Dense.lu_solve lu y | Sparse_f lu -> Sparse_lu.solve lu y
+
+let factor_solve_transposed f y =
+  match f with
+  | Dense_f lu -> Dense.lu_solve_transposed lu y
+  | Sparse_f lu -> Sparse_lu.solve_transposed lu y
+
+type state = {
+  sf : Stdform.t;
+  p : params;
+  lb : float array;
+  ub : float array;
+  basis : int array; (* row -> variable *)
+  stat : vstat array; (* variable -> status *)
+  xb : float array; (* row -> value of basic variable *)
+  mutable factor : factor;
+  mutable etas : eta list; (* newest first; ftran reverses *)
+  mutable n_etas : int;
+  mutable iters : int;
+  mutable degenerate_streak : int;
+  mutable repaired : bool; (* a singular basis was replaced mid-phase *)
+  devex : float array; (* Devex reference weights, per variable *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Basis factorization                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let build_basis_matrix st =
+  let m = st.sf.Stdform.nrows in
+  let mat = Array.make_matrix m m 0. in
+  for r = 0 to m - 1 do
+    Array.iter (fun (i, a) -> mat.(i).(r) <- a) st.sf.Stdform.cols.(st.basis.(r))
+  done;
+  mat
+
+let nb_value st j =
+  match st.stat.(j) with
+  | SLower -> st.lb.(j)
+  | SUpper -> st.ub.(j)
+  | SFree -> 0.
+  | SBasic -> assert false
+
+(* FTRAN: y := B^-1 y, using base LU then etas in application order. *)
+let ftran st y =
+  factor_solve st.factor y;
+  List.iter
+    (fun { e_row = r; e_pivot; e_nz } ->
+      let yr = y.(r) /. e_pivot in
+      if yr <> 0. then
+        Array.iter (fun (i, w) -> y.(i) <- y.(i) -. (w *. yr)) e_nz;
+      y.(r) <- yr)
+    (List.rev st.etas)
+
+(* BTRAN: y := B^-T y, etas in reverse application order then base LU. *)
+let btran st y =
+  List.iter
+    (fun { e_row = r; e_pivot; e_nz } ->
+      let acc = ref y.(r) in
+      Array.iter (fun (i, w) -> acc := !acc -. (w *. y.(i))) e_nz;
+      y.(r) <- !acc /. e_pivot)
+    st.etas;
+  factor_solve_transposed st.factor y
+
+(* Recompute basic values from scratch: xb = B^-1 (b - N x_N). *)
+let recompute_xb st =
+  let m = st.sf.Stdform.nrows in
+  let r = Array.copy st.sf.Stdform.rhs in
+  for j = 0 to st.sf.Stdform.ncols - 1 do
+    if st.stat.(j) <> SBasic then begin
+      let v = nb_value st j in
+      if v <> 0. then Array.iter (fun (i, a) -> r.(i) <- r.(i) -. (a *. v)) st.sf.Stdform.cols.(j)
+    end
+  done;
+  ftran st r;
+  Array.blit r 0 st.xb 0 m
+
+let factorize_basis st =
+  match st.p.backend with
+  | Dense_backend -> (
+    match Dense.lu_factorize (build_basis_matrix st) with
+    | lu -> Dense_f lu
+    | exception Dense.Singular k -> raise (Factor_singular k))
+  | Sparse_backend -> (
+    let columns j = st.sf.Stdform.cols.(j) in
+    match Sparse_lu.factorize ~dim:st.sf.Stdform.nrows ~columns st.basis with
+    | lu -> Sparse_f lu
+    | exception Sparse_lu.Singular k -> raise (Factor_singular k))
+
+(* Reset to the all-logical (slack) basis: the repair of last resort when
+   the working basis has drifted into numerical singularity. Former basic
+   variables are parked at a bound; phase 1 restores feasibility. *)
+let reset_to_slack_basis st =
+  for j = 0 to st.sf.Stdform.ncols - 1 do
+    if st.stat.(j) = SBasic then
+      st.stat.(j) <-
+        (if st.lb.(j) > neg_infinity then SLower
+         else if st.ub.(j) < infinity then SUpper
+         else SFree)
+  done;
+  for i = 0 to st.sf.Stdform.nrows - 1 do
+    st.basis.(i) <- st.sf.Stdform.nstruct + i;
+    st.stat.(st.basis.(i)) <- SBasic
+  done;
+  st.repaired <- true
+
+let refactorize st =
+  st.etas <- [];
+  st.n_etas <- 0;
+  (match factorize_basis st with
+  | f -> st.factor <- f
+  | exception Factor_singular _ ->
+    reset_to_slack_basis st;
+    st.factor <- factorize_basis st);
+  recompute_xb st
+
+let push_eta st r w =
+  let nz = ref [] in
+  Array.iteri (fun i v -> if i <> r && abs_float v > 1e-13 then nz := (i, v) :: !nz) w;
+  st.etas <- { e_row = r; e_pivot = w.(r); e_nz = Array.of_list !nz } :: st.etas;
+  st.n_etas <- st.n_etas + 1;
+  if st.n_etas >= st.p.refactor_every then refactorize st
+
+(* ------------------------------------------------------------------ *)
+(* Pricing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Reduced cost of a nonbasic column given duals [y]. *)
+let reduced_cost st y cost_of j =
+  let acc = ref (cost_of j) in
+  Array.iter (fun (i, a) -> acc := !acc -. (a *. y.(i))) st.sf.Stdform.cols.(j);
+  !acc
+
+(* Entering-variable choice: Devex pricing (d_j^2 over the reference
+   weight) with a Bland fallback (smallest index) against cycling. With
+   all weights at 1 this degenerates to Dantzig.
+
+   [obj_scale] participates in the dual tolerance: a reduced cost
+   vanishingly small relative to the incumbent objective cannot produce a
+   meaningful improvement, only an epsilon-crawl across a degenerate
+   face. *)
+let choose_entering st y cost_of ~obj_scale ~bland =
+  let best = ref None in
+  let consider j dir d =
+    let score = d *. d /. st.devex.(j) in
+    match !best with
+    | None -> best := Some (j, dir, d, score)
+    | Some (_, _, _, s) -> if score > s then best := Some (j, dir, d, score)
+  in
+  (try
+     for j = 0 to st.sf.Stdform.ncols - 1 do
+       match st.stat.(j) with
+       | SBasic -> ()
+       | SLower | SUpper | SFree ->
+         let fixed = st.stat.(j) <> SFree && st.ub.(j) -. st.lb.(j) <= 0. in
+         if not fixed then begin
+           let d = reduced_cost st y cost_of j in
+           (* Relative dual tolerance: with objective coefficients spanning
+              many orders of magnitude, chasing absolutely-tiny reduced
+              costs on huge-cost columns churns forever for a relatively
+              meaningless improvement. *)
+           let tol = st.p.dual_tol *. (1. +. abs_float (cost_of j) +. (1e-4 *. obj_scale)) in
+           let dir =
+             match st.stat.(j) with
+             | SLower -> if d < -.tol then Some 1. else None
+             | SUpper -> if d > tol then Some (-1.) else None
+             | SFree ->
+               if d < -.tol then Some 1. else if d > tol then Some (-1.) else None
+             | SBasic -> None
+           in
+           match dir with
+           | None -> ()
+           | Some dir ->
+             if bland then begin
+               best := Some (j, dir, d, abs_float d);
+               raise Exit
+             end
+             else consider j dir d
+         end
+     done
+   with Exit -> ());
+  match !best with Some (j, dir, d, _) -> Some (j, dir, d) | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Ratio test (two-pass Harris)                                         *)
+(* ------------------------------------------------------------------ *)
+
+type block = Self_flip | Leaving of int * vstat (* row, bound the leaver lands on *)
+
+(* Per-row blocking candidate for a step of the entering variable: the
+   strict ratio at which basic row [i] reaches a bound. [delta] is the
+   rate of change of the basic value. Phase 1 treats basics outside their
+   bounds specially: an infeasible basic blocks when it reaches its
+   violated bound, while one moving deeper into infeasibility never
+   blocks (the phase-1 objective gradient accounts for it). *)
+let row_candidate st ~phase1 i delta =
+  let bi = st.basis.(i) in
+  let x = st.xb.(i) in
+  let ftol = st.p.feas_tol in
+  if phase1 && x < st.lb.(bi) -. ftol then
+    if delta > 0. then Some ((st.lb.(bi) -. x) /. delta, SLower) else None
+  else if phase1 && x > st.ub.(bi) +. ftol then
+    if delta < 0. then Some ((st.ub.(bi) -. x) /. delta, SUpper) else None
+  else if delta > 0. then
+    if st.ub.(bi) < infinity then Some ((st.ub.(bi) -. x) /. delta, SUpper) else None
+  else if st.lb.(bi) > neg_infinity then Some ((st.lb.(bi) -. x) /. delta, SLower)
+  else None
+
+(* Harris two-pass ratio test. Pass 1 finds the smallest ratio with
+   bounds relaxed by [feas_tol]; pass 2 picks, among rows whose strict
+   ratio does not exceed that relaxed minimum, the one with the largest
+   pivot magnitude — the standard cure for the tiny-pivot degeneracy that
+   otherwise collapses the basis conditioning. Returns the (clamped
+   non-negative) step and the blocking event. *)
+let ratio_test st ~phase1 ~bland w dir q =
+  let m = st.sf.Stdform.nrows in
+  let ftol = st.p.feas_tol in
+  let self_range = st.ub.(q) -. st.lb.(q) in
+  (* Pass 1: smallest ratio. Harris mode relaxes each bound by feas_tol
+     so pass 2 can pick a large pivot among near-ties; Bland mode needs
+     the strict minimum for its anti-cycling guarantee. *)
+  let t_limit = ref infinity in
+  for i = 0 to m - 1 do
+    let delta = -.dir *. w.(i) in
+    if abs_float delta > st.p.pivot_tol then begin
+      match row_candidate st ~phase1 i delta with
+      | Some (t, _) ->
+        let tr = if bland then max 0. t else t +. (ftol /. abs_float delta) in
+        if tr < !t_limit then t_limit := tr
+      | None -> ()
+    end
+  done;
+  if !t_limit = infinity then begin
+    (* Before declaring an unbounded ray, make sure no sub-threshold
+       coefficient would eventually block: those rows are numerically
+       unusable as pivots but they do bound the step. *)
+    if self_range < infinity then (self_range, Some Self_flip)
+    else begin
+      let truly_free = ref true in
+      for i = 0 to m - 1 do
+        let delta = -.dir *. w.(i) in
+        if abs_float delta > 1e-12 && abs_float delta <= st.p.pivot_tol then begin
+          match row_candidate st ~phase1 i delta with
+          | Some _ -> truly_free := false
+          | None -> ()
+        end
+      done;
+      if !truly_free then (infinity, None)
+      else (* Treat as a blocked degenerate step nowhere: signal by NaN-free
+              sentinel — returning an infinite step with no block would be
+              read as unbounded, so flag with a zero self-flip on a fake
+              block is wrong too; use a tiny step on the largest
+              sub-threshold row instead. *)
+        let best = ref (-1) and mag = ref 0. in
+        for i = 0 to m - 1 do
+          let delta = -.dir *. w.(i) in
+          if abs_float delta > !mag && abs_float delta <= st.p.pivot_tol then begin
+            match row_candidate st ~phase1 i delta with
+            | Some _ ->
+              best := i;
+              mag := abs_float delta
+            | None -> ()
+          end
+        done;
+        (match row_candidate st ~phase1 !best (-.dir *. w.(!best)) with
+        | Some (t, land_on) -> (max 0. t, Some (Leaving (!best, land_on)))
+        | None -> (infinity, None))
+    end
+  end
+  else begin
+    (* Pass 2: Harris picks the largest pivot within the relaxed window;
+       Bland picks the smallest basis-variable index at the strict
+       minimum (required by the anti-cycling theorem). *)
+    let chosen = ref None in
+    for i = 0 to m - 1 do
+      let delta = -.dir *. w.(i) in
+      if abs_float delta > st.p.pivot_tol then begin
+        match row_candidate st ~phase1 i delta with
+        | Some (t, land_on) ->
+          if max 0. t <= !t_limit +. 1e-12 then begin
+            let better =
+              match !chosen with
+              | None -> true
+              | Some (i', _, _, mag) ->
+                if bland then st.basis.(i) < st.basis.(i')
+                else abs_float w.(i) > mag
+            in
+            if better then chosen := Some (i, max 0. t, land_on, abs_float w.(i))
+          end
+        | None -> ()
+      end
+    done;
+    match !chosen with
+    | Some (i, t, land_on, _) ->
+      if self_range < t then (self_range, Some Self_flip)
+      else (t, Some (Leaving (i, land_on)))
+    | None ->
+      if self_range < infinity then (self_range, Some Self_flip) else (infinity, None)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pivoting                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply a step of size [t] for entering variable [q] moving in [dir];
+   [w] is the ftran'd entering column. *)
+let apply_step st w dir q t block =
+  let m = st.sf.Stdform.nrows in
+  if t > 0. then
+    for i = 0 to m - 1 do
+      st.xb.(i) <- st.xb.(i) -. (dir *. t *. w.(i))
+    done;
+  match block with
+  | Self_flip ->
+    st.stat.(q) <- (match st.stat.(q) with SLower -> SUpper | SUpper -> SLower | s -> s);
+    st.degenerate_streak <- 0
+  | Leaving (r, land_on) ->
+    let leaving = st.basis.(r) in
+    let entering_value = nb_value st q +. (dir *. t) in
+    st.stat.(leaving) <-
+      (match land_on with SLower when st.lb.(leaving) = neg_infinity -> SFree | s -> s);
+    st.basis.(r) <- q;
+    st.stat.(q) <- SBasic;
+    st.xb.(r) <- entering_value;
+    if t <= st.p.feas_tol then st.degenerate_streak <- st.degenerate_streak + 1
+    else st.degenerate_streak <- 0;
+    push_eta st r w
+
+(* ------------------------------------------------------------------ *)
+(* Phase loops                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Largest bound violation among basic variables. Phase 1 is "done"
+   exactly when every violation is within [feas_tol], which is also when
+   the phase-1 cost vector becomes all-zero. *)
+let max_violation st =
+  let m = st.sf.Stdform.nrows in
+  let acc = ref 0. in
+  for i = 0 to m - 1 do
+    let bi = st.basis.(i) in
+    let x = st.xb.(i) in
+    if x < st.lb.(bi) then acc := max !acc (st.lb.(bi) -. x)
+    else if x > st.ub.(bi) then acc := max !acc (x -. st.ub.(bi))
+  done;
+  !acc
+
+(* Phase-1 cost vector over basic rows (piecewise gradient of the
+   infeasibility sum). *)
+let phase1_duals st =
+  let m = st.sf.Stdform.nrows in
+  let y = Array.make m 0. in
+  for i = 0 to m - 1 do
+    let bi = st.basis.(i) in
+    if st.xb.(i) < st.lb.(bi) -. st.p.feas_tol then y.(i) <- -1.
+    else if st.xb.(i) > st.ub.(bi) +. st.p.feas_tol then y.(i) <- 1.
+  done;
+  btran st y;
+  y
+
+let phase2_duals st =
+  let m = st.sf.Stdform.nrows in
+  let y = Array.make m 0. in
+  for i = 0 to m - 1 do
+    y.(i) <- st.sf.Stdform.cost.(st.basis.(i))
+  done;
+  btran st y;
+  y
+
+let max_iters st =
+  if st.p.max_iters > 0 then st.p.max_iters else 20000 + (100 * st.sf.Stdform.nrows)
+
+type phase_outcome = Phase_done | Phase_infeasible | Phase_unbounded | Phase_iters
+
+let out_of_time st =
+  st.iters land 63 = 0
+  && match st.p.deadline with Some d -> Unix.gettimeofday () > d | None -> false
+
+let reset_devex st =
+  Array.fill st.devex 0 (Array.length st.devex) 1.
+
+(* Devex weight update (Forrest-Goldfarb): after choosing entering [q]
+   with ftran'd column [w] and pivot row [r], nonbasic weights absorb the
+   pivot row's influence and the leaving variable gets the reference
+   weight of the entering one. One btran + one pass over the matrix. *)
+let update_devex st w r q =
+  let m = st.sf.Stdform.nrows in
+  let alpha_q = w.(r) in
+  if abs_float alpha_q > 1e-12 then begin
+    let rho = Array.make m 0. in
+    rho.(r) <- 1.;
+    btran st rho;
+    let wq = max st.devex.(q) 1. in
+    let scale = wq /. (alpha_q *. alpha_q) in
+    for j = 0 to st.sf.Stdform.ncols - 1 do
+      if j <> q && st.stat.(j) <> SBasic then begin
+        let alpha = ref 0. in
+        Array.iter (fun (i, a) -> alpha := !alpha +. (a *. rho.(i))) st.sf.Stdform.cols.(j);
+        if abs_float !alpha > 1e-12 then begin
+          let cand = !alpha *. !alpha *. scale in
+          if cand > st.devex.(j) then st.devex.(j) <- cand
+        end
+      end
+    done;
+    st.devex.(st.basis.(r)) <- max scale 1.
+  end
+
+(* A pivot is numerically acceptable when it is not minuscule relative to
+   the largest entry of the ftran'd column; accepting relatively tiny
+   pivots drives the basis determinant toward zero within a handful of
+   iterations on degenerate encodings. *)
+let pivot_acceptable st w r =
+  let wmax = Array.fold_left (fun acc v -> max acc (abs_float v)) 0. w in
+  abs_float w.(r) >= max (10. *. st.p.pivot_tol) (1e-5 *. wmax)
+
+(* One simplex phase. [phase1] selects the dynamic infeasibility costs
+   and the extended ratio test. Stability handling: an unacceptable pivot
+   first triggers a refactorization (fresh numerics) and a retry; if the
+   factorization was already fresh, the entering candidate is banned for
+   the current pricing generation. Running out of candidates while bans
+   are active ends the phase *without* an optimality/infeasibility claim. *)
+let run_phase st ~phase1 =
+  let limit = max_iters st in
+  let cost_of j = if phase1 then 0. else st.sf.Stdform.cost.(j) in
+  reset_devex st;
+  let rec loop () =
+    if phase1 && max_violation st <= st.p.feas_tol then Phase_done
+    else if st.iters >= limit || out_of_time st then Phase_iters
+    else begin
+      st.iters <- st.iters + 1;
+      let bland = st.degenerate_streak > 100 in
+      let y = if phase1 then phase1_duals st else phase2_duals st in
+      (* Objective magnitude at the current point (basic part plus the
+         nonbasic bound contributions), used to scale the dual tolerance. *)
+      let obj_scale =
+        if phase1 then 0.
+        else begin
+          let acc = ref 0. in
+          for i = 0 to st.sf.Stdform.nrows - 1 do
+            acc := !acc +. (st.sf.Stdform.cost.(st.basis.(i)) *. st.xb.(i))
+          done;
+          for j = 0 to st.sf.Stdform.ncols - 1 do
+            if st.stat.(j) <> SBasic && st.sf.Stdform.cost.(j) <> 0. then
+              acc := !acc +. (st.sf.Stdform.cost.(j) *. nb_value st j)
+          done;
+          abs_float !acc
+        end
+      in
+      match choose_entering st y cost_of ~obj_scale ~bland with
+      | None -> if phase1 then Phase_infeasible else Phase_done
+      | Some (q, dir, _) -> (
+        let w = Array.make st.sf.Stdform.nrows 0. in
+        Array.iter (fun (i, a) -> w.(i) <- a) st.sf.Stdform.cols.(q);
+        ftran st w;
+        let t, block = ratio_test st ~phase1 ~bland w dir q in
+        match block with
+        | None ->
+          (* Phase 1's objective is bounded below, so an unblocked
+             improving ray there signals numerical trouble. *)
+          if phase1 then Phase_infeasible else Phase_unbounded
+        | Some (Leaving (r, _)) when st.n_etas >= 8 && not (pivot_acceptable st w r) ->
+          (* Recompute with fresh numerics and retry this iteration; if
+             the small pivot is genuine, the retry accepts it (equilibration
+             keeps such pivots rare, and the repair path catches the
+             conditioning fallout). *)
+          refactorize st;
+          loop ()
+        | Some b ->
+          if t = infinity then (if phase1 then Phase_infeasible else Phase_unbounded)
+          else begin
+            (match b with
+            | Leaving (r, _) ->
+              update_devex st w r q;
+              (* Runaway weights mean the reference framework is stale. *)
+              if st.devex.(q) > 1e8 then reset_devex st
+            | Self_flip -> ());
+            apply_step st w dir q t b;
+            loop ()
+          end)
+    end
+  in
+  loop ()
+
+
+(* ------------------------------------------------------------------ *)
+(* Dual simplex                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The dual simplex walks dual-feasible bases toward primal feasibility —
+   the method of choice for branch & bound re-solves, where the parent's
+   optimal basis stays dual feasible after a bound tightening and usually
+   needs only a handful of pivots.
+
+   Leaving choice: the basic variable with the largest bound violation.
+   Entering choice: the dual ratio test over the pivot row, tie-broken by
+   pivot magnitude. Returns [Phase_done] on primal feasibility (the basis
+   is then optimal), [Phase_infeasible] on a certified empty row, and
+   [Phase_iters] when limits or numerical trouble suggest falling back to
+   the primal algorithm. *)
+let run_dual st =
+  let m = st.sf.Stdform.nrows in
+  let limit = max_iters st in
+  let rec loop () =
+    if st.iters >= limit || out_of_time st then Phase_iters
+    else begin
+      (* Leaving row: the largest violation. *)
+      let leave = ref (-1) and viol = ref st.p.feas_tol and below = ref true in
+      for i = 0 to m - 1 do
+        let bi = st.basis.(i) in
+        if st.xb.(i) < st.lb.(bi) -. !viol then begin
+          leave := i;
+          viol := st.lb.(bi) -. st.xb.(i);
+          below := true
+        end
+        else if st.xb.(i) > st.ub.(bi) +. !viol then begin
+          leave := i;
+          viol := st.xb.(i) -. st.ub.(bi);
+          below := false
+        end
+      done;
+      if !leave < 0 then Phase_done
+      else begin
+        st.iters <- st.iters + 1;
+        let r = !leave in
+        (* Pivot row alphas and current duals. *)
+        let rho = Array.make m 0. in
+        rho.(r) <- 1.;
+        btran st rho;
+        let y = phase2_duals st in
+        (* Entering: among nonbasics able to push the leaver toward its
+           violated bound, minimize |d_j / alpha_j| (dual ratio), prefer
+           big pivots within a relative window. *)
+        let best = ref None in
+        for j = 0 to st.sf.Stdform.ncols - 1 do
+          if st.stat.(j) <> SBasic && st.ub.(j) -. st.lb.(j) > 0. then begin
+            let alpha = ref 0. in
+            Array.iter (fun (i, a) -> alpha := !alpha +. (a *. rho.(i))) st.sf.Stdform.cols.(j);
+            let alpha = !alpha in
+            if abs_float alpha > st.p.pivot_tol then begin
+              (* x_Br changes by -alpha * t when x_j moves by +t. Moving
+                 x_j up is allowed from SLower/SFree, down from
+                 SUpper/SFree. *)
+              let eligible =
+                if !below then
+                  (* need x_Br to increase *)
+                  (st.stat.(j) <> SUpper && alpha < 0.) || (st.stat.(j) <> SLower && alpha > 0.)
+                else (st.stat.(j) <> SUpper && alpha > 0.) || (st.stat.(j) <> SLower && alpha < 0.)
+              in
+              if eligible then begin
+                let d = reduced_cost st y (fun j -> st.sf.Stdform.cost.(j)) j in
+                let ratio = abs_float d /. abs_float alpha in
+                let better =
+                  match !best with
+                  | None -> true
+                  | Some (_, br, ba) ->
+                    ratio < br -. 1e-12
+                    || (ratio <= br +. (1e-7 *. br) +. 1e-12 && abs_float alpha > ba)
+                in
+                if better then best := Some (j, ratio, abs_float alpha)
+              end
+            end
+          end
+        done;
+        match !best with
+        | None ->
+          (* No way to repair the violated row: primal infeasible. *)
+          Phase_infeasible
+        | Some (q, _, _) ->
+          (* Primal step: bring the leaver exactly to its violated bound. *)
+          let w = Array.make m 0. in
+          Array.iter (fun (i, a) -> w.(i) <- a) st.sf.Stdform.cols.(q);
+          ftran st w;
+          if abs_float w.(r) <= st.p.pivot_tol then Phase_iters
+          else begin
+            let bi = st.basis.(r) in
+            let target = if !below then st.lb.(bi) else st.ub.(bi) in
+            (* x_Br = xb_r - w_r * dir * t must reach target. *)
+            let t = (st.xb.(r) -. target) /. w.(r) in
+            (* Express as the primal update convention: entering moves by
+               dir * |t| with dir = sign t. *)
+            let dir = if t >= 0. then 1. else -1. in
+            let step = abs_float t in
+            let land_on = if !below then SLower else SUpper in
+            apply_step st w dir q step (Leaving (r, land_on));
+            loop ()
+          end
+      end
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let extract st status =
+  let x = Array.make st.sf.Stdform.ncols 0. in
+  for j = 0 to st.sf.Stdform.ncols - 1 do
+    if st.stat.(j) <> SBasic then x.(j) <- nb_value st j
+  done;
+  for i = 0 to st.sf.Stdform.nrows - 1 do
+    x.(st.basis.(i)) <- st.xb.(i)
+  done;
+  (* Scaled costs dotted with scaled values give the user objective. *)
+  let objective = ref 0. in
+  for j = 0 to st.sf.Stdform.ncols - 1 do
+    objective := !objective +. (st.sf.Stdform.cost.(j) *. x.(j))
+  done;
+  (* Back to user space. *)
+  for j = 0 to st.sf.Stdform.ncols - 1 do
+    x.(j) <- x.(j) *. st.sf.Stdform.col_scale.(j)
+  done;
+  {
+    status;
+    objective = !objective;
+    x;
+    iters = st.iters;
+    basis = Array.copy st.basis;
+    vstatus = Array.copy st.stat;
+  }
+
+let cold_start sf lb ub =
+  let basis = Array.init sf.Stdform.nrows (fun i -> sf.Stdform.nstruct + i) in
+  let stat = Array.make sf.Stdform.ncols SLower in
+  for j = 0 to sf.Stdform.ncols - 1 do
+    stat.(j) <-
+      (if lb.(j) > neg_infinity then SLower else if ub.(j) < infinity then SUpper else SFree)
+  done;
+  Array.iter (fun b -> stat.(b) <- SBasic) basis;
+  (basis, stat)
+
+(* Clamp tiny residual infeasibilities after phase 1 so phase 2's ratio
+   test starts from a consistent point. *)
+let clamp_basics st =
+  for i = 0 to st.sf.Stdform.nrows - 1 do
+    let bi = st.basis.(i) in
+    if st.xb.(i) < st.lb.(bi) && st.xb.(i) > st.lb.(bi) -. (10. *. st.p.feas_tol) then
+      st.xb.(i) <- st.lb.(bi)
+    else if st.xb.(i) > st.ub.(bi) && st.xb.(i) < st.ub.(bi) +. (10. *. st.p.feas_tol) then
+      st.xb.(i) <- st.ub.(bi)
+  done
+
+let solve ?(params = default_params) ?warm sf ~lb ~ub =
+  (* Map user-space bounds into the solver's scaled space (x' = x / c). *)
+  let lb = Array.mapi (fun j v -> v /. sf.Stdform.col_scale.(j)) lb in
+  let ub = Array.mapi (fun j v -> v /. sf.Stdform.col_scale.(j)) ub in
+  (* Anti-degeneracy: relax every finite bound outward by a tiny,
+     deterministic, per-variable amount. Ratios in the ratio test become
+     distinct, which kills the stalling on massively degenerate
+     encodings; since the feasible region only grows, the optimal value
+     remains a valid relaxation bound, and the error is within the
+     feasibility tolerance that callers already absorb. *)
+  let noise j =
+    (* A cheap splitmix-style hash to [0.25, 1.25). *)
+    let h = ref (j * 0x9E3779B9) in
+    h := (!h lxor (!h lsr 16)) * 0x85EBCA6B land 0x3FFFFFFF;
+    0.25 +. (float_of_int !h /. float_of_int 0x40000000)
+  in
+  let eps = params.feas_tol *. params.perturb in
+  if eps > 0. then
+  for j = 0 to sf.Stdform.ncols - 1 do
+    (* Divide by the (scaled) objective coefficient so the perturbation's
+       objective-noise stays uniformly below the tolerance — otherwise
+       variables with huge costs turn the relaxation into a noise
+       optimization problem. *)
+    let damp = 1. +. abs_float sf.Stdform.cost.(j) in
+    if (lb.(j) > neg_infinity && lb.(j) < ub.(j)) || lb.(j) = ub.(j) then begin
+      if lb.(j) > neg_infinity then
+        lb.(j) <- lb.(j) -. (eps *. noise j *. (1. +. abs_float lb.(j)) /. damp);
+      if ub.(j) < infinity then
+        ub.(j) <- ub.(j) +. (eps *. noise (j + 1000003) *. (1. +. abs_float ub.(j)) /. damp)
+    end
+  done;
+  let basis, stat =
+    match warm with
+    | Some (b, s) -> (Array.copy b, Array.copy s)
+    | None -> cold_start sf lb ub
+  in
+  (* A warm nonbasic status can be inconsistent with tightened bounds
+     (e.g. SUpper with ub now infinite); repair it. *)
+  for j = 0 to sf.Stdform.ncols - 1 do
+    match stat.(j) with
+    | SLower when lb.(j) = neg_infinity ->
+      stat.(j) <- (if ub.(j) < infinity then SUpper else SFree)
+    | SUpper when ub.(j) = infinity ->
+      stat.(j) <- (if lb.(j) > neg_infinity then SLower else SFree)
+    | SFree when lb.(j) > neg_infinity -> stat.(j) <- SLower
+    | SFree when ub.(j) < infinity -> stat.(j) <- SUpper
+    | _ -> ()
+  done;
+  let make_state basis stat =
+    let st =
+      {
+        sf;
+        p = params;
+        lb;
+        ub;
+        basis;
+        stat;
+        xb = Array.make sf.Stdform.nrows 0.;
+        factor = Dense_f (Dense.lu_factorize [||]);
+        etas = [];
+        n_etas = 0;
+        iters = 0;
+        degenerate_streak = 0;
+        repaired = false;
+        devex = Array.make sf.Stdform.ncols 1.;
+      }
+    in
+    st.factor <- factorize_basis st;
+    recompute_xb st;
+    st
+  in
+  let st =
+    match make_state basis stat with
+    | st -> st
+    | exception Factor_singular _ ->
+      let basis, stat = cold_start sf lb ub in
+      make_state basis stat
+  in
+  (* Warm bases from a parent node are dual feasible after a bound
+     change; try the dual simplex first and fall through to the primal
+     two-phase algorithm if it cannot finish cleanly. *)
+  let dual_outcome =
+    match warm with
+    | None -> None
+    | Some _ when not params.warm_dual -> None
+    | Some _ -> (
+      match run_dual st with
+      | Phase_done -> (
+        match refactorize st with
+        | () when max_violation st <= 10. *. params.feas_tol -> (
+          (* Dual feasibility should make this point optimal; verify by
+             pricing once — if improving directions remain (stale duals),
+             fall through to the primal cleanup. *)
+          match run_phase st ~phase1:false with
+          | Phase_done -> Some (extract st Optimal)
+          | Phase_unbounded | Phase_iters | Phase_infeasible -> None
+          | exception Factor_singular _ -> None)
+        | () -> None
+        | exception Factor_singular _ -> None)
+      | Phase_infeasible -> Some (extract st Infeasible)
+      | Phase_iters | Phase_unbounded -> None
+      | exception Factor_singular _ -> None)
+  in
+  match dual_outcome with
+  | Some r -> r
+  | None ->
+  (* The two-phase loop, with a bounded number of restarts: a singular
+     refactorization repairs to the slack basis mid-phase, after which
+     the point may be primal-infeasible again and phase 1 must rerun. *)
+  let rec drive attempts =
+    if attempts <= 0 then extract st Numerical_failure
+    else begin
+      st.repaired <- false;
+      match run_phase st ~phase1:true with
+      | exception Factor_singular _ -> extract st Numerical_failure
+      | Phase_infeasible -> extract st Infeasible
+      | Phase_iters -> extract st Iteration_limit
+      | Phase_unbounded -> extract st Numerical_failure
+      | Phase_done -> (
+        clamp_basics st;
+        st.degenerate_streak <- 0;
+        match run_phase st ~phase1:false with
+        | exception Factor_singular _ -> extract st Numerical_failure
+        | Phase_done ->
+          (* Guard against drift: refactorize and re-verify feasibility. *)
+          (match refactorize st with
+          | () ->
+            if max_violation st > 10. *. params.feas_tol then drive (attempts - 1)
+            else extract st Optimal
+          | exception Factor_singular _ -> extract st Numerical_failure)
+        | Phase_unbounded ->
+          (* Genuine unboundedness is rare once variables carry finite
+             bounds; a drifting dual vector can fake it. Retry once from
+             a fresh factorization. *)
+          if attempts > 1 then begin
+            refactorize st;
+            drive (attempts - 1)
+          end
+          else extract st Unbounded
+        | Phase_iters -> extract st Iteration_limit
+        | Phase_infeasible ->
+          if st.repaired then drive (attempts - 1) else extract st Numerical_failure)
+    end
+  in
+  drive 4
+
+let tableau_rows sf (res : result) positions =
+  let m = sf.Stdform.nrows in
+  List.iter (fun r -> if r < 0 || r >= m then invalid_arg "Simplex.tableau_rows") positions;
+  (* Rebuild the factorization for the final basis once for the batch. *)
+  let columns j = sf.Stdform.cols.(j) in
+  match Sparse_lu.factorize ~dim:m ~columns res.basis with
+  | exception Sparse_lu.Singular _ -> []
+  | factor ->
+    List.map
+      (fun r ->
+        let e = Array.make m 0. in
+        e.(r) <- 1.;
+        Sparse_lu.solve_transposed factor e;
+        (* Row of B^-1 A in scaled space, then unscaled: multiplying the
+           row by the basic column's scale and dividing each coefficient
+           by its own column scale restores user-space semantics
+           (x_Br + sum a_j x_j = basic value). *)
+        let c_basic = sf.Stdform.col_scale.(res.basis.(r)) in
+        let row = Array.make sf.Stdform.ncols 0. in
+        for j = 0 to sf.Stdform.ncols - 1 do
+          let acc = ref 0. in
+          Array.iter (fun (i, a) -> acc := !acc +. (a *. e.(i))) sf.Stdform.cols.(j);
+          row.(j) <- !acc *. c_basic /. sf.Stdform.col_scale.(j)
+        done;
+        (r, row, res.x.(res.basis.(r))))
+      positions

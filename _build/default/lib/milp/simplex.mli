@@ -1,0 +1,76 @@
+(** Bounded-variable revised primal simplex.
+
+    Solves [minimize c.x  s.t.  A x = b, l <= x <= u] given in
+    {!Stdform.t} layout, with per-call bound overrides so branch & bound
+    can tighten variable bounds without rebuilding the matrix.
+
+    The basis inverse is kept as a dense LU factorization plus a
+    product-form eta file, refactorized periodically. Phase 1 drives the
+    sum of primal infeasibilities of basic variables to zero starting from
+    the all-logical basis (or a caller-provided warm basis); phase 2 is
+    textbook Dantzig pricing with a Bland fallback against cycling. *)
+
+type vstat =
+  | SBasic
+  | SLower  (** nonbasic at lower bound *)
+  | SUpper  (** nonbasic at upper bound *)
+  | SFree  (** nonbasic free variable, held at value 0 *)
+
+type basis_backend =
+  | Dense_backend  (** dense LU; reference implementation *)
+  | Sparse_backend  (** sparse LU; the default — encodings are very sparse *)
+
+type params = {
+  feas_tol : float;  (** primal feasibility tolerance (default 1e-7) *)
+  dual_tol : float;  (** reduced-cost tolerance (default 1e-9) *)
+  pivot_tol : float;  (** smallest acceptable pivot magnitude (default 1e-8) *)
+  max_iters : int;  (** 0 means automatic: [5000 + 50 * nrows] *)
+  refactor_every : int;  (** eta-file length triggering refactorization *)
+  backend : basis_backend;
+  deadline : float option;
+  (** absolute wall-clock instant ([Unix.gettimeofday] scale) after which
+      the solve returns [Iteration_limit]; [None] = no limit *)
+  perturb : float;
+  (** anti-degeneracy bound relaxation as a multiple of [feas_tol]
+      (bounds are only relaxed outward, so relaxation values remain valid
+      dual bounds); 0 disables *)
+  warm_dual : bool;
+  (** attempt the dual simplex when a warm basis is supplied (it stays
+      dual-feasible across bound changes); falls back to the primal
+      two-phase algorithm when it cannot finish cleanly. Off by default:
+      on the join-ordering encodings the primal warm start is usually
+      faster. *)
+}
+
+val default_params : params
+
+type status = Optimal | Infeasible | Unbounded | Iteration_limit | Numerical_failure
+
+type result = {
+  status : status;
+  objective : float;  (** [c.x] of the returned point (minimization sense) *)
+  x : float array;  (** length [ncols]; structural then logical values *)
+  iters : int;
+  basis : int array;  (** basic variable per row, for warm starts *)
+  vstatus : vstat array;  (** per-variable status, for warm starts *)
+}
+
+val solve :
+  ?params:params ->
+  ?warm:int array * vstat array ->
+  Stdform.t ->
+  lb:float array ->
+  ub:float array ->
+  result
+(** [solve sf ~lb ~ub] solves with the given bounds (length [ncols];
+    logical bounds must match [sf]'s constraint senses). The arrays are
+    not mutated. A singular warm basis silently falls back to the cold
+    all-logical start. *)
+
+val tableau_rows : Stdform.t -> result -> int list -> (int * float array * float) list
+(** [tableau_rows sf res positions] recomputes, from the basis returned in
+    [res], the simplex tableau rows at the given basic positions: for each
+    position [r], the coefficients over all [ncols] columns of [B^-1 A]
+    and the basic variable's value. The basis is refactorized once for the
+    whole batch. Used by Gomory cut separation. Returns [] when the basis
+    is numerically singular. *)

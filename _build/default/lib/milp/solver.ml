@@ -1,0 +1,71 @@
+type params = {
+  bb : Branch_bound.params;
+  presolve : bool;
+  cut_rounds : int;
+  cuts_per_round : int;
+}
+
+let default_params =
+  { bb = Branch_bound.default_params; presolve = true; cut_rounds = 3; cuts_per_round = 16 }
+
+let with_time_limit t params = { params with bb = { params.bb with Branch_bound.time_limit = Some t } }
+
+let infeasible_outcome () =
+  {
+    Branch_bound.o_status = Branch_bound.Infeasible;
+    o_objective = None;
+    o_x = None;
+    o_bound = infinity;
+    o_nodes = 0;
+    o_simplex_iters = 0;
+    o_trace = [];
+    o_bound_is_proven = true;
+  }
+
+let solve ?(params = default_params) ?mip_start ?on_progress problem =
+  let started = Unix.gettimeofday () in
+  let reduced =
+    if params.presolve then
+      match Presolve.run problem with
+      | Presolve.Reduced (q, stats) ->
+        Logs.debug (fun m -> m "%a" Presolve.pp_stats stats);
+        Some q
+      | Presolve.Proven_infeasible msg ->
+        Logs.debug (fun m -> m "presolve: infeasible (%s)" msg);
+        None
+    else Some problem
+  in
+  match reduced with
+  | None -> infeasible_outcome ()
+  | Some q ->
+    let q =
+      if params.cut_rounds > 0 then begin
+        (* Cap the cut phase at 30% of any global time budget. *)
+        let simplex_params =
+          match params.bb.Branch_bound.time_limit with
+          | Some t ->
+            {
+              params.bb.Branch_bound.simplex with
+              Simplex.deadline = Some (started +. (0.3 *. t));
+            }
+          | None -> params.bb.Branch_bound.simplex
+        in
+        let q', stats =
+          Cuts.gomory_strengthen ~max_rounds:params.cut_rounds
+            ~max_per_round:params.cuts_per_round ~simplex_params q
+        in
+        Logs.debug (fun m ->
+            m "cuts: %d GMI cuts in %d rounds" stats.Cuts.cuts_added stats.Cuts.rounds_run);
+        q'
+      end
+      else q
+    in
+    (* Whatever the preprocessing spent comes out of the search budget. *)
+    let bb_params =
+      match params.bb.Branch_bound.time_limit with
+      | Some t ->
+        let remaining = max 0.5 (t -. (Unix.gettimeofday () -. started)) in
+        { params.bb with Branch_bound.time_limit = Some remaining }
+      | None -> params.bb
+    in
+    Branch_bound.solve ~params:bb_params ?mip_start ?on_progress q

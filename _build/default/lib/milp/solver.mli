@@ -1,0 +1,27 @@
+(** Public facade of the MILP solver.
+
+    Orchestrates presolve, root Gomory cuts and branch & bound. This is
+    the interface the join-ordering optimizer talks to; it mirrors the
+    features of the commercial solver used in the paper (Gurobi): anytime
+    incumbents with proven bounds, relative-gap / time-based termination,
+    warm starts and parallel-search-grade pruning heuristics (diving). *)
+
+type params = {
+  bb : Branch_bound.params;
+  presolve : bool;
+  cut_rounds : int;  (** Gomory rounds at the root; 0 disables cuts *)
+  cuts_per_round : int;
+}
+
+val default_params : params
+(** Presolve on, 3 cut rounds of up to 16 cuts, default branch & bound. *)
+
+val with_time_limit : float -> params -> params
+(** Convenience: sets the branch & bound wall-clock limit. *)
+
+val solve :
+  ?params:params ->
+  ?mip_start:float array ->
+  ?on_progress:(Branch_bound.progress -> unit) ->
+  Problem.t ->
+  Branch_bound.outcome

@@ -1,0 +1,225 @@
+exception Singular of int
+
+(* Factors of P B = L U.
+
+   L is unit lower triangular and stored column-wise in *original row*
+   space: [l_rows.(k)] / [l_vals.(k)] hold the below-diagonal entries of
+   step k as (original row, multiplier) pairs — the rows are the ones not
+   yet pivoted at step k. U is upper triangular and stored column-wise in
+   *step* space: [u_steps.(k)] / [u_vals.(k)] hold the above-diagonal
+   entries (step index < k), and [u_diag.(k)] the pivot. [pivot_row.(k)]
+   is the original row chosen at step k; [step_of_row] is its inverse. *)
+type t = {
+  n : int;
+  l_rows : int array array;
+  l_vals : float array array;
+  u_steps : int array array;
+  u_vals : float array array;
+  u_diag : float array;
+  pivot_row : int array;
+  step_of_row : int array;
+  col_of_step : int array; (* elimination step -> basis position *)
+  nnz : int;
+}
+
+let dim t = t.n
+
+let fill_in t = t.nnz
+
+let factorize ?(pivot_tol = 1e-11) ~dim:n ~columns basis =
+  if Array.length basis <> n then invalid_arg "Sparse_lu.factorize: basis length";
+  (* Static fill-reducing ordering: eliminate sparse columns first.
+     Counting sort by column nonzero count. *)
+  let col_of_step =
+    let count j = Array.length (columns basis.(j)) in
+    let max_nnz = ref 1 in
+    for j = 0 to n - 1 do
+      max_nnz := max !max_nnz (count j)
+    done;
+    let buckets = Array.make (!max_nnz + 1) [] in
+    for j = n - 1 downto 0 do
+      let c = count j in
+      buckets.(c) <- j :: buckets.(c)
+    done;
+    let order = Array.make n 0 in
+    let pos = ref 0 in
+    Array.iter
+      (fun l ->
+        List.iter
+          (fun j ->
+            order.(!pos) <- j;
+            incr pos)
+          l)
+      buckets;
+    order
+  in
+  let l_rows = Array.make n [||] and l_vals = Array.make n [||] in
+  let u_steps = Array.make n [||] and u_vals = Array.make n [||] in
+  let u_diag = Array.make n 0. in
+  let pivot_row = Array.make n (-1) in
+  let step_of_row = Array.make n (-1) in
+  (* Dense scatter workspace for the current column, indexed by original
+     row; [touched] tracks which entries must be reset afterwards. *)
+  let x = Array.make n 0. in
+  let in_pattern = Array.make n false in
+  let touched = Array.make (max 1 n) 0 in
+  let scheduled = Array.make (max 1 n) false in
+  let nnz = ref 0 in
+  for k = 0 to n - 1 do
+    (* Scatter the column eliminated at step k. *)
+    let col = columns basis.(col_of_step.(k)) in
+    let ntouched = ref 0 in
+    let touch i v =
+      if not in_pattern.(i) then begin
+        in_pattern.(i) <- true;
+        touched.(!ntouched) <- i;
+        incr ntouched
+      end;
+      x.(i) <- x.(i) +. v
+    in
+    Array.iter (fun (i, v) -> touch i v) col;
+    (* Left-looking update, driven by a worklist of the steps whose pivot
+       rows appear in the current pattern (applied in ascending step
+       order, which is a valid topological order for forward
+       substitution). Cost is proportional to the actual update work, not
+       to the elimination step count. *)
+    let heap = Pqueue.create () in
+    let schedule i =
+      let s = step_of_row.(i) in
+      if s >= 0 && not scheduled.(s) then begin
+        scheduled.(s) <- true;
+        Pqueue.push heap (float_of_int s) s
+      end
+    in
+    for idx = 0 to !ntouched - 1 do
+      schedule touched.(idx)
+    done;
+    let rec drain () =
+      match Pqueue.pop heap with
+      | None -> ()
+      | Some (_, j) ->
+        scheduled.(j) <- false;
+        let xj = x.(pivot_row.(j)) in
+        if xj <> 0. then begin
+          let rows = l_rows.(j) and vals = l_vals.(j) in
+          for idx = 0 to Array.length rows - 1 do
+            let i = rows.(idx) in
+            touch i (-.vals.(idx) *. xj);
+            (* Fill-in can activate later steps. *)
+            let s = step_of_row.(i) in
+            if s > j then schedule i
+          done
+        end;
+        drain ()
+    in
+    drain ();
+    (* Collect U entries (pivoted rows) and pivot candidates. *)
+    let u_s = ref [] and u_v = ref [] in
+    let best_row = ref (-1) and best_mag = ref 0. in
+    for idx = 0 to !ntouched - 1 do
+      let i = touched.(idx) in
+      let v = x.(i) in
+      if v <> 0. then begin
+        let s = step_of_row.(i) in
+        if s >= 0 then begin
+          u_s := s :: !u_s;
+          u_v := v :: !u_v
+        end
+        else if abs_float v > !best_mag then begin
+          best_mag := abs_float v;
+          best_row := i
+        end
+      end
+    done;
+    if !best_mag <= pivot_tol then begin
+      (* Reset workspace before raising. *)
+      for idx = 0 to !ntouched - 1 do
+        x.(touched.(idx)) <- 0.;
+        in_pattern.(touched.(idx)) <- false
+      done;
+      raise (Singular k)
+    end;
+    let piv_row = !best_row in
+    let pivot = x.(piv_row) in
+    pivot_row.(k) <- piv_row;
+    step_of_row.(piv_row) <- k;
+    u_diag.(k) <- pivot;
+    u_steps.(k) <- Array.of_list !u_s;
+    u_vals.(k) <- Array.of_list !u_v;
+    (* L column: remaining unpivoted rows, divided by the pivot. *)
+    let l_r = ref [] and l_v = ref [] in
+    for idx = 0 to !ntouched - 1 do
+      let i = touched.(idx) in
+      let v = x.(i) in
+      if v <> 0. && i <> piv_row && step_of_row.(i) < 0 then begin
+        l_r := i :: !l_r;
+        l_v := (v /. pivot) :: !l_v
+      end;
+      x.(i) <- 0.;
+      in_pattern.(i) <- false
+    done;
+    l_rows.(k) <- Array.of_list !l_r;
+    l_vals.(k) <- Array.of_list !l_v;
+    nnz := !nnz + Array.length l_rows.(k) + Array.length u_steps.(k) + 1
+  done;
+  { n; l_rows; l_vals; u_steps; u_vals; u_diag; pivot_row; step_of_row; col_of_step; nnz = !nnz }
+
+let solve t r =
+  let n = t.n in
+  if Array.length r <> n then invalid_arg "Sparse_lu.solve: dimension mismatch";
+  (* Forward: L z = P r, operating on the original-row-indexed copy. *)
+  let z = Array.make n 0. in
+  for k = 0 to n - 1 do
+    let zk = r.(t.pivot_row.(k)) in
+    z.(k) <- zk;
+    if zk <> 0. then begin
+      let rows = t.l_rows.(k) and vals = t.l_vals.(k) in
+      for idx = 0 to Array.length rows - 1 do
+        r.(rows.(idx)) <- r.(rows.(idx)) -. (vals.(idx) *. zk)
+      done
+    end
+  done;
+  (* Backward: U y = z (column-oriented), y in step space. *)
+  for k = n - 1 downto 0 do
+    let yk = z.(k) /. t.u_diag.(k) in
+    z.(k) <- yk;
+    if yk <> 0. then begin
+      let steps = t.u_steps.(k) and vals = t.u_vals.(k) in
+      for idx = 0 to Array.length steps - 1 do
+        z.(steps.(idx)) <- z.(steps.(idx)) -. (vals.(idx) *. yk)
+      done
+    end
+  done;
+  (* Step k eliminated basis position col_of_step.(k). *)
+  for k = 0 to n - 1 do
+    r.(t.col_of_step.(k)) <- z.(k)
+  done
+
+let solve_transposed t r =
+  let n = t.n in
+  if Array.length r <> n then invalid_arg "Sparse_lu.solve_transposed: dimension mismatch";
+  (* Forward: U^T w = r, w in step space; the right-hand side arrives in
+     position space, so index through the column ordering. *)
+  let w = Array.make n 0. in
+  for k = 0 to n - 1 do
+    let acc = ref r.(t.col_of_step.(k)) in
+    let steps = t.u_steps.(k) and vals = t.u_vals.(k) in
+    for idx = 0 to Array.length steps - 1 do
+      acc := !acc -. (vals.(idx) *. w.(steps.(idx)))
+    done;
+    w.(k) <- !acc /. t.u_diag.(k)
+  done;
+  (* Backward: L^T v = w. L column j's entries live in original rows,
+     pivoted at later steps. *)
+  for j = n - 1 downto 0 do
+    let acc = ref w.(j) in
+    let rows = t.l_rows.(j) and vals = t.l_vals.(j) in
+    for idx = 0 to Array.length rows - 1 do
+      acc := !acc -. (vals.(idx) *. w.(t.step_of_row.(rows.(idx))))
+    done;
+    w.(j) <- !acc
+  done;
+  (* Undo the permutation: y = P^T v. *)
+  for k = 0 to n - 1 do
+    r.(t.pivot_row.(k)) <- w.(k)
+  done

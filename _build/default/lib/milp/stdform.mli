@@ -1,0 +1,44 @@
+(** Conversion of a {!Problem.t} to computational standard form
+
+    {v minimize c.x   subject to   A x = b,   l <= x <= u v}
+
+    Each constraint row [i] receives one logical (slack) variable [s_i]
+    appended after the structural variables, with bounds encoding the
+    original sense: [Le] gives [s_i in [0, +inf)], [Ge] gives
+    [s_i in (-inf, 0]] and [Eq] gives [s_i = 0]. A [Maximize] objective is
+    negated so the simplex always minimizes; {!user_objective} undoes the
+    transformation. *)
+
+type t = {
+  nrows : int;
+  nstruct : int;  (** structural (user) variable count *)
+  ncols : int;  (** [nstruct + nrows] *)
+  cols : (int * float) array array;  (** sparse column [j]: (row, coeff) pairs *)
+  lb : float array;  (** length [ncols] *)
+  ub : float array;
+  cost : float array;  (** minimization costs, length [ncols] (zero on logicals) *)
+  rhs : float array;  (** length [nrows] *)
+  integer : bool array;  (** length [ncols]; logicals are always [false] *)
+  obj_const : float;
+  maximize : bool;  (** original problem sense *)
+  row_scale : float array;
+  col_scale : float array;
+  (** equilibration scales: the stored matrix is [R A C] with
+      [R = diag row_scale], [C = diag col_scale], and [rhs]/[cost] are
+      scaled to match. [lb]/[ub] remain in user space; the simplex maps
+      bounds into scaled space on entry ([x' = x / col_scale]) and
+      solutions back on exit, so every other module sees user-space
+      values. *)
+}
+
+val of_problem : Problem.t -> t
+
+val bounds : t -> float array * float array
+(** Fresh copies of [(lb, ub)], suitable for mutation by branch & bound. *)
+
+val user_objective : t -> float -> float
+(** [user_objective t z] maps an internal minimization value [z = c.x] back
+    to the user's objective (restores sign and constant). *)
+
+val internal_of_user : t -> float -> float
+(** Inverse of {!user_objective}. *)

@@ -1,0 +1,24 @@
+(** Growable arrays.
+
+    OCaml 5.1 ships no [Dynarray]; this is the small subset the solver
+    needs: amortized O(1) push, O(1) read/write, snapshot to array. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+(** [create ~dummy] is an empty buffer. [dummy] fills unused slots and is
+    never observable through the API. *)
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> int
+(** [push b x] appends [x] and returns its index. *)
+
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+
+val to_array : 'a t -> 'a array
+(** Fresh array of the live elements. *)
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit

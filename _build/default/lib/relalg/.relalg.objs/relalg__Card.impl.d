@@ -1,0 +1,1 @@
+lib/relalg/card.ml: Array Catalog List Predicate Query

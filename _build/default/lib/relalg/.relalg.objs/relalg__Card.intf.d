@@ -1,0 +1,1 @@
+lib/relalg/card.mli: Query

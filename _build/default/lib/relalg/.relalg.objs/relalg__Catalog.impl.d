@@ -1,0 +1,1 @@
+lib/relalg/catalog.ml: Format List Printf

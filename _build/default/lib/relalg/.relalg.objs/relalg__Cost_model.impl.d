@@ -1,0 +1,1 @@
+lib/relalg/cost_model.ml: Array Card Catalog List Plan Predicate Printf Query

@@ -1,0 +1,1 @@
+lib/relalg/join_graph.ml: Array List Predicate Query

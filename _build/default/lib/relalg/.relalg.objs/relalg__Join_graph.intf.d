@@ -1,0 +1,1 @@
+lib/relalg/join_graph.mli: Query

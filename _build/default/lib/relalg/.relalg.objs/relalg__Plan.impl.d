@@ -1,0 +1,1 @@
+lib/relalg/plan.ml: Array Buffer Catalog Format List Printf Query String

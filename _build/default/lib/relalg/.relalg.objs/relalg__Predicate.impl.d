@@ -1,0 +1,1 @@
+lib/relalg/predicate.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/relalg/query.ml: Array Catalog Format List Predicate Printf String

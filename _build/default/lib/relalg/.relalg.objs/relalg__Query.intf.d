@@ -1,0 +1,1 @@
+lib/relalg/query.mli: Catalog Format Predicate

@@ -1,0 +1,1 @@
+lib/relalg/query_file.ml: Array Buffer Catalog List Predicate Printf Query Result String

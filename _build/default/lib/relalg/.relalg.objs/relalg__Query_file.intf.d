@@ -1,0 +1,1 @@
+lib/relalg/query_file.mli: Query

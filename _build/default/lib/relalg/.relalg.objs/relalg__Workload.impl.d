@@ -1,0 +1,1 @@
+lib/relalg/workload.ml: Catalog Float Hashtbl Join_graph List Predicate Printf Query Random

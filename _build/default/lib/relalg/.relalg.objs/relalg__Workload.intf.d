@@ -1,0 +1,1 @@
+lib/relalg/workload.mli: Join_graph Query

@@ -1,0 +1,99 @@
+type estimator = {
+  q : Query.t;
+  pred_masks : int array;  (* real predicates then virtual correlation predicates *)
+  pred_sels : float array;
+  preds_of_table : int array;  (* table -> bitmask of predicates touching it *)
+}
+
+let estimator q =
+  let n = Query.num_tables q in
+  if n > 62 then invalid_arg "Card.estimator: more than 62 tables";
+  let mask_of_tables tables = List.fold_left (fun m t -> m lor (1 lsl t)) 0 tables in
+  let real =
+    Array.map
+      (fun p -> (mask_of_tables p.Predicate.pred_tables, p.Predicate.selectivity))
+      q.Query.predicates
+  in
+  let virt =
+    Array.map
+      (fun c ->
+        let mask =
+          List.fold_left (fun m pi -> m lor fst real.(pi)) 0 c.Predicate.corr_members
+        in
+        (mask, c.Predicate.corr_correction))
+      q.Query.correlations
+  in
+  let all = Array.append real virt in
+  if Array.length all > 62 then
+    invalid_arg "Card.estimator: more than 62 predicates (incl. correlation groups)";
+  let pred_masks = Array.map fst all and pred_sels = Array.map snd all in
+  let preds_of_table = Array.make n 0 in
+  Array.iteri
+    (fun pi mask ->
+      for t = 0 to n - 1 do
+        if mask land (1 lsl t) <> 0 then preds_of_table.(t) <- preds_of_table.(t) lor (1 lsl pi)
+      done)
+    pred_masks;
+  { q; pred_masks; pred_sels; preds_of_table }
+
+let query e = e.q
+
+let full_mask e = (1 lsl Query.num_tables e.q) - 1
+
+let applicable_preds e tables_mask =
+  let acc = ref 0 in
+  Array.iteri
+    (fun pi mask -> if mask land tables_mask = mask then acc := !acc lor (1 lsl pi))
+    e.pred_masks;
+  !acc
+
+let subset_card_applied e ~tables ~applied =
+  let card = ref 1. in
+  Array.iteri
+    (fun t tbl -> if tables land (1 lsl t) <> 0 then card := !card *. tbl.Catalog.tbl_card)
+    e.q.Query.tables;
+  Array.iteri
+    (fun pi sel -> if applied land (1 lsl pi) <> 0 then card := !card *. sel)
+    e.pred_sels;
+  !card
+
+let subset_card e tables_mask =
+  subset_card_applied e ~tables:tables_mask ~applied:(applicable_preds e tables_mask)
+
+let extend_card e ~mask ~card ~table =
+  let bit = 1 lsl table in
+  if mask land bit <> 0 then invalid_arg "Card.extend_card: table already joined";
+  let mask' = mask lor bit in
+  let card = ref (card *. e.q.Query.tables.(table).Catalog.tbl_card) in
+  (* Only predicates touching the new table can become applicable. *)
+  let candidates = e.preds_of_table.(table) in
+  Array.iteri
+    (fun pi pmask ->
+      if candidates land (1 lsl pi) <> 0 && pmask land mask' = pmask then
+        card := !card *. e.pred_sels.(pi))
+    e.pred_masks;
+  !card
+
+let log10_subset_card e tables_mask =
+  let acc = ref 0. in
+  Array.iteri
+    (fun t tbl ->
+      if tables_mask land (1 lsl t) <> 0 then acc := !acc +. log10 tbl.Catalog.tbl_card)
+    e.q.Query.tables;
+  let applied = applicable_preds e tables_mask in
+  Array.iteri
+    (fun pi sel -> if applied land (1 lsl pi) <> 0 then acc := !acc +. log10 sel)
+    e.pred_sels;
+  !acc
+
+let prefix_cards q order =
+  let e = estimator q in
+  let n = Array.length order in
+  let cards = Array.make n 0. in
+  let mask = ref 0 and card = ref 1. in
+  for k = 0 to n - 1 do
+    card := extend_card e ~mask:!mask ~card:!card ~table:order.(k);
+    mask := !mask lor (1 lsl order.(k));
+    cards.(k) <- !card
+  done;
+  cards

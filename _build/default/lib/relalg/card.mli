@@ -1,0 +1,50 @@
+(** Cardinality estimation under the paper's model (Section 3): the
+    cardinality of a join over a table set, after evaluating a set of
+    predicates, is the product of the table cardinalities and predicate
+    selectivities; correlated groups contribute a correction factor once
+    all their members are applied.
+
+    Table sets are bitmasks (bit i = table i), so queries are limited to
+    62 tables — matching the paper's evaluation which tops out at 60. *)
+
+type estimator
+
+val estimator : Query.t -> estimator
+(** Precomputes predicate table-masks; correlations become virtual
+    predicates whose mask is the union of their members' masks. *)
+
+val query : estimator -> Query.t
+
+val full_mask : estimator -> int
+(** Mask with every table present. *)
+
+val applicable_preds : estimator -> int -> int
+(** [applicable_preds e tables_mask] is the bitmask of (real and virtual)
+    predicates applicable when exactly [tables_mask] tables are present:
+    those whose referenced tables are all in the set. Virtual predicates
+    occupy bits [num_predicates ..]. *)
+
+val subset_card : estimator -> int -> float
+(** Estimated cardinality of the join of the tables in the mask with all
+    applicable predicates applied (the basic model's greedy application:
+    free predicates are always worth applying). Empty mask gives [1.]. *)
+
+val subset_card_applied : estimator -> tables:int -> applied:int -> float
+(** Cardinality when only the predicates in [applied] (a subset of the
+    applicable ones, same bit layout as {!applicable_preds}) have been
+    evaluated. Used by the expensive-predicate extension where evaluation
+    may be postponed. *)
+
+val extend_card : estimator -> mask:int -> card:float -> table:int -> float
+(** Incremental version for dynamic programming:
+    [extend_card e ~mask ~card ~table] is
+    [subset_card e (mask lor (1 lsl table))] given
+    [card = subset_card e mask], in O(predicates touching [table]). *)
+
+val log10_subset_card : estimator -> int -> float
+(** Logarithm (base 10) of {!subset_card}, computed as the paper does: a
+    sum of per-table and per-predicate logarithms (Section 4.2). *)
+
+val prefix_cards : Query.t -> int array -> float array
+(** [prefix_cards q order] gives, for each prefix length k = 1..n, the
+    cardinality of joining the first k tables of [order] (index k-1). *)

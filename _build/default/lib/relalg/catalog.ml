@@ -1,0 +1,17 @@
+type column = { col_name : string; col_bytes : float }
+
+type table = { tbl_name : string; tbl_card : float; tbl_columns : column list }
+
+let table ?(columns = []) name card =
+  if card < 1. then invalid_arg "Catalog.table: cardinality must be >= 1";
+  List.iter
+    (fun c -> if c.col_bytes <= 0. then invalid_arg "Catalog.table: column bytes must be > 0")
+    columns;
+  { tbl_name = name; tbl_card = card; tbl_columns = columns }
+
+let row_bytes t = List.fold_left (fun acc c -> acc +. c.col_bytes) 0. t.tbl_columns
+
+let pp_table ppf t =
+  Format.fprintf ppf "%s(card=%.0f%s)" t.tbl_name t.tbl_card
+    (if t.tbl_columns = [] then ""
+     else Printf.sprintf ", %d cols, %.0fB/row" (List.length t.tbl_columns) (row_bytes t))

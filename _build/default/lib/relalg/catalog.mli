@@ -1,0 +1,22 @@
+(** Base-table metadata: names, cardinalities and column layouts.
+
+    Tables are referenced by dense indices (the order in which they appear
+    in a query); all cardinalities are floats because estimates flow into
+    logarithms and products everywhere downstream. *)
+
+type column = { col_name : string; col_bytes : float  (** bytes per tuple *) }
+
+type table = {
+  tbl_name : string;
+  tbl_card : float;  (** number of tuples; must be >= 1 *)
+  tbl_columns : column list;  (** may be empty when byte sizes are not modeled *)
+}
+
+val table : ?columns:column list -> string -> float -> table
+(** [table name card] builds a table; raises [Invalid_argument] when
+    [card < 1]. *)
+
+val row_bytes : table -> float
+(** Sum of the column widths; [0.] when no columns are declared. *)
+
+val pp_table : Format.formatter -> table -> unit

@@ -1,0 +1,195 @@
+type page_model = { tuple_bytes : float; page_bytes : float; buffer_pages : float }
+
+let default_page_model = { tuple_bytes = 100.; page_bytes = 8192.; buffer_pages = 100. }
+
+let pages pm card =
+  if card <= 0. then 0.
+  else max 1. (ceil (card *. pm.tuple_bytes /. pm.page_bytes))
+
+(* ceil(log2 x), clamped at 0 for x <= 1. *)
+let ceil_log2 x = if x <= 1. then 0. else ceil (log x /. log 2.)
+
+let join_cost op pm ~outer_card ~inner_card =
+  let pgo = pages pm outer_card and pgi = pages pm inner_card in
+  match (op : Plan.operator) with
+  | Plan.Hash_join -> 3. *. (pgo +. pgi)
+  | Plan.Sort_merge_join ->
+    (2. *. pgo *. ceil_log2 pgo) +. (2. *. pgi *. ceil_log2 pgi) +. pgo +. pgi
+  | Plan.Block_nested_loop -> ceil (pgo /. pm.buffer_pages) *. pgi
+
+type metric = Cout | Operator_costs
+
+(* Bitmask (in the estimator's predicate layout) of unary predicates:
+   they are always evaluated at scan time, never at a join. *)
+let unary_mask q =
+  let acc = ref 0 in
+  Array.iteri
+    (fun pi p -> if List.length p.Predicate.pred_tables = 1 then acc := !acc lor (1 lsl pi))
+    q.Query.predicates;
+  !acc
+
+(* Evaluation cost of unary predicates at their scans: each tests the raw
+   table once. *)
+let scan_charges q =
+  Array.fold_left
+    (fun acc p ->
+      match p.Predicate.pred_tables with
+      | [ t ] when p.Predicate.eval_cost > 0. ->
+        acc +. (p.Predicate.eval_cost *. q.Query.tables.(t).Catalog.tbl_card)
+      | _ -> acc)
+    0. q.Query.predicates
+
+(* Shared walk over the joins of a left-deep plan.
+
+   [applied_after j] is the predicate bitmask applied to the result of
+   join [j] (it must always include the unary predicates of the tables
+   present). [join_eval_cost j] is the summed per-tuple cost of the
+   non-unary predicates evaluated while executing join [j]; those
+   predicates test every tuple of the join output *before* their own
+   filtering, i.e. outer (fully filtered) x inner (scan-filtered). *)
+let walk_cost metric pm q plan ~applied_after ~join_eval_cost =
+  let e = Card.estimator q in
+  let n = Plan.num_tables plan in
+  let um = unary_mask q in
+  let single_card t =
+    let mask = 1 lsl t in
+    Card.subset_card_applied e ~tables:mask ~applied:(Card.applicable_preds e mask land um)
+  in
+  let total = ref (scan_charges q) in
+  let outer_card = ref (single_card plan.Plan.order.(0)) in
+  for j = 0 to n - 2 do
+    let inner = plan.Plan.order.(j + 1) in
+    let inner_card = single_card inner in
+    let tables_after = Plan.prefix_mask plan (j + 2) in
+    let applied = applied_after j in
+    (* Tuples flowing into the predicates evaluated at this join: operands
+       joined, with everything previously applied plus the inner table's
+       scan-time unary predicates. *)
+    let prev_applied =
+      let before = if j = 0 then Card.applicable_preds e (Plan.prefix_mask plan 1) land um
+        else applied_after (j - 1)
+      in
+      before lor (Card.applicable_preds e (1 lsl inner) land um)
+    in
+    let out_before = Card.subset_card_applied e ~tables:tables_after ~applied:prev_applied in
+    let out_after = Card.subset_card_applied e ~tables:tables_after ~applied in
+    (match metric with
+    | Cout -> total := !total +. out_after
+    | Operator_costs ->
+      total :=
+        !total +. join_cost plan.Plan.operators.(j) pm ~outer_card:!outer_card ~inner_card);
+    total := !total +. (join_eval_cost j *. out_before);
+    outer_card := out_after
+  done;
+  !total
+
+(* Applicable predicates per prefix (k = 2 .. n), i.e. after join j at
+   index j = k - 2. *)
+let earliest_applicable e plan =
+  let n = Plan.num_tables plan in
+  Array.init (n - 1) (fun j -> Card.applicable_preds e (Plan.prefix_mask plan (j + 2)))
+
+let plan_cost ?(metric = Operator_costs) ?(pm = default_page_model) q plan =
+  (match Plan.validate q plan with Ok () -> () | Error msg -> invalid_arg msg);
+  let e = Card.estimator q in
+  let um = unary_mask q in
+  let applied = earliest_applicable e plan in
+  let join_eval_cost j =
+    (* Non-unary predicates newly applicable at join j, charged here. *)
+    let prev = if j = 0 then Card.applicable_preds e (Plan.prefix_mask plan 1) else applied.(j - 1) in
+    let fresh = applied.(j) land lnot prev land lnot um in
+    let acc = ref 0. in
+    Array.iteri
+      (fun pi p ->
+        if fresh land (1 lsl pi) <> 0 && p.Predicate.eval_cost > 0. then
+          acc := !acc +. p.Predicate.eval_cost)
+      q.Query.predicates;
+    !acc
+  in
+  walk_cost metric pm q plan ~applied_after:(fun j -> applied.(j)) ~join_eval_cost
+
+let plan_cost_with_schedule ?(metric = Operator_costs) ?(pm = default_page_model) q plan
+    ~schedule =
+  (match Plan.validate q plan with Ok () -> () | Error msg -> invalid_arg msg);
+  let e = Card.estimator q in
+  let m = Query.num_predicates q in
+  let um = unary_mask q in
+  if Array.length schedule <> m then
+    invalid_arg "Cost_model.plan_cost_with_schedule: schedule length mismatch";
+  let earliest = earliest_applicable e plan in
+  Array.iteri
+    (fun pi j ->
+      if um land (1 lsl pi) = 0 then begin
+        let first =
+          let rec find k =
+            if k >= Array.length earliest then
+              invalid_arg "Cost_model.plan_cost_with_schedule: predicate never applicable"
+            else if earliest.(k) land (1 lsl pi) <> 0 then k
+            else find (k + 1)
+          in
+          find 0
+        in
+        if j < first || j > Query.num_joins q - 1 then
+          invalid_arg
+            (Printf.sprintf
+               "Cost_model.plan_cost_with_schedule: predicate %d scheduled at join %d, first \
+                applicable at %d"
+               pi j first)
+      end)
+    schedule;
+  (* Applied after join j: scheduled non-unary predicates, all unary
+     predicates of present tables, and correlation corrections once every
+     member is applied. *)
+  let applied_after j =
+    let tables = Plan.prefix_mask plan (j + 2) in
+    let unary_applied = Card.applicable_preds e tables land um in
+    let acc = ref unary_applied in
+    Array.iteri
+      (fun pi jp ->
+        if um land (1 lsl pi) = 0 && jp <= j then acc := !acc lor (1 lsl pi))
+      schedule;
+    Array.iteri
+      (fun ci c ->
+        let applied pi = !acc land (1 lsl pi) <> 0 in
+        if List.for_all applied c.Predicate.corr_members then
+          acc := !acc lor (1 lsl (m + ci)))
+      q.Query.correlations;
+    !acc
+  in
+  let join_eval_cost j =
+    let acc = ref 0. in
+    Array.iteri
+      (fun pi p ->
+        if um land (1 lsl pi) = 0 && schedule.(pi) = j && p.Predicate.eval_cost > 0. then
+          acc := !acc +. p.Predicate.eval_cost)
+      q.Query.predicates;
+    !acc
+  in
+  walk_cost metric pm q plan ~applied_after ~join_eval_cost
+
+let optimal_operators ?(pm = default_page_model) q order =
+  let e = Card.estimator q in
+  let um = unary_mask q in
+  let cards = Card.prefix_cards q order in
+  let n = Array.length order in
+  let operators =
+    Array.init (n - 1) (fun j ->
+        let outer_card = cards.(j) in
+        let inner = order.(j + 1) in
+        let inner_card =
+          Card.subset_card_applied e ~tables:(1 lsl inner)
+            ~applied:(Card.applicable_preds e (1 lsl inner) land um)
+        in
+        let candidates = [ Plan.Hash_join; Plan.Sort_merge_join; Plan.Block_nested_loop ] in
+        let best =
+          List.fold_left
+            (fun best op ->
+              let c = join_cost op pm ~outer_card ~inner_card in
+              match best with
+              | Some (_, bc) when bc <= c -> best
+              | _ -> Some (op, c))
+            None candidates
+        in
+        match best with Some (op, _) -> op | None -> Plan.Hash_join)
+  in
+  Plan.of_order ~operators order

@@ -1,0 +1,60 @@
+(** Plan cost models (Section 4.3 of the paper).
+
+    All standard operators are costed in disk pages derived from operand
+    cardinalities through a page model:
+
+    - C_out: sum of intermediate-result cardinalities (Cluet & Moerkotte);
+    - hash join: [3 * (pages(outer) + pages(inner))];
+    - sort-merge join:
+      [2 pgo ceil(log2 pgo) + 2 pgi ceil(log2 pgi) + pgo + pgi]
+      (both inputs sorted);
+    - block nested loop: [ceil(pages(outer) / buffer) * pages(inner)].
+
+    Expensive predicates (Section 5.1) add [eval_cost * tuples_tested] at
+    the join where each predicate is evaluated. Unary predicates are
+    always evaluated at scan time (testing the raw table once), so inner
+    operands arrive pre-filtered; join-level scheduling only concerns
+    predicates over two or more tables. *)
+
+type page_model = {
+  tuple_bytes : float;  (** fixed byte size per tuple (the basic model) *)
+  page_bytes : float;
+  buffer_pages : float;  (** outer-operand buffer of the block nested loop *)
+}
+
+val default_page_model : page_model
+(** 100-byte tuples, 8 KiB pages, 100-page buffer. *)
+
+val pages : page_model -> float -> float
+(** [pages pm card = ceil (card * tuple_bytes / page_bytes)], at least 1
+    for a non-empty operand. *)
+
+val join_cost :
+  Plan.operator -> page_model -> outer_card:float -> inner_card:float -> float
+(** Cost of one join given operand cardinalities. *)
+
+type metric =
+  | Cout  (** ignore operators; sum intermediate-result cardinalities *)
+  | Operator_costs  (** use each join's physical operator cost formula *)
+
+val plan_cost : ?metric:metric -> ?pm:page_model -> Query.t -> Plan.t -> float
+(** Total cost with every predicate evaluated as early as possible
+    (predicate push-down, the basic model). Default metric
+    [Operator_costs]. *)
+
+val plan_cost_with_schedule :
+  ?metric:metric -> ?pm:page_model -> Query.t -> Plan.t -> schedule:int array -> float
+(** Like {!plan_cost} but predicates are applied according to [schedule]:
+    [schedule.(p) = j] means predicate [p] is evaluated while executing
+    join [j] (so it reduces the operands of join [j+1] onwards), and its
+    evaluation cost is [eval_cost * (output tuples of join j before the
+    newly evaluated predicates)]. [schedule.(p)] must be at least the
+    first join at which [p] is applicable; raises [Invalid_argument]
+    otherwise. Entries for unary predicates are ignored (they always run
+    at scan time). Correlation corrections apply as soon as all members
+    are evaluated. *)
+
+val optimal_operators : ?pm:page_model -> Query.t -> int array -> Plan.t
+(** Completes a join order into a plan by picking the cheapest operator
+    for each join independently — the paper's post-processing step when
+    the MILP only optimizes the order. *)

@@ -1,0 +1,70 @@
+type shape = Chain | Cycle | Star | Clique | Other
+
+let shape_to_string = function
+  | Chain -> "chain"
+  | Cycle -> "cycle"
+  | Star -> "star"
+  | Clique -> "clique"
+  | Other -> "other"
+
+let edges q =
+  let acc = ref [] in
+  Array.iter
+    (fun p ->
+      (* An n-ary predicate connects every pair of its tables. *)
+      let rec pairs = function
+        | [] -> ()
+        | t :: rest ->
+          List.iter (fun t' -> acc := (min t t', max t t') :: !acc) rest;
+          pairs rest
+      in
+      pairs p.Predicate.pred_tables)
+    q.Query.predicates;
+  List.sort_uniq compare !acc
+
+let adjacency q =
+  let n = Query.num_tables q in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    (edges q);
+  Array.map (List.sort_uniq compare) adj
+
+let adjacent q t = (adjacency q).(t)
+
+let is_connected q =
+  let n = Query.num_tables q in
+  if n = 1 then true
+  else begin
+    let adj = adjacency q in
+    let seen = Array.make n false in
+    let rec visit t =
+      if not seen.(t) then begin
+        seen.(t) <- true;
+        List.iter visit adj.(t)
+      end
+    in
+    visit 0;
+    Array.for_all (fun b -> b) seen
+  end
+
+let classify q =
+  let n = Query.num_tables q in
+  let es = edges q in
+  let ne = List.length es in
+  if n <= 2 then if ne >= n - 1 then Chain else Other
+  else begin
+    let adj = adjacency q in
+    let degrees = Array.map List.length adj in
+    let count d = Array.fold_left (fun acc x -> if x = d then acc + 1 else acc) 0 degrees in
+    let connected = is_connected q in
+    if not connected then Other
+    else if ne = n * (n - 1) / 2 && n > 3 then Clique
+    else if ne = n - 1 && count 1 = 2 && count 2 = n - 2 then Chain
+    else if ne = n && count 2 = n then if n = 3 then Cycle else Cycle
+    else if ne = n - 1 && count (n - 1) = 1 && count 1 = n - 1 then Star
+    else if ne = n * (n - 1) / 2 then Clique
+    else Other
+  end

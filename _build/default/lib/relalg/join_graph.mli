@@ -1,0 +1,23 @@
+(** Join graph structure: tables are vertices, binary predicates edges.
+
+    The paper's evaluation (Section 7) uses the three Steinbrunn shapes —
+    chain, cycle and star — plus cross products; this module classifies a
+    query's shape and answers adjacency questions. *)
+
+type shape = Chain | Cycle | Star | Clique | Other
+
+val shape_to_string : shape -> string
+
+val edges : Query.t -> (int * int) list
+(** Edges induced by binary predicates (deduplicated, [t1 < t2]); n-ary
+    predicates contribute a clique over their tables. *)
+
+val classify : Query.t -> shape
+(** Recognizes the canonical shapes by degree sequence; single tables and
+    two-table queries classify as [Chain]. *)
+
+val adjacent : Query.t -> int -> int list
+(** Neighbours of a table in the join graph. *)
+
+val is_connected : Query.t -> bool
+(** Whether the join graph spans all tables (no forced cross products). *)

@@ -1,0 +1,77 @@
+type operator = Hash_join | Sort_merge_join | Block_nested_loop
+
+let operator_to_string = function
+  | Hash_join -> "HJ"
+  | Sort_merge_join -> "SMJ"
+  | Block_nested_loop -> "BNL"
+
+type t = { order : int array; operators : operator array }
+
+let is_permutation order =
+  let n = Array.length order in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun t ->
+      if t < 0 || t >= n || seen.(t) then false
+      else begin
+        seen.(t) <- true;
+        true
+      end)
+    order
+
+let of_order ?operators order =
+  if Array.length order = 0 then invalid_arg "Plan.of_order: empty order";
+  if not (is_permutation order) then invalid_arg "Plan.of_order: not a permutation";
+  let n = Array.length order in
+  let operators =
+    match operators with
+    | None -> Array.make (max 0 (n - 1)) Hash_join
+    | Some ops ->
+      if Array.length ops <> n - 1 then invalid_arg "Plan.of_order: wrong operator count";
+      Array.copy ops
+  in
+  { order = Array.copy order; operators }
+
+let num_tables p = Array.length p.order
+
+let prefix_mask p k =
+  if k < 1 || k > num_tables p then invalid_arg "Plan.prefix_mask";
+  let mask = ref 0 in
+  for i = 0 to k - 1 do
+    mask := !mask lor (1 lsl p.order.(i))
+  done;
+  !mask
+
+let validate q p =
+  if num_tables p <> Query.num_tables q then
+    Error
+      (Printf.sprintf "plan joins %d tables but query has %d" (num_tables p)
+         (Query.num_tables q))
+  else Ok ()
+
+let pp_generic name ppf p =
+  let n = num_tables p in
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (String.concat "" (List.init (n - 1) (fun _ -> "(")));
+  Buffer.add_string buf (name p.order.(0));
+  for j = 0 to n - 2 do
+    Buffer.add_string buf
+      (Printf.sprintf " %s %s)" (operator_to_string p.operators.(j)) (name p.order.(j + 1)))
+  done;
+  Format.pp_print_string ppf (Buffer.contents buf)
+
+let pp ppf p = pp_generic (Printf.sprintf "T%d") ppf p
+
+let pp_with_query q ppf p = pp_generic (fun i -> q.Query.tables.(i).Catalog.tbl_name) ppf p
+
+let all_orders n =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (perms rest))
+        l
+  in
+  List.map Array.of_list (perms (List.init n (fun i -> i)))

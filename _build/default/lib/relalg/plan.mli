@@ -1,0 +1,38 @@
+(** Left-deep query plans.
+
+    A left-deep plan over n tables is a permutation of the table indices
+    (the join order) plus one physical operator per join (Section 3 and
+    Section 5.3 of the paper). [order.(0)] is the outer operand of the
+    first join, [order.(j+1)] is the inner operand of join [j]. *)
+
+type operator = Hash_join | Sort_merge_join | Block_nested_loop
+
+val operator_to_string : operator -> string
+
+type t = private {
+  order : int array;  (** permutation of [0 .. n-1] *)
+  operators : operator array;  (** length [n - 1] *)
+}
+
+val of_order : ?operators:operator array -> int array -> t
+(** Validates that [order] is a permutation; [operators] defaults to all
+    hash joins (the configuration of the paper's experiments). Raises
+    [Invalid_argument] on a non-permutation or a length mismatch. *)
+
+val num_tables : t -> int
+
+val prefix_mask : t -> int -> int
+(** [prefix_mask plan k] is the bitmask of the first [k] tables in the
+    order, [1 <= k <= n]. *)
+
+val validate : Query.t -> t -> (unit, string) result
+(** Checks the plan joins exactly the query's tables. *)
+
+val pp : Format.formatter -> t -> unit
+(** E.g. [((T0 HJ T2) SMJ T1)]. *)
+
+val pp_with_query : Query.t -> Format.formatter -> t -> unit
+(** Same, with the query's table names. *)
+
+val all_orders : int -> int array list
+(** All permutations of [0 .. n-1]; for exhaustive testing on tiny n. *)

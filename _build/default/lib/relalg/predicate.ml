@@ -1,0 +1,40 @@
+type t = { pred_name : string; pred_tables : int list; selectivity : float; eval_cost : float }
+
+let make ?name ?(eval_cost = 0.) tables selectivity =
+  let tables = List.sort_uniq compare tables in
+  if tables = [] then invalid_arg "Predicate: needs at least one table";
+  if List.exists (fun t -> t < 0) tables then invalid_arg "Predicate: negative table index";
+  if not (selectivity > 0. && selectivity <= 1.) then
+    invalid_arg "Predicate: selectivity must be in (0, 1]";
+  if eval_cost < 0. then invalid_arg "Predicate: negative evaluation cost";
+  let pred_name =
+    match name with
+    | Some n -> n
+    | None -> "p_" ^ String.concat "_" (List.map string_of_int tables)
+  in
+  { pred_name; pred_tables = tables; selectivity; eval_cost }
+
+let binary ?name ?eval_cost t1 t2 sel =
+  if t1 = t2 then invalid_arg "Predicate.binary: tables must differ";
+  make ?name ?eval_cost [ t1; t2 ] sel
+
+let nary ?name ?eval_cost tables sel =
+  if List.length (List.sort_uniq compare tables) < List.length tables then
+    invalid_arg "Predicate.nary: duplicate table";
+  make ?name ?eval_cost tables sel
+
+let is_applicable p ~present = List.for_all present p.pred_tables
+
+let pp ppf p =
+  Format.fprintf ppf "%s[%s](sel=%g%s)" p.pred_name
+    (String.concat "," (List.map string_of_int p.pred_tables))
+    p.selectivity
+    (if p.eval_cost > 0. then Printf.sprintf ", cost=%g" p.eval_cost else "")
+
+type correlation = { corr_members : int list; corr_correction : float }
+
+let correlation ~members ~correction =
+  let members = List.sort_uniq compare members in
+  if List.length members < 2 then invalid_arg "Predicate.correlation: needs >= 2 members";
+  if correction <= 0. then invalid_arg "Predicate.correlation: correction must be > 0";
+  { corr_members = members; corr_correction = correction }

@@ -1,0 +1,37 @@
+(** Join predicates.
+
+    The paper's basic model uses binary predicates connecting two tables;
+    Section 5.1 extends to n-ary predicates, correlated predicate groups
+    and predicates with per-tuple evaluation cost. All are represented
+    here; a predicate is applicable to an intermediate result exactly when
+    every table it references is present. *)
+
+type t = {
+  pred_name : string;
+  pred_tables : int list;  (** sorted, distinct table indices; length >= 1 *)
+  selectivity : float;  (** in (0, 1] *)
+  eval_cost : float;  (** cost per input tuple; [0.] = free (basic model) *)
+}
+
+val binary : ?name:string -> ?eval_cost:float -> int -> int -> float -> t
+(** [binary t1 t2 sel] — the paper's basic predicate form. *)
+
+val nary : ?name:string -> ?eval_cost:float -> int list -> float -> t
+(** N-ary predicate over the given (distinct) table indices. *)
+
+val is_applicable : t -> present:(int -> bool) -> bool
+(** Whether every referenced table is in the operand. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Correlated predicate groups (Section 5.1): a virtual predicate [g]
+    whose selectivity corrects the independence assumption for the group.
+    [corr_correction] multiplies the product of member selectivities, so
+    the group's true accumulated selectivity is
+    [corr_correction * prod (member selectivities)]. *)
+type correlation = {
+  corr_members : int list;  (** indices into the query's predicate array *)
+  corr_correction : float;  (** > 0; applied once all members are applied *)
+}
+
+val correlation : members:int list -> correction:float -> correlation

@@ -1,0 +1,62 @@
+type t = {
+  tables : Catalog.table array;
+  predicates : Predicate.t array;
+  correlations : Predicate.correlation array;
+  output_columns : (int * Catalog.column) list;
+}
+
+let create ?(predicates = []) ?(correlations = []) ?(output_columns = []) tables =
+  let tables = Array.of_list tables in
+  let n = Array.length tables in
+  if n = 0 then invalid_arg "Query.create: no tables";
+  let predicates = Array.of_list predicates in
+  Array.iter
+    (fun p ->
+      List.iter
+        (fun ti ->
+          if ti < 0 || ti >= n then
+            invalid_arg
+              (Printf.sprintf "Query.create: predicate %s references table %d (out of %d)"
+                 p.Predicate.pred_name ti n))
+        p.Predicate.pred_tables)
+    predicates;
+  let m = Array.length predicates in
+  let correlations = Array.of_list correlations in
+  Array.iter
+    (fun c ->
+      List.iter
+        (fun pi ->
+          if pi < 0 || pi >= m then
+            invalid_arg "Query.create: correlation references an unknown predicate")
+        c.Predicate.corr_members)
+    correlations;
+  List.iter
+    (fun (ti, _) ->
+      if ti < 0 || ti >= n then invalid_arg "Query.create: output column on unknown table")
+    output_columns;
+  { tables; predicates; correlations; output_columns }
+
+let num_tables q = Array.length q.tables
+
+let num_predicates q = Array.length q.predicates
+
+let num_joins q = num_tables q - 1
+
+let table_card q i = q.tables.(i).Catalog.tbl_card
+
+let max_intermediate_card q =
+  Array.fold_left (fun acc t -> acc *. t.Catalog.tbl_card) 1. q.tables
+
+let min_result_card q =
+  let base = max_intermediate_card q in
+  let with_preds =
+    Array.fold_left (fun acc p -> acc *. p.Predicate.selectivity) base q.predicates
+  in
+  Array.fold_left (fun acc c -> acc *. c.Predicate.corr_correction) with_preds q.correlations
+
+let pp ppf q =
+  Format.fprintf ppf "query{tables=[%s]; predicates=[%s]}"
+    (String.concat "; "
+       (Array.to_list (Array.map (Format.asprintf "%a" Catalog.pp_table) q.tables)))
+    (String.concat "; "
+       (Array.to_list (Array.map (Format.asprintf "%a" Predicate.pp) q.predicates)))

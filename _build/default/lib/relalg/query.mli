@@ -1,0 +1,38 @@
+(** A join query in the paper's model: a set of tables to join and a set
+    of predicates connecting them (Section 3), optionally extended with
+    correlated predicate groups and a projection list. *)
+
+type t = private {
+  tables : Catalog.table array;
+  predicates : Predicate.t array;
+  correlations : Predicate.correlation array;
+  output_columns : (int * Catalog.column) list;
+  (** columns required in the final result, as (table index, column);
+      empty means "all columns" / byte sizes not modeled *)
+}
+
+val create :
+  ?predicates:Predicate.t list ->
+  ?correlations:Predicate.correlation list ->
+  ?output_columns:(int * Catalog.column) list ->
+  Catalog.table list ->
+  t
+(** Validates that predicate and correlation indices are in range and that
+    at least one table is present. Raises [Invalid_argument] otherwise. *)
+
+val num_tables : t -> int
+val num_predicates : t -> int
+val num_joins : t -> int
+(** [num_tables - 1]: a query over n tables takes n-1 binary joins. *)
+
+val table_card : t -> int -> float
+val max_intermediate_card : t -> float
+(** Product of all table cardinalities: an upper bound on any
+    intermediate result cardinality (selectivities only shrink it). *)
+
+val min_result_card : t -> float
+(** Product of all cardinalities, all selectivities and all correlation
+    corrections: the estimated final result size, which lower-bounds no
+    intermediate result in general but is useful for threshold ranges. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,183 @@
+let ( let* ) = Result.bind
+
+type accum = {
+  mutable tables : (string * float * int * float) list;  (* name, card, cols, bytes *)
+  mutable preds : Predicate.t list;
+  mutable corrs : Predicate.correlation list;
+}
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "bad %s: %s" what s)
+
+(* Optional key=value trailing arguments. *)
+let keyed key tokens =
+  List.find_map
+    (fun t ->
+      let prefix = key ^ "=" in
+      if String.length t > String.length prefix && String.sub t 0 (String.length prefix) = prefix
+      then Some (String.sub t (String.length prefix) (String.length t - String.length prefix))
+      else None)
+    tokens
+
+let table_index acc name =
+  let rec go i = function
+    | [] -> Error (Printf.sprintf "unknown table: %s" name)
+    | (n, _, _, _) :: _ when n = name -> Ok i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 (List.rev acc.tables)
+
+let parse text =
+  let acc = { tables = []; preds = []; corrs = [] } in
+  let parse_line lineno line =
+    let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
+    let err msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+    match split_ws line with
+    | [] -> Ok ()
+    | "table" :: name :: card :: rest ->
+      let* card = Result.map_error (Printf.sprintf "line %d: %s" lineno) (parse_float "cardinality" card) in
+      let cols =
+        match keyed "cols" rest with Some c -> int_of_string_opt c | None -> Some 0
+      in
+      let bytes =
+        match keyed "bytes" rest with Some b -> float_of_string_opt b | None -> Some 8.
+      in
+      (match (cols, bytes) with
+      | Some cols, Some bytes ->
+        acc.tables <- (name, card, cols, bytes) :: acc.tables;
+        Ok ()
+      | _ -> err "bad cols=/bytes=")
+    | "pred" :: t1 :: t2 :: sel :: rest ->
+      let* i1 = Result.map_error (Printf.sprintf "line %d: %s" lineno) (table_index acc t1) in
+      let* i2 = Result.map_error (Printf.sprintf "line %d: %s" lineno) (table_index acc t2) in
+      let* sel = Result.map_error (Printf.sprintf "line %d: %s" lineno) (parse_float "selectivity" sel) in
+      let eval_cost =
+        match keyed "cost" rest with Some c -> float_of_string_opt c | None -> Some 0.
+      in
+      (match eval_cost with
+      | Some eval_cost -> (
+        match Predicate.binary ~eval_cost i1 i2 sel with
+        | p ->
+          acc.preds <- p :: acc.preds;
+          Ok ()
+        | exception Invalid_argument m -> err m)
+      | None -> err "bad cost=")
+    | "npred" :: rest when List.length rest >= 2 -> (
+      let names = List.filteri (fun i _ -> i < List.length rest - 1) rest in
+      let sel = List.nth rest (List.length rest - 1) in
+      let* sel = Result.map_error (Printf.sprintf "line %d: %s" lineno) (parse_float "selectivity" sel) in
+      let* indices =
+        List.fold_left
+          (fun acc_r name ->
+            let* l = acc_r in
+            let* i = Result.map_error (Printf.sprintf "line %d: %s" lineno) (table_index acc name) in
+            Ok (i :: l))
+          (Ok []) names
+      in
+      match Predicate.nary (List.rev indices) sel with
+      | p ->
+        acc.preds <- p :: acc.preds;
+        Ok ()
+      | exception Invalid_argument m -> err m)
+    | "corr" :: rest when List.length rest >= 3 -> (
+      let member_tokens = List.filteri (fun i _ -> i < List.length rest - 1) rest in
+      let corr_token = List.nth rest (List.length rest - 1) in
+      if String.length corr_token < 2 || corr_token.[0] <> 'x' then err "correction must be xFACTOR"
+      else
+        let* factor =
+          Result.map_error (Printf.sprintf "line %d: %s" lineno)
+            (parse_float "correction" (String.sub corr_token 1 (String.length corr_token - 1)))
+        in
+        let members = List.filter_map int_of_string_opt member_tokens in
+        if List.length members <> List.length member_tokens then err "bad predicate index"
+        else
+          match Predicate.correlation ~members ~correction:factor with
+          | c ->
+            acc.corrs <- c :: acc.corrs;
+            Ok ()
+          | exception Invalid_argument m -> err m)
+    | directive :: _ -> err (Printf.sprintf "unknown directive: %s" directive)
+  in
+  let lines = String.split_on_char '\n' text in
+  let* () =
+    List.fold_left
+      (fun r (lineno, line) ->
+        let* () = r in
+        parse_line lineno line)
+      (Ok ())
+      (List.mapi (fun i l -> (i + 1, l)) lines)
+  in
+  if acc.tables = [] then Error "no tables"
+  else begin
+    let tables =
+      List.rev_map
+        (fun (name, card, cols, bytes) ->
+          let columns =
+            List.init cols (fun c ->
+                { Catalog.col_name = Printf.sprintf "%s_c%d" name c; col_bytes = bytes })
+          in
+          Catalog.table ~columns name card)
+        acc.tables
+    in
+    match
+      Query.create ~predicates:(List.rev acc.preds) ~correlations:(List.rev acc.corrs) tables
+    with
+    | q -> Ok q
+    | exception Invalid_argument m -> Error m
+  end
+
+let of_file path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    parse text
+
+let to_string q =
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun t ->
+      let cols = List.length t.Catalog.tbl_columns in
+      if cols = 0 then
+        Buffer.add_string buf (Printf.sprintf "table %s %.17g\n" t.Catalog.tbl_name t.Catalog.tbl_card)
+      else
+        let bytes =
+          match t.Catalog.tbl_columns with c :: _ -> c.Catalog.col_bytes | [] -> 8.
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "table %s %.17g cols=%d bytes=%.17g\n" t.Catalog.tbl_name
+             t.Catalog.tbl_card cols bytes))
+    q.Query.tables;
+  Array.iter
+    (fun p ->
+      let name i = q.Query.tables.(i).Catalog.tbl_name in
+      match p.Predicate.pred_tables with
+      | [ t1; t2 ] when p.Predicate.eval_cost = 0. ->
+        Buffer.add_string buf
+          (Printf.sprintf "pred %s %s %.17g\n" (name t1) (name t2) p.Predicate.selectivity)
+      | [ t1; t2 ] ->
+        Buffer.add_string buf
+          (Printf.sprintf "pred %s %s %.17g cost=%.17g\n" (name t1) (name t2)
+             p.Predicate.selectivity p.Predicate.eval_cost)
+      | tables ->
+        Buffer.add_string buf
+          (Printf.sprintf "npred %s %.17g\n"
+             (String.concat " " (List.map name tables))
+             p.Predicate.selectivity))
+    q.Query.predicates;
+  Array.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "corr %s x%.17g\n"
+           (String.concat " " (List.map string_of_int c.Predicate.corr_members))
+           c.Predicate.corr_correction))
+    q.Query.correlations;
+  Buffer.contents buf

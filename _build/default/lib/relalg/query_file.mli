@@ -1,0 +1,21 @@
+(** A small text format for join queries, so the CLI and tests can load
+    hand-written workloads.
+
+    {v
+    # comments and blank lines are ignored
+    table orders 1000000
+    table lineitem 4000000 cols=16 bytes=8
+    pred orders lineitem 0.0001
+    pred lineitem supplier 0.001 cost=2.5   # expensive predicate
+    npred a b c 0.05                        # n-ary predicate
+    corr 0 1 x2.0                           # predicates 0 and 1 correlate
+    v} *)
+
+val parse : string -> (Query.t, string) result
+(** Parses the contents of a query file. *)
+
+val of_file : string -> (Query.t, string) result
+
+val to_string : Query.t -> string
+(** Renders a query back into the format (inverse of {!parse} up to
+    formatting). *)

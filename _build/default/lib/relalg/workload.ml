@@ -1,0 +1,64 @@
+type config = {
+  card_min : float;
+  card_max : float;
+  sel_min : float;
+  sel_max : float;
+  columns_per_table : int;
+  column_bytes : float;
+}
+
+let default_config =
+  {
+    card_min = 10.;
+    card_max = 100_000.;
+    sel_min = 1e-4;
+    sel_max = 0.9;
+    columns_per_table = 0;
+    column_bytes = 8.;
+  }
+
+(* Log-uniform draw in [lo, hi]. *)
+let log_uniform state lo hi =
+  if lo <= 0. || hi < lo then invalid_arg "Workload: bad range";
+  let u = Random.State.float state 1. in
+  exp (log lo +. (u *. (log hi -. log lo)))
+
+let shape_edges shape n =
+  match (shape : Join_graph.shape) with
+  | Join_graph.Chain -> List.init (max 0 (n - 1)) (fun i -> (i, i + 1))
+  | Join_graph.Cycle ->
+    if n < 3 then List.init (max 0 (n - 1)) (fun i -> (i, i + 1))
+    else (n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1))
+  | Join_graph.Star -> List.init (max 0 (n - 1)) (fun i -> (0, i + 1))
+  | Join_graph.Clique ->
+    List.concat
+      (List.init n (fun i -> List.init (n - 1 - i) (fun k -> (i, i + 1 + k))))
+  | Join_graph.Other -> invalid_arg "Workload.generate: shape Other is not generable"
+
+let generate ?(config = default_config) ~seed ~shape ~num_tables () =
+  if num_tables < 1 then invalid_arg "Workload.generate: num_tables < 1";
+  let state = Random.State.make [| seed; num_tables; Hashtbl.hash shape |] in
+  let tables =
+    List.init num_tables (fun i ->
+        let card = Float.round (log_uniform state config.card_min config.card_max) in
+        let columns =
+          List.init config.columns_per_table (fun c ->
+              {
+                Catalog.col_name = Printf.sprintf "t%d_c%d" i c;
+                col_bytes = config.column_bytes;
+              })
+        in
+        Catalog.table ~columns (Printf.sprintf "T%d" i) (max 1. card))
+  in
+  let predicates =
+    List.map
+      (fun (a, b) ->
+        let sel = log_uniform state config.sel_min config.sel_max in
+        Predicate.binary a b sel)
+      (shape_edges shape num_tables)
+  in
+  Query.create ~predicates tables
+
+let generate_many ?(config = default_config) ~seed ~shape ~num_tables ~count () =
+  List.init count (fun i ->
+      generate ~config ~seed:(seed + (7919 * (i + 1))) ~shape ~num_tables ())

@@ -1,0 +1,34 @@
+(** Random query generation following Steinbrunn et al. (VLDBJ'97), the
+    method the paper uses to benchmark (Section 7.1): random table
+    cardinalities, random predicate selectivities, and chain / cycle /
+    star join graph shapes. Cross products are permitted downstream (the
+    generator only controls which predicates exist). *)
+
+type config = {
+  card_min : float;
+  card_max : float;  (** cardinalities drawn log-uniformly in [card_min, card_max] *)
+  sel_min : float;
+  sel_max : float;  (** selectivities drawn log-uniformly in [sel_min, sel_max] *)
+  columns_per_table : int;  (** 0 disables column generation *)
+  column_bytes : float;
+}
+
+val default_config : config
+(** Cardinalities in [10, 100000], selectivities in [1e-4, 0.9], no
+    columns. *)
+
+val generate :
+  ?config:config -> seed:int -> shape:Join_graph.shape -> num_tables:int -> unit -> Query.t
+(** Deterministic for a given (seed, shape, num_tables, config).
+    Raises [Invalid_argument] for [num_tables < 1] or the [Other] shape;
+    [Clique] generates all-pairs predicates. *)
+
+val generate_many :
+  ?config:config ->
+  seed:int ->
+  shape:Join_graph.shape ->
+  num_tables:int ->
+  count:int ->
+  unit ->
+  Query.t list
+(** [count] queries with derived per-query seeds. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Dp_opt Joinopt List Milp Printf QCheck QCheck_alcotest Relalg Result String

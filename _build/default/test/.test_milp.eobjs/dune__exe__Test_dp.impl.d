@@ -1,0 +1,1 @@
+test/test_dp.ml: Alcotest Array Dp_opt List QCheck QCheck_alcotest Relalg Result

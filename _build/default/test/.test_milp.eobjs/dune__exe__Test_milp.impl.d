@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Hashtbl List Milp QCheck QCheck_alcotest Random Result String

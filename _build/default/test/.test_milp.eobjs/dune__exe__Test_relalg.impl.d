@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Array Fmt Format List QCheck QCheck_alcotest Relalg

@@ -1,0 +1,257 @@
+(* Tests for the dynamic programming baselines: bitsets, the Selinger DP,
+   brute-force enumeration and the greedy heuristic. *)
+
+module Bitset = Dp_opt.Bitset
+module Selinger = Dp_opt.Selinger
+module Enumerate = Dp_opt.Enumerate
+module Greedy = Dp_opt.Greedy
+module Workload = Relalg.Workload
+module Join_graph = Relalg.Join_graph
+module Plan = Relalg.Plan
+module Cost_model = Relalg.Cost_model
+module Query = Relalg.Query
+module Predicate = Relalg.Predicate
+module Catalog = Relalg.Catalog
+
+let check_float_rel name a b =
+  let tol = 1e-9 *. max 1. (abs_float a) in
+  if abs_float (a -. b) > tol then
+    Alcotest.failf "%s: %.17g vs %.17g" name a b
+
+(* ------------------------------------------------------------------ *)
+(* Bitsets                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let prop_bitset_members =
+  QCheck.Test.make ~count:200 ~name:"members round-trips with mem"
+    QCheck.(int_bound ((1 lsl 16) - 1))
+    (fun mask ->
+      let ms = Bitset.members mask in
+      List.for_all (fun i -> Bitset.mem mask i) ms
+      && List.length ms = Bitset.cardinal mask
+      && List.fold_left (fun m i -> Bitset.add m i) 0 ms = mask)
+
+let test_subsets_by_cardinality () =
+  let subsets = Bitset.subsets_by_cardinality 4 in
+  Alcotest.(check int) "count" 16 (Array.length subsets);
+  (* Non-decreasing population counts, all distinct. *)
+  let ok = ref true in
+  for i = 1 to 15 do
+    if Bitset.cardinal subsets.(i) < Bitset.cardinal subsets.(i - 1) then ok := false
+  done;
+  Alcotest.(check bool) "sorted by cardinality" true !ok;
+  Alcotest.(check int) "distinct" 16
+    (List.length (List.sort_uniq compare (Array.to_list subsets)))
+
+(* ------------------------------------------------------------------ *)
+(* Selinger vs exhaustive enumeration                                   *)
+(* ------------------------------------------------------------------ *)
+
+let get_complete = function
+  | Selinger.Complete r -> r
+  | Selinger.Timed_out _ -> Alcotest.fail "DP unexpectedly timed out"
+
+let prop_dp_matches_enumeration =
+  QCheck.Test.make ~count:60 ~name:"Selinger DP equals brute force"
+    QCheck.(triple (int_range 2 6) (int_range 0 10_000) (int_range 0 2))
+    (fun (n, seed, shape_idx) ->
+      let shape =
+        match shape_idx with 0 -> Join_graph.Chain | 1 -> Join_graph.Star | _ -> Join_graph.Cycle
+      in
+      let q = Workload.generate ~seed ~shape ~num_tables:n () in
+      let r = get_complete (Selinger.optimize q) in
+      let _, brute_cost = Enumerate.optimize q in
+      abs_float (r.Selinger.cost -. brute_cost) <= 1e-6 *. max 1. brute_cost)
+
+let prop_dp_cost_is_plan_cost =
+  QCheck.Test.make ~count:60 ~name:"DP cost equals plan_cost of its plan"
+    QCheck.(pair (int_range 2 7) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let q = Workload.generate ~seed ~shape:Join_graph.Cycle ~num_tables:n () in
+      let r = get_complete (Selinger.optimize q) in
+      let replay = Cost_model.plan_cost q r.Selinger.plan in
+      abs_float (r.Selinger.cost -. replay) <= 1e-6 *. max 1. replay)
+
+let prop_dp_best_per_join =
+  QCheck.Test.make ~count:40 ~name:"DP with free operator choice equals brute force"
+    QCheck.(pair (int_range 2 5) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let q = Workload.generate ~seed ~shape:Join_graph.Star ~num_tables:n () in
+      let r = get_complete (Selinger.optimize ~operators:Selinger.Best_per_join q) in
+      let _, brute = Enumerate.optimize ~operators:Selinger.Best_per_join q in
+      abs_float (r.Selinger.cost -. brute) <= 1e-6 *. max 1. brute)
+
+let prop_dp_cout_metric =
+  QCheck.Test.make ~count:40 ~name:"DP under C_out equals brute force"
+    QCheck.(pair (int_range 2 6) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let q = Workload.generate ~seed ~shape:Join_graph.Chain ~num_tables:n () in
+      let r = get_complete (Selinger.optimize ~metric:Cost_model.Cout q) in
+      let _, brute = Enumerate.optimize ~metric:Cost_model.Cout q in
+      abs_float (r.Selinger.cost -. brute) <= 1e-6 *. max 1. brute)
+
+let test_dp_expensive_predicates () =
+  (* DP must account for evaluation charges identically to plan_cost. *)
+  let tables =
+    [ Catalog.table "A" 50.; Catalog.table "B" 2000.; Catalog.table "C" 400. ]
+  in
+  let predicates =
+    [ Predicate.binary ~eval_cost:2. 0 1 0.01; Predicate.binary 1 2 0.05 ]
+  in
+  let q = Query.create ~predicates tables in
+  let r = get_complete (Selinger.optimize q) in
+  check_float_rel "cost replay" r.Selinger.cost (Cost_model.plan_cost q r.Selinger.plan);
+  let _, brute = Enumerate.optimize q in
+  check_float_rel "matches brute force" r.Selinger.cost brute
+
+let test_dp_time_limit () =
+  let q = Workload.generate ~seed:1 ~shape:Join_graph.Chain ~num_tables:18 () in
+  match Selinger.optimize ~time_limit:0.0 q with
+  | Selinger.Timed_out _ -> ()
+  | Selinger.Complete _ -> Alcotest.fail "expected a timeout with a zero budget"
+
+let test_dp_memory_cap () =
+  let q = Workload.generate ~seed:1 ~shape:Join_graph.Chain ~num_tables:30 () in
+  match Selinger.optimize q with
+  | Selinger.Timed_out { subsets_explored; _ } ->
+    Alcotest.(check int) "no work done" 0 subsets_explored
+  | Selinger.Complete _ -> Alcotest.fail "expected refusal beyond the memory cap"
+
+(* ------------------------------------------------------------------ *)
+(* IKKBZ                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Ikkbz = Dp_opt.Ikkbz
+
+(* Minimal C_out over *connected* left-deep orders, by brute force. *)
+let best_connected_cout q =
+  let n = Query.num_tables q in
+  let e = Relalg.Card.estimator q in
+  let connected order =
+    let ok = ref true in
+    let mask = ref (1 lsl order.(0)) in
+    for k = 1 to n - 1 do
+      let bit = 1 lsl order.(k) in
+      let touches =
+        Array.exists
+          (fun p ->
+            let pm =
+              List.fold_left (fun m t -> m lor (1 lsl t)) 0 p.Predicate.pred_tables
+            in
+            pm land bit <> 0 && pm land lnot (!mask lor bit) = 0)
+          q.Query.predicates
+      in
+      if not touches then ok := false;
+      mask := !mask lor bit
+    done;
+    ignore e;
+    !ok
+  in
+  List.filter connected (Plan.all_orders n)
+  |> List.map (fun o -> Cost_model.plan_cost ~metric:Cost_model.Cout q (Plan.of_order o))
+  |> List.fold_left min infinity
+
+let prop_ikkbz_optimal_on_trees =
+  QCheck.Test.make ~count:50 ~name:"IKKBZ matches the best connected order on trees"
+    QCheck.(triple (int_range 2 7) (int_range 0 10_000) bool)
+    (fun (n, seed, star) ->
+      let shape = if star then Join_graph.Star else Join_graph.Chain in
+      let q = Workload.generate ~seed ~shape ~num_tables:n () in
+      match Ikkbz.plan q with
+      | Error Ikkbz.Not_a_tree -> false
+      | Ok (plan, cost) ->
+        Result.is_ok (Plan.validate q plan)
+        && abs_float (cost -. best_connected_cout q) <= 1e-6 *. max 1. cost)
+
+let test_ikkbz_rejects_cycles () =
+  let q = Workload.generate ~seed:3 ~shape:Join_graph.Cycle ~num_tables:5 () in
+  match Ikkbz.order q with
+  | Error Ikkbz.Not_a_tree -> ()
+  | Ok _ -> Alcotest.fail "expected rejection of a cyclic join graph"
+
+(* ------------------------------------------------------------------ *)
+(* Randomized heuristics                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Annealing = Dp_opt.Annealing
+
+let prop_randomized_valid_and_dominated =
+  QCheck.Test.make ~count:30 ~name:"II and SA produce valid plans no better than DP"
+    QCheck.(pair (int_range 2 6) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let q = Workload.generate ~seed ~shape:Join_graph.Cycle ~num_tables:n () in
+      let dp = get_complete (Selinger.optimize q) in
+      let check (r : Annealing.result) =
+        Result.is_ok (Plan.validate q r.Annealing.plan)
+        && r.Annealing.cost >= dp.Selinger.cost -. 1e-9
+        && abs_float (r.Annealing.cost -. Cost_model.plan_cost q r.Annealing.plan)
+           <= 1e-6 *. max 1. r.Annealing.cost
+      in
+      check (Annealing.iterative_improvement ~seed ~restarts:3 q)
+      && check (Annealing.simulated_annealing ~seed q))
+
+let test_randomized_deterministic () =
+  let q = Workload.generate ~seed:8 ~shape:Join_graph.Star ~num_tables:7 () in
+  let a = Annealing.simulated_annealing ~seed:5 q in
+  let b = Annealing.simulated_annealing ~seed:5 q in
+  check_float_rel "same cost" a.Annealing.cost b.Annealing.cost
+
+let test_randomized_finds_optimum_often () =
+  (* On tiny queries the heuristics should essentially always land on the
+     optimum given a few restarts. *)
+  let q = Workload.generate ~seed:4 ~shape:Join_graph.Chain ~num_tables:5 () in
+  let dp = get_complete (Selinger.optimize q) in
+  let ii = Annealing.iterative_improvement ~seed:1 ~restarts:10 q in
+  check_float_rel "II optimal on a tiny query" dp.Selinger.cost ii.Annealing.cost
+
+(* ------------------------------------------------------------------ *)
+(* Greedy                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let prop_greedy_valid_and_dominated =
+  QCheck.Test.make ~count:60 ~name:"greedy produces a valid plan no better than DP"
+    QCheck.(triple (int_range 2 7) (int_range 0 10_000) (int_range 0 2))
+    (fun (n, seed, shape_idx) ->
+      let shape =
+        match shape_idx with 0 -> Join_graph.Chain | 1 -> Join_graph.Star | _ -> Join_graph.Cycle
+      in
+      let q = Workload.generate ~seed ~shape ~num_tables:n () in
+      let plan, cost = Greedy.plan q in
+      let valid = Result.is_ok (Plan.validate q plan) in
+      let r = get_complete (Selinger.optimize q) in
+      valid && cost >= r.Selinger.cost -. 1e-9
+
+      && abs_float (cost -. Cost_model.plan_cost q plan) <= 1e-6 *. max 1. cost)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_bitset_members;
+      prop_dp_matches_enumeration;
+      prop_dp_cost_is_plan_cost;
+      prop_dp_best_per_join;
+      prop_dp_cout_metric;
+      prop_greedy_valid_and_dominated;
+      prop_ikkbz_optimal_on_trees;
+      prop_randomized_valid_and_dominated;
+    ]
+
+let () =
+  Alcotest.run "dp_opt"
+    [
+      ( "bitset",
+        [ Alcotest.test_case "subsets by cardinality" `Quick test_subsets_by_cardinality ] );
+      ( "selinger",
+        [
+          Alcotest.test_case "expensive predicates" `Quick test_dp_expensive_predicates;
+          Alcotest.test_case "time limit" `Quick test_dp_time_limit;
+          Alcotest.test_case "memory cap" `Quick test_dp_memory_cap;
+        ] );
+      ("ikkbz", [ Alcotest.test_case "rejects cycles" `Quick test_ikkbz_rejects_cycles ]);
+      ( "randomized",
+        [
+          Alcotest.test_case "deterministic per seed" `Quick test_randomized_deterministic;
+          Alcotest.test_case "optimal on tiny queries" `Quick test_randomized_finds_optimum_often;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,391 @@
+(* Tests for the relational substrate: catalog, predicates, queries, join
+   graphs, workload generation, plans, cardinality estimation and cost
+   models. *)
+
+module Catalog = Relalg.Catalog
+module Predicate = Relalg.Predicate
+module Query = Relalg.Query
+module Join_graph = Relalg.Join_graph
+module Workload = Relalg.Workload
+module Plan = Relalg.Plan
+module Card = Relalg.Card
+module Cost_model = Relalg.Cost_model
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let trirel () =
+  (* The paper's Example 1/2: R(10), S(1000), T(100); predicate R-S with
+     selectivity 0.1. *)
+  Query.create
+    ~predicates:[ Predicate.binary 0 1 0.1 ]
+    [ Catalog.table "R" 10.; Catalog.table "S" 1000.; Catalog.table "T" 100. ]
+
+(* ------------------------------------------------------------------ *)
+(* Catalog and predicates                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_catalog_validation () =
+  Alcotest.check_raises "zero cardinality" (Invalid_argument "Catalog.table: cardinality must be >= 1")
+    (fun () -> ignore (Catalog.table "X" 0.));
+  let t =
+    Catalog.table
+      ~columns:[ { Catalog.col_name = "a"; col_bytes = 4. }; { Catalog.col_name = "b"; col_bytes = 8. } ]
+      "X" 5.
+  in
+  check_float "row bytes" 12. (Catalog.row_bytes t)
+
+let test_predicate_validation () =
+  Alcotest.check_raises "same table" (Invalid_argument "Predicate.binary: tables must differ")
+    (fun () -> ignore (Predicate.binary 1 1 0.5));
+  Alcotest.check_raises "bad selectivity"
+    (Invalid_argument "Predicate: selectivity must be in (0, 1]") (fun () ->
+      ignore (Predicate.binary 0 1 0.));
+  let p = Predicate.nary [ 2; 0; 1 ] 0.25 in
+  Alcotest.(check (list int)) "tables sorted" [ 0; 1; 2 ] p.Predicate.pred_tables;
+  Alcotest.(check bool) "applicable" true
+    (Predicate.is_applicable p ~present:(fun _ -> true));
+  Alcotest.(check bool) "not applicable" false
+    (Predicate.is_applicable p ~present:(fun t -> t <> 1))
+
+let test_query_validation () =
+  Alcotest.check_raises "predicate out of range"
+    (Invalid_argument "Query.create: predicate p_0_5 references table 5 (out of 2)") (fun () ->
+      ignore
+        (Query.create
+           ~predicates:[ Predicate.binary 0 5 0.5 ]
+           [ Catalog.table "A" 10.; Catalog.table "B" 10. ]))
+
+(* ------------------------------------------------------------------ *)
+(* Join graphs and workloads                                            *)
+(* ------------------------------------------------------------------ *)
+
+let shape = Alcotest.testable (Fmt.of_to_string Join_graph.shape_to_string) ( = )
+
+let test_shapes () =
+  List.iter
+    (fun (s, n) ->
+      let q = Workload.generate ~seed:7 ~shape:s ~num_tables:n () in
+      Alcotest.check shape (Join_graph.shape_to_string s) s (Join_graph.classify q);
+      Alcotest.(check bool) "connected" true (Join_graph.is_connected q))
+    [
+      (Join_graph.Chain, 6);
+      (Join_graph.Star, 6);
+      (Join_graph.Cycle, 6);
+      (Join_graph.Clique, 6);
+      (Join_graph.Cycle, 3);
+    ]
+
+let test_workload_deterministic () =
+  let q1 = Workload.generate ~seed:5 ~shape:Join_graph.Star ~num_tables:7 () in
+  let q2 = Workload.generate ~seed:5 ~shape:Join_graph.Star ~num_tables:7 () in
+  for t = 0 to 6 do
+    check_float "same card" (Query.table_card q1 t) (Query.table_card q2 t)
+  done;
+  Array.iteri
+    (fun i p ->
+      check_float "same sel" p.Predicate.selectivity
+        q2.Query.predicates.(i).Predicate.selectivity)
+    q1.Query.predicates
+
+let prop_workload_ranges =
+  QCheck.Test.make ~count:50 ~name:"workload respects configured ranges"
+    QCheck.(pair (int_range 2 12) (int_range 0 10000))
+    (fun (n, seed) ->
+      let q = Workload.generate ~seed ~shape:Join_graph.Chain ~num_tables:n () in
+      let c = Workload.default_config in
+      Array.for_all
+        (fun t ->
+          t.Catalog.tbl_card >= c.Workload.card_min -. 1.
+          && t.Catalog.tbl_card <= c.Workload.card_max +. 1.)
+        q.Query.tables
+      && Array.for_all
+           (fun p ->
+             p.Predicate.selectivity >= c.Workload.sel_min *. 0.99
+             && p.Predicate.selectivity <= c.Workload.sel_max *. 1.01)
+           q.Query.predicates
+      && Query.num_predicates q = n - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_validation () =
+  Alcotest.check_raises "not a permutation" (Invalid_argument "Plan.of_order: not a permutation")
+    (fun () -> ignore (Plan.of_order [| 0; 0; 1 |]));
+  let p = Plan.of_order [| 2; 0; 1 |] in
+  Alcotest.(check int) "prefix mask 1" 0b100 (Plan.prefix_mask p 1);
+  Alcotest.(check int) "prefix mask 2" 0b101 (Plan.prefix_mask p 2);
+  Alcotest.(check int) "prefix mask 3" 0b111 (Plan.prefix_mask p 3);
+  Alcotest.(check string) "pp" "((T2 HJ T0) HJ T1)" (Format.asprintf "%a" Plan.pp p)
+
+let test_all_orders () =
+  Alcotest.(check int) "4! orders" 24 (List.length (Plan.all_orders 4));
+  let distinct = List.sort_uniq compare (List.map Array.to_list (Plan.all_orders 4)) in
+  Alcotest.(check int) "all distinct" 24 (List.length distinct)
+
+(* ------------------------------------------------------------------ *)
+(* Cardinality estimation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_paper_example_cards () =
+  let q = trirel () in
+  let e = Card.estimator q in
+  (* R x S with the predicate applied: 10 * 1000 * 0.1 = 1000. *)
+  check_float "R join S" 1000. (Card.subset_card e 0b011);
+  (* R x T: no predicate applies (cross product). *)
+  check_float "R x T" 1000. (Card.subset_card e 0b101);
+  (* All three. *)
+  check_float "R S T" 100000. (Card.subset_card e 0b111);
+  check_float "log10" 5. (Card.log10_subset_card e 0b111)
+
+let prop_extend_card_consistent =
+  QCheck.Test.make ~count:100 ~name:"extend_card agrees with subset_card"
+    QCheck.(triple (int_range 2 8) (int_range 0 1000) (int_range 0 255))
+    (fun (n, seed, mask_seed) ->
+      let q = Workload.generate ~seed ~shape:Join_graph.Cycle ~num_tables:n () in
+      let e = Card.estimator q in
+      let mask = mask_seed land ((1 lsl n) - 1) in
+      (* Extend the mask by the first missing table, if any. *)
+      let missing =
+        List.find_opt (fun t -> mask land (1 lsl t) = 0) (List.init n (fun i -> i))
+      in
+      match missing with
+      | None -> true
+      | Some t ->
+        let base = Card.subset_card e mask in
+        let extended = Card.extend_card e ~mask ~card:base ~table:t in
+        let direct = Card.subset_card e (mask lor (1 lsl t)) in
+        abs_float (extended -. direct) <= 1e-9 *. max 1. direct)
+
+let test_correlation_correction () =
+  (* Two predicates over three tables with a correlated group whose
+     correction doubles the selectivity product. *)
+  let tables = [ Catalog.table "A" 100.; Catalog.table "B" 100.; Catalog.table "C" 100. ] in
+  let predicates = [ Predicate.binary 0 1 0.1; Predicate.binary 1 2 0.1 ] in
+  let correlations = [ Predicate.correlation ~members:[ 0; 1 ] ~correction:2. ] in
+  let q = Query.create ~predicates ~correlations tables in
+  let e = Card.estimator q in
+  (* A-B only: group not complete, no correction. *)
+  check_float "pair" (100. *. 100. *. 0.1) (Card.subset_card e 0b011);
+  (* All three: both predicates and the correction. *)
+  check_float "all" (1e6 *. 0.1 *. 0.1 *. 2.) (Card.subset_card e 0b111)
+
+let prop_prefix_cards_product_law =
+  QCheck.Test.make ~count:100 ~name:"prefix cards equal closed-form products"
+    QCheck.(pair (int_range 2 7) (int_range 0 1000))
+    (fun (n, seed) ->
+      let q = Workload.generate ~seed ~shape:Join_graph.Star ~num_tables:n () in
+      let order = Array.init n (fun i -> i) in
+      let cards = Card.prefix_cards q order in
+      let e = Card.estimator q in
+      let ok = ref true in
+      for k = 1 to n do
+        let mask = (1 lsl k) - 1 in
+        let expect = Card.subset_card e mask in
+        if abs_float (cards.(k - 1) -. expect) > 1e-6 *. max 1. expect then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Cost models                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pm = Cost_model.default_page_model
+
+let test_pages () =
+  check_float "empty" 0. (Cost_model.pages pm 0.);
+  check_float "one tuple" 1. (Cost_model.pages pm 1.);
+  (* 8192 / 100 = 81.92 tuples per page. *)
+  check_float "100 tuples" 2. (Cost_model.pages pm 100.);
+  check_float "8192 tuples" 100. (Cost_model.pages pm 8192.)
+
+let test_join_cost_formulas () =
+  let outer_card = 10000. and inner_card = 500. in
+  let pgo = Cost_model.pages pm outer_card and pgi = Cost_model.pages pm inner_card in
+  check_float "hash" (3. *. (pgo +. pgi))
+    (Cost_model.join_cost Plan.Hash_join pm ~outer_card ~inner_card);
+  let lg x = if x <= 1. then 0. else ceil (log x /. log 2.) in
+  check_float "smj"
+    ((2. *. pgo *. lg pgo) +. (2. *. pgi *. lg pgi) +. pgo +. pgi)
+    (Cost_model.join_cost Plan.Sort_merge_join pm ~outer_card ~inner_card);
+  check_float "bnl"
+    (ceil (pgo /. pm.Cost_model.buffer_pages) *. pgi)
+    (Cost_model.join_cost Plan.Block_nested_loop pm ~outer_card ~inner_card)
+
+let test_cout_metric () =
+  let q = trirel () in
+  (* Order R, S, T: intermediates RS = 1000, RST = 100000. *)
+  let plan = Plan.of_order [| 0; 1; 2 |] in
+  check_float "cout" (1000. +. 100000.) (Cost_model.plan_cost ~metric:Cost_model.Cout q plan)
+
+let prop_schedule_earliest_matches_plan_cost =
+  QCheck.Test.make ~count:100 ~name:"earliest schedule equals plan_cost"
+    QCheck.(pair (int_range 2 6) (int_range 0 1000))
+    (fun (n, seed) ->
+      let q = Workload.generate ~seed ~shape:Join_graph.Chain ~num_tables:n () in
+      let order = Array.init n (fun i -> i) in
+      let plan = Plan.of_order order in
+      (* Earliest possible schedule per predicate. *)
+      let e = Card.estimator q in
+      let schedule =
+        Array.mapi
+          (fun _ p ->
+            let tmask =
+              List.fold_left (fun m t -> m lor (1 lsl t)) 0 p.Predicate.pred_tables
+            in
+            let rec first j =
+              if j > n - 2 then n - 2
+              else if tmask land Plan.prefix_mask plan (j + 2) = tmask then j
+              else first (j + 1)
+            in
+            first 0)
+          q.Query.predicates
+      in
+      ignore e;
+      let a = Cost_model.plan_cost q plan in
+      let b = Cost_model.plan_cost_with_schedule q plan ~schedule in
+      abs_float (a -. b) <= 1e-6 *. max 1. a)
+
+let prop_optimal_operators_never_worse =
+  QCheck.Test.make ~count:100 ~name:"optimal_operators no worse than any fixed operator"
+    QCheck.(pair (int_range 2 6) (int_range 0 1000))
+    (fun (n, seed) ->
+      let q = Workload.generate ~seed ~shape:Join_graph.Star ~num_tables:n () in
+      let order = Array.init n (fun i -> i) in
+      let best = Cost_model.optimal_operators q order in
+      let best_cost = Cost_model.plan_cost q best in
+      List.for_all
+        (fun op ->
+          let fixed = Plan.of_order ~operators:(Array.make (n - 1) op) order in
+          best_cost <= Cost_model.plan_cost q fixed +. 1e-9)
+        [ Plan.Hash_join; Plan.Sort_merge_join; Plan.Block_nested_loop ])
+
+let test_expensive_predicate_charges () =
+  (* One expensive predicate between A and B: evaluated at the join where
+     both are present, charged per joined tuple before filtering. *)
+  let tables = [ Catalog.table "A" 100.; Catalog.table "B" 200. ] in
+  let predicates = [ Predicate.binary ~eval_cost:0.5 0 1 0.1 ] in
+  let q = Query.create ~predicates tables in
+  let plan = Plan.of_order [| 0; 1 |] in
+  let base_q = Query.create ~predicates:[ Predicate.binary 0 1 0.1 ] tables in
+  let with_charge = Cost_model.plan_cost ~metric:Cost_model.Cout q plan in
+  let without = Cost_model.plan_cost ~metric:Cost_model.Cout base_q plan in
+  (* 100 * 200 tuples tested at 0.5 each. *)
+  check_float "charge" (without +. (0.5 *. 20000.)) with_charge
+
+let test_unary_scan_charge () =
+  (* A unary predicate filters at scan time and charges the raw table. *)
+  let tables = [ Catalog.table "A" 100.; Catalog.table "B" 200. ] in
+  let predicates = [ Predicate.nary ~eval_cost:1. [ 0 ] 0.5; Predicate.binary 0 1 0.1 ] in
+  let q = Query.create ~predicates tables in
+  let plan = Plan.of_order [| 0; 1 |] in
+  (* C_out: output = 100*0.5 * 200 * 0.1 = 1000; scan charge = 100. *)
+  check_float "cout with unary"
+    (1000. +. 100.)
+    (Cost_model.plan_cost ~metric:Cost_model.Cout q plan)
+
+(* ------------------------------------------------------------------ *)
+(* Query files                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Query_file = Relalg.Query_file
+
+let test_query_file_parse () =
+  let text =
+    {|# a comment
+table orders 1000000
+table lineitem 4000000 cols=3 bytes=16
+table supplier 10000
+
+pred orders lineitem 0.0001
+pred lineitem supplier 0.001 cost=2.5
+corr 0 1 x1.5
+|}
+  in
+  match Query_file.parse text with
+  | Error m -> Alcotest.fail m
+  | Ok q ->
+    Alcotest.(check int) "tables" 3 (Query.num_tables q);
+    Alcotest.(check int) "preds" 2 (Query.num_predicates q);
+    Alcotest.(check int) "corrs" 1 (Array.length q.Query.correlations);
+    check_float "eval cost" 2.5 q.Query.predicates.(1).Predicate.eval_cost;
+    Alcotest.(check int) "columns" 3 (List.length q.Query.tables.(1).Catalog.tbl_columns)
+
+let test_query_file_errors () =
+  (match Query_file.parse "pred a b 0.5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown table should fail");
+  match Query_file.parse "table a 100
+table b 100
+pred a b 2.0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad selectivity should fail"
+
+let prop_query_file_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"query file round-trips"
+    QCheck.(pair (int_range 2 8) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let q = Workload.generate ~seed ~shape:Join_graph.Cycle ~num_tables:n () in
+      match Query_file.parse (Query_file.to_string q) with
+      | Error _ -> false
+      | Ok q' ->
+        Query.num_tables q' = Query.num_tables q
+        && Query.num_predicates q' = Query.num_predicates q
+        && Array.for_all2
+             (fun a b -> abs_float (a.Catalog.tbl_card -. b.Catalog.tbl_card) < 1e-9)
+             q.Query.tables q'.Query.tables
+        && Array.for_all2
+             (fun (a : Predicate.t) b ->
+               abs_float (a.Predicate.selectivity -. b.Predicate.selectivity) < 1e-12)
+             q.Query.predicates q'.Query.predicates)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_workload_ranges;
+      prop_extend_card_consistent;
+      prop_prefix_cards_product_law;
+      prop_schedule_earliest_matches_plan_cost;
+      prop_optimal_operators_never_worse;
+      prop_query_file_roundtrip;
+    ]
+
+let () =
+  Alcotest.run "relalg"
+    [
+      ( "catalog",
+        [
+          Alcotest.test_case "validation" `Quick test_catalog_validation;
+          Alcotest.test_case "predicates" `Quick test_predicate_validation;
+          Alcotest.test_case "query validation" `Quick test_query_validation;
+        ] );
+      ( "join-graph",
+        [
+          Alcotest.test_case "shapes" `Quick test_shapes;
+          Alcotest.test_case "workload deterministic" `Quick test_workload_deterministic;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "validation" `Quick test_plan_validation;
+          Alcotest.test_case "all orders" `Quick test_all_orders;
+        ] );
+      ( "card",
+        [
+          Alcotest.test_case "paper example" `Quick test_paper_example_cards;
+          Alcotest.test_case "correlation" `Quick test_correlation_correction;
+        ] );
+      ( "query-file",
+        [
+          Alcotest.test_case "parse" `Quick test_query_file_parse;
+          Alcotest.test_case "errors" `Quick test_query_file_errors;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "pages" `Quick test_pages;
+          Alcotest.test_case "operator formulas" `Quick test_join_cost_formulas;
+          Alcotest.test_case "cout" `Quick test_cout_metric;
+          Alcotest.test_case "expensive predicate" `Quick test_expensive_predicate_charges;
+          Alcotest.test_case "unary scan charge" `Quick test_unary_scan_charge;
+        ] );
+      ("properties", qcheck_tests);
+    ]
