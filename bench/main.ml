@@ -118,8 +118,8 @@ let run_ablations () =
   let q = Workload.generate ~seed:9 ~shape:Join_graph.Star ~num_tables:9 () in
   Format.printf
     "Ablations (star, 9 tables, %gs budget): encoding/solver design choices@." budget;
-  Format.printf "%-34s %6s %8s %8s %12s %10s %8s@." "configuration" "vars" "constrs" "nodes"
-    "true cost" "bound" "status";
+  Format.printf "%-34s %6s %8s %8s %12s %10s %8s %12s@." "configuration" "vars" "constrs"
+    "nodes" "true cost" "bound" "status" "provenance";
   let base_enc = Joinopt.Encoding.default_config in
   let base_solver = { Milp.Solver.default_params with Milp.Solver.cut_rounds = 0 } in
   let run name enc_config solver greedy_start =
@@ -133,7 +133,7 @@ let run_ablations () =
       |> Joinopt.Optimizer.with_time_limit budget
     in
     let r = Joinopt.Optimizer.optimize ~config q in
-    Format.printf "%-34s %6d %8d %8d %12s %10.3g %8s@." name r.Joinopt.Optimizer.num_vars
+    Format.printf "%-34s %6d %8d %8d %12s %10.3g %8s %12s@." name r.Joinopt.Optimizer.num_vars
       r.Joinopt.Optimizer.num_constrs r.Joinopt.Optimizer.nodes
       (match r.Joinopt.Optimizer.true_cost with Some c -> Printf.sprintf "%.6g" c | None -> "-")
       r.Joinopt.Optimizer.bound
@@ -143,6 +143,9 @@ let run_ablations () =
       | Milp.Branch_bound.Infeasible -> "inf"
       | Milp.Branch_bound.Unbounded -> "unb"
       | Milp.Branch_bound.Unknown -> "unk")
+      (match r.Joinopt.Optimizer.provenance with
+      | Some p -> Joinopt.Optimizer.provenance_to_string p
+      | None -> "-")
   in
   run "baseline (reduced, mono, central)" base_enc base_solver true;
   run "paper formulation"

@@ -116,14 +116,27 @@ let run_optimize query budget precision cost verbose =
   let r = Optimizer.optimize ~config ?on_progress query in
   Format.printf "MILP: %d vars, %d constraints; %d nodes in %.2fs@." r.Optimizer.num_vars
     r.Optimizer.num_constrs r.Optimizer.nodes r.Optimizer.elapsed;
-  (match (r.Optimizer.plan, r.Optimizer.true_cost, r.Optimizer.objective) with
-  | Some plan, Some cost, Some obj ->
-    Format.printf "plan: %a@.true cost: %.6g  (MILP objective %.6g, bound %.6g, factor %s)@."
-      (Plan.pp_with_query query) plan cost obj r.Optimizer.bound
-      (match Optimizer.guaranteed_factor ~objective:obj ~bound:r.Optimizer.bound with
-      | f when Float.is_finite f -> Printf.sprintf "%.3g" f
-      | _ -> "unbounded")
+  (match (r.Optimizer.plan, r.Optimizer.true_cost) with
+  | Some plan, Some cost ->
+    (match r.Optimizer.objective with
+    | Some obj ->
+      Format.printf "plan: %a@.true cost: %.6g  (MILP objective %.6g, bound %.6g, factor %s)@."
+        (Plan.pp_with_query query) plan cost obj r.Optimizer.bound
+        (match Optimizer.guaranteed_factor ~objective:obj ~bound:r.Optimizer.bound with
+        | f when Float.is_finite f -> Printf.sprintf "%.3g" f
+        | _ -> "unbounded")
+    | None -> Format.printf "plan: %a@.true cost: %.6g@." (Plan.pp_with_query query) plan cost)
   | _ -> Format.printf "no plan found within the budget@.");
+  (match r.Optimizer.provenance with
+  | Some p -> Format.printf "provenance: %s@." (Optimizer.provenance_to_string p)
+  | None -> ());
+  Format.printf "certificate: %s@."
+    (match r.Optimizer.certificate with
+    | Milp.Solver.Certified rep ->
+      Printf.sprintf "certified (max residual %.3g, max integrality violation %.3g)"
+        rep.Milp.Certify.r_max_residual rep.Milp.Certify.r_max_int_viol
+    | Milp.Solver.Uncertified msg -> "uncertified: " ^ msg
+    | Milp.Solver.No_incumbent -> "no incumbent");
   Format.printf "status: %s@."
     (match r.Optimizer.status with
     | Milp.Branch_bound.Optimal -> "optimal (within MILP approximation)"

@@ -234,7 +234,7 @@ let optimize ?(pm = Cost_model.default_page_model) ?(config = Encoding.default_c
   let t = install ~pm enc in
   let greedy_order = Dp_opt.Greedy.order q in
   let mip_start = assignment_of t greedy_order in
-  let outcome = Milp.Solver.solve ~params:solver ~mip_start enc.Encoding.problem in
+  let outcome = (Milp.Solver.solve ~params:solver ~mip_start enc.Encoding.problem).Milp.Solver.result in
   match outcome.Milp.Branch_bound.o_x with
   | Some x ->
     let order = Encoding.order_of_assignment enc (fun v -> x.(v)) in

@@ -35,8 +35,20 @@ type trace_point = {
   tp_factor : float option;
 }
 
+type provenance =
+  [ `Milp_certified | `Milp_uncertified | `Recovered of int | `Fallback_dp | `Fallback_heuristic ]
+
+let provenance_to_string = function
+  | `Milp_certified -> "milp-certified"
+  | `Milp_uncertified -> "milp-uncertified"
+  | `Recovered rung -> Printf.sprintf "milp-recovered(rung %d)" rung
+  | `Fallback_dp -> "fallback-dp"
+  | `Fallback_heuristic -> "fallback-heuristic"
+
 type result = {
   plan : Plan.t option;
+  provenance : provenance option;
+  certificate : Solver.certificate;
   true_cost : float option;
   objective : float option;
   bound : float;
@@ -68,6 +80,37 @@ let trace_of_progress pr =
     tp_factor;
   }
 
+(* Operator policy for the fallback planners, matching the MILP spec. *)
+let fallback_operators = function
+  | Cost_enc.Fixed_operator op -> Dp_opt.Selinger.Fixed op
+  | Cost_enc.Choose_operator _ -> Dp_opt.Selinger.Best_per_join
+  | Cost_enc.Cout -> Dp_opt.Selinger.Fixed Plan.Hash_join
+
+(* Last line of defense when the MILP path yields no usable plan: exact
+   Selinger DP for small queries (it is fast there and provably optimal),
+   then IKKBZ on tree-shaped queries, then the greedy heuristic — which
+   always succeeds. *)
+let fallback_plan config q =
+  let metric = exact_metric config.cost in
+  let operators = fallback_operators config.cost in
+  let dp =
+    if Relalg.Query.num_tables q <= 12 then
+      match Dp_opt.Selinger.optimize ~metric ~pm:config.pm ~operators ~time_limit:5.0 q with
+      | Dp_opt.Selinger.Complete r -> Some (r.Dp_opt.Selinger.plan, r.Dp_opt.Selinger.cost, `Fallback_dp)
+      | Dp_opt.Selinger.Timed_out _ -> None
+    else None
+  in
+  match dp with
+  | Some _ as r -> r
+  | None -> (
+    match Dp_opt.Ikkbz.plan q with
+    | Ok (plan, _) ->
+      (* IKKBZ optimizes C_out; report the cost under the configured metric. *)
+      Some (plan, Cost_model.plan_cost ~metric ~pm:config.pm q plan, `Fallback_heuristic)
+    | Error _ ->
+      let plan, cost = Dp_opt.Greedy.plan ~metric ~pm:config.pm ~operators q in
+      Some (plan, cost, `Fallback_heuristic))
+
 let optimize ?(config = default_config) ?on_progress q =
   let started = Unix.gettimeofday () in
   let enc = Encoding.build ~config:config.encoding q in
@@ -90,23 +133,58 @@ let optimize ?(config = default_config) ?on_progress q =
     Solver.solve ~params:config.solver ?mip_start ?on_progress:wrap_progress
       enc.Encoding.problem
   in
-  let plan, true_cost =
-    match outcome.Branch_bound.o_x with
-    | Some x ->
-      let order = Encoding.order_of_assignment enc (fun v -> x.(v)) in
-      let plan = Cost_enc.decode_operators cost (fun v -> x.(v)) order in
+  let bb = outcome.Solver.result in
+  (* Decoding the winning assignment can itself fail under numeric
+     trouble (an order that is not a permutation, a missing operator
+     selection); treat that exactly like having no solution. *)
+  let decoded =
+    match bb.Branch_bound.o_x with
+    | None -> None
+    | Some x -> (
+      match
+        let order = Encoding.order_of_assignment enc (fun v -> x.(v)) in
+        Cost_enc.decode_operators cost (fun v -> x.(v)) order
+      with
+      | plan -> (
+        match Plan.validate q plan with
+        | Ok () -> Some plan
+        | Error msg ->
+          Logs.warn (fun m -> m "decoded plan failed validation: %s" msg);
+          None)
+      | exception Failure msg ->
+        Logs.warn (fun m -> m "decoding the MILP solution failed: %s" msg);
+        None)
+  in
+  let plan, true_cost, provenance =
+    match decoded with
+    | Some plan ->
       let metric = exact_metric config.cost in
-      (Some plan, Some (Cost_model.plan_cost ~metric ~pm:config.pm q plan))
-    | None -> (None, None)
+      let prov =
+        if outcome.Solver.rungs > 0 then `Recovered outcome.Solver.rungs
+        else
+          match outcome.Solver.certificate with
+          | Solver.Certified _ -> `Milp_certified
+          | Solver.Uncertified _ | Solver.No_incumbent -> `Milp_uncertified
+      in
+      (Some plan, Some (Cost_model.plan_cost ~metric ~pm:config.pm q plan), Some prov)
+    | None -> (
+      match fallback_plan config q with
+      | Some (plan, fcost, prov) ->
+        Logs.info (fun m ->
+            m "MILP produced no usable plan; %s supplied one" (provenance_to_string prov));
+        (Some plan, Some fcost, Some prov)
+      | None -> (None, None, None))
   in
   {
     plan;
+    provenance;
+    certificate = outcome.Solver.certificate;
     true_cost;
-    objective = outcome.Branch_bound.o_objective;
-    bound = outcome.Branch_bound.o_bound;
-    status = outcome.Branch_bound.o_status;
-    trace = List.map trace_of_progress outcome.Branch_bound.o_trace;
-    nodes = outcome.Branch_bound.o_nodes;
+    objective = bb.Branch_bound.o_objective;
+    bound = bb.Branch_bound.o_bound;
+    status = bb.Branch_bound.o_status;
+    trace = List.map trace_of_progress bb.Branch_bound.o_trace;
+    nodes = bb.Branch_bound.o_nodes;
     num_vars = Problem.num_vars enc.Encoding.problem;
     num_constrs = Problem.num_constrs enc.Encoding.problem;
     elapsed = Unix.gettimeofday () -. started;

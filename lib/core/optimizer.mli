@@ -30,8 +30,23 @@ type trace_point = {
       plots; [None] before the first incumbent *)
 }
 
+type provenance =
+  [ `Milp_certified  (** MILP solution, independently certified *)
+  | `Milp_uncertified  (** MILP solution that failed the certification audit *)
+  | `Recovered of int  (** produced by recovery-ladder rung [n] after a numeric failure *)
+  | `Fallback_dp  (** Selinger dynamic programming (exact, small queries) *)
+  | `Fallback_heuristic  (** IKKBZ or greedy, when everything else failed *) ]
+(** Where the returned plan came from. The optimizer never returns
+    [plan = None] for a well-formed query: when the MILP path fails —
+    numerically, by timeout, or because decoding broke — a classical
+    planner supplies the plan and [provenance] says so. *)
+
+val provenance_to_string : provenance -> string
+
 type result = {
   plan : Relalg.Plan.t option;
+  provenance : provenance option;  (** [None] only when [plan] is [None] *)
+  certificate : Milp.Solver.certificate;  (** the solver's audit verdict *)
   true_cost : float option;  (** decoded plan's cost under the exact model *)
   objective : float option;  (** its MILP objective *)
   bound : float;

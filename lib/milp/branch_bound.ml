@@ -42,6 +42,7 @@ type outcome = {
   o_simplex_iters : int;
   o_trace : progress list;
   o_bound_is_proven : bool;
+  o_rejected_incumbents : int;
 }
 
 let gap ~incumbent ~bound =
@@ -61,6 +62,10 @@ type node = {
 type search = {
   sf : Stdform.t;
   problem : Problem.t;
+  (* The problem incumbents are certified against: the caller's original,
+     pre-presolve / pre-cuts formulation when the solver facade supplies
+     it, so no transformation bug can certify its own output. *)
+  certify : Problem.t;
   p : params;
   root_lb : float array;
   root_ub : float array;
@@ -78,6 +83,7 @@ type search = {
   mutable in_flight : float option;  (* bound of the node being processed *)
   mutable nodes : int;
   mutable simplex_iters : int;
+  mutable rejected_incumbents : int;
   mutable bound_is_proven : bool;
   mutable trace : progress list;
   mutable last_reported : (float option * float) option;
@@ -183,21 +189,32 @@ let branch_variable s ~lb ~ub x =
   done;
   Option.map (fun (j, _, _) -> j) !best
 
-(* Accept an integral LP point as incumbent: snap the integer components,
-   re-verify against the original problem, fall back to the raw LP point
-   (feasible to LP tolerance) if snapping broke a constraint. *)
-let try_incumbent s (x : float array) lp_obj =
+(* Accept an integral LP point as incumbent only when the independent
+   checker certifies it against [s.certify]: snap the integer components
+   first; if snapping broke a constraint, retry the raw LP point (feasible
+   to LP tolerance) under a loosened integrality tolerance. A point that
+   fails both checks is rejected — never installed — and counted. *)
+let try_incumbent s (x : float array) _lp_obj =
   let snapped = Array.copy x in
   for j = 0 to s.sf.Stdform.nstruct - 1 do
     if s.sf.Stdform.integer.(j) then snapped.(j) <- Float.round snapped.(j)
   done;
-  let value v = snapped.(v) in
+  let tol = 10. *. s.p.simplex.Simplex.feas_tol in
+  let certify ~int_tol point =
+    match Certify.check_point ~tol ~int_tol s.certify (fun v -> point.(v)) with
+    | Certify.Certified r -> Some (Stdform.internal_of_user s.sf r.Certify.r_objective, point)
+    | Certify.Rejected _ -> None
+  in
   let candidate =
-    match Problem.check_feasible ~tol:(10. *. s.p.simplex.Simplex.feas_tol) s.problem value with
-    | Ok _ ->
-      let user_obj = Problem.eval_objective s.problem value in
-      Some (Stdform.internal_of_user s.sf user_obj, snapped)
-    | Error _ -> Some (lp_obj, Array.copy x)
+    match certify ~int_tol:s.p.int_tol snapped with
+    | Some _ as c -> c
+    | None -> (
+      match certify ~int_tol:(10. *. s.p.int_tol) (Array.copy x) with
+      | Some _ as c -> c
+      | None ->
+        s.rejected_incumbents <- s.rejected_incumbents + 1;
+        Logs.debug (fun m -> m "incumbent rejected by certification (node %d)" s.nodes);
+        None)
   in
   match candidate with
   | Some (obj, x') ->
@@ -310,6 +327,7 @@ let finish s status_when_done =
     o_simplex_iters = s.simplex_iters;
     o_trace = List.rev s.trace;
     o_bound_is_proven = s.bound_is_proven;
+    o_rejected_incumbents = s.rejected_incumbents;
   }
 
 let process_node s node =
@@ -371,13 +389,15 @@ let process_node s node =
       end
     end
 
-let solve ?(params = default_params) ?mip_start ?(on_progress = fun _ -> ()) problem =
+let solve ?(params = default_params) ?certify_against ?mip_start ?(on_progress = fun _ -> ())
+    problem =
   let sf = Stdform.of_problem problem in
   let root_lb, root_ub = Stdform.bounds sf in
   let s =
     {
       sf;
       problem;
+      certify = (match certify_against with Some p -> p | None -> problem);
       p = params;
       root_lb;
       root_ub;
@@ -392,6 +412,7 @@ let solve ?(params = default_params) ?mip_start ?(on_progress = fun _ -> ()) pro
       in_flight = None;
       nodes = 0;
       simplex_iters = 0;
+      rejected_incumbents = 0;
       bound_is_proven = true;
       trace = [];
       last_reported = None;
@@ -404,9 +425,9 @@ let solve ?(params = default_params) ?mip_start ?(on_progress = fun _ -> ()) pro
     if Array.length x0 <> sf.Stdform.nstruct then
       invalid_arg "Branch_bound.solve: mip_start length mismatch";
     let value v = x0.(v) in
-    (match Problem.check_feasible problem value with
-    | Ok _ ->
-      let obj = Stdform.internal_of_user sf (Problem.eval_objective problem value) in
+    (match Certify.check_point s.certify value with
+    | Certify.Certified r ->
+      let obj = Stdform.internal_of_user sf r.Certify.r_objective in
       let full = Array.make sf.Stdform.ncols 0. in
       Array.blit x0 0 full 0 sf.Stdform.nstruct;
       (* Logical values follow from the structural ones. *)
@@ -419,7 +440,7 @@ let solve ?(params = default_params) ?mip_start ?(on_progress = fun _ -> ()) pro
       (* The anytime contract: a warm start is an incumbent before any
          search happens (its bound is still unproven, hence -inf). *)
       report s
-    | Error msg -> Logs.warn (fun m -> m "MIP start rejected: %s" msg)));
+    | Certify.Rejected msg -> Logs.warn (fun m -> m "MIP start rejected: %s" msg)));
   (* Root relaxation. *)
   let res = solve_node s ~warm:None ~lb:root_lb ~ub:root_ub in
   match res.Simplex.status with

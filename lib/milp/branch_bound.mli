@@ -52,6 +52,9 @@ type outcome = {
   o_bound_is_proven : bool;
   (** [false] when a node LP failed numerically and had to be dropped, in
       which case [o_bound] is best-effort rather than a certificate. *)
+  o_rejected_incumbents : int;
+  (** integral LP points that {!Certify.check_point} refused to install as
+      incumbents — nonzero values signal numeric trouble in the LP stack *)
 }
 
 val gap : incumbent:float -> bound:float -> float
@@ -60,11 +63,19 @@ val gap : incumbent:float -> bound:float -> float
 
 val solve :
   ?params:params ->
+  ?certify_against:Problem.t ->
   ?mip_start:float array ->
   ?on_progress:(progress -> unit) ->
   Problem.t ->
   outcome
 (** [mip_start] is a full assignment to structural variables; it is
-    verified with {!Problem.check_feasible} and, when valid, installed as
+    verified with {!Certify.check_point} and, when valid, installed as
     the initial incumbent (warm starts mirror Gurobi's MIP starts, which
-    the paper's anytime experiments depend on for early plans). *)
+    the paper's anytime experiments depend on for early plans).
+
+    [certify_against] is the problem every candidate incumbent is
+    re-verified against before installation (default: the problem being
+    solved). The solver facade passes the caller's *original* formulation
+    here, so presolve and cutting planes — which preserve variable
+    indexing — cannot certify their own transformations. Points failing
+    certification are dropped and counted in [o_rejected_incumbents]. *)

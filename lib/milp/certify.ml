@@ -1,0 +1,143 @@
+type report = {
+  r_objective : float;
+  r_max_bound_viol : float;
+  r_max_int_viol : float;
+  r_max_residual : float;
+}
+
+type verdict = Certified of report | Rejected of string
+
+(* Kahan-compensated evaluation of a linear expression. Returns the sum
+   and the largest term magnitude (the natural scale for a backward-error
+   residual test). *)
+let kahan_eval value expr =
+  let sum = ref (Linexpr.constant expr) in
+  let comp = ref 0. in
+  let scale = ref (abs_float !sum) in
+  List.iter
+    (fun (v, c) ->
+      let term = c *. value v in
+      let m = abs_float term in
+      if m > !scale then scale := m;
+      let y = term -. !comp in
+      let t = !sum +. y in
+      comp := t -. !sum -. y;
+      sum := t)
+    (Linexpr.terms expr);
+  (!sum, !scale)
+
+let check_point ?(tol = 1e-6) ?int_tol p value =
+  let int_tol = match int_tol with Some t -> t | None -> tol in
+  let failure = ref None in
+  let reject msg = if !failure = None then failure := Some msg in
+  let max_bound = ref 0. and max_int = ref 0. and max_res = ref 0. in
+  Problem.iter_vars
+    (fun v info ->
+      let x = value v in
+      if not (Float.is_finite x) then
+        reject (Printf.sprintf "variable %s is not finite (%g)" info.Problem.v_name x)
+      else begin
+        (* Relative bound test: an absolute-[tol] pass always passes. *)
+        let lo = info.Problem.v_lb and hi = info.Problem.v_ub in
+        let viol_lo = if lo > neg_infinity then (lo -. x) /. (1. +. abs_float lo) else 0. in
+        let viol_hi = if hi < infinity then (x -. hi) /. (1. +. abs_float hi) else 0. in
+        let viol = max 0. (max viol_lo viol_hi) in
+        if viol > !max_bound then max_bound := viol;
+        if viol > tol then
+          reject
+            (Printf.sprintf "variable %s = %g outside [%g, %g]" info.Problem.v_name x lo hi);
+        match info.Problem.v_kind with
+        | Problem.Integer | Problem.Binary ->
+          let f = abs_float (x -. Float.round x) in
+          if f > !max_int then max_int := f;
+          if f > int_tol then
+            reject (Printf.sprintf "variable %s = %g not integral" info.Problem.v_name x)
+        | Problem.Continuous -> ()
+      end)
+    p;
+  Problem.iter_constrs
+    (fun _ c ->
+      let lhs, term_scale = kahan_eval value c.Problem.c_expr in
+      let rhs = c.Problem.c_rhs in
+      if not (Float.is_finite lhs) then
+        reject (Printf.sprintf "constraint %s: left-hand side is not finite" c.Problem.c_name)
+      else begin
+        let scale = 1. +. abs_float rhs +. term_scale in
+        let raw =
+          match c.Problem.c_sense with
+          | Problem.Le -> lhs -. rhs
+          | Problem.Ge -> rhs -. lhs
+          | Problem.Eq -> abs_float (lhs -. rhs)
+        in
+        let res = max 0. (raw /. scale) in
+        if res > !max_res then max_res := res;
+        if res > tol then
+          reject
+            (Printf.sprintf "constraint %s violated: lhs = %g, rhs = %g" c.Problem.c_name lhs
+               rhs)
+      end)
+    p;
+  match !failure with
+  | Some msg -> Rejected msg
+  | None ->
+    let _, obj = Problem.objective p in
+    let objective, _ = kahan_eval value obj in
+    if not (Float.is_finite objective) then Rejected "objective is not finite"
+    else
+      Certified
+        {
+          r_objective = objective;
+          r_max_bound_viol = !max_bound;
+          r_max_int_viol = !max_int;
+          r_max_residual = !max_res;
+        }
+
+(* [a] at least as good as [b] (user sense), within relative slack. The
+   exact comparison short-circuits first so infinite operands never reach
+   the slack arithmetic (where [-inf + inf] would poison the test). *)
+let no_worse ~minimize ~tol a b =
+  let slack () = tol *. (1. +. min (abs_float a) (abs_float b)) in
+  if minimize then a <= b || a <= b +. slack ()
+  else a >= b || a >= b -. slack ()
+
+let check_trace ?(tol = 1e-7) ~minimize trace =
+  let rec go last_inc last_bound = function
+    | [] -> Ok ()
+    | (inc, bound) :: rest ->
+      if Float.is_nan bound then Error "trace: NaN dual bound"
+      else if match inc with Some v -> Float.is_nan v | None -> false then
+        Error "trace: NaN incumbent"
+      else begin
+        (* Incumbents only ever improve. *)
+        let inc_ok =
+          match (last_inc, inc) with
+          | Some prev, Some cur -> no_worse ~minimize ~tol cur prev
+          | Some _, None -> false (* an incumbent cannot be forgotten *)
+          | None, _ -> true
+        in
+        (* Dual bounds only ever tighten (move toward the optimum): the
+           new bound must be no worse than the previous one in the
+           *opposite* sense (for minimization, bounds climb). *)
+        let bound_ok = no_worse ~minimize:(not minimize) ~tol bound last_bound in
+        (* The bound stays on the optimal side of the incumbent. *)
+        let side_ok =
+          match inc with
+          | None -> true
+          | Some v -> Float.is_nan v || no_worse ~minimize ~tol bound v
+        in
+        if not inc_ok then Error "trace: incumbent regressed"
+        else if not bound_ok then Error "trace: dual bound loosened"
+        else if not side_ok then Error "trace: dual bound crossed the incumbent"
+        else go (match inc with Some _ -> inc | None -> last_inc) bound rest
+      end
+  in
+  go None (if minimize then neg_infinity else infinity) trace
+
+let check_bound ?(tol = 1e-5) ~minimize ~objective bound =
+  if Float.is_nan bound then Error "NaN dual bound"
+  else if Float.is_nan objective then Error "NaN objective"
+  else if no_worse ~minimize ~tol bound objective then Ok ()
+  else
+    Error
+      (Printf.sprintf "dual bound %g crossed the objective %g (%s)" bound objective
+         (if minimize then "min" else "max"))

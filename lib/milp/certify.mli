@@ -1,0 +1,50 @@
+(** Independent solution certification.
+
+    A from-scratch MILP stack has none of the defensive machinery a
+    commercial solver ships, yet the whole point of the paper's approach
+    is that the incumbent/bound stream can be *trusted* as an anytime
+    optimality guarantee (Section 7.1). This module is the trust anchor:
+    it re-verifies candidate solutions against the original problem —
+    bounds, integrality, and constraint residuals accumulated with
+    compensated (Kahan) summation so the check itself does not drown in
+    rounding noise — and audits progress traces for the invariants the
+    anytime contract promises (monotone incumbents and dual bounds, and
+    bound on the correct side of the objective).
+
+    The checker deliberately shares no code with the simplex: it reads
+    the {!Problem.t} directly, so a bug or a numeric drift anywhere in
+    presolve, cuts, the standard-form conversion or the simplex itself
+    cannot certify its own mistake. *)
+
+type report = {
+  r_objective : float;  (** objective recomputed from scratch (user sense) *)
+  r_max_bound_viol : float;  (** worst bound violation, relative scale *)
+  r_max_int_viol : float;  (** worst integrality violation (absolute) *)
+  r_max_residual : float;  (** worst constraint residual, relative scale *)
+}
+
+type verdict = Certified of report | Rejected of string
+
+val check_point : ?tol:float -> ?int_tol:float -> Problem.t -> (Problem.var -> float) -> verdict
+(** [check_point p value] verifies the assignment against every bound,
+    integrality requirement and constraint of [p]. Constraint left-hand
+    sides and the objective are recomputed with Kahan summation; residuals
+    are judged on a relative scale ([tol * (1 + |rhs| + max term)]), so a
+    point accepted by {!Problem.check_feasible}'s absolute test is always
+    accepted here under the same [tol]. Non-finite values are rejected
+    outright. Defaults: [tol = 1e-6], [int_tol = tol]. *)
+
+val check_trace :
+  ?tol:float -> minimize:bool -> (float option * float) list -> (unit, string) result
+(** [check_trace ~minimize trace] audits a chronological list of
+    [(incumbent, bound)] progress records in user sense: incumbents must
+    improve monotonically, dual bounds must tighten monotonically, and
+    every bound must stay on the optimal side of its incumbent, all
+    within a relative [tol] (default [1e-7]). *)
+
+val check_bound : ?tol:float -> minimize:bool -> objective:float -> float -> (unit, string) result
+(** [check_bound ~minimize ~objective bound] — the anytime guarantee
+    itself: for minimization, [bound <= objective]
+    within relative [tol] (default [1e-5]); mirrored for maximization.
+    Non-finite bounds on the vacuous side ([-inf] lower bounds, [+inf]
+    upper bounds) are accepted; NaN is rejected. *)

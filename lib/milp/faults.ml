@@ -1,0 +1,127 @@
+type plan = {
+  f_seed : int;
+  f_pivot_reject : float;
+  f_refactor_fail_every : int;
+  f_perturb : float;
+  f_early_timeout : float;
+  f_corrupt_objective : float;
+}
+
+let none =
+  {
+    f_seed = 0;
+    f_pivot_reject = 0.;
+    f_refactor_fail_every = 0;
+    f_perturb = 0.;
+    f_early_timeout = 0.;
+    f_corrupt_objective = 0.;
+  }
+
+type state = {
+  plan : plan;
+  mutable rng : int64;
+  mutable refactors : int;
+  counters : (string, int) Hashtbl.t;
+}
+
+(* The single flag every hook reads first: the zero-cost-when-disabled
+   check. [state] is only consulted after the flag passes. *)
+let enabled = ref false
+
+let state : state option ref = ref None
+
+let install plan =
+  state :=
+    Some
+      {
+        plan;
+        rng = Int64.of_int (plan.f_seed * 2654435761 + 1);
+        refactors = 0;
+        counters = Hashtbl.create 8;
+      };
+  enabled := true
+
+let clear () =
+  state := None;
+  enabled := false
+
+let is_enabled () = !enabled
+
+let installed () = match !state with Some st -> Some st.plan | None -> None
+
+let bump st name =
+  Hashtbl.replace st.counters name
+    (1 + match Hashtbl.find_opt st.counters name with Some n -> n | None -> 0)
+
+let fired () =
+  match !state with
+  | None -> []
+  | Some st -> List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.counters [])
+
+(* splitmix64: deterministic, seedable, good enough to decorrelate fault
+   sites without dragging in [Random] (whose global state tests use). *)
+let next_float st =
+  st.rng <- Int64.add st.rng 0x9E3779B97F4A7C15L;
+  let z = st.rng in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) *. 0x1p-53
+
+let with_state f = match !state with Some st -> f st | None -> false
+
+let pivot_rejected () =
+  !enabled
+  && with_state (fun st ->
+         st.plan.f_pivot_reject > 0.
+         && next_float st < st.plan.f_pivot_reject
+         && begin
+              bump st "pivot_reject";
+              true
+            end)
+
+let refactor_fails () =
+  !enabled
+  && with_state (fun st ->
+         st.plan.f_refactor_fail_every > 0
+         && begin
+              st.refactors <- st.refactors + 1;
+              st.refactors mod st.plan.f_refactor_fail_every = 0
+              && begin
+                   bump st "refactor_fail";
+                   true
+                 end
+            end)
+
+let perturb_vector w =
+  if !enabled then
+    match !state with
+    | Some st when st.plan.f_perturb > 0. ->
+      bump st "perturb";
+      let eps = st.plan.f_perturb in
+      for i = 0 to Array.length w - 1 do
+        if w.(i) <> 0. then w.(i) <- w.(i) *. (1. +. (eps *. ((2. *. next_float st) -. 1.)))
+      done
+    | _ -> ()
+
+let early_timeout () =
+  !enabled
+  && with_state (fun st ->
+         st.plan.f_early_timeout > 0.
+         && next_float st < st.plan.f_early_timeout
+         && begin
+              bump st "early_timeout";
+              true
+            end)
+
+let corrupt_objective v =
+  if not !enabled then v
+  else
+    match !state with
+    | Some st when st.plan.f_corrupt_objective > 0. ->
+      if next_float st < st.plan.f_corrupt_objective then begin
+        bump st "corrupt_objective";
+        Float.nan
+      end
+      else v
+    | _ -> v

@@ -1,0 +1,61 @@
+(** Seeded fault injection for the MILP stack.
+
+    Commercial solvers are hardened by decades of production failures;
+    this module lets us manufacture those failures on demand so the
+    resilience layer (certification, the recovery ladder, the optimizer's
+    fallback rungs) can be exercised deterministically in tests.
+
+    A {!plan} is installed globally ({!install} / {!clear}); the hooks
+    below are called from {!Simplex} and {!Sparse_lu} at their natural
+    failure points. Every hook first reads a single [bool ref], so the
+    cost with no plan installed is one load and branch — effectively
+    zero on the simplex's hot paths.
+
+    All randomness comes from a splitmix-style generator seeded by the
+    plan, so a given plan replays the identical fault sequence. *)
+
+type plan = {
+  f_seed : int;
+  f_pivot_reject : float;
+  (** probability of vetoing an otherwise acceptable simplex pivot,
+      forcing refactorization churn and eventual numerical failure *)
+  f_refactor_fail_every : int;
+  (** fail every k-th basis factorization with {!Sparse_lu.Singular};
+      [0] disables *)
+  f_perturb : float;
+  (** relative magnitude of noise injected into ftran'd entering
+      columns — simulates numeric drift of the basis inverse; [0.]
+      disables *)
+  f_early_timeout : float;
+  (** probability, per deadline check, of pretending the clock ran out —
+      simulates deadline pressure / clock skew; [0.] disables *)
+  f_corrupt_objective : float;
+  (** probability of replacing a returned LP objective value with NaN —
+      simulates overflow in the objective accumulation; [0.] disables *)
+}
+
+val none : plan
+(** Seed 0, every fault disabled. *)
+
+val install : plan -> unit
+(** Installs (replacing any previous plan) and resets the seeded
+    generator and all counters. *)
+
+val clear : unit -> unit
+
+val is_enabled : unit -> bool
+
+val installed : unit -> plan option
+
+(** {2 Hooks} — called from the solver internals; each is a no-op
+    returning the benign answer when no plan is installed. *)
+
+val pivot_rejected : unit -> bool
+val refactor_fails : unit -> bool
+val perturb_vector : float array -> unit
+val early_timeout : unit -> bool
+val corrupt_objective : float -> float
+
+val fired : unit -> (string * int) list
+(** Counters of faults actually injected since {!install}, keyed by hook
+    name — lets tests assert a plan really exercised the target path. *)

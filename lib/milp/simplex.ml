@@ -12,6 +12,7 @@ type params = {
   deadline : float option;
   perturb : float;  (* bound-relaxation noise, as a multiple of feas_tol; 0 = off *)
   warm_dual : bool;  (* attempt the dual simplex on warm starts *)
+  force_bland : bool;  (* Bland-only pricing from the first iteration *)
 }
 
 let default_params =
@@ -25,6 +26,7 @@ let default_params =
     deadline = None;
     perturb = 0.;
     warm_dual = false;
+    force_bland = false;
   }
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit | Numerical_failure
@@ -427,7 +429,8 @@ type phase_outcome = Phase_done | Phase_infeasible | Phase_unbounded | Phase_ite
 
 let out_of_time st =
   st.iters land 63 = 0
-  && match st.p.deadline with Some d -> Unix.gettimeofday () > d | None -> false
+  && ((match st.p.deadline with Some d -> Unix.gettimeofday () > d | None -> false)
+     || Faults.early_timeout ())
 
 let reset_devex st =
   Array.fill st.devex 0 (Array.length st.devex) 1.
@@ -465,6 +468,7 @@ let update_devex st w r q =
 let pivot_acceptable st w r =
   let wmax = Array.fold_left (fun acc v -> max acc (abs_float v)) 0. w in
   abs_float w.(r) >= max (10. *. st.p.pivot_tol) (1e-5 *. wmax)
+  && not (Faults.pivot_rejected ())
 
 (* One simplex phase. [phase1] selects the dynamic infeasibility costs
    and the extended ratio test. Stability handling: an unacceptable pivot
@@ -481,7 +485,7 @@ let run_phase st ~phase1 =
     else if st.iters >= limit || out_of_time st then Phase_iters
     else begin
       st.iters <- st.iters + 1;
-      let bland = st.degenerate_streak > 100 in
+      let bland = st.p.force_bland || st.degenerate_streak > 100 in
       let y = if phase1 then phase1_duals st else phase2_duals st in
       (* Objective magnitude at the current point (basic part plus the
          nonbasic bound contributions), used to scale the dual tolerance. *)
@@ -505,6 +509,7 @@ let run_phase st ~phase1 =
         let w = Array.make st.sf.Stdform.nrows 0. in
         Array.iter (fun (i, a) -> w.(i) <- a) st.sf.Stdform.cols.(q);
         ftran st w;
+        Faults.perturb_vector w;
         let t, block = ratio_test st ~phase1 ~bland w dir q in
         match block with
         | None ->
@@ -665,7 +670,7 @@ let extract st status =
   done;
   {
     status;
-    objective = !objective;
+    objective = Faults.corrupt_objective !objective;
     x;
     iters = st.iters;
     basis = Array.copy st.basis;

@@ -40,6 +40,10 @@ type params = {
       two-phase algorithm when it cannot finish cleanly. Off by default:
       on the join-ordering encodings the primal warm start is usually
       faster. *)
+  force_bland : bool;
+  (** use Bland's smallest-index pricing from the first iteration instead
+      of only as an anti-cycling fallback — slow but maximally robust;
+      the recovery ladder's last-resort pricing mode *)
 }
 
 val default_params : params

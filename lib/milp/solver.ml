@@ -3,14 +3,32 @@ type params = {
   presolve : bool;
   cut_rounds : int;
   cuts_per_round : int;
+  max_recovery_rungs : int;
 }
 
 let default_params =
-  { bb = Branch_bound.default_params; presolve = true; cut_rounds = 3; cuts_per_round = 16 }
+  {
+    bb = Branch_bound.default_params;
+    presolve = true;
+    cut_rounds = 3;
+    cuts_per_round = 16;
+    max_recovery_rungs = 3;
+  }
 
 let with_time_limit t params = { params with bb = { params.bb with Branch_bound.time_limit = Some t } }
 
-let infeasible_outcome () =
+type certificate =
+  | Certified of Certify.report
+  | Uncertified of string
+  | No_incumbent
+
+type outcome = {
+  result : Branch_bound.outcome;
+  certificate : certificate;
+  rungs : int;
+}
+
+let infeasible_result () =
   {
     Branch_bound.o_status = Branch_bound.Infeasible;
     o_objective = None;
@@ -20,29 +38,37 @@ let infeasible_outcome () =
     o_simplex_iters = 0;
     o_trace = [];
     o_bound_is_proven = true;
+    o_rejected_incumbents = 0;
   }
 
-let solve ?(params = default_params) ?mip_start ?on_progress problem =
+(* One pass of the presolve -> root cuts -> branch & bound pipeline.
+   Every candidate incumbent inside branch & bound is certified against
+   the *original* [problem], not the transformed one. *)
+let solve_once ~params ?mip_start ?on_progress problem =
   let started = Unix.gettimeofday () in
+  let time_limit = params.bb.Branch_bound.time_limit in
   let reduced =
-    if params.presolve then
-      match Presolve.run problem with
+    if params.presolve then begin
+      (* Presolve comes out of the same budget as everything else. *)
+      let deadline = Option.map (fun t -> started +. (0.15 *. t)) time_limit in
+      match Presolve.run ?deadline problem with
       | Presolve.Reduced (q, stats) ->
         Logs.debug (fun m -> m "%a" Presolve.pp_stats stats);
         Some q
       | Presolve.Proven_infeasible msg ->
         Logs.debug (fun m -> m "presolve: infeasible (%s)" msg);
         None
+    end
     else Some problem
   in
   match reduced with
-  | None -> infeasible_outcome ()
+  | None -> infeasible_result ()
   | Some q ->
     let q =
       if params.cut_rounds > 0 then begin
         (* Cap the cut phase at 30% of any global time budget. *)
         let simplex_params =
-          match params.bb.Branch_bound.time_limit with
+          match time_limit with
           | Some t ->
             {
               params.bb.Branch_bound.simplex with
@@ -62,10 +88,164 @@ let solve ?(params = default_params) ?mip_start ?on_progress problem =
     in
     (* Whatever the preprocessing spent comes out of the search budget. *)
     let bb_params =
-      match params.bb.Branch_bound.time_limit with
+      match time_limit with
       | Some t ->
         let remaining = max 0.5 (t -. (Unix.gettimeofday () -. started)) in
         { params.bb with Branch_bound.time_limit = Some remaining }
       | None -> params.bb
     in
-    Branch_bound.solve ~params:bb_params ?mip_start ?on_progress q
+    Branch_bound.solve ~params:bb_params ~certify_against:problem ?mip_start ?on_progress q
+
+(* Independent audit of a finished outcome against the original problem:
+   the returned point, the recomputed objective, the progress trace's
+   anytime invariants, and the proven dual bound. *)
+let certify_outcome params problem (out : Branch_bound.outcome) =
+  let minimize =
+    match Problem.objective problem with
+    | Problem.Minimize, _ -> true
+    | Problem.Maximize, _ -> false
+  in
+  let feas_tol = params.bb.Branch_bound.simplex.Simplex.feas_tol in
+  let int_tol = params.bb.Branch_bound.int_tol in
+  match (out.Branch_bound.o_x, out.Branch_bound.o_objective) with
+  | None, _ | _, None -> No_incumbent
+  | Some x, Some obj ->
+    if not (Float.is_finite obj) then Uncertified "reported objective is not finite"
+    else begin
+      match
+        Certify.check_point ~tol:(10. *. feas_tol) ~int_tol:(10. *. int_tol) problem (fun v ->
+            x.(v))
+      with
+      | Certify.Rejected msg -> Uncertified msg
+      | Certify.Certified r ->
+        if abs_float (r.Certify.r_objective -. obj) > 1e-6 *. (1. +. abs_float obj) then
+          Uncertified
+            (Printf.sprintf "objective mismatch: reported %g, recomputed %g" obj
+               r.Certify.r_objective)
+        else begin
+          let trace =
+            List.map
+              (fun pr -> (pr.Branch_bound.pr_incumbent, pr.Branch_bound.pr_bound))
+              out.Branch_bound.o_trace
+          in
+          match Certify.check_trace ~minimize trace with
+          | Error msg -> Uncertified msg
+          | Ok () ->
+            if not out.Branch_bound.o_bound_is_proven then
+              Uncertified "dual bound unproven (a node LP was dropped)"
+            else (
+              match
+                Certify.check_bound ~minimize ~objective:r.Certify.r_objective
+                  out.Branch_bound.o_bound
+              with
+              | Error msg -> Uncertified msg
+              | Ok () -> Certified r)
+        end
+    end
+
+(* Numeric-failure recovery ladder — the moral equivalent of a commercial
+   solver's "numeric focus" escalation. Rung 0 is the caller's own
+   configuration; each higher rung trades speed for robustness:
+   rung 1 drops cuts and perturbation and pivots more conservatively,
+   rung 2 adds Bland pricing, frequent refactorization and no presolve,
+   rung 3 switches to the dense reference factorization. *)
+let escalate params rung =
+  if rung = 0 then params
+  else begin
+    let sx = params.bb.Branch_bound.simplex in
+    let sx =
+      {
+        sx with
+        Simplex.perturb = 0.;
+        pivot_tol = sx.Simplex.pivot_tol *. 100.;
+        refactor_every = max 10 (sx.Simplex.refactor_every / 2);
+      }
+    in
+    let sx =
+      if rung >= 2 then { sx with Simplex.force_bland = true; refactor_every = 10 } else sx
+    in
+    let sx =
+      if rung >= 3 then
+        { sx with Simplex.backend = Simplex.Dense_backend; pivot_tol = sx.Simplex.pivot_tol *. 10. }
+      else sx
+    in
+    {
+      params with
+      cut_rounds = 0;
+      presolve = params.presolve && rung < 2;
+      bb = { params.bb with Branch_bound.simplex = sx };
+    }
+  end
+
+(* Retry only on failures escalation can plausibly fix. Proven
+   infeasibility / unboundedness is trusted: if faults forged it, the
+   caller's fallback path takes over. *)
+let needs_retry ~time_left (out : Branch_bound.outcome) cert =
+  match out.Branch_bound.o_status with
+  | Branch_bound.Infeasible | Branch_bound.Unbounded -> false
+  | Branch_bound.Unknown -> time_left
+  | Branch_bound.Optimal | Branch_bound.Feasible -> (
+    match cert with Uncertified _ -> time_left | Certified _ | No_incumbent -> false)
+
+let solve ?(params = default_params) ?mip_start ?on_progress problem =
+  let started = Unix.gettimeofday () in
+  let budget = params.bb.Branch_bound.time_limit in
+  let remaining () =
+    match budget with Some t -> Some (t -. (Unix.gettimeofday () -. started)) | None -> None
+  in
+  let minimize =
+    match Problem.objective problem with
+    | Problem.Minimize, _ -> true
+    | Problem.Maximize, _ -> false
+  in
+  let rank cert (out : Branch_bound.outcome) =
+    match (cert, out.Branch_bound.o_x) with
+    | Certified _, _ -> 2
+    | Uncertified _, Some _ -> 1
+    | _, _ -> 0
+  in
+  let better (o, c) (o', c') =
+    let r = rank c o and r' = rank c' o' in
+    if r <> r' then r > r'
+    else
+      match (o.Branch_bound.o_objective, o'.Branch_bound.o_objective) with
+      | Some a, Some b -> if minimize then a < b else a > b
+      | Some _, None -> true
+      | None, _ -> false
+  in
+  let rec attempt rung best =
+    let p = escalate params rung in
+    let p =
+      match remaining () with
+      | Some r -> { p with bb = { p.bb with Branch_bound.time_limit = Some (max 0.5 r) } }
+      | None -> p
+    in
+    let result = solve_once ~params:p ?mip_start ?on_progress problem in
+    let cert = certify_outcome p problem result in
+    let best =
+      match best with
+      | None -> (result, cert, rung)
+      | Some b ->
+        let o', c', _ = b in
+        if better (result, cert) (o', c') then (result, cert, rung) else b
+    in
+    let time_left = match remaining () with Some r -> r > 0.5 | None -> true in
+    if rung >= params.max_recovery_rungs || not (needs_retry ~time_left result cert) then best
+    else begin
+      Logs.info (fun m ->
+          m "solver: retrying on recovery rung %d (status %s, %s)" (rung + 1)
+            (match result.Branch_bound.o_status with
+            | Branch_bound.Optimal -> "optimal"
+            | Branch_bound.Feasible -> "feasible"
+            | Branch_bound.Infeasible -> "infeasible"
+            | Branch_bound.Unbounded -> "unbounded"
+            | Branch_bound.Unknown -> "unknown")
+            (match cert with
+            | Certified _ -> "certified"
+            | Uncertified msg -> "uncertified: " ^ msg
+            | No_incumbent -> "no incumbent"));
+      attempt (rung + 1) (Some best)
+    end
+  in
+  let result, certificate, rungs = attempt 0 None in
+  { result; certificate; rungs }

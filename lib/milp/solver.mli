@@ -4,24 +4,56 @@
     the interface the join-ordering optimizer talks to; it mirrors the
     features of the commercial solver used in the paper (Gurobi): anytime
     incumbents with proven bounds, relative-gap / time-based termination,
-    warm starts and parallel-search-grade pruning heuristics (diving). *)
+    warm starts and parallel-search-grade pruning heuristics (diving).
+
+    Two resilience layers wrap the pipeline. Every incumbent produced by
+    branch & bound is re-verified by {!Certify} against the caller's
+    original formulation — before presolve and cuts touched it — and the
+    finished outcome is audited once more (point, recomputed objective,
+    progress-trace invariants, dual bound); the verdict is returned as a
+    {!certificate}. When a solve fails numerically (uncertified result,
+    or [Unknown] with budget to spare), {!solve} retries on an escalating
+    ladder of increasingly conservative configurations — cuts off,
+    perturbation off, stricter pivot acceptance, Bland pricing, dense
+    factorization — the moral equivalent of a commercial solver's
+    "numeric focus" parameter. *)
 
 type params = {
   bb : Branch_bound.params;
   presolve : bool;
   cut_rounds : int;  (** Gomory rounds at the root; 0 disables cuts *)
   cuts_per_round : int;
+  max_recovery_rungs : int;
+  (** highest recovery-ladder rung tried after a numeric failure
+      (0 disables recovery; default 3) *)
 }
 
 val default_params : params
-(** Presolve on, 3 cut rounds of up to 16 cuts, default branch & bound. *)
+(** Presolve on, 3 cut rounds of up to 16 cuts, default branch & bound,
+    recovery ladder up to rung 3. *)
 
 val with_time_limit : float -> params -> params
-(** Convenience: sets the branch & bound wall-clock limit. *)
+(** Convenience: sets the branch & bound wall-clock limit. The budget
+    covers the *whole* solve — presolve, cuts, search, and any recovery
+    retries all draw from it. *)
+
+type certificate =
+  | Certified of Certify.report
+      (** the returned point was independently re-verified against the
+          original problem, its objective recomputed, and the progress
+          trace and dual bound passed the anytime-invariant audit *)
+  | Uncertified of string  (** an incumbent exists but failed the audit *)
+  | No_incumbent  (** nothing to certify (infeasible / no solution found) *)
+
+type outcome = {
+  result : Branch_bound.outcome;
+  certificate : certificate;
+  rungs : int;  (** recovery rung that produced [result]; 0 = first try *)
+}
 
 val solve :
   ?params:params ->
   ?mip_start:float array ->
   ?on_progress:(Branch_bound.progress -> unit) ->
   Problem.t ->
-  Branch_bound.outcome
+  outcome

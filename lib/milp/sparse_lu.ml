@@ -28,6 +28,7 @@ let fill_in t = t.nnz
 
 let factorize ?(pivot_tol = 1e-11) ~dim:n ~columns basis =
   if Array.length basis <> n then invalid_arg "Sparse_lu.factorize: basis length";
+  if Faults.refactor_fails () then raise (Singular (-1));
   (* Static fill-reducing ordering: eliminate sparse columns first.
      Counting sort by column nonzero count. *)
   let col_of_step =

@@ -42,36 +42,55 @@ let parse text =
     | [] -> Ok ()
     | "table" :: name :: card :: rest ->
       let* card = Result.map_error (Printf.sprintf "line %d: %s" lineno) (parse_float "cardinality" card) in
-      let cols =
-        match keyed "cols" rest with Some c -> int_of_string_opt c | None -> Some 0
-      in
-      let bytes =
-        match keyed "bytes" rest with Some b -> float_of_string_opt b | None -> Some 8.
-      in
-      (match (cols, bytes) with
-      | Some cols, Some bytes ->
-        acc.tables <- (name, card, cols, bytes) :: acc.tables;
-        Ok ()
-      | _ -> err "bad cols=/bytes=")
+      if List.exists (fun (n, _, _, _) -> n = name) acc.tables then
+        err (Printf.sprintf "duplicate table name: %s" name)
+      else if not (Float.is_finite card) || card <= 0. then
+        err (Printf.sprintf "cardinality must be finite and positive, got %g" card)
+      else begin
+        let cols =
+          match keyed "cols" rest with Some c -> int_of_string_opt c | None -> Some 0
+        in
+        let bytes =
+          match keyed "bytes" rest with Some b -> float_of_string_opt b | None -> Some 8.
+        in
+        match (cols, bytes) with
+        | Some cols, _ when cols < 0 -> err "cols= must be nonnegative"
+        | Some _, Some bytes when not (Float.is_finite bytes) || bytes <= 0. ->
+          err (Printf.sprintf "bytes= must be finite and positive, got %g" bytes)
+        | Some cols, Some bytes ->
+          acc.tables <- (name, card, cols, bytes) :: acc.tables;
+          Ok ()
+        | _ -> err "bad cols=/bytes="
+      end
     | "pred" :: t1 :: t2 :: sel :: rest ->
       let* i1 = Result.map_error (Printf.sprintf "line %d: %s" lineno) (table_index acc t1) in
       let* i2 = Result.map_error (Printf.sprintf "line %d: %s" lineno) (table_index acc t2) in
       let* sel = Result.map_error (Printf.sprintf "line %d: %s" lineno) (parse_float "selectivity" sel) in
-      let eval_cost =
-        match keyed "cost" rest with Some c -> float_of_string_opt c | None -> Some 0.
-      in
-      (match eval_cost with
-      | Some eval_cost -> (
-        match Predicate.binary ~eval_cost i1 i2 sel with
-        | p ->
-          acc.preds <- p :: acc.preds;
-          Ok ()
-        | exception Invalid_argument m -> err m)
-      | None -> err "bad cost=")
+      if not (Float.is_finite sel) || sel <= 0. || sel > 1. then
+        err (Printf.sprintf "selectivity must be in (0, 1], got %g" sel)
+      else
+        let eval_cost =
+          match keyed "cost" rest with Some c -> float_of_string_opt c | None -> Some 0.
+        in
+        (match eval_cost with
+        | Some c when not (Float.is_finite c) || c < 0. ->
+          err (Printf.sprintf "cost= must be finite and nonnegative, got %g" c)
+        | Some eval_cost -> (
+          match Predicate.binary ~eval_cost i1 i2 sel with
+          | p ->
+            acc.preds <- p :: acc.preds;
+            Ok ()
+          | exception Invalid_argument m -> err m)
+        | None -> err "bad cost=")
     | "npred" :: rest when List.length rest >= 2 -> (
       let names = List.filteri (fun i _ -> i < List.length rest - 1) rest in
       let sel = List.nth rest (List.length rest - 1) in
       let* sel = Result.map_error (Printf.sprintf "line %d: %s" lineno) (parse_float "selectivity" sel) in
+      let* () =
+        if not (Float.is_finite sel) || sel <= 0. || sel > 1. then
+          err (Printf.sprintf "selectivity must be in (0, 1], got %g" sel)
+        else Ok ()
+      in
       let* indices =
         List.fold_left
           (fun acc_r name ->
@@ -94,6 +113,9 @@ let parse text =
           Result.map_error (Printf.sprintf "line %d: %s" lineno)
             (parse_float "correction" (String.sub corr_token 1 (String.length corr_token - 1)))
         in
+        if not (Float.is_finite factor) || factor <= 0. then
+          err (Printf.sprintf "correction must be finite and positive, got x%g" factor)
+        else
         let members = List.filter_map int_of_string_opt member_tokens in
         if List.length members <> List.length member_tokens then err "bad predicate index"
         else

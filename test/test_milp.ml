@@ -19,6 +19,11 @@ module Dense = Milp.Dense
 
 let check_float = Alcotest.(check (float 1e-6))
 
+(* Most tests only care about the branch & bound outcome; project it out
+   of the solver facade's certified result. *)
+let solve_mip ?params ?mip_start ?on_progress p =
+  (Solver.solve ?params ?mip_start ?on_progress p).Solver.result
+
 (* ------------------------------------------------------------------ *)
 (* Simplex unit tests                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -184,7 +189,7 @@ let knapsack_problem () =
 
 let test_knapsack () =
   let p, xs = knapsack_problem () in
-  let out = Solver.solve p in
+  let out = solve_mip p in
   check_bb_status Branch_bound.Optimal out;
   check_float "objective" 21. (get_objective out);
   match out.Branch_bound.o_x with
@@ -200,7 +205,7 @@ let test_integer_rounding_gap () =
   let y = Problem.add_var p ~kind:Problem.Binary () in
   Problem.add_constr p Linexpr.(add (var ~coeff:2. x) (var ~coeff:2. y)) Problem.Le 3.;
   Problem.set_objective p Problem.Maximize Linexpr.(add (var x) (var y));
-  let out = Solver.solve p in
+  let out = solve_mip p in
   check_bb_status Branch_bound.Optimal out;
   check_float "objective" 1. (get_objective out)
 
@@ -212,7 +217,7 @@ let test_mixed_integer () =
   let y = Problem.add_var p ~ub:4. () in
   Problem.add_constr p Linexpr.(sub (var y) (var x)) Problem.Ge 0.3;
   Problem.set_objective p Problem.Minimize Linexpr.(sub (var y) (var x));
-  let out = Solver.solve p in
+  let out = solve_mip p in
   check_bb_status Branch_bound.Optimal out;
   check_float "objective" 0.3 (get_objective out)
 
@@ -221,7 +226,7 @@ let test_mip_infeasible () =
   let x = Problem.add_var p ~kind:Problem.Binary () in
   let y = Problem.add_var p ~kind:Problem.Binary () in
   Problem.add_constr p Linexpr.(add (var x) (var y)) Problem.Ge 3.;
-  let out = Solver.solve p in
+  let out = solve_mip p in
   check_bb_status Branch_bound.Infeasible out
 
 let test_mip_start () =
@@ -230,7 +235,7 @@ let test_mip_start () =
   let start = [| 1.; 0.; 1.; 0. |] in
   let saw_start = ref false in
   let out =
-    Solver.solve ~mip_start:start
+    solve_mip ~mip_start:start
       ~on_progress:(fun pr ->
         match pr.Branch_bound.pr_incumbent with
         | Some v when abs_float (v -. 17.) < 1e-6 -> saw_start := true
@@ -243,7 +248,7 @@ let test_mip_start () =
 
 let test_anytime_trace_monotone () =
   let p, _ = knapsack_problem () in
-  let out = Solver.solve p in
+  let out = solve_mip p in
   let rec check_monotone last = function
     | [] -> ()
     | pr :: rest ->
@@ -329,7 +334,7 @@ let prop_bb_matches_brute_force =
   QCheck.Test.make ~count:150 ~name:"branch & bound matches 0/1 brute force"
     (QCheck.make gen_binary_program) (fun bp ->
       let p, _ = problem_of_binary_program bp in
-      let out = Solver.solve p in
+      let out = solve_mip p in
       match (brute_force_binary bp, out.Branch_bound.o_status) with
       | None, Branch_bound.Infeasible -> true
       | None, _ -> false
@@ -409,7 +414,7 @@ let prop_bb_matches_general_oracle =
   QCheck.Test.make ~count:120 ~name:"branch & bound matches general-integer grid oracle"
     (QCheck.make gen_general_ip) (fun gp ->
       let p = problem_of_general_ip gp in
-      let out = Solver.solve p in
+      let out = solve_mip p in
       match (brute_force_general gp, out.Branch_bound.o_status) with
       | None, Branch_bound.Infeasible -> true
       | None, _ -> false
@@ -453,7 +458,7 @@ let prop_bb_depth_first_matches =
             };
         }
       in
-      let out = Solver.solve ~params p in
+      let out = solve_mip ~params p in
       match (brute_force_binary bp, out.Branch_bound.o_status) with
       | None, Branch_bound.Infeasible -> true
       | None, _ -> false
@@ -478,7 +483,7 @@ let prop_bb_with_dual_warm_starts =
             };
         }
       in
-      let out = Solver.solve ~params p in
+      let out = solve_mip ~params p in
       match (brute_force_binary bp, out.Branch_bound.o_status) with
       | None, Branch_bound.Infeasible -> true
       | None, _ -> false
@@ -590,8 +595,8 @@ let prop_presolve_preserves_optimum =
       let with_presolve =
         { Solver.default_params with Solver.presolve = true; cut_rounds = 0 }
       in
-      let out1 = Solver.solve ~params:no_presolve p in
-      let out2 = Solver.solve ~params:with_presolve p in
+      let out1 = solve_mip ~params:no_presolve p in
+      let out2 = solve_mip ~params:with_presolve p in
       match (out1.Branch_bound.o_status, out2.Branch_bound.o_status) with
       | Branch_bound.Infeasible, Branch_bound.Infeasible -> true
       | (Branch_bound.Optimal | Branch_bound.Feasible), (Branch_bound.Optimal | Branch_bound.Feasible)
@@ -635,12 +640,12 @@ let test_product_linearization () =
   Problem.add_constr p (Linexpr.var x) Problem.Eq 5.5;
   let y = Linearize.product_binary_continuous p ~binary:b ~continuous:x ~lb:2. ~ub:7. () in
   Problem.set_objective p Problem.Maximize (Linexpr.var y);
-  let out = Solver.solve p in
+  let out = solve_mip p in
   check_bb_status Branch_bound.Optimal out;
   check_float "objective" 5.5 (get_objective out);
   (* And minimizing forces b = 0, y = 0. *)
   Problem.set_objective p Problem.Minimize (Linexpr.var y);
-  let out = Solver.solve p in
+  let out = solve_mip p in
   check_float "objective" 0. (get_objective out)
 
 let prop_product_matches_semantics =
@@ -657,7 +662,7 @@ let prop_product_matches_semantics =
       Problem.add_constr p (Linexpr.var b) Problem.Eq (if bval then 1. else 0.);
       Problem.add_constr p (Linexpr.var x) Problem.Eq xval;
       Problem.set_objective p Problem.Minimize Linexpr.zero;
-      let out = Solver.solve p in
+      let out = solve_mip p in
       match out.Branch_bound.o_x with
       | None -> false
       | Some sol ->
@@ -673,7 +678,7 @@ let test_bool_and_or () =
   Problem.add_constr p (Linexpr.var a) Problem.Eq 1.;
   Problem.add_constr p (Linexpr.var b) Problem.Eq 0.;
   Problem.set_objective p Problem.Minimize Linexpr.zero;
-  let out = Solver.solve p in
+  let out = solve_mip p in
   match out.Branch_bound.o_x with
   | None -> Alcotest.fail "expected a solution"
   | Some sol ->
@@ -690,7 +695,7 @@ let test_lp_roundtrip_simple () =
   let q = Lp_format.parse text in
   Alcotest.(check int) "vars" (Problem.num_vars p) (Problem.num_vars q);
   Alcotest.(check int) "constrs" (Problem.num_constrs p) (Problem.num_constrs q);
-  let out_p = Solver.solve p and out_q = Solver.solve q in
+  let out_p = solve_mip p and out_q = solve_mip q in
   check_float "same optimum" (get_objective out_p) (get_objective out_q)
 
 let prop_lp_roundtrip =
@@ -698,7 +703,7 @@ let prop_lp_roundtrip =
     (QCheck.make gen_binary_program) (fun bp ->
       let p, _ = problem_of_binary_program bp in
       let q = Lp_format.parse (Lp_format.to_string p) in
-      let out_p = Solver.solve p and out_q = Solver.solve q in
+      let out_p = solve_mip p and out_q = solve_mip q in
       match (out_p.Branch_bound.o_status, out_q.Branch_bound.o_status) with
       | Branch_bound.Infeasible, Branch_bound.Infeasible -> true
       | (Branch_bound.Optimal | Branch_bound.Feasible), (Branch_bound.Optimal | Branch_bound.Feasible)
@@ -720,7 +725,7 @@ End
 |}
   in
   let p = Lp_format.parse text in
-  let out = Solver.solve p in
+  let out = solve_mip p in
   check_bb_status Branch_bound.Optimal out;
   (* Optimum at x = 3, y = 1: objective 11. *)
   check_float "objective" 11. (get_objective out)

@@ -312,14 +312,28 @@ corr 0 1 x1.5
     Alcotest.(check int) "columns" 3 (List.length q.Query.tables.(1).Catalog.tbl_columns)
 
 let test_query_file_errors () =
-  (match Query_file.parse "pred a b 0.5" with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "unknown table should fail");
-  match Query_file.parse "table a 100
-table b 100
-pred a b 2.0" with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "bad selectivity should fail"
+  let expect_error ~at ~reason text =
+    match Query_file.parse text with
+    | Ok _ -> Alcotest.failf "%s should fail to parse" reason
+    | Error m ->
+      let prefix = Printf.sprintf "line %d:" at in
+      if not (String.length m >= String.length prefix && String.sub m 0 (String.length prefix) = prefix)
+      then Alcotest.failf "%s: error lacks its line number, got %S" reason m
+  in
+  expect_error ~at:1 ~reason:"unknown table" "pred a b 0.5";
+  expect_error ~at:3 ~reason:"selectivity > 1" "table a 100\ntable b 100\npred a b 2.0";
+  expect_error ~at:3 ~reason:"selectivity = 0" "table a 100\ntable b 100\npred a b 0.0";
+  expect_error ~at:3 ~reason:"NaN selectivity" "table a 100\ntable b 100\npred a b nan";
+  expect_error ~at:2 ~reason:"duplicate table" "table a 100\ntable a 200";
+  expect_error ~at:1 ~reason:"nonpositive cardinality" "table a 0";
+  expect_error ~at:1 ~reason:"infinite cardinality" "table a inf";
+  expect_error ~at:1 ~reason:"NaN cardinality" "table a nan";
+  expect_error ~at:1 ~reason:"negative bytes" "table a 100 bytes=-4";
+  expect_error ~at:3 ~reason:"negative cost" "table a 100\ntable b 100\npred a b 0.5 cost=-1";
+  expect_error ~at:4 ~reason:"NaN n-ary selectivity"
+    "table a 100\ntable b 100\ntable c 100\nnpred a b c nan";
+  expect_error ~at:4 ~reason:"nonpositive correction"
+    "table a 100\ntable b 100\npred a b 0.5\ncorr 0 1 x0"
 
 let prop_query_file_roundtrip =
   QCheck.Test.make ~count:50 ~name:"query file round-trips"

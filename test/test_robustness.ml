@@ -1,0 +1,282 @@
+(* Resilience-layer tests: the fault-injection harness drives seeded
+   workloads through manufactured solver failures and asserts the
+   optimizer still returns validated plans with honest provenance; the
+   certification layer is checked against Problem.check_feasible and
+   hand-built progress traces; the time/node budget contract is checked
+   on random workloads. *)
+
+module Problem = Milp.Problem
+module Branch_bound = Milp.Branch_bound
+module Solver = Milp.Solver
+module Certify = Milp.Certify
+module Faults = Milp.Faults
+module Query = Relalg.Query
+module Plan = Relalg.Plan
+module Workload = Relalg.Workload
+module Join_graph = Relalg.Join_graph
+module Optimizer = Joinopt.Optimizer
+module Encoding = Joinopt.Encoding
+module Cost_enc = Joinopt.Cost_enc
+
+let shapes = [ ("chain", Join_graph.Chain); ("star", Join_graph.Star); ("cycle", Join_graph.Cycle) ]
+
+let query ~seed ~shape ~n = Workload.generate ~seed ~shape ~num_tables:n ()
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection harness                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Five distinct failure modes plus a combined storm. Probabilities are
+   high on purpose: each plan must actually fire on queries this small. *)
+let fault_plans =
+  [
+    ("pivot-storm", { Faults.none with Faults.f_seed = 11; f_pivot_reject = 0.3 });
+    ("singular-basis", { Faults.none with Faults.f_seed = 12; f_refactor_fail_every = 2 });
+    ("basis-drift", { Faults.none with Faults.f_seed = 13; f_perturb = 1e-5 });
+    ("deadline-pressure", { Faults.none with Faults.f_seed = 14; f_early_timeout = 0.9 });
+    ("nan-objective", { Faults.none with Faults.f_seed = 15; f_corrupt_objective = 0.8 });
+    ( "storm",
+      {
+        Faults.f_seed = 16;
+        f_pivot_reject = 0.1;
+        f_refactor_fail_every = 3;
+        f_perturb = 1e-6;
+        f_early_timeout = 0.2;
+        f_corrupt_objective = 0.3;
+      } );
+  ]
+
+let optimize_config =
+  Joinopt.Optimizer.default_config |> Joinopt.Optimizer.with_time_limit 2.
+
+let survives_faults () =
+  List.iter
+    (fun (fault_name, plan) ->
+      List.iter
+        (fun (shape_name, shape) ->
+          let q = query ~seed:(Hashtbl.hash (fault_name, shape_name)) ~shape ~n:6 in
+          Faults.install plan;
+          let r =
+            Fun.protect
+              ~finally:(fun () -> Faults.clear ())
+              (fun () -> Optimizer.optimize ~config:optimize_config q)
+          in
+          let where = Printf.sprintf "%s/%s" fault_name shape_name in
+          (match r.Optimizer.plan with
+          | None -> Alcotest.failf "%s: no plan returned" where
+          | Some p -> (
+            match Plan.validate q p with
+            | Ok () -> ()
+            | Error msg -> Alcotest.failf "%s: invalid plan: %s" where msg));
+          (match r.Optimizer.provenance with
+          | None -> Alcotest.failf "%s: plan without provenance" where
+          | Some _ -> ());
+          (* Provenance must agree with the certificate: a certified
+             first-try solve is the only thing allowed to claim
+             [`Milp_certified]. *)
+          match (r.Optimizer.provenance, r.Optimizer.certificate) with
+          | Some `Milp_certified, (Solver.Uncertified _ | Solver.No_incumbent) ->
+            Alcotest.failf "%s: claims certified without a certificate" where
+          | _ -> ())
+        shapes)
+    fault_plans
+
+let faults_actually_fire () =
+  let expected_counter =
+    [
+      ("pivot-storm", "pivot_reject");
+      ("singular-basis", "refactor_fail");
+      ("basis-drift", "perturb");
+      ("deadline-pressure", "early_timeout");
+      ("nan-objective", "corrupt_objective");
+    ]
+  in
+  List.iter
+    (fun (fault_name, counter) ->
+      let plan = List.assoc fault_name fault_plans in
+      let q = query ~seed:42 ~shape:Join_graph.Star ~n:6 in
+      Faults.install plan;
+      let fired =
+        Fun.protect
+          ~finally:(fun () -> Faults.clear ())
+          (fun () ->
+            ignore (Optimizer.optimize ~config:optimize_config q);
+            Faults.fired ())
+      in
+      let n = try List.assoc counter fired with Not_found -> 0 in
+      if n = 0 then Alcotest.failf "fault plan %s never fired its %s hook" fault_name counter)
+    expected_counter
+
+let certified_without_faults () =
+  Alcotest.(check bool) "no fault plan left installed" false (Faults.is_enabled ());
+  let runs =
+    List.concat_map
+      (fun (_, shape) -> List.map (fun seed -> (shape, seed)) [ 1; 2; 3; 4; 5; 6 ])
+      shapes
+  in
+  let certified =
+    List.fold_left
+      (fun acc (shape, seed) ->
+        let q = query ~seed ~shape ~n:5 in
+        let r = Optimizer.optimize ~config:(Joinopt.Optimizer.with_time_limit 10. Optimizer.default_config) q in
+        (match r.Optimizer.plan with
+        | None -> Alcotest.fail "no plan on a clean run"
+        | Some p -> (
+          match Plan.validate q p with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "invalid plan on a clean run: %s" msg));
+        match r.Optimizer.provenance with Some `Milp_certified -> acc + 1 | _ -> acc)
+      0 runs
+  in
+  let total = List.length runs in
+  if float_of_int certified < 0.95 *. float_of_int total then
+    Alcotest.failf "only %d/%d clean runs were certified" certified total
+
+(* ------------------------------------------------------------------ *)
+(* Certification vs. Problem.check_feasible                            *)
+(* ------------------------------------------------------------------ *)
+
+let shuffle rng a =
+  let a = Array.copy a in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+(* Any point Problem.check_feasible accepts, Certify.check_point must
+   accept too (its tolerance tests are relative, hence no stricter). *)
+let never_rejects_feasible () =
+  let rng = Random.State.make [| 2024 |] in
+  List.iter
+    (fun (_, shape) ->
+      for seed = 1 to 10 do
+        let q = query ~seed ~shape ~n:6 in
+        let enc = Encoding.build q in
+        let cost = Cost_enc.install enc Optimizer.default_config.Optimizer.cost in
+        let orders =
+          Dp_opt.Greedy.order q
+          :: List.init 3 (fun _ -> shuffle rng (Array.init (Query.num_tables q) Fun.id))
+        in
+        List.iter
+          (fun order ->
+            let x = Encoding.assignment_of_order enc order in
+            Cost_enc.extend_assignment cost order x;
+            let value v = x.(v) in
+            match Problem.check_feasible enc.Encoding.problem value with
+            | Error _ -> () (* not a feasible point; nothing to compare *)
+            | Ok _ -> (
+              match Certify.check_point enc.Encoding.problem value with
+              | Certify.Certified _ -> ()
+              | Certify.Rejected msg ->
+                Alcotest.failf "certification rejected a check_feasible-approved point: %s" msg))
+          orders
+      done)
+    shapes
+
+let rejects_corrupted_points () =
+  let q = query ~seed:7 ~shape:Join_graph.Chain ~n:5 in
+  let enc = Encoding.build q in
+  let cost = Cost_enc.install enc Optimizer.default_config.Optimizer.cost in
+  let order = Dp_opt.Greedy.order q in
+  let x = Encoding.assignment_of_order enc order in
+  Cost_enc.extend_assignment cost order x;
+  (* Baseline: the honest point certifies. *)
+  (match Certify.check_point enc.Encoding.problem (fun v -> x.(v)) with
+  | Certify.Certified _ -> ()
+  | Certify.Rejected msg -> Alcotest.failf "honest point rejected: %s" msg);
+  (* A fractional binary variable must be rejected. *)
+  let fractional v = if v = 0 then 0.5 else x.(v) in
+  (match Certify.check_point enc.Encoding.problem fractional with
+  | Certify.Rejected _ -> ()
+  | Certify.Certified _ -> Alcotest.fail "fractional binary certified");
+  (* A NaN must be rejected. *)
+  let nan_point v = if v = 0 then Float.nan else x.(v) in
+  match Certify.check_point enc.Encoding.problem nan_point with
+  | Certify.Rejected _ -> ()
+  | Certify.Certified _ -> Alcotest.fail "NaN point certified"
+
+(* ------------------------------------------------------------------ *)
+(* Progress-trace audit                                                *)
+(* ------------------------------------------------------------------ *)
+
+let trace_audit () =
+  let ok = Certify.check_trace ~minimize:true in
+  (match ok [ (None, 1.); (Some 10., 2.); (Some 8., 3.); (Some 8., 8.) ] with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "valid trace rejected: %s" msg);
+  (match ok [ (Some 8., 1.); (Some 10., 2.) ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "regressing incumbent accepted");
+  (match ok [ (None, 5.); (None, 3.) ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "loosening bound accepted");
+  (match ok [ (Some 8., 9.) ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bound above incumbent accepted (min sense)");
+  (match ok [ (Some Float.nan, 1.) ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "NaN incumbent accepted");
+  (match Certify.check_bound ~minimize:true ~objective:10. 9. with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "valid bound rejected: %s" msg);
+  match Certify.check_bound ~minimize:true ~objective:10. 11. with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "crossing bound accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Budget contract                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Under a time or node budget, branch & bound must come back within
+   ~1.5x the budget (plus scheduling slack) and its dual bound must stay
+   on the correct side of the incumbent. *)
+let budget_contract () =
+  let all_shapes = [| Join_graph.Chain; Join_graph.Star; Join_graph.Cycle |] in
+  let budget = 0.2 in
+  for seed = 1 to 50 do
+    let shape = all_shapes.(seed mod Array.length all_shapes) in
+    let n = 5 + (seed mod 4) in
+    let q = query ~seed ~shape ~n in
+    let enc = Encoding.build q in
+    let cost = Cost_enc.install enc Optimizer.default_config.Optimizer.cost in
+    ignore cost;
+    let params =
+      {
+        Branch_bound.default_params with
+        Branch_bound.time_limit = Some budget;
+        node_limit = Some 500;
+      }
+    in
+    let started = Unix.gettimeofday () in
+    let out = Branch_bound.solve ~params enc.Encoding.problem in
+    let wall = Unix.gettimeofday () -. started in
+    if wall > (1.5 *. budget) +. 0.5 then
+      Alcotest.failf "seed %d: %.2fs wall for a %.2fs budget" seed wall budget;
+    match out.Branch_bound.o_objective with
+    | None -> ()
+    | Some obj -> (
+      match Certify.check_bound ~minimize:true ~objective:obj out.Branch_bound.o_bound with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "seed %d: %s" seed msg)
+  done
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "faults",
+        [
+          Alcotest.test_case "optimizer survives every fault plan" `Slow survives_faults;
+          Alcotest.test_case "fault hooks actually fire" `Slow faults_actually_fire;
+          Alcotest.test_case "clean runs are certified" `Slow certified_without_faults;
+        ] );
+      ( "certification",
+        [
+          Alcotest.test_case "never rejects a feasible point" `Quick never_rejects_feasible;
+          Alcotest.test_case "rejects corrupted points" `Quick rejects_corrupted_points;
+          Alcotest.test_case "trace and bound audit" `Quick trace_audit;
+        ] );
+      ("budget", [ Alcotest.test_case "time/node budget respected" `Slow budget_contract ]);
+    ]
