@@ -170,6 +170,51 @@ let run_ablations () =
   run "no presolve" base_enc { base_solver with Milp.Solver.presolve = false } true;
   Format.printf "@."
 
+(* ------------------------------------------------------------------ *)
+(* Parallel branch & bound scaling                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock per jobs value on one query, plus an identity check on the
+   certified result. Timings are reported, never asserted: speedup
+   depends on the machine's core count (this box may have one core), but
+   the incumbent must match bit-for-bit on every machine. *)
+let run_jobs_scaling () =
+  let budget = match scale with Quick -> 2. | Default -> 10. | Paper -> 60. in
+  let num_tables = 10 in
+  let q = Workload.generate ~seed:11 ~shape:Join_graph.Star ~num_tables () in
+  Format.printf
+    "Parallel scaling (star, %d tables, %gs budget; %d core(s) recommended by the runtime):@."
+    num_tables budget
+    (Domain.recommended_domain_count ());
+  Format.printf "%-6s %10s %12s %12s %8s@." "jobs" "seconds" "true cost" "objective" "nodes";
+  let baseline = ref None in
+  List.iter
+    (fun jobs ->
+      let config =
+        Joinopt.Optimizer.default_config
+        |> Joinopt.Optimizer.with_time_limit budget
+        |> Joinopt.Optimizer.with_jobs jobs
+      in
+      let t0 = Unix.gettimeofday () in
+      let r = Joinopt.Optimizer.optimize ~config q in
+      let dt = Unix.gettimeofday () -. t0 in
+      let agree =
+        match !baseline with
+        | None ->
+          baseline := Some (r.Joinopt.Optimizer.objective, r.Joinopt.Optimizer.true_cost);
+          ""
+        | Some (obj, tc) ->
+          if obj = r.Joinopt.Optimizer.objective && tc = r.Joinopt.Optimizer.true_cost then
+            "  (= jobs 1)"
+          else "  (DIFFERS from jobs 1 — expected only under a tight time limit)"
+      in
+      Format.printf "%-6d %10.2f %12s %12s %8d%s@." jobs dt
+        (match r.Joinopt.Optimizer.true_cost with Some c -> Printf.sprintf "%.6g" c | None -> "-")
+        (match r.Joinopt.Optimizer.objective with Some o -> Printf.sprintf "%.6g" o | None -> "-")
+        r.Joinopt.Optimizer.nodes agree)
+    [ 1; 2; 4 ];
+  Format.printf "@."
+
 let () =
   Format.printf "%a@." Experiments.pp_table1 ();
   Format.printf "%a@." Experiments.pp_table2 ();
@@ -177,6 +222,7 @@ let () =
   Format.printf "%a@." Experiments.pp_figure1 fig1;
   run_micro ();
   run_ablations ();
+  run_jobs_scaling ();
   let config = fig2_config () in
   Format.printf
     "Running Figure 2 grid: %d shapes x %d sizes x 4 algorithms x %d queries, %gs budget...@."

@@ -93,15 +93,22 @@ let cost_term =
   Arg.(value & opt cost_conv (Cost_enc.Fixed_operator Plan.Hash_join)
          & info [ "cost" ] ~docv:"MODEL" ~doc:"Cost model: hash, smj, bnl, cout, choose.")
 
+let jobs_term =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Domains used by the branch & bound. 1 is the serial engine; N>1 \
+               adds N-1 speculative LP worker domains. The certified plan is \
+               identical for every value.")
+
 (* ------------------------------------------------------------------ *)
 (* optimize                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_optimize query budget precision cost verbose =
+let run_optimize query budget precision cost jobs verbose =
   let config =
     { Optimizer.default_config with Optimizer.cost }
     |> Optimizer.with_precision precision
     |> Optimizer.with_time_limit budget
+    |> Optimizer.with_jobs jobs
   in
   Format.printf "Query: %a@." Relalg.Query.pp query;
   let on_progress =
@@ -151,7 +158,7 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a join query through the MILP encoding")
-    Term.(const run_optimize $ query_term $ budget_term $ precision_term $ cost_term $ verbose)
+    Term.(const run_optimize $ query_term $ budget_term $ precision_term $ cost_term $ jobs_term $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* dp / greedy                                                          *)

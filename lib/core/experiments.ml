@@ -51,10 +51,13 @@ let figure1 ?(config = default_fig1) () =
         (fun precision ->
           let counts =
             List.init config.f1_queries_per_size (fun i ->
+                (* Hold the generator state explicitly: the draw sequence
+                   is pinned to this [state] value, not to whatever the
+                   ambient [Random] state happens to be. *)
+                let seed = config.f1_seed + (1009 * i) in
+                let state = Workload.rng ~seed ~shape:config.f1_shape ~num_tables:n in
                 let q =
-                  Workload.generate
-                    ~seed:(config.f1_seed + (1009 * i))
-                    ~shape:config.f1_shape ~num_tables:n ()
+                  Workload.generate ~state ~seed ~shape:config.f1_shape ~num_tables:n ()
                 in
                 Analysis.predicted ~config:(fig1_encoding_config precision) q)
           in
@@ -175,8 +178,12 @@ let figure2 ?(config = default_fig2) () =
       List.concat_map
         (fun n ->
           let queries =
-            Workload.generate_many ~seed:config.f2_seed ~shape ~num_tables:n
-              ~count:config.f2_queries_per_cell ()
+            (* Same per-query seed derivation as [Workload.generate_many],
+               but with each query's generator state held explicitly. *)
+            List.init config.f2_queries_per_cell (fun i ->
+                let seed = config.f2_seed + (7919 * (i + 1)) in
+                let state = Workload.rng ~seed ~shape ~num_tables:n in
+                Workload.generate ~state ~seed ~shape ~num_tables:n ())
           in
           List.map
             (fun algo ->

@@ -28,6 +28,8 @@ let with_precision precision config =
 
 let with_time_limit t config = { config with solver = Solver.with_time_limit t config.solver }
 
+let with_jobs n config = { config with solver = Solver.with_jobs n config.solver }
+
 type trace_point = {
   tp_elapsed : float;
   tp_objective : float option;

@@ -21,6 +21,11 @@ val default_config : config
 val with_precision : Thresholds.precision -> config -> config
 val with_time_limit : float -> config -> config
 
+val with_jobs : int -> config -> config
+(** Number of domains for the branch & bound (clamped to ≥ 1). The
+    certified plan and objective are identical for every value — see
+    {!Milp.Branch_bound.params.jobs}. *)
+
 type trace_point = {
   tp_elapsed : float;
   tp_objective : float option;  (** incumbent MILP objective (approx. cost) *)

@@ -9,6 +9,7 @@ type params = {
   max_dive_depth : int;
   node_order : node_order;
   simplex : Simplex.params;
+  jobs : int;
 }
 
 let default_params =
@@ -21,6 +22,7 @@ let default_params =
     max_dive_depth = 50;
     node_order = Best_bound;
     simplex = Simplex.default_params;
+    jobs = 1;
   }
 
 type progress = {
@@ -79,6 +81,11 @@ type search = {
   started : float;
   on_progress : progress -> unit;
   mutable incumbent : (float * float array) option;  (* internal min sense, full x *)
+  (* The incumbent objective, republished for worker domains: the only
+     piece of search state the speculative LP pool reads. Monotone
+     non-increasing, so a stale read only costs a wasted LP, never a
+     wrong pruning decision. *)
+  inc_published : float Atomic.t;
   mutable root_done : bool;  (* the root LP bound has been established *)
   mutable in_flight : float option;  (* bound of the node being processed *)
   mutable nodes : int;
@@ -221,22 +228,40 @@ let try_incumbent s (x : float array) _lp_obj =
     let improves = match s.incumbent with None -> true | Some (best, _) -> obj < best -. 1e-12 in
     if improves then begin
       s.incumbent <- Some (obj, x');
+      Atomic.set s.inc_published obj;
       report s
     end;
     improves
   | None -> false
 
-let solve_node s ~warm ~lb ~ub =
+let node_simplex_params s =
   (* Per-node simplex deadline from the global budget, so one long LP
      cannot blow through the time limit. *)
-  let params =
-    match s.p.time_limit with
-    | Some t -> { s.p.simplex with Simplex.deadline = Some (s.started +. t) }
-    | None -> s.p.simplex
-  in
-  let res = Simplex.solve ~params ?warm s.sf ~lb ~ub in
+  match s.p.time_limit with
+  | Some t -> { s.p.simplex with Simplex.deadline = Some (s.started +. t) }
+  | None -> s.p.simplex
+
+let solve_node s ~warm ~lb ~ub =
+  let res = Simplex.solve ~params:(node_simplex_params s) ?warm s.sf ~lb ~ub in
   s.simplex_iters <- s.simplex_iters + res.Simplex.iters;
   res
+
+(* The full per-node LP work — bound materialization, the warm solve and
+   the cold retry after a numeric failure — as a pure function of the
+   node. It reads only state that is immutable once the search starts
+   ([sf], [p], root bounds, [started]), so worker domains can run it
+   speculatively; the iteration count is returned rather than
+   accumulated so accounting happens exactly once, at consumption, in
+   deterministic (serial) order. *)
+let node_lp s node =
+  let lb, ub = materialize_bounds s node.n_fixes in
+  let params = node_simplex_params s in
+  let res = Simplex.solve ~params ?warm:node.n_warm s.sf ~lb ~ub in
+  match res.Simplex.status with
+  | Simplex.Numerical_failure | Simplex.Iteration_limit ->
+    let cold = Simplex.solve ~params s.sf ~lb ~ub in
+    (lb, ub, cold, res.Simplex.iters + cold.Simplex.iters)
+  | _ -> (lb, ub, res, res.Simplex.iters)
 
 let is_integral s x =
   let ok = ref true in
@@ -330,15 +355,12 @@ let finish s status_when_done =
     o_rejected_incumbents = s.rejected_incumbents;
   }
 
-let process_node s node =
-  let lb, ub = materialize_bounds s node.n_fixes in
-  let res = solve_node s ~warm:node.n_warm ~lb ~ub in
-  let retry_cold () = solve_node s ~warm:None ~lb ~ub in
-  let res =
-    match res.Simplex.status with
-    | Simplex.Numerical_failure | Simplex.Iteration_limit -> retry_cold ()
-    | _ -> res
-  in
+(* Process one popped node. [lp] supplies the node's LP relaxation
+   result (inline in the serial engine, possibly precomputed by a worker
+   domain in the parallel one — the result is identical either way);
+   [offer] announces each pushed child to the speculation pool. *)
+let process_node s ~lp ~offer node =
+  let ((lb, ub, res) : float array * float array * Simplex.result) = lp node in
   match res.Simplex.status with
   | Simplex.Infeasible -> ()
   | Simplex.Unbounded ->
@@ -381,7 +403,8 @@ let process_node s node =
           in
           let push n =
             Pqueue.push s.heap (key n) n;
-            if s.p.node_order <> Best_bound then Pqueue.push s.bound_heap n.n_bound n
+            if s.p.node_order <> Best_bound then Pqueue.push s.bound_heap n.n_bound n;
+            offer ~key:(key n) n
           in
           push down;
           push up);
@@ -408,6 +431,7 @@ let solve ?(params = default_params) ?certify_against ?mip_start ?(on_progress =
       started = Unix.gettimeofday ();
       on_progress;
       incumbent = None;
+      inc_published = Atomic.make infinity;
       root_done = false;
       in_flight = None;
       nodes = 0;
@@ -437,6 +461,7 @@ let solve ?(params = default_params) ?certify_against ?mip_start ?(on_progress =
             c.Problem.c_rhs -. Linexpr.eval value c.Problem.c_expr)
         problem;
       s.incumbent <- Some (obj, full);
+      Atomic.set s.inc_published obj;
       (* The anytime contract: a warm start is an incumbent before any
          search happens (its bound is still unproven, hence -inf). *)
       report s
@@ -463,7 +488,7 @@ let solve ?(params = default_params) ?certify_against ?mip_start ?(on_progress =
     else begin
       Pqueue.push s.heap root.n_bound root;
       if s.p.node_order <> Best_bound then Pqueue.push s.bound_heap root.n_bound root;
-      let rec loop () =
+      let rec loop ~lp ~offer ~discard () =
         if out_of_budget s || gap_closed s then finish s Unknown
         else
           match Pqueue.pop s.heap with
@@ -476,15 +501,69 @@ let solve ?(params = default_params) ?certify_against ?mip_start ?(on_progress =
               | Some (best, _) -> bound >= best -. 1e-12
               | None -> false
             in
-            if dominated then loop ()
+            if dominated then begin
+              discard node;
+              loop ~lp ~offer ~discard ()
+            end
             else begin
               s.nodes <- s.nodes + 1;
               s.in_flight <- Some bound;
-              process_node s node;
+              process_node s ~lp ~offer node;
               s.in_flight <- None;
               report s;
-              loop ()
+              loop ~lp ~offer ~discard ()
             end
       in
-      loop ()
+      if s.p.jobs <= 1 then begin
+        (* Serial engine: the LP is solved inline at the pop, exactly the
+           pre-parallel code path. *)
+        let lp node =
+          let lb, ub, res, iters = node_lp s node in
+          s.simplex_iters <- s.simplex_iters + iters;
+          (lb, ub, res)
+        in
+        loop ~lp ~offer:(fun ~key:_ _ -> ()) ~discard:(fun _ -> ()) ()
+      end
+      else begin
+        (* Parallel engine: worker domains speculatively solve the LP
+           relaxations of open nodes (best-key first) while this domain
+           replays the serial search verbatim. Every decision that shapes
+           the tree — pruning, incumbent installation and certification,
+           branching, diving — happens here, in serial order, so the
+           outcome is bit-identical to [jobs = 1] whenever the run is not
+           cut short by a wall-clock limit; the workers only hide LP
+           latency. Workers drop nodes dominated by the atomically
+           published incumbent: the coordinator's incumbent at pop time
+           can only be at least as good, so it prunes those nodes too and
+           never demands their result. *)
+        let solve_task node = try Ok (node_lp s node) with e -> Error e in
+        let skip node = node.n_bound >= Atomic.get s.inc_published -. 1e-12 in
+        let pool = Par_pool.create ~workers:(s.p.jobs - 1) ~solve:solve_task ~skip in
+        let lp node =
+          let outcome =
+            match Par_pool.demand pool ~id:node.n_id with
+            | Par_pool.Ready r -> r
+            | Par_pool.Claimed -> solve_task node
+          in
+          match outcome with
+          | Ok (lb, ub, res, iters) ->
+            s.simplex_iters <- s.simplex_iters + iters;
+            (lb, ub, res)
+          | Error e -> raise e
+        in
+        let offer ~key node = Par_pool.offer pool ~id:node.n_id ~key node in
+        let discard node = Par_pool.discard pool ~id:node.n_id in
+        offer ~key:root.n_bound root;
+        match loop ~lp ~offer ~discard () with
+        | out ->
+          let speculated, dropped = Par_pool.stats pool in
+          Logs.debug (fun m ->
+              m "parallel b&b: %d nodes, %d LPs speculated by %d workers, %d dropped as dominated"
+                s.nodes speculated (s.p.jobs - 1) dropped);
+          Par_pool.shutdown pool;
+          out
+        | exception e ->
+          Par_pool.shutdown pool;
+          raise e
+      end
     end

@@ -21,10 +21,22 @@ type params = {
   max_dive_depth : int;
   node_order : node_order;
   simplex : Simplex.params;
+  jobs : int;
+  (** Number of domains used by the solve. [1] (the default) is the
+      serial engine, bit-identical to the pre-parallel behavior. [N > 1]
+      spawns [N-1] worker domains that speculatively solve the LP
+      relaxations of open nodes while the search itself — node
+      selection, pruning, incumbent certification, branching, diving —
+      replays the serial algorithm on the calling domain. Because node
+      LPs are pure functions of the node, every value of [jobs] returns
+      the same certified plan and objective (byte-identical, absent a
+      wall-clock [time_limit] cutting the run short); parallelism only
+      changes wall-clock time. *)
 }
 
 val default_params : params
-(** No limits, [gap_tol = 1e-6], [int_tol = 1e-6], diving every 64 nodes. *)
+(** No limits, [gap_tol = 1e-6], [int_tol = 1e-6], diving every 64 nodes,
+    [jobs = 1]. *)
 
 type progress = {
   pr_elapsed : float;

@@ -25,12 +25,21 @@ type state = {
 }
 
 (* The single flag every hook reads first: the zero-cost-when-disabled
-   check. [state] is only consulted after the flag passes. *)
+   check. [state] is only consulted after the flag passes.
+
+   The state behind the flag is guarded by [mu]: with the parallel branch
+   & bound, hooks fire concurrently from worker domains, and the seeded
+   generator and counters would otherwise race (a torn [Hashtbl.replace]
+   can crash the process). The lock is only ever taken when a plan is
+   installed, so the disabled-path cost stays one load and branch. *)
 let enabled = ref false
+
+let mu = Mutex.create ()
 
 let state : state option ref = ref None
 
 let install plan =
+  Mutex.lock mu;
   state :=
     Some
       {
@@ -39,24 +48,36 @@ let install plan =
         refactors = 0;
         counters = Hashtbl.create 8;
       };
-  enabled := true
+  enabled := true;
+  Mutex.unlock mu
 
 let clear () =
+  Mutex.lock mu;
   state := None;
-  enabled := false
+  enabled := false;
+  Mutex.unlock mu
 
 let is_enabled () = !enabled
 
-let installed () = match !state with Some st -> Some st.plan | None -> None
+let installed () =
+  Mutex.lock mu;
+  let p = match !state with Some st -> Some st.plan | None -> None in
+  Mutex.unlock mu;
+  p
 
 let bump st name =
   Hashtbl.replace st.counters name
     (1 + match Hashtbl.find_opt st.counters name with Some n -> n | None -> 0)
 
 let fired () =
-  match !state with
-  | None -> []
-  | Some st -> List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.counters [])
+  Mutex.lock mu;
+  let r =
+    match !state with
+    | None -> []
+    | Some st -> List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.counters [])
+  in
+  Mutex.unlock mu;
+  r
 
 (* splitmix64: deterministic, seedable, good enough to decorrelate fault
    sites without dragging in [Random] (whose global state tests use). *)
@@ -68,7 +89,13 @@ let next_float st =
   let z = Int64.logxor z (Int64.shift_right_logical z 31) in
   Int64.to_float (Int64.shift_right_logical z 11) *. 0x1p-53
 
-let with_state f = match !state with Some st -> f st | None -> false
+(* Run [f] on the installed state under the lock; hooks below call this
+   only after the enabled fast-path check passed. *)
+let with_state f =
+  Mutex.lock mu;
+  let r = match !state with Some st -> f st | None -> false in
+  Mutex.unlock mu;
+  r
 
 let pivot_rejected () =
   !enabled
@@ -94,15 +121,18 @@ let refactor_fails () =
             end)
 
 let perturb_vector w =
-  if !enabled then
-    match !state with
+  if !enabled then begin
+    Mutex.lock mu;
+    (match !state with
     | Some st when st.plan.f_perturb > 0. ->
       bump st "perturb";
       let eps = st.plan.f_perturb in
       for i = 0 to Array.length w - 1 do
         if w.(i) <> 0. then w.(i) <- w.(i) *. (1. +. (eps *. ((2. *. next_float st) -. 1.)))
       done
-    | _ -> ()
+    | _ -> ());
+    Mutex.unlock mu
+  end
 
 let early_timeout () =
   !enabled
@@ -116,12 +146,18 @@ let early_timeout () =
 
 let corrupt_objective v =
   if not !enabled then v
-  else
-    match !state with
-    | Some st when st.plan.f_corrupt_objective > 0. ->
-      if next_float st < st.plan.f_corrupt_objective then begin
-        bump st "corrupt_objective";
-        Float.nan
-      end
-      else v
-    | _ -> v
+  else begin
+    Mutex.lock mu;
+    let r =
+      match !state with
+      | Some st when st.plan.f_corrupt_objective > 0. ->
+        if next_float st < st.plan.f_corrupt_objective then begin
+          bump st "corrupt_objective";
+          Float.nan
+        end
+        else v
+      | _ -> v
+    in
+    Mutex.unlock mu;
+    r
+  end

@@ -12,7 +12,12 @@
     zero on the simplex's hot paths.
 
     All randomness comes from a splitmix-style generator seeded by the
-    plan, so a given plan replays the identical fault sequence. *)
+    plan, so a given plan replays the identical fault sequence under a
+    serial solve. The hooks are domain-safe: with the parallel branch &
+    bound they fire concurrently from worker domains, and the generator
+    and counters are guarded by a mutex — the injected fault *sites*
+    then depend on domain interleaving, but counters stay exact and the
+    process stays crash-free. *)
 
 type plan = {
   f_seed : int;

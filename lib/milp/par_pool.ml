@@ -1,0 +1,139 @@
+type 'r completion = Ready of 'r | Claimed
+
+type ('task, 'r) entry = Open of 'task | Running | Done of 'r
+
+type ('task, 'r) t = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  (* Speculation order: workers claim the open task with the smallest
+     key, mirroring the consumer's own node selection so results are
+     ready when demanded. Entries are lazily deleted — a popped id whose
+     state is no longer [Open] is simply skipped. *)
+  queue : (int * 'task) Pqueue.t;
+  state : (int, ('task, 'r) entry) Hashtbl.t;
+  solve : 'task -> 'r;
+  skip : 'task -> bool;
+  mutable stop : bool;
+  mutable speculated : int;
+  mutable discarded : int;
+  mutable domains : unit Domain.t list;
+}
+
+(* Find the best claimable task, blocking while the queue is empty.
+   Called and returned with [mu] held. *)
+let rec worker_next t =
+  if t.stop then None
+  else
+    match Pqueue.pop t.queue with
+    | None ->
+      Condition.wait t.cv t.mu;
+      worker_next t
+    | Some (_, (id, task)) -> (
+      match Hashtbl.find_opt t.state id with
+      | Some (Open _) ->
+        if t.skip task then begin
+          (* Dominated by the published incumbent: the consumer is
+             guaranteed to prune it too (its incumbent can only be at
+             least as good by the time this id reaches the front), so
+             the LP would be wasted work. *)
+          Hashtbl.remove t.state id;
+          t.discarded <- t.discarded + 1;
+          worker_next t
+        end
+        else begin
+          Hashtbl.replace t.state id Running;
+          Some (id, task)
+        end
+      | Some Running | Some (Done _) | None -> worker_next t)
+
+let worker t () =
+  Mutex.lock t.mu;
+  let rec loop () =
+    match worker_next t with
+    | None -> Mutex.unlock t.mu
+    | Some (id, task) ->
+      Mutex.unlock t.mu;
+      let r = t.solve task in
+      Mutex.lock t.mu;
+      (match Hashtbl.find_opt t.state id with
+      | Some Running ->
+        Hashtbl.replace t.state id (Done r);
+        t.speculated <- t.speculated + 1;
+        (* Wake a consumer possibly blocked in [demand] (and idle
+           workers, who re-check the queue and go back to sleep). *)
+        Condition.broadcast t.cv
+      | Some (Open _) | Some (Done _) | None -> ());
+      loop ()
+  in
+  loop ()
+
+let create ~workers ~solve ~skip =
+  let t =
+    {
+      mu = Mutex.create ();
+      cv = Condition.create ();
+      queue = Pqueue.create ();
+      state = Hashtbl.create 256;
+      solve;
+      skip;
+      stop = false;
+      speculated = 0;
+      discarded = 0;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (max 0 workers) (fun _ -> Domain.spawn (worker t));
+  t
+
+let offer t ~id ~key task =
+  Mutex.lock t.mu;
+  Hashtbl.replace t.state id (Open task);
+  Pqueue.push t.queue key (id, task);
+  Condition.broadcast t.cv;
+  Mutex.unlock t.mu
+
+let demand t ~id =
+  Mutex.lock t.mu;
+  let rec get () =
+    match Hashtbl.find_opt t.state id with
+    | Some (Done r) ->
+      Hashtbl.remove t.state id;
+      Mutex.unlock t.mu;
+      Ready r
+    | Some Running ->
+      (* A worker is mid-solve on exactly the task the consumer needs;
+         the result lands shortly — waiting beats recomputing. *)
+      Condition.wait t.cv t.mu;
+      get ()
+    | Some (Open _) ->
+      (* Not yet picked up: claim it for the calling domain. The queue
+         entry becomes stale and is skipped by lazy deletion. *)
+      Hashtbl.remove t.state id;
+      Mutex.unlock t.mu;
+      Claimed
+    | None ->
+      (* Never offered, or discarded as dominated. *)
+      Mutex.unlock t.mu;
+      Claimed
+  in
+  get ()
+
+let discard t ~id =
+  Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.state id with
+  | Some (Open _) | Some (Done _) -> Hashtbl.remove t.state id
+  | Some Running | None -> ());
+  Mutex.unlock t.mu
+
+let stats t =
+  Mutex.lock t.mu;
+  let r = (t.speculated, t.discarded) in
+  Mutex.unlock t.mu;
+  r
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stop <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.mu;
+  List.iter Domain.join t.domains

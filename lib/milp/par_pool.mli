@@ -1,0 +1,61 @@
+(** Speculative work pool over OCaml 5 domains.
+
+    The parallel branch & bound keeps the *search* — node selection,
+    pruning, incumbent certification, branching — on a single consumer
+    domain, replaying exactly the serial algorithm, and farms out only
+    the node LP relaxations, which are pure functions of the node and
+    dominate the solve time. Worker domains speculatively solve the
+    open tasks in best-key order; because a task's result does not
+    depend on when it is consumed, any speculative result is valid
+    whenever the consumer eventually demands it. This is what makes the
+    parallel solver's certified objective and plan bit-identical to the
+    serial run regardless of the number of domains (see DESIGN.md).
+
+    Protocol: the consumer {!offer}s every task that may be demanded
+    later (keyed by the consumer's own selection order so speculation
+    stays ahead of consumption), {!demand}s results in its own order,
+    and {!discard}s tasks it prunes. Workers drop tasks for which
+    [skip] turns true — the consumer must guarantee it will never
+    demand such a task (in branch & bound, [skip] is domination by the
+    atomically-published incumbent, which only improves over time).
+
+    All shared state lives behind one mutex; tasks and results cross
+    domains only through it, so publication is safe. The [solve]
+    closure runs on worker domains and must touch only immutable or
+    freshly-allocated data. *)
+
+type 'r completion =
+  | Ready of 'r  (** a worker (or an earlier demand) produced the result *)
+  | Claimed
+      (** the task was still open (or never offered): it is now removed
+          from the pool and the caller must solve it itself *)
+
+type ('task, 'r) t
+
+val create :
+  workers:int -> solve:('task -> 'r) -> skip:('task -> bool) -> ('task, 'r) t
+(** Spawns [workers] domains (0 is legal: the pool then degenerates to
+    a queue the consumer drains itself via [Claimed]). *)
+
+val offer : ('task, 'r) t -> id:int -> key:float -> 'task -> unit
+(** Register an open task under a unique [id]. Workers claim open tasks
+    in ascending [key] order. *)
+
+val demand : ('task, 'r) t -> id:int -> 'r completion
+(** Fetch the task's result: returns [Ready] immediately when a
+    speculative result is stored, blocks when a worker is mid-solve on
+    it, and returns [Claimed] when the caller should compute it inline
+    (the id is atomically removed so no worker will duplicate it). *)
+
+val discard : ('task, 'r) t -> id:int -> unit
+(** Drop a pruned task so no worker wastes an LP solve on it. A task
+    currently being solved finishes and its result is kept (harmless —
+    it is simply never demanded). *)
+
+val stats : ('task, 'r) t -> int * int
+(** [(speculated, discarded)]: results produced by workers, and tasks
+    dropped as dominated before solving. *)
+
+val shutdown : ('task, 'r) t -> unit
+(** Stop and join all worker domains. Idempotent consumers should call
+    it exactly once; demands after shutdown are not allowed. *)

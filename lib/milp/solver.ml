@@ -17,6 +17,8 @@ let default_params =
 
 let with_time_limit t params = { params with bb = { params.bb with Branch_bound.time_limit = Some t } }
 
+let with_jobs n params = { params with bb = { params.bb with Branch_bound.jobs = max 1 n } }
+
 type certificate =
   | Certified of Certify.report
   | Uncertified of string

@@ -37,6 +37,11 @@ val with_time_limit : float -> params -> params
     covers the *whole* solve — presolve, cuts, search, and any recovery
     retries all draw from it. *)
 
+val with_jobs : int -> params -> params
+(** Convenience: sets {!Branch_bound.params.jobs} (clamped to ≥ 1).
+    Certified results are identical for every value — see
+    {!Branch_bound.params.jobs}. *)
+
 type certificate =
   | Certified of Certify.report
       (** the returned point was independently re-verified against the

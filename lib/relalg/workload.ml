@@ -35,9 +35,12 @@ let shape_edges shape n =
       (List.init n (fun i -> List.init (n - 1 - i) (fun k -> (i, i + 1 + k))))
   | Join_graph.Other -> invalid_arg "Workload.generate: shape Other is not generable"
 
-let generate ?(config = default_config) ~seed ~shape ~num_tables () =
+let rng ~seed ~shape ~num_tables =
+  Random.State.make [| seed; num_tables; Hashtbl.hash shape |]
+
+let generate ?(config = default_config) ?state ~seed ~shape ~num_tables () =
   if num_tables < 1 then invalid_arg "Workload.generate: num_tables < 1";
-  let state = Random.State.make [| seed; num_tables; Hashtbl.hash shape |] in
+  let state = match state with Some s -> s | None -> rng ~seed ~shape ~num_tables in
   let tables =
     List.init num_tables (fun i ->
         let card = Float.round (log_uniform state config.card_min config.card_max) in

@@ -17,11 +17,26 @@ val default_config : config
 (** Cardinalities in [10, 100000], selectivities in [1e-4, 0.9], no
     columns. *)
 
+val rng : seed:int -> shape:Join_graph.shape -> num_tables:int -> Random.State.t
+(** The generator's own seed derivation, exposed so callers can hold the
+    [Random.State.t] explicitly (and e.g. thread it through an experiment
+    loop) instead of relying on hidden state. [generate] without [?state]
+    uses exactly this derivation. *)
+
 val generate :
-  ?config:config -> seed:int -> shape:Join_graph.shape -> num_tables:int -> unit -> Query.t
-(** Deterministic for a given (seed, shape, num_tables, config).
-    Raises [Invalid_argument] for [num_tables < 1] or the [Other] shape;
-    [Clique] generates all-pairs predicates. *)
+  ?config:config ->
+  ?state:Random.State.t ->
+  seed:int ->
+  shape:Join_graph.shape ->
+  num_tables:int ->
+  unit ->
+  Query.t
+(** Deterministic for a given (seed, shape, num_tables, config): all
+    randomness comes from an explicit [Random.State.t] — [state] when
+    given (which is advanced in place), else a fresh one from {!rng} —
+    never from the global [Random] state, so concurrent callers cannot
+    perturb each other. Raises [Invalid_argument] for [num_tables < 1] or
+    the [Other] shape; [Clique] generates all-pairs predicates. *)
 
 val generate_many :
   ?config:config ->

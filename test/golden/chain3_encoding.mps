@@ -1,0 +1,201 @@
+NAME join_order
+ROWS
+ N  COST
+ E  outer0_single
+ E  inner0_single
+ E  inner1_single
+ L  at_most_once_t0
+ L  at_most_once_t1
+ L  at_most_once_t2
+ L  applicable_p0_t0_j1
+ L  applicable_p0_t1_j1
+ L  applicable_p1_t1_j1
+ L  applicable_p1_t2_j1
+ E  ci_def_j0
+ E  ci_def_j1
+ E  lco_def_j1
+ L  cto_def_r0_j1
+ L  cto_def_r1_j1
+ L  cto_def_r2_j1
+ L  cto_def_r3_j1
+ L  cto_def_r4_j1
+ L  cto_def_r5_j1
+ L  cto_def_r6_j1
+ L  cto_def_r7_j1
+ L  cto_def_r8_j1
+ L  cto_def_r9_j1
+ L  cto_mono_r0_j1
+ L  cto_mono_r1_j1
+ L  cto_mono_r2_j1
+ L  cto_mono_r3_j1
+ L  cto_mono_r4_j1
+ L  cto_mono_r5_j1
+ L  cto_mono_r6_j1
+ L  cto_mono_r7_j1
+ L  cto_mono_r8_j1
+ E  co_def_j1
+COLUMNS
+    MARK0 'MARKER' 'INTORG'
+    tio_t0_j0 outer0_single 1
+    tio_t0_j0 at_most_once_t0 1
+    tio_t0_j0 applicable_p0_t0_j1 -1
+    tio_t0_j0 lco_def_j1 2.9439888750737717
+    tio_t0_j0 COST 33
+    tio_t1_j0 outer0_single 1
+    tio_t1_j0 at_most_once_t1 1
+    tio_t1_j0 applicable_p0_t1_j1 -1
+    tio_t1_j0 applicable_p1_t1_j1 -1
+    tio_t1_j0 lco_def_j1 3.9661886809561371
+    tio_t1_j0 COST 339
+    tio_t2_j0 outer0_single 1
+    tio_t2_j0 at_most_once_t2 1
+    tio_t2_j0 applicable_p1_t2_j1 -1
+    tio_t2_j0 lco_def_j1 3.989583289311005
+    tio_t2_j0 COST 360
+    tii_t0_j0 inner0_single 1
+    tii_t0_j0 at_most_once_t0 1
+    tii_t0_j0 applicable_p0_t0_j1 -1
+    tii_t0_j0 ci_def_j0 879
+    tii_t0_j0 lco_def_j1 2.9439888750737717
+    tii_t0_j0 COST 33
+    tii_t1_j0 inner0_single 1
+    tii_t1_j0 at_most_once_t1 1
+    tii_t1_j0 applicable_p0_t1_j1 -1
+    tii_t1_j0 applicable_p1_t1_j1 -1
+    tii_t1_j0 ci_def_j0 9251
+    tii_t1_j0 lco_def_j1 3.9661886809561371
+    tii_t1_j0 COST 339
+    tii_t2_j0 inner0_single 1
+    tii_t2_j0 at_most_once_t2 1
+    tii_t2_j0 applicable_p1_t2_j1 -1
+    tii_t2_j0 ci_def_j0 9763
+    tii_t2_j0 lco_def_j1 3.989583289311005
+    tii_t2_j0 COST 360
+    tii_t0_j1 inner1_single 1
+    tii_t0_j1 at_most_once_t0 1
+    tii_t0_j1 ci_def_j1 879
+    tii_t0_j1 COST 33
+    tii_t1_j1 inner1_single 1
+    tii_t1_j1 at_most_once_t1 1
+    tii_t1_j1 ci_def_j1 9251
+    tii_t1_j1 COST 339
+    tii_t2_j1 inner1_single 1
+    tii_t2_j1 at_most_once_t2 1
+    tii_t2_j1 ci_def_j1 9763
+    tii_t2_j1 COST 360
+    pao_p0_j1 applicable_p0_t0_j1 1
+    pao_p0_j1 applicable_p0_t1_j1 1
+    pao_p0_j1 lco_def_j1 -2.8572640376756331
+    pao_p1_j1 applicable_p1_t1_j1 1
+    pao_p1_j1 applicable_p1_t2_j1 1
+    pao_p1_j1 lco_def_j1 -0.21234824172672087
+    MARK1 'MARKER' 'INTEND'
+    lco_j1 lco_def_j1 -1
+    lco_j1 cto_def_r0_j1 1
+    lco_j1 cto_def_r1_j1 1
+    lco_j1 cto_def_r2_j1 1
+    lco_j1 cto_def_r3_j1 1
+    lco_j1 cto_def_r4_j1 1
+    lco_j1 cto_def_r5_j1 1
+    lco_j1 cto_def_r6_j1 1
+    lco_j1 cto_def_r7_j1 1
+    lco_j1 cto_def_r8_j1 1
+    lco_j1 cto_def_r9_j1 1
+    MARK2 'MARKER' 'INTORG'
+    cto_r0_j1 cto_def_r0_j1 -10.899760845340914
+    cto_r0_j1 cto_mono_r0_j1 -1
+    cto_r0_j1 co_def_j1 31.622776601683796
+    cto_r0_j1 COST 3
+    cto_r1_j1 cto_def_r1_j1 -9.8997608453409143
+    cto_r1_j1 cto_mono_r0_j1 1
+    cto_r1_j1 cto_mono_r1_j1 -1
+    cto_r1_j1 co_def_j1 284.60498941515414
+    cto_r1_j1 COST 9
+    cto_r2_j1 cto_def_r2_j1 -8.8997608453409143
+    cto_r2_j1 cto_mono_r1_j1 1
+    cto_r2_j1 cto_mono_r2_j1 -1
+    cto_r2_j1 co_def_j1 2846.0498941515416
+    cto_r2_j1 COST 105
+    cto_r3_j1 cto_def_r3_j1 -7.8997608453409143
+    cto_r3_j1 cto_mono_r2_j1 1
+    cto_r3_j1 cto_mono_r3_j1 -1
+    cto_r3_j1 co_def_j1 28460.498941515416
+    cto_r3_j1 COST 1044
+    cto_r4_j1 cto_def_r4_j1 -6.8997608453409143
+    cto_r4_j1 cto_mono_r3_j1 1
+    cto_r4_j1 cto_mono_r4_j1 -1
+    cto_r4_j1 co_def_j1 284604.98941515415
+    cto_r4_j1 COST 10422
+    cto_r5_j1 cto_def_r5_j1 -5.8997608453409143
+    cto_r5_j1 cto_mono_r4_j1 1
+    cto_r5_j1 cto_mono_r5_j1 -1
+    cto_r5_j1 co_def_j1 2846049.8941515414
+    cto_r5_j1 COST 104226
+    cto_r6_j1 cto_def_r6_j1 -4.8997608453409143
+    cto_r6_j1 cto_mono_r5_j1 1
+    cto_r6_j1 cto_mono_r6_j1 -1
+    cto_r6_j1 co_def_j1 28460498.941515416
+    cto_r6_j1 COST 1042254
+    cto_r7_j1 cto_def_r7_j1 -3.8997608453409143
+    cto_r7_j1 cto_mono_r6_j1 1
+    cto_r7_j1 cto_mono_r7_j1 -1
+    cto_r7_j1 co_def_j1 284604989.41515416
+    cto_r7_j1 COST 10422546
+    cto_r8_j1 cto_def_r8_j1 -2.8997608453409143
+    cto_r8_j1 cto_mono_r7_j1 1
+    cto_r8_j1 cto_mono_r8_j1 -1
+    cto_r8_j1 co_def_j1 2846049894.1515417
+    cto_r8_j1 COST 104225460
+    cto_r9_j1 cto_def_r9_j1 -1.8997608453409143
+    cto_r9_j1 cto_mono_r8_j1 1
+    cto_r9_j1 co_def_j1 28460498941.515415
+    cto_r9_j1 COST 1042254600
+    MARK3 'MARKER' 'INTEND'
+    co_j1 co_def_j1 -1
+    ci_j0 ci_def_j0 -1
+    ci_j1 ci_def_j1 -1
+RHS
+    RHS outer0_single 1
+    RHS inner0_single 1
+    RHS inner1_single 1
+    RHS at_most_once_t0 1
+    RHS at_most_once_t1 1
+    RHS at_most_once_t2 1
+    RHS cto_def_r0_j1 1
+    RHS cto_def_r1_j1 2
+    RHS cto_def_r2_j1 3
+    RHS cto_def_r3_j1 4
+    RHS cto_def_r4_j1 5
+    RHS cto_def_r5_j1 6
+    RHS cto_def_r6_j1 7
+    RHS cto_def_r7_j1 8
+    RHS cto_def_r8_j1 9
+    RHS cto_def_r9_j1 10
+BOUNDS
+ BV BND tio_t0_j0
+ BV BND tio_t1_j0
+ BV BND tio_t2_j0
+ BV BND tii_t0_j0
+ BV BND tii_t1_j0
+ BV BND tii_t2_j0
+ BV BND tii_t0_j1
+ BV BND tii_t1_j1
+ BV BND tii_t2_j1
+ BV BND pao_p0_j1
+ BV BND pao_p1_j1
+ LO BND lco_j1 -4.0696122794023539
+ UP BND lco_j1 11.899760845340914
+ BV BND cto_r0_j1
+ BV BND cto_r1_j1
+ BV BND cto_r2_j1
+ BV BND cto_r3_j1
+ BV BND cto_r4_j1
+ BV BND cto_r5_j1
+ BV BND cto_r6_j1
+ BV BND cto_r7_j1
+ BV BND cto_r8_j1
+ BV BND cto_r9_j1
+ UP BND co_j1 31622776601.683796
+ UP BND ci_j0 9763
+ UP BND ci_j1 9763
+ENDATA

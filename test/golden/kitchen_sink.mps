@@ -1,0 +1,30 @@
+NAME kitchen_sink
+ROWS
+ N  COST
+ L  cap
+ G  floor
+ E  tie
+COLUMNS
+    x cap 1
+    x tie 1
+    x COST 1
+    MARK0 'MARKER' 'INTORG'
+    y cap 2
+    y floor 1
+    y COST 0.25
+    pick_me floor -4
+    pick_me COST 30
+    MARK1 'MARKER' 'INTEND'
+    2nd tie -1
+RHS
+    RHS cap 12
+    RHS floor -1
+    RHS tie -1.5
+BOUNDS
+ LO BND x -3
+ UP BND x 7.5
+ UP BND y 10
+ BV BND pick_me
+ MI BND 2nd
+ PL BND 2nd
+ENDATA

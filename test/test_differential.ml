@@ -1,0 +1,177 @@
+(* Differential-testing oracle for the MILP join optimizer.
+
+   Two families of checks, both against ground truth that is computed
+   independently of the MILP stack:
+
+   1. Approximation oracle: on every join-graph shape x cost model, over
+      a grid of seeded random queries small enough for exhaustive
+      Selinger DP (n <= 8), a MILP solve that terminates [Optimal] must
+      return a plan whose *true* cost is within the precision-induced
+      approximation factor of the exhaustive optimum. The factor is
+      [Thresholds.tolerance precision] (the paper's t): central rounding
+      puts every approximated quantity within sqrt(t) of its true value
+      in each direction, so the MILP-optimal plan's true cost is at most
+      t times the true optimum (a small slack covers quantities zeroed
+      below the first threshold).
+
+   2. Determinism oracle: the parallel branch & bound ([jobs] > 1) must
+      reproduce the serial engine's result *byte for byte* — same plan,
+      same MILP objective, same true cost, same node count — because the
+      parallel design only hides LP latency and replays the serial
+      search exactly (see DESIGN.md).
+
+   JOINOPT_TEST_JOBS sets the [jobs] value used by the approximation
+   oracle (default 1), so the CI matrix drives the whole oracle through
+   both engines. The determinism oracle always compares jobs 1/2/4. *)
+
+module Thresholds = Joinopt.Thresholds
+module Optimizer = Joinopt.Optimizer
+module Cost_enc = Joinopt.Cost_enc
+module Workload = Relalg.Workload
+module Join_graph = Relalg.Join_graph
+module Plan = Relalg.Plan
+
+let env_jobs =
+  match Sys.getenv_opt "JOINOPT_TEST_JOBS" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+(* Seeded query grid: sizes weighted down where the MILP is slow (chain
+   and cycle LPs take longest per node at equal n). *)
+let grid shape =
+  match (shape : Join_graph.shape) with
+  | Join_graph.Chain | Join_graph.Cycle -> [ (4, 12); (5, 12); (6, 6) ]
+  | Join_graph.Star | Join_graph.Clique -> [ (5, 12); (6, 12); (7, 6) ]
+  | Join_graph.Other -> []
+
+let shapes = Join_graph.[ Chain; Cycle; Star; Clique ]
+
+let dp_optimum ~spec q =
+  let metric = Optimizer.exact_metric spec in
+  let operators =
+    match spec with
+    | Cost_enc.Fixed_operator op -> Dp_opt.Selinger.Fixed op
+    | Cost_enc.Choose_operator _ -> Dp_opt.Selinger.Best_per_join
+    | Cost_enc.Cout -> Dp_opt.Selinger.Fixed Plan.Hash_join
+  in
+  match Dp_opt.Selinger.optimize ~metric ~operators q with
+  | Dp_opt.Selinger.Complete c -> c.Dp_opt.Selinger.cost
+  | Dp_opt.Selinger.Timed_out _ -> Alcotest.fail "Selinger timed out on a tiny query"
+
+let optimize ~spec ~jobs q =
+  let config =
+    { Optimizer.default_config with Optimizer.cost = spec }
+    |> Optimizer.with_time_limit 60.
+    |> Optimizer.with_jobs jobs
+  in
+  Optimizer.optimize ~config q
+
+(* ------------------------------------------------------------------ *)
+(* 1. Approximation oracle                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_approximation ~spec ~spec_name shape =
+  let precision = Thresholds.Medium in
+  let tol = Thresholds.tolerance precision in
+  let optimal = ref 0 and skipped = ref 0 and total = ref 0 in
+  List.iter
+    (fun (n, seeds) ->
+      for seed = 1 to seeds do
+        incr total;
+        let q = Workload.generate ~seed ~shape ~num_tables:n () in
+        let r = optimize ~spec ~jobs:env_jobs q in
+        match (r.Optimizer.status, r.Optimizer.plan, r.Optimizer.true_cost) with
+        | Milp.Branch_bound.Optimal, Some plan, Some true_cost ->
+          incr optimal;
+          let dp_cost = dp_optimum ~spec q in
+          let label =
+            Printf.sprintf "%s/%s n=%d seed=%d" spec_name
+              (Join_graph.shape_to_string shape) n seed
+          in
+          if Result.is_error (Plan.validate q plan) then
+            Alcotest.failf "%s: invalid plan" label;
+          if true_cost < dp_cost *. (1. -. 1e-9) then
+            Alcotest.failf "%s: MILP plan cost %.6g beats the exhaustive optimum %.6g"
+              label true_cost dp_cost;
+          if true_cost > dp_cost *. tol *. 1.05 then
+            Alcotest.failf
+              "%s: MILP plan cost %.6g exceeds tolerance %g x optimum %.6g" label
+              true_cost tol dp_cost
+        | _ ->
+          (* Ran out of budget / fell back: not an approximation failure,
+             but if it happens often something is broken — see below. *)
+          incr skipped
+      done)
+    (grid shape);
+  if !optimal * 10 < !total * 9 then
+    Alcotest.failf "only %d/%d solves reached Optimal (%d skipped)" !optimal !total !skipped
+
+let approximation_tests =
+  List.concat_map
+    (fun shape ->
+      let name spec_name =
+        Printf.sprintf "%s/%s within tolerance of Selinger optimum" spec_name
+          (Join_graph.shape_to_string shape)
+      in
+      [
+        Alcotest.test_case (name "hash") `Slow (fun () ->
+            check_approximation ~spec:(Cost_enc.Fixed_operator Plan.Hash_join)
+              ~spec_name:"hash" shape);
+        Alcotest.test_case (name "cout") `Slow (fun () ->
+            check_approximation ~spec:Cost_enc.Cout ~spec_name:"cout" shape);
+      ])
+    shapes
+
+(* ------------------------------------------------------------------ *)
+(* 2. Determinism oracle: serial vs parallel                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_parallel_agreement shape =
+  let spec = Cost_enc.Fixed_operator Plan.Hash_join in
+  let n = match (shape : Join_graph.shape) with
+    | Join_graph.Chain | Join_graph.Cycle -> 5
+    | _ -> 6
+  in
+  for seed = 1 to 3 do
+    let q = Workload.generate ~seed ~shape ~num_tables:n () in
+    let serial = optimize ~spec ~jobs:1 q in
+    List.iter
+      (fun jobs ->
+        let par = optimize ~spec ~jobs q in
+        let label =
+          Printf.sprintf "%s n=%d seed=%d jobs=%d" (Join_graph.shape_to_string shape)
+            n seed jobs
+        in
+        (* Byte-identical: float equality with no epsilon, structural plan
+           equality, identical search statistics. *)
+        if par.Optimizer.objective <> serial.Optimizer.objective then
+          Alcotest.failf "%s: objective differs from serial" label;
+        if par.Optimizer.true_cost <> serial.Optimizer.true_cost then
+          Alcotest.failf "%s: true cost differs from serial" label;
+        if par.Optimizer.plan <> serial.Optimizer.plan then
+          Alcotest.failf "%s: plan differs from serial" label;
+        if par.Optimizer.bound <> serial.Optimizer.bound then
+          Alcotest.failf "%s: dual bound differs from serial" label;
+        if par.Optimizer.nodes <> serial.Optimizer.nodes then
+          Alcotest.failf "%s: node count differs from serial (%d vs %d)" label
+            par.Optimizer.nodes serial.Optimizer.nodes;
+        if par.Optimizer.status <> serial.Optimizer.status then
+          Alcotest.failf "%s: status differs from serial" label)
+      [ 2; 4 ]
+  done
+
+let parallel_tests =
+  List.map
+    (fun shape ->
+      Alcotest.test_case
+        (Printf.sprintf "jobs 1/2/4 byte-identical on %s" (Join_graph.shape_to_string shape))
+        `Slow
+        (fun () -> check_parallel_agreement shape))
+    shapes
+
+let () =
+  Alcotest.run "differential"
+    [
+      ("approximation-oracle", approximation_tests);
+      ("parallel-determinism", parallel_tests);
+    ]

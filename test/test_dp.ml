@@ -31,6 +31,36 @@ let prop_bitset_members =
       && List.length ms = Bitset.cardinal mask
       && List.fold_left (fun m i -> Bitset.add m i) 0 ms = mask)
 
+(* Model-based check against the stdlib's integer sets: every bitset
+   operation must agree with [Set.Make (Int)] after an arbitrary
+   interleaving of adds and removes over the full 62-bit range. *)
+let prop_bitset_vs_intset_model =
+  let module IS = Set.Make (Int) in
+  QCheck.Test.make ~count:500 ~name:"bitset agrees with Set.Make(Int) model"
+    QCheck.(list (pair (int_range 0 1) (int_range 0 61)))
+    (fun ops ->
+      let mask = ref 0 and model = ref IS.empty in
+      List.for_all
+        (fun (op, i) ->
+          if op = 0 then begin
+            mask := Bitset.add !mask i;
+            model := IS.add i !model
+          end
+          else begin
+            mask := Bitset.remove !mask i;
+            model := IS.remove i !model
+          end;
+          let iterated =
+            let acc = ref [] in
+            Bitset.iter_members (fun j -> acc := j :: !acc) !mask;
+            List.rev !acc
+          in
+          Bitset.mem !mask i = IS.mem i !model
+          && Bitset.cardinal !mask = IS.cardinal !model
+          && Bitset.members !mask = IS.elements !model
+          && iterated = IS.elements !model)
+        ops)
+
 let test_subsets_by_cardinality () =
   let subsets = Bitset.subsets_by_cardinality 4 in
   Alcotest.(check int) "count" 16 (Array.length subsets);
@@ -227,6 +257,7 @@ let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_bitset_members;
+      prop_bitset_vs_intset_model;
       prop_dp_matches_enumeration;
       prop_dp_cost_is_plan_cost;
       prop_dp_best_per_join;

@@ -809,6 +809,50 @@ let prop_sparse_dense_lu_agree =
            near-singular for the permissive side. *)
         QCheck.assume_fail ())
 
+(* Factor -> solve -> residual: the LU's answer, substituted back into
+   the original sparse system, must reproduce the right-hand side. The
+   generated matrices are diagonally dominant, so factorization cannot
+   legitimately fail and the residual bound is tight. *)
+let prop_sparse_lu_residual =
+  QCheck.Test.make ~count:200 ~name:"sparse LU factor/solve leaves a tiny residual"
+    QCheck.(pair (int_range 1 30) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n |] in
+      let cols =
+        Array.init n (fun j ->
+            let entries = Hashtbl.create 4 in
+            Hashtbl.replace entries j (4. +. Random.State.float st 4.);
+            for _ = 1 to Random.State.int st 4 do
+              let i = Random.State.int st n in
+              if i <> j then Hashtbl.replace entries i (Random.State.float st 2. -. 1.)
+            done;
+            Array.of_seq (Hashtbl.to_seq entries))
+      in
+      let basis = Array.init n (fun i -> i) in
+      match Sparse_lu.factorize ~dim:n ~columns:(fun j -> cols.(j)) basis with
+      | exception Sparse_lu.Singular _ -> false
+      | lu ->
+        let r = Array.init n (fun _ -> Random.State.float st 2. -. 1.) in
+        let y = Array.copy r in
+        Sparse_lu.solve lu y;
+        (* B y = r, column-wise: residual_i = sum_k col_{basis k}(i) y_k - r_i *)
+        let res = Array.map (fun v -> -.v) r in
+        Array.iteri
+          (fun k yk -> Array.iter (fun (i, v) -> res.(i) <- res.(i) +. (v *. yk)) cols.(basis.(k)))
+          y;
+        let ok_solve = Array.for_all (fun v -> abs_float v <= 1e-8) res in
+        let rt = Array.init n (fun _ -> Random.State.float st 2. -. 1.) in
+        let yt = Array.copy rt in
+        Sparse_lu.solve_transposed lu yt;
+        (* B^T y = r, row k of B^T being column basis.(k). *)
+        let ok_transposed = ref true in
+        Array.iteri
+          (fun k _ ->
+            let s = Array.fold_left (fun acc (i, v) -> acc +. (v *. yt.(i))) 0. cols.(basis.(k)) in
+            if abs_float (s -. rt.(k)) > 1e-8 then ok_transposed := false)
+          basis;
+        ok_solve && !ok_transposed)
+
 (* ------------------------------------------------------------------ *)
 (* Pqueue                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -825,6 +869,71 @@ let prop_pqueue_sorted =
         | Some (k, ()) -> if k < last then false else drain k
       in
       drain neg_infinity)
+
+(* Model-based check under interleaved operations, including the lazy
+   decrease-key idiom the branch & bound's bound heap relies on: a
+   "decrease" re-pushes a live id under a smaller key, and pops skip
+   entries whose key no longer matches the id's current key. The heap's
+   visible behavior must match a reference map keyed by (key, id). *)
+let prop_pqueue_model =
+  let module M = Map.Make (struct
+    type t = float * int
+
+    let compare = compare
+  end) in
+  QCheck.Test.make ~count:300
+    ~name:"pqueue matches a sorted-map model under push/pop/decrease interleavings"
+    QCheck.(list (pair (int_range 0 2) (float_range 0. 1000.)))
+    (fun ops ->
+      let q = Pqueue.create () in
+      let current : (int, float) Hashtbl.t = Hashtbl.create 16 in
+      let model = ref M.empty in
+      let next_id = ref 0 in
+      let live () = Hashtbl.fold (fun id _ acc -> id :: acc) current [] in
+      (* Pop, skipping stale entries exactly as the solver's bound heap
+         does; returns the first entry whose key is the id's current one. *)
+      let rec pop_valid () =
+        match Pqueue.pop q with
+        | None -> None
+        | Some (k, id) -> (
+          match Hashtbl.find_opt current id with
+          | Some k' when k' = k -> Some (k, id)
+          | _ -> pop_valid ())
+      in
+      List.for_all
+        (fun (op, x) ->
+          match op with
+          | 0 ->
+            let id = !next_id in
+            incr next_id;
+            Pqueue.push q x id;
+            Hashtbl.replace current id x;
+            model := M.add (x, id) () !model;
+            true
+          | 1 -> (
+            match (pop_valid (), M.min_binding_opt !model) with
+            | None, None -> true
+            | Some (k, id), Some ((mk, _), ()) ->
+              Hashtbl.remove current id;
+              model := M.remove (k, id) !model;
+              (* Equal keys may pop in any id order; only the key is
+                 pinned by the heap contract. *)
+              k = mk
+            | Some _, None | None, Some _ -> false)
+          | _ -> (
+            match live () with
+            | [] -> true
+            | ids ->
+              let id = List.nth ids (int_of_float x mod List.length ids) in
+              let old = Hashtbl.find current id in
+              let k' = old *. (x /. 1000.) in
+              if k' < old then begin
+                Pqueue.push q k' id;
+                Hashtbl.replace current id k';
+                model := M.add (k', id) () (M.remove (old, id) !model)
+              end;
+              true))
+        ops)
 
 (* ------------------------------------------------------------------ *)
 (* Presolve unit tests                                                  *)
@@ -881,7 +990,9 @@ let qcheck_tests =
       prop_product_matches_semantics;
       prop_lp_roundtrip;
       prop_pqueue_sorted;
+      prop_pqueue_model;
       prop_sparse_dense_lu_agree;
+      prop_sparse_lu_residual;
     ]
 
 let () =
