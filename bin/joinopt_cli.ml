@@ -81,8 +81,9 @@ let query_term =
   Term.(term_result (const build $ file $ shape $ tables $ seed))
 
 let budget_term =
-  Arg.(value & opt float 10. & info [ "budget"; "t" ] ~docv:"SECONDS"
-         ~doc:"Optimization time budget.")
+  Arg.(value & opt float 10. & info [ "budget"; "time-limit"; "t" ] ~docv:"SECONDS"
+         ~doc:"Optimization time budget (wall clock, covering presolve, cuts, search \
+               and recovery).")
 
 let precision_term =
   Arg.(value & opt precision_conv Thresholds.Medium & info [ "precision"; "p" ]
@@ -99,16 +100,40 @@ let jobs_term =
                adds N-1 speculative LP worker domains. The certified plan is \
                identical for every value.")
 
+let checkpoint_term =
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Persist the search state to $(docv) periodically and on any early stop, \
+               so an interrupted or killed solve can be continued with $(b,--resume).")
+
+let checkpoint_every_term =
+  Arg.(value & opt int Milp.Checkpoint.default_every_nodes
+         & info [ "checkpoint-every" ] ~docv:"NODES"
+             ~doc:"Checkpoint cadence in branch & bound nodes.")
+
+let resume_term =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Continue from the $(b,--checkpoint) file instead of starting fresh. A \
+               missing or damaged checkpoint falls back to a fresh solve.")
+
 (* ------------------------------------------------------------------ *)
 (* optimize                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_optimize query budget precision cost jobs verbose =
+let run_optimize query budget precision cost jobs checkpoint checkpoint_every resume verbose
+    =
   let config =
     { Optimizer.default_config with Optimizer.cost }
     |> Optimizer.with_precision precision
     |> Optimizer.with_time_limit budget
     |> Optimizer.with_jobs jobs
+  in
+  let config =
+    match checkpoint with
+    | Some path ->
+      Optimizer.with_checkpoint
+        { Milp.Checkpoint.ck_path = path; ck_every_nodes = checkpoint_every }
+        config
+    | None -> config
   in
   Format.printf "Query: %a@." Relalg.Query.pp query;
   let on_progress =
@@ -120,7 +145,14 @@ let run_optimize query budget precision cost jobs verbose =
             tp.Optimizer.tp_bound)
     else None
   in
-  let r = Optimizer.optimize ~config ?on_progress query in
+  (* One budget for the whole invocation; Ctrl-C trips its cancellation
+     token, so the solve drains, writes a final checkpoint and reports
+     its best certified incumbent instead of dying. *)
+  let solve_budget = Milp.Budget.create ~limit:budget () in
+  let r =
+    Milp.Budget.with_sigint solve_budget (fun () ->
+        Optimizer.optimize ~config ~budget:solve_budget ~resume ?on_progress query)
+  in
   Format.printf "MILP: %d vars, %d constraints; %d nodes in %.2fs@." r.Optimizer.num_vars
     r.Optimizer.num_constrs r.Optimizer.nodes r.Optimizer.elapsed;
   (match (r.Optimizer.plan, r.Optimizer.true_cost) with
@@ -150,7 +182,14 @@ let run_optimize query budget precision cost jobs verbose =
     | Milp.Branch_bound.Feasible -> "feasible (budget exhausted)"
     | Milp.Branch_bound.Infeasible -> "infeasible"
     | Milp.Branch_bound.Unbounded -> "unbounded"
-    | Milp.Branch_bound.Unknown -> "unknown")
+    | Milp.Branch_bound.Unknown -> "unknown");
+  Format.printf "stopped: %s%s@."
+    (match r.Optimizer.stopped with
+    | Milp.Branch_bound.Completed -> "completed"
+    | Milp.Branch_bound.Time_limit -> "time limit"
+    | Milp.Branch_bound.Node_limit -> "node limit"
+    | Milp.Branch_bound.Interrupted -> "interrupted (best certified incumbent returned)")
+    (if r.Optimizer.resumed then ", resumed from checkpoint" else "")
 
 let optimize_cmd =
   let verbose =
@@ -158,7 +197,9 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a join query through the MILP encoding")
-    Term.(const run_optimize $ query_term $ budget_term $ precision_term $ cost_term $ jobs_term $ verbose)
+    Term.(
+      const run_optimize $ query_term $ budget_term $ precision_term $ cost_term $ jobs_term
+      $ checkpoint_term $ checkpoint_every_term $ resume_term $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* dp / greedy                                                          *)

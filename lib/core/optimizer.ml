@@ -30,6 +30,8 @@ let with_time_limit t config = { config with solver = Solver.with_time_limit t c
 
 let with_jobs n config = { config with solver = Solver.with_jobs n config.solver }
 
+let with_checkpoint ck config = { config with solver = Solver.with_checkpoint ck config.solver }
+
 type trace_point = {
   tp_elapsed : float;
   tp_objective : float option;
@@ -55,6 +57,8 @@ type result = {
   objective : float option;
   bound : float;
   status : Branch_bound.status;
+  stopped : Branch_bound.stop_reason;
+  resumed : bool;
   trace : trace_point list;
   nodes : int;
   num_vars : int;
@@ -92,11 +96,11 @@ let fallback_operators = function
    Selinger DP for small queries (it is fast there and provably optimal),
    then IKKBZ on tree-shaped queries, then the greedy heuristic — which
    always succeeds. *)
-let fallback_plan config q =
+let fallback_plan ?(allow_dp = true) config q =
   let metric = exact_metric config.cost in
   let operators = fallback_operators config.cost in
   let dp =
-    if Relalg.Query.num_tables q <= 12 then
+    if allow_dp && Relalg.Query.num_tables q <= 12 then
       match Dp_opt.Selinger.optimize ~metric ~pm:config.pm ~operators ~time_limit:5.0 q with
       | Dp_opt.Selinger.Complete r -> Some (r.Dp_opt.Selinger.plan, r.Dp_opt.Selinger.cost, `Fallback_dp)
       | Dp_opt.Selinger.Timed_out _ -> None
@@ -113,8 +117,13 @@ let fallback_plan config q =
       let plan, cost = Dp_opt.Greedy.plan ~metric ~pm:config.pm ~operators q in
       Some (plan, cost, `Fallback_heuristic))
 
-let optimize ?(config = default_config) ?on_progress q =
-  let started = Unix.gettimeofday () in
+let optimize ?(config = default_config) ?budget ?resume ?on_progress q =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None ->
+      Milp.Budget.create ?limit:config.solver.Solver.bb.Branch_bound.time_limit ()
+  in
   let enc = Encoding.build ~config:config.encoding q in
   let cost = Cost_enc.install ~pm:config.pm enc config.cost in
   let mip_start =
@@ -132,8 +141,8 @@ let optimize ?(config = default_config) ?on_progress q =
     | Some f -> Some (fun pr -> f (trace_of_progress pr))
   in
   let outcome =
-    Solver.solve ~params:config.solver ?mip_start ?on_progress:wrap_progress
-      enc.Encoding.problem
+    Solver.solve ~params:config.solver ~budget ?resume ?mip_start
+      ?on_progress:wrap_progress enc.Encoding.problem
   in
   let bb = outcome.Solver.result in
   (* Decoding the winning assignment can itself fail under numeric
@@ -170,7 +179,9 @@ let optimize ?(config = default_config) ?on_progress q =
       in
       (Some plan, Some (Cost_model.plan_cost ~metric ~pm:config.pm q plan), Some prov)
     | None -> (
-      match fallback_plan config q with
+      (* After a cancellation the user wants out *now*: skip the (slow)
+         exact-DP fallback rung and settle for a heuristic plan. *)
+      match fallback_plan ~allow_dp:(not (Milp.Budget.cancelled budget)) config q with
       | Some (plan, fcost, prov) ->
         Logs.info (fun m ->
             m "MILP produced no usable plan; %s supplied one" (provenance_to_string prov));
@@ -185,9 +196,11 @@ let optimize ?(config = default_config) ?on_progress q =
     objective = bb.Branch_bound.o_objective;
     bound = bb.Branch_bound.o_bound;
     status = bb.Branch_bound.o_status;
+    stopped = bb.Branch_bound.o_stop;
+    resumed = outcome.Solver.resumed;
     trace = List.map trace_of_progress bb.Branch_bound.o_trace;
     nodes = bb.Branch_bound.o_nodes;
     num_vars = Problem.num_vars enc.Encoding.problem;
     num_constrs = Problem.num_constrs enc.Encoding.problem;
-    elapsed = Unix.gettimeofday () -. started;
+    elapsed = Milp.Budget.elapsed budget;
   }

@@ -26,6 +26,10 @@ val with_jobs : int -> config -> config
     certified plan and objective are identical for every value — see
     {!Milp.Branch_bound.params.jobs}. *)
 
+val with_checkpoint : Milp.Checkpoint.config -> config -> config
+(** Persist the branch & bound state to the given path periodically and
+    on any early stop, enabling [resume] in {!optimize}. *)
+
 type trace_point = {
   tp_elapsed : float;
   tp_objective : float option;  (** incumbent MILP objective (approx. cost) *)
@@ -56,6 +60,11 @@ type result = {
   objective : float option;  (** its MILP objective *)
   bound : float;
   status : Milp.Branch_bound.status;
+  stopped : Milp.Branch_bound.stop_reason;
+  (** why the solve ended: ran to completion, hit the time or node
+      limit, or was cooperatively interrupted (SIGINT / cancel) — in the
+      last three cases the plan is still the best *certified* incumbent *)
+  resumed : bool;  (** the solve continued from an on-disk checkpoint *)
   trace : trace_point list;  (** chronological *)
   nodes : int;
   num_vars : int;
@@ -67,7 +76,21 @@ val guaranteed_factor : objective:float -> bound:float -> float
 (** [objective / max bound eps]; [infinity] when the bound is not yet
     positive. *)
 
-val optimize : ?config:config -> ?on_progress:(trace_point -> unit) -> Relalg.Query.t -> result
+val optimize :
+  ?config:config ->
+  ?budget:Milp.Budget.t ->
+  ?resume:bool ->
+  ?on_progress:(trace_point -> unit) ->
+  Relalg.Query.t ->
+  result
+(** [budget] shares a deadline and cancellation token with the caller —
+    wrap the call in {!Milp.Budget.with_sigint} to turn Ctrl-C into a
+    graceful stop; when absent a budget is created from the configured
+    time limit. [resume] (default [false]) continues from the configured
+    checkpoint when one is present and loadable — see
+    {!Milp.Solver.solve}. After a cancellation the exact-DP fallback is
+    skipped so the call returns promptly with a heuristic plan if the
+    MILP produced none. *)
 
 val exact_metric : Cost_enc.spec -> Relalg.Cost_model.metric
 (** The exact cost metric a spec's plans should be judged by. *)

@@ -60,10 +60,8 @@ let iterative_improvement ?(metric = Cost_model.Operator_costs)
     ?(pm = Cost_model.default_page_model) ?(seed = 0) ?(restarts = 10) ?time_limit q =
   let n = Query.num_tables q in
   let st = Random.State.make [| seed; 17 |] in
-  let started = Unix.gettimeofday () in
-  let out_of_time () =
-    match time_limit with Some t -> Unix.gettimeofday () -. started > t | None -> false
-  in
+  let budget = Milp.Budget.create ?limit:time_limit () in
+  let out_of_time () = Milp.Budget.exhausted budget in
   let moves = ref 0 in
   let stall_limit = max 20 (3 * n * n) in
   let best_order = ref (random_order st n) in
@@ -107,10 +105,8 @@ let simulated_annealing ?(metric = Cost_model.Operator_costs)
     ?moves_per_temperature ?time_limit q =
   let n = Query.num_tables q in
   let st = Random.State.make [| seed; 43 |] in
-  let started = Unix.gettimeofday () in
-  let out_of_time () =
-    match time_limit with Some t -> Unix.gettimeofday () -. started > t | None -> false
-  in
+  let budget = Milp.Budget.create ?limit:time_limit () in
+  let out_of_time () = Milp.Budget.exhausted budget in
   let order = random_order st n in
   let cost = ref (cost_of metric pm q order) in
   let best_order = ref (Array.copy order) in

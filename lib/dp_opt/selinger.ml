@@ -28,9 +28,11 @@ let op_of_index = function
 let optimize ?(metric = Relalg.Cost_model.Operator_costs) ?(pm = Relalg.Cost_model.default_page_model)
     ?(operators = Fixed Relalg.Plan.Hash_join) ?time_limit q =
   let n = Relalg.Query.num_tables q in
-  let started = Unix.gettimeofday () in
+  let budget = Milp.Budget.create ?limit:time_limit () in
   if n > max_tables_for_memory then
-    Timed_out { elapsed = Unix.gettimeofday () -. started; subsets_explored = 0 }
+    (* Refused before any work: an explored count of 0 is the truth here,
+       unlike the deadline path below which reports the real count. *)
+    Timed_out { elapsed = Milp.Budget.elapsed budget; subsets_explored = 0 }
   else begin
     let e = Relalg.Card.estimator q in
     let total = 1 lsl n in
@@ -74,19 +76,26 @@ let optimize ?(metric = Relalg.Cost_model.Operator_costs) ?(pm = Relalg.Cost_mod
     in
     let subsets = Bitset.subsets_by_cardinality n in
     let explored = ref 0 in
+    (* Deadline checks run on their own counter, not on [explored]: the
+       check fires on the very first iteration and then every 256th call
+       no matter how the explored count moves, so the check can never be
+       starved, and the exception always carries the true count of
+       subsets actually processed. *)
+    let checks = ref 0 in
     let check_time =
       match time_limit with
       | None -> fun () -> ()
-      | Some limit ->
+      | Some _ ->
         fun () ->
-          if !explored land 1023 = 0 && Unix.gettimeofday () -. started > limit then
-            raise (Out_of_time !explored)
+          if !checks land 255 = 0 && Milp.Budget.exhausted budget then
+            raise (Out_of_time !explored);
+          incr checks
     in
     match
       Array.iter
         (fun s ->
-          incr explored;
           check_time ();
+          incr explored;
           let k = Bitset.cardinal s in
           if k >= 1 then begin
             app.(s) <- Relalg.Card.applicable_preds e s;
@@ -135,7 +144,7 @@ let optimize ?(metric = Relalg.Cost_model.Operator_costs) ?(pm = Relalg.Cost_mod
         subsets
     with
     | exception Out_of_time subsets_explored ->
-      Timed_out { elapsed = Unix.gettimeofday () -. started; subsets_explored }
+      Timed_out { elapsed = Milp.Budget.elapsed budget; subsets_explored }
     | () ->
       let full = total - 1 in
       assert (best.(full) < infinity);
@@ -161,6 +170,6 @@ let optimize ?(metric = Relalg.Cost_model.Operator_costs) ?(pm = Relalg.Cost_mod
           plan;
           cost = best.(full);
           subsets_explored = !explored;
-          elapsed = Unix.gettimeofday () -. started;
+          elapsed = Milp.Budget.elapsed budget;
         }
   end

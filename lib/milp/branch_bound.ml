@@ -35,6 +35,8 @@ type progress = {
 
 type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
 
+type stop_reason = Completed | Time_limit | Node_limit | Interrupted
+
 type outcome = {
   o_status : status;
   o_objective : float option;
@@ -45,6 +47,7 @@ type outcome = {
   o_trace : progress list;
   o_bound_is_proven : bool;
   o_rejected_incumbents : int;
+  o_stop : stop_reason;
 }
 
 let gap ~incumbent ~bound =
@@ -59,6 +62,26 @@ type node = {
   n_depth : int;
   n_fixes : (int * [ `Lb | `Ub ] * float) list;
   n_warm : (int array * Simplex.vstat array) option;
+}
+
+(* Everything needed to continue the search in a fresh process. The heap
+   arrays are the queues' *internal storage order* (Pqueue.raw), not a
+   sorted frontier: sibling nodes share their parent's LP bound as key,
+   so pop order among equals depends on heap layout — replaying it
+   byte-identically requires restoring that layout, not re-pushing.
+   All fields are plain data (no closures, no custom blocks), so the
+   snapshot is [Marshal]-safe by construction. *)
+type snapshot = {
+  sn_heap : (float * node) array;
+  sn_bound_heap : (float * node) array;
+  sn_closed : int array;
+  sn_next_node_id : int;
+  sn_incumbent : (float * float array) option;
+  sn_root_done : bool;
+  sn_bound_is_proven : bool;
+  sn_nodes : int;
+  sn_simplex_iters : int;
+  sn_rejected_incumbents : int;
 }
 
 type search = {
@@ -78,7 +101,10 @@ type search = {
   bound_heap : node Pqueue.t;
   closed : (int, unit) Hashtbl.t;
   mutable next_node_id : int;
-  started : float;
+  budget : Budget.t;
+  ckpt : (int * (snapshot -> unit)) option;  (* cadence in nodes, sink *)
+  mutable last_ckpt : int;  (* node count at the last snapshot *)
+  mutable stop_hint : stop_reason option;  (* why the loop gave up early *)
   on_progress : progress -> unit;
   mutable incumbent : (float * float array) option;  (* internal min sense, full x *)
   (* The incumbent objective, republished for worker domains: the only
@@ -96,7 +122,7 @@ type search = {
   mutable last_reported : (float option * float) option;
 }
 
-let elapsed s = Unix.gettimeofday () -. s.started
+let elapsed s = Budget.elapsed s.budget
 
 (* The proven global bound: the minimum over open node bounds (including
    the node currently being processed), the incumbent when the tree is
@@ -235,11 +261,11 @@ let try_incumbent s (x : float array) _lp_obj =
   | None -> false
 
 let node_simplex_params s =
-  (* Per-node simplex deadline from the global budget, so one long LP
-     cannot blow through the time limit. *)
-  match s.p.time_limit with
-  | Some t -> { s.p.simplex with Simplex.deadline = Some (s.started +. t) }
-  | None -> s.p.simplex
+  (* Every node LP carries the search budget — including LPs running
+     speculatively on worker domains — so one long solve cannot blow
+     through the time limit and a cancellation request reaches workers
+     mid-pivot, not just between nodes. *)
+  { s.p.simplex with Simplex.budget = Some s.budget }
 
 let solve_node s ~warm ~lb ~ub =
   let res = Simplex.solve ~params:(node_simplex_params s) ?warm s.sf ~lb ~ub in
@@ -317,9 +343,44 @@ let dive s node res0 =
   in
   go node.n_fixes res0 0
 
-let out_of_budget s =
-  (match s.p.time_limit with Some t -> elapsed s > t | None -> false)
-  || match s.p.node_limit with Some n -> s.nodes >= n | None -> false
+let node_limit_hit s = match s.p.node_limit with Some n -> s.nodes >= n | None -> false
+
+let out_of_budget s = Budget.exhausted s.budget || node_limit_hit s
+
+(* Why the search is stopping, recorded the moment [out_of_budget]
+   trips so [finish] need not re-poll the (fault-injectable) budget. *)
+let classify_stop s =
+  if Budget.cancelled s.budget then Interrupted
+  else if node_limit_hit s then Node_limit
+  else Time_limit
+
+let take_snapshot s =
+  {
+    sn_heap = Pqueue.raw s.heap;
+    sn_bound_heap = Pqueue.raw s.bound_heap;
+    sn_closed = Array.of_seq (Hashtbl.to_seq_keys s.closed);
+    sn_next_node_id = s.next_node_id;
+    sn_incumbent = s.incumbent;
+    sn_root_done = s.root_done;
+    sn_bound_is_proven = s.bound_is_proven;
+    sn_nodes = s.nodes;
+    sn_simplex_iters = s.simplex_iters;
+    sn_rejected_incumbents = s.rejected_incumbents;
+  }
+
+(* A checkpoint sink failure (disk full, permissions) must never take
+   down the solve it exists to protect. *)
+let emit_checkpoint s sink =
+  s.last_ckpt <- s.nodes;
+  try sink (take_snapshot s)
+  with e ->
+    Logs.warn (fun m -> m "checkpoint write failed: %s" (Printexc.to_string e))
+
+let maybe_checkpoint s =
+  match s.ckpt with
+  | Some (every, sink) when s.root_done && s.nodes - s.last_ckpt >= every ->
+    emit_checkpoint s sink
+  | _ -> ()
 
 let gap_closed s =
   match s.incumbent with
@@ -343,6 +404,17 @@ let finish s status_when_done =
       (Some (Stdform.user_objective s.sf obj), Some (Array.sub x 0 s.sf.Stdform.nstruct))
     | None -> (None, None)
   in
+  let stop =
+    match status with
+    | Optimal | Infeasible | Unbounded -> Completed
+    | Feasible | Unknown -> ( match s.stop_hint with Some r -> r | None -> Completed)
+  in
+  (* A final snapshot on any early stop, so an interrupted solve can be
+     continued even if the periodic cadence never fired. *)
+  (match (stop, s.ckpt) with
+  | (Time_limit | Node_limit | Interrupted), Some (_, sink) when s.root_done ->
+    emit_checkpoint s sink
+  | _ -> ());
   {
     o_status = status;
     o_objective = objective;
@@ -353,7 +425,24 @@ let finish s status_when_done =
     o_trace = List.rev s.trace;
     o_bound_is_proven = s.bound_is_proven;
     o_rejected_incumbents = s.rejected_incumbents;
+    o_stop = stop;
   }
+
+let node_key s n =
+  match s.p.node_order with
+  | Best_bound -> n.n_bound
+  | Depth_first -> float_of_int (-n.n_depth)
+
+(* Put a node whose LP was cut short by the budget back on the frontier:
+   the open set (and hence the proven dual bound and any checkpoint
+   taken from it) stays complete, and the node is simply re-processed on
+   resume. The node count is rolled back so a resumed run's total
+   matches an uninterrupted one. *)
+let requeue s node =
+  s.nodes <- s.nodes - 1;
+  Hashtbl.remove s.closed node.n_id;
+  Pqueue.push s.heap (node_key s node) node;
+  if s.p.node_order <> Best_bound then Pqueue.push s.bound_heap node.n_bound node
 
 (* Process one popped node. [lp] supplies the node's LP relaxation
    result (inline in the serial engine, possibly precomputed by a worker
@@ -367,7 +456,11 @@ let process_node s ~lp ~offer node =
     (* A bounded-relaxation MILP cannot have an unbounded node unless the
        root was unbounded, which is handled before the loop. *)
     s.bound_is_proven <- false
-  | Simplex.Iteration_limit | Simplex.Numerical_failure -> s.bound_is_proven <- false
+  | Simplex.Iteration_limit | Simplex.Numerical_failure ->
+    (* Distinguish "the budget stopped this LP" (requeue: the frontier
+       and bound stay exact) from a genuine numeric failure (the node is
+       lost and the bound is no longer a certificate). *)
+    if Budget.exhausted s.budget then requeue s node else s.bound_is_proven <- false
   | Simplex.Optimal ->
     let obj = res.Simplex.objective in
     let dominated =
@@ -412,8 +505,103 @@ let process_node s ~lp ~offer node =
       end
     end
 
-let solve ?(params = default_params) ?certify_against ?mip_start ?(on_progress = fun _ -> ())
-    problem =
+(* The search loop plus engine selection, shared by fresh solves and
+   resumes. [initial_offers] seeds the speculation pool with the open
+   frontier (the root for a fresh solve, the whole restored frontier on
+   resume). *)
+let run_search s initial_offers =
+  let rec loop ~lp ~offer ~discard () =
+    if Faults.cancel_requested () then Budget.cancel s.budget;
+    maybe_checkpoint s;
+    if gap_closed s then finish s Unknown
+    else if out_of_budget s then begin
+      s.stop_hint <- Some (classify_stop s);
+      finish s Unknown
+    end
+    else
+      match Pqueue.pop s.heap with
+      | None -> finish s Unknown
+      | Some (_, node) ->
+        Hashtbl.replace s.closed node.n_id ();
+        let bound = node.n_bound in
+        let dominated =
+          match s.incumbent with
+          | Some (best, _) -> bound >= best -. 1e-12
+          | None -> false
+        in
+        if dominated then begin
+          discard node;
+          loop ~lp ~offer ~discard ()
+        end
+        else begin
+          s.nodes <- s.nodes + 1;
+          s.in_flight <- Some bound;
+          process_node s ~lp ~offer node;
+          s.in_flight <- None;
+          report s;
+          loop ~lp ~offer ~discard ()
+        end
+  in
+  if s.p.jobs <= 1 then begin
+    (* Serial engine: the LP is solved inline at the pop, exactly the
+       pre-parallel code path. *)
+    let lp node =
+      let lb, ub, res, iters = node_lp s node in
+      s.simplex_iters <- s.simplex_iters + iters;
+      (lb, ub, res)
+    in
+    loop ~lp ~offer:(fun ~key:_ _ -> ()) ~discard:(fun _ -> ()) ()
+  end
+  else begin
+    (* Parallel engine: worker domains speculatively solve the LP
+       relaxations of open nodes (best-key first) while this domain
+       replays the serial search verbatim. Every decision that shapes
+       the tree — pruning, incumbent installation and certification,
+       branching, diving — happens here, in serial order, so the
+       outcome is bit-identical to [jobs = 1] whenever the run is not
+       cut short by a wall-clock limit; the workers only hide LP
+       latency. Workers drop nodes dominated by the atomically
+       published incumbent: the coordinator's incumbent at pop time
+       can only be at least as good, so it prunes those nodes too and
+       never demands their result. Cancellation reaches workers through
+       the budget carried by every node LP's simplex params, so a drain
+       after Ctrl-C takes at most one deadline-check interval. *)
+    let solve_task node = try Ok (node_lp s node) with e -> Error e in
+    let skip node = node.n_bound >= Atomic.get s.inc_published -. 1e-12 in
+    let pool = Par_pool.create ~workers:(s.p.jobs - 1) ~solve:solve_task ~skip in
+    let lp node =
+      let outcome =
+        match Par_pool.demand pool ~id:node.n_id with
+        | Par_pool.Ready r -> r
+        | Par_pool.Claimed -> solve_task node
+      in
+      match outcome with
+      | Ok (lb, ub, res, iters) ->
+        s.simplex_iters <- s.simplex_iters + iters;
+        (lb, ub, res)
+      | Error e -> raise e
+    in
+    let offer ~key node = Par_pool.offer pool ~id:node.n_id ~key node in
+    let discard node = Par_pool.discard pool ~id:node.n_id in
+    List.iter (fun (key, n) -> offer ~key n) initial_offers;
+    match loop ~lp ~offer ~discard () with
+    | out ->
+      let speculated, dropped = Par_pool.stats pool in
+      Logs.debug (fun m ->
+          m "parallel b&b: %d nodes, %d LPs speculated by %d workers, %d dropped as dominated"
+            s.nodes speculated (s.p.jobs - 1) dropped);
+      Par_pool.shutdown pool;
+      out
+    | exception e ->
+      Par_pool.shutdown pool;
+      raise e
+  end
+
+let solve ?(params = default_params) ?budget ?checkpoint ?certify_against ?mip_start
+    ?(on_progress = fun _ -> ()) ?resume problem =
+  let budget =
+    match budget with Some b -> b | None -> Budget.create ?limit:params.time_limit ()
+  in
   let sf = Stdform.of_problem problem in
   let root_lb, root_ub = Stdform.bounds sf in
   let s =
@@ -424,146 +612,102 @@ let solve ?(params = default_params) ?certify_against ?mip_start ?(on_progress =
       p = params;
       root_lb;
       root_ub;
-      heap = Pqueue.create ();
-      bound_heap = Pqueue.create ();
-      closed = Hashtbl.create 256;
-      next_node_id = 0;
-      started = Unix.gettimeofday ();
+      heap =
+        (match resume with Some sn -> Pqueue.of_raw sn.sn_heap | None -> Pqueue.create ());
+      bound_heap =
+        (match resume with
+        | Some sn -> Pqueue.of_raw sn.sn_bound_heap
+        | None -> Pqueue.create ());
+      closed =
+        (let h = Hashtbl.create 256 in
+         (match resume with
+         | Some sn -> Array.iter (fun id -> Hashtbl.replace h id ()) sn.sn_closed
+         | None -> ());
+         h);
+      next_node_id = (match resume with Some sn -> sn.sn_next_node_id | None -> 0);
+      budget;
+      ckpt =
+        Option.map
+          (fun (every, sink) ->
+            ((if every <= 0 then Checkpoint.default_every_nodes else every), sink))
+          checkpoint;
+      last_ckpt = (match resume with Some sn -> sn.sn_nodes | None -> 0);
+      stop_hint = None;
       on_progress;
-      incumbent = None;
-      inc_published = Atomic.make infinity;
-      root_done = false;
+      incumbent = (match resume with Some sn -> sn.sn_incumbent | None -> None);
+      inc_published =
+        Atomic.make
+          (match resume with Some { sn_incumbent = Some (v, _); _ } -> v | _ -> infinity);
+      root_done = (match resume with Some sn -> sn.sn_root_done | None -> false);
       in_flight = None;
-      nodes = 0;
-      simplex_iters = 0;
-      rejected_incumbents = 0;
-      bound_is_proven = true;
+      nodes = (match resume with Some sn -> sn.sn_nodes | None -> 0);
+      simplex_iters = (match resume with Some sn -> sn.sn_simplex_iters | None -> 0);
+      rejected_incumbents =
+        (match resume with Some sn -> sn.sn_rejected_incumbents | None -> 0);
+      bound_is_proven = (match resume with Some sn -> sn.sn_bound_is_proven | None -> true);
       trace = [];
       last_reported = None;
     }
   in
-  (* Install the MIP start, if any. *)
-  (match mip_start with
-  | None -> ()
-  | Some x0 ->
-    if Array.length x0 <> sf.Stdform.nstruct then
-      invalid_arg "Branch_bound.solve: mip_start length mismatch";
-    let value v = x0.(v) in
-    (match Certify.check_point s.certify value with
-    | Certify.Certified r ->
-      let obj = Stdform.internal_of_user sf r.Certify.r_objective in
-      let full = Array.make sf.Stdform.ncols 0. in
-      Array.blit x0 0 full 0 sf.Stdform.nstruct;
-      (* Logical values follow from the structural ones. *)
-      Problem.iter_constrs
-        (fun i c ->
-          full.(sf.Stdform.nstruct + i) <-
-            c.Problem.c_rhs -. Linexpr.eval value c.Problem.c_expr)
-        problem;
-      s.incumbent <- Some (obj, full);
-      Atomic.set s.inc_published obj;
-      (* The anytime contract: a warm start is an incumbent before any
-         search happens (its bound is still unproven, hence -inf). *)
-      report s
-    | Certify.Rejected msg -> Logs.warn (fun m -> m "MIP start rejected: %s" msg)));
-  (* Root relaxation. *)
-  let res = solve_node s ~warm:None ~lb:root_lb ~ub:root_ub in
-  match res.Simplex.status with
-  | Simplex.Infeasible ->
-    s.root_done <- true;
-    finish s Infeasible
-  | Simplex.Unbounded -> finish s Unbounded
-  | Simplex.Iteration_limit | Simplex.Numerical_failure ->
-    s.bound_is_proven <- false;
-    finish s Unknown
-  | Simplex.Optimal ->
-    s.root_done <- true;
-    let root =
-      { n_id = 0; n_bound = res.Simplex.objective; n_depth = 0; n_fixes = []; n_warm = None }
-    in
-    if is_integral s res.Simplex.x then begin
-      ignore (try_incumbent s res.Simplex.x res.Simplex.objective);
-      finish s Optimal
-    end
-    else begin
-      Pqueue.push s.heap root.n_bound root;
-      if s.p.node_order <> Best_bound then Pqueue.push s.bound_heap root.n_bound root;
-      let rec loop ~lp ~offer ~discard () =
-        if out_of_budget s || gap_closed s then finish s Unknown
-        else
-          match Pqueue.pop s.heap with
-          | None -> finish s Unknown
-          | Some (_, node) ->
-            Hashtbl.replace s.closed node.n_id ();
-            let bound = node.n_bound in
-            let dominated =
-              match s.incumbent with
-              | Some (best, _) -> bound >= best -. 1e-12
-              | None -> false
-            in
-            if dominated then begin
-              discard node;
-              loop ~lp ~offer ~discard ()
-            end
-            else begin
-              s.nodes <- s.nodes + 1;
-              s.in_flight <- Some bound;
-              process_node s ~lp ~offer node;
-              s.in_flight <- None;
-              report s;
-              loop ~lp ~offer ~discard ()
-            end
+  match resume with
+  | Some _ ->
+    (* The snapshot already contains the root bound, the frontier in
+       byte-identical heap layout and the certified incumbent; re-running
+       presolve, the MIP start or the root LP would only risk divergence.
+       Re-announce the restored state, then continue popping exactly
+       where the interrupted run stopped. *)
+    report ~force:true s;
+    run_search s (Array.to_list (Pqueue.raw s.heap))
+  | None -> (
+    (* Install the MIP start, if any. *)
+    (match mip_start with
+    | None -> ()
+    | Some x0 ->
+      if Array.length x0 <> sf.Stdform.nstruct then
+        invalid_arg "Branch_bound.solve: mip_start length mismatch";
+      let value v = x0.(v) in
+      (match Certify.check_point s.certify value with
+      | Certify.Certified r ->
+        let obj = Stdform.internal_of_user sf r.Certify.r_objective in
+        let full = Array.make sf.Stdform.ncols 0. in
+        Array.blit x0 0 full 0 sf.Stdform.nstruct;
+        (* Logical values follow from the structural ones. *)
+        Problem.iter_constrs
+          (fun i c ->
+            full.(sf.Stdform.nstruct + i) <-
+              c.Problem.c_rhs -. Linexpr.eval value c.Problem.c_expr)
+          problem;
+        s.incumbent <- Some (obj, full);
+        Atomic.set s.inc_published obj;
+        (* The anytime contract: a warm start is an incumbent before any
+           search happens (its bound is still unproven, hence -inf). *)
+        report s
+      | Certify.Rejected msg -> Logs.warn (fun m -> m "MIP start rejected: %s" msg)));
+    (* Root relaxation. *)
+    let res = solve_node s ~warm:None ~lb:root_lb ~ub:root_ub in
+    match res.Simplex.status with
+    | Simplex.Infeasible ->
+      s.root_done <- true;
+      finish s Infeasible
+    | Simplex.Unbounded -> finish s Unbounded
+    | Simplex.Iteration_limit | Simplex.Numerical_failure ->
+      (* A root LP stopped by the budget leaves the trivial -inf bound,
+         which is still a certificate; only a genuine numeric failure
+         makes the reported bound suspect. *)
+      if Budget.exhausted s.budget then s.stop_hint <- Some (classify_stop s)
+      else s.bound_is_proven <- false;
+      finish s Unknown
+    | Simplex.Optimal ->
+      s.root_done <- true;
+      let root =
+        { n_id = 0; n_bound = res.Simplex.objective; n_depth = 0; n_fixes = []; n_warm = None }
       in
-      if s.p.jobs <= 1 then begin
-        (* Serial engine: the LP is solved inline at the pop, exactly the
-           pre-parallel code path. *)
-        let lp node =
-          let lb, ub, res, iters = node_lp s node in
-          s.simplex_iters <- s.simplex_iters + iters;
-          (lb, ub, res)
-        in
-        loop ~lp ~offer:(fun ~key:_ _ -> ()) ~discard:(fun _ -> ()) ()
+      if is_integral s res.Simplex.x then begin
+        ignore (try_incumbent s res.Simplex.x res.Simplex.objective);
+        finish s Optimal
       end
       else begin
-        (* Parallel engine: worker domains speculatively solve the LP
-           relaxations of open nodes (best-key first) while this domain
-           replays the serial search verbatim. Every decision that shapes
-           the tree — pruning, incumbent installation and certification,
-           branching, diving — happens here, in serial order, so the
-           outcome is bit-identical to [jobs = 1] whenever the run is not
-           cut short by a wall-clock limit; the workers only hide LP
-           latency. Workers drop nodes dominated by the atomically
-           published incumbent: the coordinator's incumbent at pop time
-           can only be at least as good, so it prunes those nodes too and
-           never demands their result. *)
-        let solve_task node = try Ok (node_lp s node) with e -> Error e in
-        let skip node = node.n_bound >= Atomic.get s.inc_published -. 1e-12 in
-        let pool = Par_pool.create ~workers:(s.p.jobs - 1) ~solve:solve_task ~skip in
-        let lp node =
-          let outcome =
-            match Par_pool.demand pool ~id:node.n_id with
-            | Par_pool.Ready r -> r
-            | Par_pool.Claimed -> solve_task node
-          in
-          match outcome with
-          | Ok (lb, ub, res, iters) ->
-            s.simplex_iters <- s.simplex_iters + iters;
-            (lb, ub, res)
-          | Error e -> raise e
-        in
-        let offer ~key node = Par_pool.offer pool ~id:node.n_id ~key node in
-        let discard node = Par_pool.discard pool ~id:node.n_id in
-        offer ~key:root.n_bound root;
-        match loop ~lp ~offer ~discard () with
-        | out ->
-          let speculated, dropped = Par_pool.stats pool in
-          Logs.debug (fun m ->
-              m "parallel b&b: %d nodes, %d LPs speculated by %d workers, %d dropped as dominated"
-                s.nodes speculated (s.p.jobs - 1) dropped);
-          Par_pool.shutdown pool;
-          out
-        | exception e ->
-          Par_pool.shutdown pool;
-          raise e
-      end
-    end
+        Pqueue.push s.heap root.n_bound root;
+        if s.p.node_order <> Best_bound then Pqueue.push s.bound_heap root.n_bound root;
+        run_search s [ (root.n_bound, root) ]
+      end)

@@ -53,6 +53,15 @@ type status =
   | Unbounded
   | Unknown  (** stopped at a limit before finding any solution *)
 
+(** Why the search ended — orthogonal to {!status}: a [Feasible] outcome
+    may be any of the three early stops, and an [Interrupted] solve still
+    returns its best certified incumbent. *)
+type stop_reason =
+  | Completed  (** ran to a natural conclusion (optimality or exhaustion) *)
+  | Time_limit  (** the budget's deadline passed *)
+  | Node_limit
+  | Interrupted  (** cooperative cancellation (SIGINT, {!Budget.cancel}) *)
+
 type outcome = {
   o_status : status;
   o_objective : float option;  (** user sense *)
@@ -67,7 +76,16 @@ type outcome = {
   o_rejected_incumbents : int;
   (** integral LP points that {!Certify.check_point} refused to install as
       incumbents — nonzero values signal numeric trouble in the LP stack *)
+  o_stop : stop_reason;
 }
+
+type snapshot
+(** The complete resumable state of an interrupted search: the open-node
+    frontier in byte-identical heap layout, the certified incumbent, the
+    proven-bound bookkeeping and all counters. Plain data by
+    construction — safe to [Marshal] (which is how {!Checkpoint}
+    persists it) and carrying no closures or handles. Produce one via
+    the [checkpoint] callback of {!solve}; feed it back via [resume]. *)
 
 val gap : incumbent:float -> bound:float -> float
 (** Relative gap [|incumbent - bound| / max(|incumbent|, eps)], in
@@ -75,9 +93,12 @@ val gap : incumbent:float -> bound:float -> float
 
 val solve :
   ?params:params ->
+  ?budget:Budget.t ->
+  ?checkpoint:int * (snapshot -> unit) ->
   ?certify_against:Problem.t ->
   ?mip_start:float array ->
   ?on_progress:(progress -> unit) ->
+  ?resume:snapshot ->
   Problem.t ->
   outcome
 (** [mip_start] is a full assignment to structural variables; it is
@@ -90,4 +111,23 @@ val solve :
     solved). The solver facade passes the caller's *original* formulation
     here, so presolve and cutting planes — which preserve variable
     indexing — cannot certify their own transformations. Points failing
-    certification are dropped and counted in [o_rejected_incumbents]. *)
+    certification are dropped and counted in [o_rejected_incumbents].
+
+    [budget] is the solve's deadline-and-cancellation token; when absent
+    one is created from [params.time_limit]. It is carried into every
+    node LP (including the speculative ones on worker domains), so both
+    the deadline and a {!Budget.cancel} request stop the whole engine at
+    the next cooperative check, workers drained, with the best certified
+    incumbent returned as [Feasible] and [o_stop = Interrupted].
+
+    [checkpoint = (every, sink)] calls [sink] with a {!snapshot} after
+    every [every] nodes (non-positive means
+    {!Checkpoint.default_every_nodes}) and once more on any early stop;
+    exceptions from [sink] are logged and swallowed. [resume] continues
+    a search from a snapshot instead of starting at the root — the MIP
+    start and root relaxation are skipped, and a [jobs = 1] resumed run
+    pops nodes in exactly the order the interrupted run would have,
+    reaching the same certified plan, objective and total node count.
+    The snapshot must come from a solve of the same problem with the
+    same params; {!Checkpoint.problem_digest} tagging enforces the
+    former at the persistence layer. *)

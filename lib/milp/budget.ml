@@ -1,0 +1,58 @@
+type phase = Presolve | Cuts | Search | Recovery
+
+let phase_fraction = function
+  | Presolve -> 0.15
+  | Cuts -> 0.30
+  | Search | Recovery -> 1.0
+
+(* Process-wide monotone clamp over gettimeofday: a backwards clock step
+   freezes the budget instead of rewinding it. This is the only
+   wall-clock read in the solver stack. *)
+let last_now = Atomic.make neg_infinity
+
+let rec now () =
+  let t = Unix.gettimeofday () in
+  let prev = Atomic.get last_now in
+  if t <= prev then prev
+  else if Atomic.compare_and_set last_now prev t then t
+  else now ()
+
+type t = {
+  b_limit : float option;  (* seconds from [b_started] *)
+  b_started : float;
+  b_cancelled : bool Atomic.t;  (* shared across phase views *)
+}
+
+let create ?limit () =
+  (match limit with
+  | Some l when not (Float.is_finite l) || l < 0. ->
+    invalid_arg "Budget.create: limit must be finite and non-negative"
+  | _ -> ());
+  { b_limit = limit; b_started = now (); b_cancelled = Atomic.make false }
+
+let limit t = t.b_limit
+
+let elapsed t = now () -. t.b_started
+
+let remaining t =
+  match t.b_limit with None -> None | Some l -> Some (Float.max 0. (l -. elapsed t))
+
+let expired t = match t.b_limit with None -> false | Some l -> elapsed t > l
+
+let cancel t = Atomic.set t.b_cancelled true
+
+let cancelled t = Atomic.get t.b_cancelled
+
+let exhausted t = cancelled t || expired t || Faults.early_timeout ()
+
+let phase t ph =
+  match t.b_limit with
+  | None -> t
+  | Some l -> { t with b_limit = Some (l *. phase_fraction ph) }
+
+let with_sigint t f =
+  match Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> cancel t)) with
+  | previous -> Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigint previous) f
+  | exception (Sys_error _ | Invalid_argument _) ->
+    (* No signal support on this platform/runtime: run uninterruptible. *)
+    f ()

@@ -1,0 +1,73 @@
+(** Unified solve budgets and cooperative cancellation.
+
+    One {!t} value owns the whole lifecycle of a solve: a single
+    monotonic-clock deadline, named phase sub-budgets (presolve / cuts /
+    search / recovery), and a cancellation token that is safe to trip
+    from a signal handler or another domain. Every deadline comparison
+    in the solver stack goes through this module — nothing else in the
+    tree is allowed to compare wall-clock instants, so "how much time is
+    left" has exactly one answer at any moment, shared by presolve, the
+    cut loop, every simplex call (including the ones running on
+    speculative worker domains), the branch & bound search loop and the
+    recovery ladder.
+
+    The clock is [Unix.gettimeofday] clamped to be non-decreasing
+    process-wide (an [Atomic] running maximum), so a backwards NTP step
+    can pause the budget but never un-expire it or make phases
+    re-open. *)
+
+type t
+
+(** Phases of the solve pipeline. A phase budget is a *cumulative*
+    fraction of the total limit measured from the budget's start:
+    presolve must finish within 15% of the budget, presolve plus root
+    cuts within 30%, and the search and any recovery retries may use
+    everything that remains. *)
+type phase = Presolve | Cuts | Search | Recovery
+
+val phase_fraction : phase -> float
+(** [Presolve] 0.15, [Cuts] 0.30, [Search] and [Recovery] 1.0. *)
+
+val create : ?limit:float -> unit -> t
+(** A budget starting now. [limit] is in seconds; omitting it gives an
+    unlimited budget (cancellation still works). *)
+
+val limit : t -> float option
+
+val elapsed : t -> float
+(** Monotonic seconds since {!create}. *)
+
+val remaining : t -> float option
+(** [None] when unlimited; otherwise [limit - elapsed], clamped at 0. *)
+
+val expired : t -> bool
+(** The time limit (if any) has passed. Ignores cancellation. *)
+
+val cancel : t -> unit
+(** Trip the cancellation token. Idempotent, async-signal-safe and
+    domain-safe (a single [Atomic.set]); every holder of this budget —
+    or of any {!phase} view of it — observes the request at its next
+    cooperative check and winds down with its best certified result. *)
+
+val cancelled : t -> bool
+
+val exhausted : t -> bool
+(** The one predicate solve loops poll: expired, cancelled, or the
+    {!Faults.early_timeout} chaos hook pretending the clock ran out. *)
+
+val phase : t -> phase -> t
+(** A view of the same budget whose limit is the phase's cumulative
+    fraction of the total. The view shares the cancellation token and
+    the start instant with its parent, so cancelling either cancels
+    both, and time spent before the phase counts against it. *)
+
+val with_sigint : t -> (unit -> 'a) -> 'a
+(** Runs the thunk with a SIGINT handler that {!cancel}s the budget
+    instead of killing the process, restoring the previous handler on
+    exit (including exceptional exit). This is what turns Ctrl-C into a
+    graceful "return the best certified incumbent and write a final
+    checkpoint" rather than an abort. *)
+
+val now : unit -> float
+(** The monotonic clock itself (seconds, arbitrary epoch). Exposed for
+    elapsed-time *measurement*; deadline logic must go through {!t}. *)

@@ -1,0 +1,109 @@
+let default_every_nodes = 32
+
+type config = { ck_path : string; ck_every_nodes : int }
+
+let magic = "JOINOPT-CKPT-1\n"
+
+(* Canonical, cache-free extraction: two problems that describe the same
+   MILP digest identically regardless of how they were built. *)
+let problem_digest p =
+  let buf = Buffer.create 4096 in
+  let addf v = Buffer.add_string buf (Printf.sprintf "%h;" v) in
+  Buffer.add_string buf (string_of_int (Problem.num_vars p));
+  Buffer.add_char buf '/';
+  Buffer.add_string buf (string_of_int (Problem.num_constrs p));
+  Buffer.add_char buf '\n';
+  Problem.iter_vars
+    (fun _ (vi : Problem.var_info) ->
+      Buffer.add_string buf vi.v_name;
+      Buffer.add_char buf '|';
+      addf vi.v_lb;
+      addf vi.v_ub;
+      Buffer.add_string buf
+        (match vi.v_kind with Continuous -> "c" | Integer -> "i" | Binary -> "b");
+      Buffer.add_string buf (string_of_int vi.v_priority);
+      Buffer.add_char buf '\n')
+    p;
+  let add_expr e =
+    addf (Linexpr.constant e);
+    List.iter
+      (fun (v, c) ->
+        Buffer.add_string buf (string_of_int v);
+        Buffer.add_char buf ':';
+        addf c)
+      (Linexpr.terms e)
+  in
+  Problem.iter_constrs
+    (fun _ (ci : Problem.constr_info) ->
+      Buffer.add_string buf ci.c_name;
+      Buffer.add_char buf '|';
+      add_expr ci.c_expr;
+      Buffer.add_string buf (match ci.c_sense with Le -> "<" | Ge -> ">" | Eq -> "=");
+      addf ci.c_rhs;
+      Buffer.add_char buf '\n')
+    p;
+  let sense, obj = Problem.objective p in
+  Buffer.add_string buf (match sense with Minimize -> "min|" | Maximize -> "max|");
+  add_expr obj;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let save ~path ~tag value =
+  try
+    let payload = Marshal.to_bytes value [] in
+    (* Digest the honest payload first: injected mangling below is then
+       exactly the damage [load]'s verification must detect. *)
+    let sum = Digest.bytes payload in
+    let payload = Faults.mangle_checkpoint payload in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc magic;
+        output_binary_int oc (String.length tag);
+        output_string oc tag;
+        output_binary_int oc (Bytes.length payload);
+        output_string oc sum;
+        output_bytes oc payload;
+        flush oc);
+    Unix.rename tmp path;
+    Ok ()
+  with
+  | Sys_error msg -> Error msg
+  | Unix.Unix_error (e, fn, _) -> Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+let load ~path ~tag =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let m = really_input_string ic (String.length magic) in
+        if m <> magic then Error "bad magic (not a checkpoint file)"
+        else begin
+          let tag_len = input_binary_int ic in
+          if tag_len < 0 || tag_len > 4096 then Error "bad tag length"
+          else begin
+            let file_tag = really_input_string ic tag_len in
+            if file_tag <> tag then Error "tag mismatch (checkpoint is for a different problem)"
+            else begin
+              let payload_len = input_binary_int ic in
+              if payload_len < 0 then Error "bad payload length"
+              else begin
+                let sum = really_input_string ic 16 in
+                let payload = Bytes.create payload_len in
+                really_input ic payload 0 payload_len;
+                (* Anything after the payload means a corrupted envelope. *)
+                if (try in_channel_length ic > pos_in ic with Sys_error _ -> false) then
+                  Error "trailing garbage after payload"
+                else if Digest.bytes payload <> sum then Error "checksum mismatch"
+                else Ok (Marshal.from_bytes payload 0)
+              end
+            end
+          end
+        end)
+  with
+  | End_of_file -> Error "truncated checkpoint"
+  | Sys_error msg -> Error msg
+  | Failure msg -> Error (Printf.sprintf "unmarshal failed: %s" msg)
+  | Unix.Unix_error (e, fn, _) -> Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))

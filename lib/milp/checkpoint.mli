@@ -1,0 +1,40 @@
+(** Crash-safe snapshot persistence for the anytime solver.
+
+    A checkpoint file is a self-verifying envelope around one marshalled
+    value: a magic string, a caller-supplied [tag] binding the snapshot
+    to the problem it came from, the payload length, an MD5 digest of
+    the payload, then the payload itself. {!save} writes to a temporary
+    file in the same directory and [rename]s it into place, so a crash
+    at any instant leaves either the previous checkpoint or the new one
+    on disk — never a torn file. {!load} re-verifies every layer of the
+    envelope and returns [Error] (not an exception) on any mismatch, so
+    a corrupted or truncated checkpoint degrades to a fresh solve
+    instead of a crash or — worse — a silently wrong resume.
+
+    The {!Faults.mangle_checkpoint} hook is applied to the payload after
+    the digest is computed, so injected corruption and truncation are
+    exactly what the verification in {!load} must catch. *)
+
+type config = {
+  ck_path : string;  (** checkpoint file; a [.tmp] sibling is used during writes *)
+  ck_every_nodes : int;
+  (** snapshot cadence in branch & bound nodes; [<= 0] means the default
+      of 32 *)
+}
+
+val default_every_nodes : int
+
+val problem_digest : Problem.t -> string
+(** A canonical digest of a problem's variables, bounds, constraints and
+    objective — the [tag] that prevents resuming a snapshot against a
+    different query. Insensitive to internal caches (name index). *)
+
+val save : path:string -> tag:string -> 'a -> (unit, string) result
+(** Marshal the value and atomically replace [path] with the enveloped
+    payload. All I/O failures are returned as [Error], never raised. *)
+
+val load : path:string -> tag:string -> ('a, string) result
+(** Read, verify magic / tag / length / digest, and unmarshal. Any
+    damage or tag mismatch yields [Error msg]. The type ['a] is trusted
+    to match what {!save} wrote — the tag is the guard, so callers must
+    derive it from both the problem and the snapshot schema. *)

@@ -5,6 +5,9 @@ type plan = {
   f_perturb : float;
   f_early_timeout : float;
   f_corrupt_objective : float;
+  f_checkpoint_corrupt : float;
+  f_checkpoint_truncate : float;
+  f_cancel_after_nodes : int;
 }
 
 let none =
@@ -15,12 +18,17 @@ let none =
     f_perturb = 0.;
     f_early_timeout = 0.;
     f_corrupt_objective = 0.;
+    f_checkpoint_corrupt = 0.;
+    f_checkpoint_truncate = 0.;
+    f_cancel_after_nodes = 0;
   }
 
 type state = {
   plan : plan;
   mutable rng : int64;
   mutable refactors : int;
+  mutable nodes_seen : int;
+  mutable cancel_fired : bool;
   counters : (string, int) Hashtbl.t;
 }
 
@@ -46,6 +54,8 @@ let install plan =
         plan;
         rng = Int64.of_int (plan.f_seed * 2654435761 + 1);
         refactors = 0;
+        nodes_seen = 0;
+        cancel_fired = false;
         counters = Hashtbl.create 8;
       };
   enabled := true;
@@ -143,6 +153,58 @@ let early_timeout () =
               bump st "early_timeout";
               true
             end)
+
+let cancel_requested () =
+  !enabled
+  && with_state (fun st ->
+         st.plan.f_cancel_after_nodes > 0
+         && begin
+              st.nodes_seen <- st.nodes_seen + 1;
+              (not st.cancel_fired)
+              && st.nodes_seen >= st.plan.f_cancel_after_nodes
+              && begin
+                   st.cancel_fired <- true;
+                   bump st "cancel";
+                   true
+                 end
+            end)
+
+let mangle_checkpoint payload =
+  if not !enabled then payload
+  else begin
+    Mutex.lock mu;
+    let r =
+      match !state with
+      | Some st ->
+        let p = ref payload in
+        if st.plan.f_checkpoint_truncate > 0. && next_float st < st.plan.f_checkpoint_truncate
+        then begin
+          bump st "checkpoint_truncate";
+          let n = Bytes.length !p in
+          p := Bytes.sub !p 0 (n / 2)
+        end;
+        if
+          Bytes.length !p > 0
+          && st.plan.f_checkpoint_corrupt > 0.
+          && next_float st < st.plan.f_checkpoint_corrupt
+        then begin
+          bump st "checkpoint_corrupt";
+          let copy = Bytes.copy !p in
+          let i = int_of_float (next_float st *. float_of_int (Bytes.length copy)) in
+          let i = min i (Bytes.length copy - 1) in
+          Bytes.set copy i (Char.chr (Char.code (Bytes.get copy i) lxor 0x5a));
+          p := copy
+        end;
+        !p
+      | None -> payload
+    in
+    Mutex.unlock mu;
+    r
+  end
+
+let with_plan plan f =
+  install plan;
+  Fun.protect ~finally:clear f
 
 let corrupt_objective v =
   if not !enabled then v

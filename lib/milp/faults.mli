@@ -37,6 +37,18 @@ type plan = {
   f_corrupt_objective : float;
   (** probability of replacing a returned LP objective value with NaN —
       simulates overflow in the objective accumulation; [0.] disables *)
+  f_checkpoint_corrupt : float;
+  (** probability of flipping bits in a checkpoint payload as it is
+      written — simulates silent media corruption; the checksum must
+      catch it at load; [0.] disables *)
+  f_checkpoint_truncate : float;
+  (** probability of truncating a checkpoint payload to half its length
+      as it is written — simulates a crash mid-write that the atomic
+      rename did not protect against; [0.] disables *)
+  f_cancel_after_nodes : int;
+  (** request cooperative cancellation after this many branch & bound
+      node visits — simulates a user hitting Ctrl-C mid-search at a
+      deterministic point; fires exactly once; [0] disables *)
 }
 
 val none : plan
@@ -47,6 +59,11 @@ val install : plan -> unit
     generator and all counters. *)
 
 val clear : unit -> unit
+
+val with_plan : plan -> (unit -> 'a) -> 'a
+(** [with_plan plan f] installs [plan], runs [f], and always {!clear}s —
+    even when [f] raises — so a failing test cannot leak an active fault
+    plan into later tests. *)
 
 val is_enabled : unit -> bool
 
@@ -60,6 +77,16 @@ val refactor_fails : unit -> bool
 val perturb_vector : float array -> unit
 val early_timeout : unit -> bool
 val corrupt_objective : float -> float
+
+val cancel_requested : unit -> bool
+(** Polled once per branch & bound node; [true] exactly once, after
+    [f_cancel_after_nodes] polls. *)
+
+val mangle_checkpoint : bytes -> bytes
+(** Applied to the serialized checkpoint payload just before it hits the
+    disk (after the checksum over the honest payload is computed), so
+    the injected damage is exactly what {!Checkpoint.load}'s
+    verification must detect. *)
 
 val fired : unit -> (string * int) list
 (** Counters of faults actually injected since {!install}, keyed by hook

@@ -58,3 +58,8 @@ let pop t =
     end;
     Some (top.key, top.value)
   end
+
+let raw t = Array.init t.len (fun i -> (t.heap.(i).key, t.heap.(i).value))
+
+let of_raw entries =
+  { heap = Array.map (fun (key, value) -> { key; value }) entries; len = Array.length entries }

@@ -14,3 +14,13 @@ val pop : 'a t -> (float * 'a) option
 
 val peek : 'a t -> (float * 'a) option
 (** The entry with the smallest key, without removing it. *)
+
+val raw : 'a t -> (float * 'a) array
+(** The internal heap array in storage order (a valid heap layout, not
+    sorted). With [of_raw] this round-trips the queue *byte-identically*:
+    entries with equal keys pop in the same order as the original — which
+    plain re-[push]ing cannot guarantee. Used by checkpoint snapshots. *)
+
+val of_raw : (float * 'a) array -> 'a t
+(** Rebuilds a queue from {!raw} output. The array must be a valid
+    min-heap layout (anything returned by {!raw} is). *)

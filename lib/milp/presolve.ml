@@ -12,7 +12,7 @@ type row = { name : string; mutable expr : Linexpr.t; sense : Problem.sense; mut
 
 let feas_eps = 1e-9
 
-let run ?(max_rounds = 10) ?deadline p =
+let run ?(max_rounds = 10) ?budget p =
   let n = Problem.num_vars p in
   let lb = Array.make n 0. and ub = Array.make n 0. in
   let kind = Array.make n Problem.Continuous in
@@ -136,7 +136,7 @@ let run ?(max_rounds = 10) ?deadline p =
                 (Problem.var_info p v).Problem.v_name))
     done;
     let past_deadline () =
-      match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+      match budget with Some b -> Budget.exhausted b | None -> false
     in
     let continue = ref true in
     while !continue && !rounds < max_rounds && not (past_deadline ()) do

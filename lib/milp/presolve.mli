@@ -22,9 +22,10 @@ val pp_stats : Format.formatter -> stats -> unit
 
 type outcome = Reduced of Problem.t * stats | Proven_infeasible of string
 
-val run : ?max_rounds:int -> ?deadline:float -> Problem.t -> outcome
+val run : ?max_rounds:int -> ?budget:Budget.t -> Problem.t -> outcome
 (** Default [max_rounds] 10. The input problem is not mutated.
-    [deadline] is an absolute wall-clock instant ([Unix.gettimeofday]
-    scale): the fixpoint loop stops early once it passes, so presolve is
-    covered by the caller's overall time budget. Reductions applied so far
-    remain valid — stopping early only forgoes further tightening. *)
+    [budget] is the caller's (phase) budget: the fixpoint loop stops
+    early once it is exhausted — deadline passed or cancellation
+    requested — so presolve is covered by the overall solve budget.
+    Reductions applied so far remain valid — stopping early only forgoes
+    further tightening. *)

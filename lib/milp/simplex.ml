@@ -9,7 +9,7 @@ type params = {
   max_iters : int;
   refactor_every : int;
   backend : basis_backend;
-  deadline : float option;
+  budget : Budget.t option;
   perturb : float;  (* bound-relaxation noise, as a multiple of feas_tol; 0 = off *)
   warm_dual : bool;  (* attempt the dual simplex on warm starts *)
   force_bland : bool;  (* Bland-only pricing from the first iteration *)
@@ -23,7 +23,7 @@ let default_params =
     max_iters = 0;
     refactor_every = 40;
     backend = Sparse_backend;
-    deadline = None;
+    budget = None;
     perturb = 0.;
     warm_dual = false;
     force_bland = false;
@@ -429,8 +429,9 @@ type phase_outcome = Phase_done | Phase_infeasible | Phase_unbounded | Phase_ite
 
 let out_of_time st =
   st.iters land 63 = 0
-  && ((match st.p.deadline with Some d -> Unix.gettimeofday () > d | None -> false)
-     || Faults.early_timeout ())
+  && (match st.p.budget with
+     | Some b -> Budget.exhausted b
+     | None -> Faults.early_timeout ())
 
 let reset_devex st =
   Array.fill st.devex 0 (Array.length st.devex) 1.

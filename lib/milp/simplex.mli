@@ -27,9 +27,10 @@ type params = {
   max_iters : int;  (** 0 means automatic: [5000 + 50 * nrows] *)
   refactor_every : int;  (** eta-file length triggering refactorization *)
   backend : basis_backend;
-  deadline : float option;
-  (** absolute wall-clock instant ([Unix.gettimeofday] scale) after which
-      the solve returns [Iteration_limit]; [None] = no limit *)
+  budget : Budget.t option;
+  (** budget polled every 64 iterations; when exhausted (deadline passed
+      or cancellation requested) the solve returns [Iteration_limit];
+      [None] = no limit (chaos early-timeout injection still applies) *)
   perturb : float;
   (** anti-degeneracy bound relaxation as a multiple of [feas_tol]
       (bounds are only relaxed outward, so relaxation values remain valid

@@ -4,6 +4,7 @@ type params = {
   cut_rounds : int;
   cuts_per_round : int;
   max_recovery_rungs : int;
+  checkpoint : Checkpoint.config option;
 }
 
 let default_params =
@@ -13,11 +14,14 @@ let default_params =
     cut_rounds = 3;
     cuts_per_round = 16;
     max_recovery_rungs = 3;
+    checkpoint = None;
   }
 
 let with_time_limit t params = { params with bb = { params.bb with Branch_bound.time_limit = Some t } }
 
 let with_jobs n params = { params with bb = { params.bb with Branch_bound.jobs = max 1 n } }
+
+let with_checkpoint cfg params = { params with checkpoint = Some cfg }
 
 type certificate =
   | Certified of Certify.report
@@ -28,6 +32,7 @@ type outcome = {
   result : Branch_bound.outcome;
   certificate : certificate;
   rungs : int;
+  resumed : bool;
 }
 
 let infeasible_result () =
@@ -41,62 +46,78 @@ let infeasible_result () =
     o_trace = [];
     o_bound_is_proven = true;
     o_rejected_incumbents = 0;
+    o_stop = Branch_bound.Completed;
   }
+
+(* The tag binds a checkpoint both to the caller's problem and to the
+   snapshot schema, so a stale file from another query — or another
+   version of this code — is rejected at load, not unmarshalled. *)
+let checkpoint_tag problem = "bb-snapshot-v1:" ^ Checkpoint.problem_digest problem
+
+(* The persisted value is the pair (reduced problem, snapshot): presolve
+   and cuts under a deadline are not reproducible run-to-run, so resume
+   must restart from the exact formulation the frontier refers to. *)
+let checkpoint_arg params ~tag reduced =
+  match params.checkpoint with
+  | None -> None
+  | Some cfg ->
+    Some
+      ( cfg.Checkpoint.ck_every_nodes,
+        fun sn ->
+          match Checkpoint.save ~path:cfg.Checkpoint.ck_path ~tag (reduced, sn) with
+          | Ok () -> ()
+          | Error msg -> Logs.warn (fun m -> m "checkpoint save failed: %s" msg) )
 
 (* One pass of the presolve -> root cuts -> branch & bound pipeline.
    Every candidate incumbent inside branch & bound is certified against
-   the *original* [problem], not the transformed one. *)
-let solve_once ~params ?mip_start ?on_progress problem =
-  let started = Unix.gettimeofday () in
-  let time_limit = params.bb.Branch_bound.time_limit in
-  let reduced =
-    if params.presolve then begin
-      (* Presolve comes out of the same budget as everything else. *)
-      let deadline = Option.map (fun t -> started +. (0.15 *. t)) time_limit in
-      match Presolve.run ?deadline problem with
-      | Presolve.Reduced (q, stats) ->
-        Logs.debug (fun m -> m "%a" Presolve.pp_stats stats);
-        Some q
-      | Presolve.Proven_infeasible msg ->
-        Logs.debug (fun m -> m "presolve: infeasible (%s)" msg);
-        None
-    end
-    else Some problem
-  in
-  match reduced with
-  | None -> infeasible_result ()
-  | Some q ->
-    let q =
-      if params.cut_rounds > 0 then begin
-        (* Cap the cut phase at 30% of any global time budget. *)
-        let simplex_params =
-          match time_limit with
-          | Some t ->
+   the *original* [problem], not the transformed one. The phase
+   sub-budgets carve the caller's single budget: presolve must yield by
+   15% of it, the cut loop by 30%, and branch & bound (which re-checks
+   the full budget) absorbs whatever preprocessing actually spent —
+   there is no per-phase clock arithmetic anywhere. *)
+let solve_once ~params ~budget ~tag ?mip_start ?on_progress ?resume problem =
+  match resume with
+  | Some (reduced, sn) ->
+    Branch_bound.solve ~params:params.bb ~budget
+      ?checkpoint:(checkpoint_arg params ~tag reduced)
+      ~certify_against:problem ?on_progress ~resume:sn reduced
+  | None -> (
+    let reduced =
+      if params.presolve then begin
+        match Presolve.run ~budget:(Budget.phase budget Budget.Presolve) problem with
+        | Presolve.Reduced (q, stats) ->
+          Logs.debug (fun m -> m "%a" Presolve.pp_stats stats);
+          Some q
+        | Presolve.Proven_infeasible msg ->
+          Logs.debug (fun m -> m "presolve: infeasible (%s)" msg);
+          None
+      end
+      else Some problem
+    in
+    match reduced with
+    | None -> infeasible_result ()
+    | Some q ->
+      let q =
+        if params.cut_rounds > 0 then begin
+          let simplex_params =
             {
               params.bb.Branch_bound.simplex with
-              Simplex.deadline = Some (started +. (0.3 *. t));
+              Simplex.budget = Some (Budget.phase budget Budget.Cuts);
             }
-          | None -> params.bb.Branch_bound.simplex
-        in
-        let q', stats =
-          Cuts.gomory_strengthen ~max_rounds:params.cut_rounds
-            ~max_per_round:params.cuts_per_round ~simplex_params q
-        in
-        Logs.debug (fun m ->
-            m "cuts: %d GMI cuts in %d rounds" stats.Cuts.cuts_added stats.Cuts.rounds_run);
-        q'
-      end
-      else q
-    in
-    (* Whatever the preprocessing spent comes out of the search budget. *)
-    let bb_params =
-      match time_limit with
-      | Some t ->
-        let remaining = max 0.5 (t -. (Unix.gettimeofday () -. started)) in
-        { params.bb with Branch_bound.time_limit = Some remaining }
-      | None -> params.bb
-    in
-    Branch_bound.solve ~params:bb_params ~certify_against:problem ?mip_start ?on_progress q
+          in
+          let q', stats =
+            Cuts.gomory_strengthen ~max_rounds:params.cut_rounds
+              ~max_per_round:params.cuts_per_round ~simplex_params q
+          in
+          Logs.debug (fun m ->
+              m "cuts: %d GMI cuts in %d rounds" stats.Cuts.cuts_added stats.Cuts.rounds_run);
+          q'
+        end
+        else q
+      in
+      Branch_bound.solve ~params:params.bb ~budget
+        ?checkpoint:(checkpoint_arg params ~tag q)
+        ~certify_against:problem ?mip_start ?on_progress q)
 
 (* Independent audit of a finished outcome against the original problem:
    the returned point, the recomputed objective, the progress trace's
@@ -189,11 +210,33 @@ let needs_retry ~time_left (out : Branch_bound.outcome) cert =
   | Branch_bound.Optimal | Branch_bound.Feasible -> (
     match cert with Uncertified _ -> time_left | Certified _ | No_incumbent -> false)
 
-let solve ?(params = default_params) ?mip_start ?on_progress problem =
-  let started = Unix.gettimeofday () in
-  let budget = params.bb.Branch_bound.time_limit in
-  let remaining () =
-    match budget with Some t -> Some (t -. (Unix.gettimeofday () -. started)) | None -> None
+let solve ?(params = default_params) ?budget ?(resume = false) ?mip_start ?on_progress problem
+    =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> Budget.create ?limit:params.bb.Branch_bound.time_limit ()
+  in
+  let tag = checkpoint_tag problem in
+  (* A corrupted, truncated, missing or mismatched checkpoint degrades
+     to a fresh solve — resume is an optimization, never a correctness
+     dependency. *)
+  let resume_state =
+    if not resume then None
+    else
+      match params.checkpoint with
+      | None ->
+        Logs.warn (fun m -> m "resume requested but no checkpoint configured; solving fresh");
+        None
+      | Some cfg -> (
+        match Checkpoint.load ~path:cfg.Checkpoint.ck_path ~tag with
+        | Ok state ->
+          Logs.info (fun m -> m "resuming from checkpoint %s" cfg.Checkpoint.ck_path);
+          Some state
+        | Error msg ->
+          Logs.warn (fun m ->
+              m "cannot resume from %s (%s); solving fresh" cfg.Checkpoint.ck_path msg);
+          None)
   in
   let minimize =
     match Problem.objective problem with
@@ -215,14 +258,18 @@ let solve ?(params = default_params) ?mip_start ?on_progress problem =
       | Some _, None -> true
       | None, _ -> false
   in
-  let rec attempt rung best =
+  (* Recovery retries share the one budget: a retry gets exactly what is
+     left, never a manufactured floor that could overshoot a sub-second
+     limit severalfold. [resume_state] applies to the first attempt
+     only — a rung-0 failure means the checkpointed trajectory itself is
+     suspect, so escalated retries restart from scratch. *)
+  let time_left () =
+    (not (Budget.cancelled budget))
+    && match Budget.remaining budget with Some r -> r > 0.01 | None -> true
+  in
+  let rec attempt rung best resume_state =
     let p = escalate params rung in
-    let p =
-      match remaining () with
-      | Some r -> { p with bb = { p.bb with Branch_bound.time_limit = Some (max 0.5 r) } }
-      | None -> p
-    in
-    let result = solve_once ~params:p ?mip_start ?on_progress problem in
+    let result = solve_once ~params:p ~budget ~tag ?mip_start ?on_progress ?resume:resume_state problem in
     let cert = certify_outcome p problem result in
     let best =
       match best with
@@ -231,8 +278,8 @@ let solve ?(params = default_params) ?mip_start ?on_progress problem =
         let o', c', _ = b in
         if better (result, cert) (o', c') then (result, cert, rung) else b
     in
-    let time_left = match remaining () with Some r -> r > 0.5 | None -> true in
-    if rung >= params.max_recovery_rungs || not (needs_retry ~time_left result cert) then best
+    if rung >= params.max_recovery_rungs || not (needs_retry ~time_left:(time_left ()) result cert)
+    then best
     else begin
       Logs.info (fun m ->
           m "solver: retrying on recovery rung %d (status %s, %s)" (rung + 1)
@@ -246,8 +293,8 @@ let solve ?(params = default_params) ?mip_start ?on_progress problem =
             | Certified _ -> "certified"
             | Uncertified msg -> "uncertified: " ^ msg
             | No_incumbent -> "no incumbent"));
-      attempt (rung + 1) (Some best)
+      attempt (rung + 1) (Some best) None
     end
   in
-  let result, certificate, rungs = attempt 0 None in
-  { result; certificate; rungs }
+  let result, certificate, rungs = attempt 0 None resume_state in
+  { result; certificate; rungs; resumed = Option.is_some resume_state }

@@ -16,7 +16,18 @@
     ladder of increasingly conservative configurations — cuts off,
     perturbation off, stricter pivot acceptance, Bland pricing, dense
     factorization — the moral equivalent of a commercial solver's
-    "numeric focus" parameter. *)
+    "numeric focus" parameter.
+
+    The whole pipeline runs against one {!Budget}: presolve must yield
+    within the [Presolve] phase fraction, the cut loop within [Cuts],
+    and branch & bound plus every recovery retry draws from whatever
+    actually remains — there is no clock arithmetic and no minimum-retry
+    floor anywhere. The same budget carries the cancellation token, so
+    Ctrl-C (via {!Budget.with_sigint}) or {!Budget.cancel} winds the
+    solve down with its best certified incumbent. With a
+    {!Checkpoint.config} installed, branch & bound state is persisted
+    periodically and on any early stop, and [resume:true] continues a
+    killed solve from disk. *)
 
 type params = {
   bb : Branch_bound.params;
@@ -26,11 +37,14 @@ type params = {
   max_recovery_rungs : int;
   (** highest recovery-ladder rung tried after a numeric failure
       (0 disables recovery; default 3) *)
+  checkpoint : Checkpoint.config option;
+  (** when set, the search state is saved to [ck_path] every
+      [ck_every_nodes] nodes and on any early stop; default [None] *)
 }
 
 val default_params : params
 (** Presolve on, 3 cut rounds of up to 16 cuts, default branch & bound,
-    recovery ladder up to rung 3. *)
+    recovery ladder up to rung 3, no checkpointing. *)
 
 val with_time_limit : float -> params -> params
 (** Convenience: sets the branch & bound wall-clock limit. The budget
@@ -41,6 +55,8 @@ val with_jobs : int -> params -> params
 (** Convenience: sets {!Branch_bound.params.jobs} (clamped to ≥ 1).
     Certified results are identical for every value — see
     {!Branch_bound.params.jobs}. *)
+
+val with_checkpoint : Checkpoint.config -> params -> params
 
 type certificate =
   | Certified of Certify.report
@@ -54,11 +70,28 @@ type outcome = {
   result : Branch_bound.outcome;
   certificate : certificate;
   rungs : int;  (** recovery rung that produced [result]; 0 = first try *)
+  resumed : bool;  (** the solve continued from an on-disk checkpoint *)
 }
 
 val solve :
   ?params:params ->
+  ?budget:Budget.t ->
+  ?resume:bool ->
   ?mip_start:float array ->
   ?on_progress:(Branch_bound.progress -> unit) ->
   Problem.t ->
   outcome
+(** [budget] defaults to a fresh one built from
+    [params.bb.time_limit]; pass your own to share a deadline or a
+    cancellation token (e.g. wired to SIGINT) with the caller.
+
+    [resume] (default [false]) loads the configured checkpoint and
+    continues the interrupted search instead of starting at the root.
+    The checkpoint stores the post-presolve formulation together with
+    the frontier, so a [jobs = 1] resumed solve pops the exact node
+    sequence the interrupted run would have and certifies the same plan
+    and objective. A missing, corrupted, truncated or mismatched
+    checkpoint logs a warning and solves fresh — resume is an
+    optimization, never a correctness dependency. Escalated recovery
+    retries never resume: a rung-0 failure makes the checkpointed
+    trajectory itself suspect. *)

@@ -37,6 +37,7 @@ let fault_plans =
     ("nan-objective", { Faults.none with Faults.f_seed = 15; f_corrupt_objective = 0.8 });
     ( "storm",
       {
+        Faults.none with
         Faults.f_seed = 16;
         f_pivot_reject = 0.1;
         f_refactor_fail_every = 3;
@@ -55,11 +56,10 @@ let survives_faults () =
       List.iter
         (fun (shape_name, shape) ->
           let q = query ~seed:(Hashtbl.hash (fault_name, shape_name)) ~shape ~n:6 in
-          Faults.install plan;
+          (* [with_plan] clears even when the assertion below throws, so a
+             failing case cannot leak its faults into later tests. *)
           let r =
-            Fun.protect
-              ~finally:(fun () -> Faults.clear ())
-              (fun () -> Optimizer.optimize ~config:optimize_config q)
+            Faults.with_plan plan (fun () -> Optimizer.optimize ~config:optimize_config q)
           in
           let where = Printf.sprintf "%s/%s" fault_name shape_name in
           (match r.Optimizer.plan with
@@ -95,11 +95,8 @@ let faults_actually_fire () =
     (fun (fault_name, counter) ->
       let plan = List.assoc fault_name fault_plans in
       let q = query ~seed:42 ~shape:Join_graph.Star ~n:6 in
-      Faults.install plan;
       let fired =
-        Fun.protect
-          ~finally:(fun () -> Faults.clear ())
-          (fun () ->
+        Faults.with_plan plan (fun () ->
             ignore (Optimizer.optimize ~config:optimize_config q);
             Faults.fired ())
       in
