@@ -195,9 +195,9 @@ let run_jobs_scaling () =
         |> Joinopt.Optimizer.with_time_limit budget
         |> Joinopt.Optimizer.with_jobs jobs
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Milp.Budget.now () in
       let r = Joinopt.Optimizer.optimize ~config q in
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Milp.Budget.now () -. t0 in
       let agree =
         match !baseline with
         | None ->

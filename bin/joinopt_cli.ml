@@ -115,12 +115,32 @@ let resume_term =
          ~doc:"Continue from the $(b,--checkpoint) file instead of starting fresh. A \
                missing or damaged checkpoint falls back to a fresh solve.")
 
+let lint_conv =
+  let parse = function
+    | "standard" -> Ok Milp.Lint.Standard
+    | "strict" -> Ok Milp.Lint.Strict
+    | s -> Error (`Msg ("unknown lint level: " ^ s ^ " (expected standard or strict)"))
+  in
+  let print ppf = function
+    | Milp.Lint.Strict -> Format.pp_print_string ppf "strict"
+    | Milp.Lint.Standard | Milp.Lint.Off -> Format.pp_print_string ppf "standard"
+  in
+  Arg.conv (parse, print)
+
+let lint_term =
+  Arg.(value & opt ~vopt:(Some Milp.Lint.Standard) (some lint_conv) None
+         & info [ "lint" ] ~docv:"LEVEL"
+             ~doc:"Run the static formulation auditor on the generated MILP and print \
+                   its report. Plain $(b,--lint) fails (exit 3) on Error diagnostics; \
+                   $(b,--lint=strict) also promotes Warn to failure. The solve still \
+                   runs either way, so the report can be compared against the outcome.")
+
 (* ------------------------------------------------------------------ *)
 (* optimize                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_optimize query budget precision cost jobs checkpoint checkpoint_every resume verbose
-    =
+let run_optimize query budget precision cost jobs checkpoint checkpoint_every resume lint
+    verbose =
   let config =
     { Optimizer.default_config with Optimizer.cost }
     |> Optimizer.with_precision precision
@@ -134,6 +154,9 @@ let run_optimize query budget precision cost jobs checkpoint checkpoint_every re
         { Milp.Checkpoint.ck_path = path; ck_every_nodes = checkpoint_every }
         config
     | None -> config
+  in
+  let config =
+    match lint with Some level -> Optimizer.with_lint level config | None -> config
   in
   Format.printf "Query: %a@." Relalg.Query.pp query;
   let on_progress =
@@ -155,6 +178,13 @@ let run_optimize query budget precision cost jobs checkpoint checkpoint_every re
   in
   Format.printf "MILP: %d vars, %d constraints; %d nodes in %.2fs@." r.Optimizer.num_vars
     r.Optimizer.num_constrs r.Optimizer.nodes r.Optimizer.elapsed;
+  let lint_failed =
+    match (lint, r.Optimizer.lint) with
+    | Some level, Some report ->
+      Format.printf "%a@." Milp.Lint.pp_report report;
+      Milp.Lint.failed level report
+    | _ -> false
+  in
   (match (r.Optimizer.plan, r.Optimizer.true_cost) with
   | Some plan, Some cost ->
     (match r.Optimizer.objective with
@@ -189,7 +219,11 @@ let run_optimize query budget precision cost jobs checkpoint checkpoint_every re
     | Milp.Branch_bound.Time_limit -> "time limit"
     | Milp.Branch_bound.Node_limit -> "node limit"
     | Milp.Branch_bound.Interrupted -> "interrupted (best certified incumbent returned)")
-    (if r.Optimizer.resumed then ", resumed from checkpoint" else "")
+    (if r.Optimizer.resumed then ", resumed from checkpoint" else "");
+  if lint_failed then begin
+    Format.printf "lint: formulation audit failed at the requested level@.";
+    exit 3
+  end
 
 let optimize_cmd =
   let verbose =
@@ -199,7 +233,7 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Optimize a join query through the MILP encoding")
     Term.(
       const run_optimize $ query_term $ budget_term $ precision_term $ cost_term $ jobs_term
-      $ checkpoint_term $ checkpoint_every_term $ resume_term $ verbose)
+      $ checkpoint_term $ checkpoint_every_term $ resume_term $ lint_term $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* dp / greedy                                                          *)

@@ -20,11 +20,11 @@ let () =
     budget;
 
   (* The DP baseline: all or nothing. *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Milp.Budget.now () in
   (match Dp_opt.Selinger.optimize ~time_limit:budget query with
   | Dp_opt.Selinger.Complete r ->
     Format.printf "DP finished after %.2fs (%d subsets): cost %.3g@."
-      (Unix.gettimeofday () -. t0)
+      (Milp.Budget.now () -. t0)
       r.Dp_opt.Selinger.subsets_explored r.Dp_opt.Selinger.cost
   | Dp_opt.Selinger.Timed_out { subsets_explored; _ } ->
     Format.printf "DP produced NO plan within %gs (%d of %d subsets explored)@." budget

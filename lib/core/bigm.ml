@@ -1,0 +1,1 @@
+let threshold_activation ~ub_log ~log_theta = ub_log -. log_theta

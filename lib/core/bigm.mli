@@ -1,0 +1,22 @@
+(** The one audited big-M derivation shared by every threshold staircase.
+
+    A threshold-activation row has the shape
+
+    {v lco - M * cto <= log10 theta v}
+
+    where [lco] is a log-cardinality variable with declared upper bound
+    [ub_log] and [cto] the binary that fires when the cardinality
+    exceeds [theta]. The smallest constant that makes the row vacuous
+    once [cto = 1] is exactly [ub_log - log10 theta]; anything larger
+    weakens the LP relaxation, anything smaller cuts feasible points.
+    {!Milp.Lint} re-derives the same constant from the declared bounds
+    (codes [L302]/[L303]), so a drift between an encoder and this helper
+    is caught statically. *)
+
+val threshold_activation : ub_log:float -> log_theta:float -> float
+(** [threshold_activation ~ub_log ~log_theta] is the tight big-M
+    [ub_log -. log_theta] for the row above. The result is non-positive
+    exactly when the threshold sits at or above the operand's upper
+    bound — the ladder's top rung may overshoot by up to its tolerance
+    factor — in which case the row is vacuous in both indicator states
+    and the constant's magnitude is irrelevant. *)

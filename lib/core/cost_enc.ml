@@ -51,7 +51,7 @@ let g_smj pm c =
 
 let g_blocks pm c =
   let pg = Cost_model.pages pm c in
-  if pg = 0. then 0. else ceil (pg /. pm.Cost_model.buffer_pages)
+  if Float.compare pg 0. = 0 then 0. else ceil (pg /. pm.Cost_model.buffer_pages)
 
 (* ------------------------------------------------------------------ *)
 (* Linear expressions for operand quantities                            *)
@@ -234,6 +234,7 @@ let install ?(pm = Cost_model.default_page_model) enc spec =
       (Choose { ops; jos; pjc; ajc; bnl }, !obj)
   in
   Problem.set_objective p Problem.Minimize objective;
+  Problem.set_meta p "joinopt.cost" (spec_to_string spec);
   { enc; spec; pm; aux }
 
 (* ------------------------------------------------------------------ *)

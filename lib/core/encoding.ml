@@ -213,12 +213,14 @@ let build ?(config = default_config) q =
   in
   let max_log = Array.fold_left ( +. ) 0. log_cards in
   let min_log = Array.fold_left ( +. ) 0. log10_sels in
+  (* One binding serves both the lco bound and the staircase big-M
+     derivation (via Bigm.threshold_activation): the two cannot drift. *)
+  let lco_ub = max_log +. 1. in
   let lco =
     Array.init num_joins (fun j ->
         if j = 0 then -1
         else
-          Problem.add_var p ~name:(Printf.sprintf "lco_j%d" j) ~lb:(min_log -. 1.)
-            ~ub:(max_log +. 1.) ())
+          Problem.add_var p ~name:(Printf.sprintf "lco_j%d" j) ~lb:(min_log -. 1.) ~ub:lco_ub ())
   in
   let cto =
     Array.init num_joins (fun j ->
@@ -349,7 +351,7 @@ let build ?(config = default_config) q =
   for j = 1 to jmax do
     for r = 0 to l - 1 do
       let log_theta = ladder.Thresholds.log10_thetas.(r) in
-      let big_m = max_log +. 1. -. log_theta in
+      let big_m = Bigm.threshold_activation ~ub_log:lco_ub ~log_theta in
       Problem.add_constr p
         ~name:(Printf.sprintf "cto_def_r%d_j%d" r j)
         Linexpr.(sub (var lco.(j)) (var ~coeff:big_m cto.(j).(r)))
@@ -372,6 +374,22 @@ let build ?(config = default_config) q =
     in
     Problem.add_constr p ~name:(Printf.sprintf "co_def_j%d" j) e Problem.Eq 0.
   done;
+  (* Declare the structural contract for Milp.Lint's L4xx checks; the
+     metadata never influences solving. *)
+  Problem.set_meta p "joinopt.tables" (string_of_int n);
+  Problem.set_meta p "joinopt.joins" (string_of_int num_joins);
+  Problem.set_meta p "joinopt.formulation"
+    (match config.formulation with Reduced -> "reduced" | Full_paper -> "full-paper");
+  Problem.set_meta p "joinopt.thresholds" (string_of_int l);
+  Problem.set_meta p "joinopt.pred_tables"
+    (String.concat ";"
+       (Array.to_list
+          (Array.map
+             (fun ep -> String.concat "," (List.map string_of_int ep.ep_tables))
+             preds)));
+  Problem.set_meta p "joinopt.log10_sels"
+    (String.concat ";"
+       (Array.to_list (Array.map (fun s -> Printf.sprintf "%.17g" s) log10_sels)));
   {
     problem = p;
     query = q;

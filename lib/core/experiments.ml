@@ -122,9 +122,9 @@ type fig2_row = {
 let run_one config algo q =
   match algo with
   | Dp ->
-    let started = Unix.gettimeofday () in
+    let started = Milp.Budget.now () in
     let outcome = Dp_opt.Selinger.optimize ~time_limit:config.f2_budget q in
-    let finished = Unix.gettimeofday () -. started in
+    let finished = Milp.Budget.now () -. started in
     List.map
       (fun t ->
         match outcome with

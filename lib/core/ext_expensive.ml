@@ -61,9 +61,11 @@ let install ?(pm = Cost_model.default_page_model) enc =
   let max_log =
     Array.fold_left (fun acc c -> acc +. log10 c) 0. enc.Encoding.effective_card
   in
+  (* Shared with the staircase big-M below — see Bigm. *)
+  let lcob_ub = max_log +. 1. in
   let lcob =
     Array.init enc.Encoding.num_joins (fun j ->
-        Problem.add_var p ~name:(Printf.sprintf "lcob_j%d" j) ~lb:(-100.) ~ub:(max_log +. 1.) ())
+        Problem.add_var p ~name:(Printf.sprintf "lcob_j%d" j) ~lb:(-100.) ~ub:lcob_ub ())
   in
   let ctob =
     Array.init enc.Encoding.num_joins (fun j ->
@@ -82,7 +84,7 @@ let install ?(pm = Cost_model.default_page_model) enc =
       Problem.Eq 0.;
     for r = 0 to l - 1 do
       let log_theta = ladder.Thresholds.log10_thetas.(r) in
-      let big_m = max_log +. 1. -. log_theta in
+      let big_m = Bigm.threshold_activation ~ub_log:lcob_ub ~log_theta in
       Problem.add_constr p
         ~name:(Printf.sprintf "ctob_def_r%d_j%d" r j)
         Linexpr.(sub (var lcob.(j)) (var ~coeff:big_m ctob.(j).(r)))
@@ -143,6 +145,8 @@ let install ?(pm = Cost_model.default_page_model) enc =
         (Hashtbl.find charges_tbl pi))
     priced;
   Problem.set_objective p Problem.Minimize !obj;
+  Problem.set_meta p "joinopt.ext.expensive"
+    (String.concat "," (List.map (fun (pi, _, _) -> string_of_int pi) priced));
   { enc; pm; priced; pco = pco_tbl; lcob; ctob; cob; charges = charges_tbl }
 
 (* ------------------------------------------------------------------ *)

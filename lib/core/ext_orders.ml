@@ -187,6 +187,7 @@ let install ?(pm = Cost_model.default_page_model) ~sorted_tables enc =
   let obj = ref Linexpr.zero in
   Array.iter (fun row -> Array.iter (fun v -> obj := Linexpr.add_term !obj v 1.) row) ajc;
   Problem.set_objective p Problem.Minimize !obj;
+  Problem.set_meta p "joinopt.ext.orders" (string_of_int nv);
   { enc; pm; sorted_mask; jos; pjc; ajc; ohp }
 
 (* ------------------------------------------------------------------ *)

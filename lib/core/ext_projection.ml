@@ -129,6 +129,7 @@ let install ?(pm = Cost_model.default_page_model) enc =
           q.Relalg.Query.predicates.(id).Relalg.Predicate.pred_tables)
     enc.Encoding.pred_ids;
   (* Objective: hash cost with byte-derived outer pages. *)
+  Problem.set_meta p "joinopt.ext.projection" (string_of_int nl);
   let t =
     { enc; pm; columns; required; first_of_table; clo; y }
   in

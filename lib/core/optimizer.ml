@@ -32,6 +32,8 @@ let with_jobs n config = { config with solver = Solver.with_jobs n config.solver
 
 let with_checkpoint ck config = { config with solver = Solver.with_checkpoint ck config.solver }
 
+let with_lint level config = { config with solver = Solver.with_lint level config.solver }
+
 type trace_point = {
   tp_elapsed : float;
   tp_objective : float option;
@@ -64,6 +66,7 @@ type result = {
   num_vars : int;
   num_constrs : int;
   elapsed : float;
+  lint : Milp.Lint.report option;
 }
 
 let guaranteed_factor ~objective ~bound =
@@ -203,4 +206,5 @@ let optimize ?(config = default_config) ?budget ?resume ?on_progress q =
     num_vars = Problem.num_vars enc.Encoding.problem;
     num_constrs = Problem.num_constrs enc.Encoding.problem;
     elapsed = Milp.Budget.elapsed budget;
+    lint = outcome.Solver.lint_report;
   }

@@ -30,6 +30,11 @@ val with_checkpoint : Milp.Checkpoint.config -> config -> config
 (** Persist the branch & bound state to the given path periodically and
     on any early stop, enabling [resume] in {!optimize}. *)
 
+val with_lint : Milp.Lint.level -> config -> config
+(** Run the static formulation auditor on the generated MILP before
+    solving; the report lands in {!result.lint}. Enforcement is the
+    caller's job: check {!Milp.Lint.failed} against the level. *)
+
 type trace_point = {
   tp_elapsed : float;
   tp_objective : float option;  (** incumbent MILP objective (approx. cost) *)
@@ -70,6 +75,9 @@ type result = {
   num_vars : int;
   num_constrs : int;
   elapsed : float;
+  lint : Milp.Lint.report option;
+      (** static audit of the generated formulation; [Some] iff the
+          config enables {!with_lint} *)
 }
 
 val guaranteed_factor : objective:float -> bound:float -> float

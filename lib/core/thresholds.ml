@@ -70,7 +70,7 @@ let approx_fn l g log10_card =
   !acc
 
 let levels l g =
-  if g 0. <> 0. then invalid_arg "Thresholds.levels: g must satisfy g(0) = 0";
+  if Float.compare (g 0.) 0. <> 0 then invalid_arg "Thresholds.levels: g must satisfy g(0) = 0";
   Array.init (num_thresholds l) (fun r ->
       let v = g (l.step_factor *. l.thetas.(r)) in
       let prev = if r = 0 then 0. else g (l.step_factor *. l.thetas.(r - 1)) in

@@ -136,7 +136,7 @@ let simulated_annealing ?(metric = Cost_model.Operator_costs)
          in
          if accept then begin
            cost := c;
-           if delta <> 0. then incr accepted;
+           if Float.compare delta 0. <> 0 then incr accepted;
            if c < !best_cost then begin
              best_cost := c;
              best_order := Array.copy order

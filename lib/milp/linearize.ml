@@ -6,8 +6,10 @@ let product_binary_continuous p ?name ~binary ~continuous ~lb ~ub () =
   let open Linexpr in
   (* y <= ub * b            (y = 0 when b = 0, y <= ub when b = 1) *)
   Problem.add_constr p (sub (var y) (var ~coeff:ub binary)) Problem.Le 0.;
-  (* y >= lb * b *)
-  Problem.add_constr p (sub (var y) (var ~coeff:lb binary)) Problem.Ge 0.;
+  (* y >= lb * b; with lb = 0 the binary term cancels and the row would
+     canonicalize to the bound y >= 0 already declared on y, so skip it. *)
+  if Float.compare lb 0. <> 0 then
+    Problem.add_constr p (sub (var y) (var ~coeff:lb binary)) Problem.Ge 0.;
   (* y <= x - lb * (1 - b), i.e. y - x - lb*b <= -lb  (y = x when b = 1) *)
   Problem.add_constr p
     (add (sub (var y) (var continuous)) (var ~coeff:(-.lb) binary))

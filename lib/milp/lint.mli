@@ -1,0 +1,119 @@
+(** Static formulation auditor for {!Problem.t}.
+
+    Runs over the model as built — after encoding, before presolve — and
+    emits severity-ranked diagnostics, each with a stable code, the
+    offending row / column names and a one-line explanation. The analyzer
+    proves facts from variable bounds alone (interval arithmetic), so a
+    clean report does not certify feasibility; it certifies the absence
+    of a class of *structural* encoding bugs that otherwise surface only
+    as wrong plans or numeric-recovery events at solve time.
+
+    {2 Diagnostic codes}
+
+    Feasibility and redundancy (interval propagation):
+    - [L101] (Error) — row trivially infeasible under propagated bounds.
+    - [L102] (Warn) — row always slack: satisfied by every point in the
+      bound box, so it never binds and is dead weight.
+    - [L103] (Error) — non-finite coefficient or right-hand side, or a
+      NaN bound.
+
+    Shape:
+    - [L201] (Warn) — dangling column: the variable appears in no row
+      and not in the objective.
+    - [L202] (Warn) — empty row: every coefficient cancelled during
+      canonicalization (an infeasible empty row is [L101] instead).
+    - [L203] (Warn) — duplicate row: identical terms, sense and
+      right-hand side as an earlier row.
+
+    Numerics:
+    - [L301] (Warn) — row coefficient range exceeds
+      [config.cond_threshold] *after* {!Stdform} equilibration
+      (conditioning risk the scaling cannot absorb; raw staircase rows
+      legitimately span many orders of magnitude).
+    - [L302] (Error) — insufficient big-M: a row shaped like an
+      indicator (one binary, the rest continuous/integer) whose span is
+      at least half of, but strictly less than, what the declared bounds
+      require, so the "relaxed" state still cuts feasible points.
+    - [L303] (Warn) — loose big-M: span exceeds what the declared
+      bounds require by more than [config.bigm_rel_slack].
+    - [L304] (Info) — constant objective.
+    - [L305] (Info) — aggregate: big-Ms provably tightenable under
+      *propagated* (rather than declared) bounds. One diagnostic for
+      the whole problem; tight-vs-declared rows are the generator's
+      contract, tighter-under-propagation is an optimization hint.
+
+    Paper-invariant structure (only when the problem carries
+    [joinopt.*] metadata; see {!Problem.set_meta}):
+    - [L400] (Error) — malformed [joinopt.*] metadata.
+    - [L401] (Error) — join-order structure broken: missing or
+      mis-shaped one-hot / slot rows for the declared formulation.
+    - [L402] (Error) — selectivity linking broken: a predicate's
+      applicability or log-cardinality rows are missing, or a
+      [lco_def] row's selectivity coefficient disagrees with the
+      declared log10 selectivity.
+    - [L403] (Error) — expensive-predicate extension block inconsistent
+      with its declaration.
+    - [L404] (Error) — join-orders extension block inconsistent.
+    - [L405] (Error) — projection extension block inconsistent. *)
+
+type severity = Error | Warn | Info
+
+type diagnostic = {
+  d_code : string;  (** stable code, e.g. ["L101"] *)
+  d_severity : severity;
+  d_subject : string;  (** offending row / column name(s), possibly empty *)
+  d_message : string;  (** one-line explanation *)
+}
+
+type stats = {
+  s_rows : int;
+  s_cols : int;
+  s_nonzeros : int;
+  s_binaries : int;
+  s_integers : int;  (** general integers, excluding binaries *)
+  s_coeff_min : float;  (** min |a_ij| over the raw matrix; 0 if empty *)
+  s_coeff_max : float;
+  s_scaled_coeff_min : float;
+      (** same range after {!Stdform} equilibration — what the simplex
+          actually faces *)
+  s_scaled_coeff_max : float;
+}
+
+type report = {
+  diagnostics : diagnostic list;  (** sorted Error first, then Warn, then Info *)
+  stats : stats;
+}
+
+type level = Off | Standard | Strict
+(** How callers consume a report: [Off] skips analysis entirely,
+    [Standard] fails on [Error], [Strict] promotes [Warn] to failure.
+    [Info] never fails. *)
+
+type config = {
+  cond_threshold : float;  (** per-row max/min |coeff| ratio for [L301]; default 1e10 *)
+  bigm_rel_slack : float;
+      (** relative slack tolerated before a sufficient big-M is flagged
+          loose ([L303]); default 0.05 *)
+  max_propagation_passes : int;  (** bound-propagation sweeps; default 3 *)
+  structure : bool;  (** run the [L4xx] metadata-keyed checks; default true *)
+  tol : float;  (** absolute/relative comparison tolerance; default 1e-9 *)
+}
+
+val default_config : config
+
+val analyze : ?config:config -> Problem.t -> report
+
+val level_of_strict : bool -> level
+(** [Strict] when [true], else [Standard]. *)
+
+val errors : report -> int
+val warnings : report -> int
+
+val failed : level -> report -> bool
+(** Whether the report fails at the given level ([Off] never fails). *)
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+(** One line: [code severity subject: message]. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Statistics header followed by one line per diagnostic. *)

@@ -17,6 +17,7 @@ type t = {
   mutable obj_sense : objective_sense;
   mutable obj : Linexpr.t;
   mutable name_index : (string, var) Hashtbl.t option;
+  mutable meta : (string * string) list;  (* newest first; [set_meta] replaces *)
 }
 
 let dummy_var = { v_name = ""; v_lb = 0.; v_ub = 0.; v_kind = Continuous; v_priority = 0 }
@@ -31,9 +32,16 @@ let create ?(name = "milp") () =
     obj_sense = Minimize;
     obj = Linexpr.zero;
     name_index = None;
+    meta = [];
   }
 
 let name t = t.p_name
+
+let set_meta t key value = t.meta <- (key, value) :: List.remove_assoc key t.meta
+
+let find_meta t key = List.assoc_opt key t.meta
+
+let meta_bindings t = List.rev t.meta
 
 let add_var t ?name ?(lb = 0.) ?(ub = infinity) ?(kind = Continuous) ?(priority = 0) () =
   let lb, ub =

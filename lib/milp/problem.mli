@@ -35,6 +35,18 @@ val create : ?name:string -> unit -> t
 
 val name : t -> string
 
+val set_meta : t -> string -> string -> unit
+(** [set_meta t key value] attaches a free-form annotation to the problem,
+    replacing any previous binding of [key]. Metadata never influences
+    solving; it is the channel through which an encoder declares
+    structural invariants for {!Lint} to verify (keys under [joinopt.*]
+    are stamped by the join-order encoding and its extensions). *)
+
+val find_meta : t -> string -> string option
+
+val meta_bindings : t -> (string * string) list
+(** Current bindings, oldest first. *)
+
 val add_var :
   t -> ?name:string -> ?lb:float -> ?ub:float -> ?kind:kind -> ?priority:int -> unit -> var
 (** Defaults: [lb = 0.], [ub = infinity], [kind = Continuous],

@@ -5,6 +5,7 @@ type params = {
   cuts_per_round : int;
   max_recovery_rungs : int;
   checkpoint : Checkpoint.config option;
+  lint : Lint.level;
 }
 
 let default_params =
@@ -15,6 +16,7 @@ let default_params =
     cuts_per_round = 16;
     max_recovery_rungs = 3;
     checkpoint = None;
+    lint = Lint.Off;
   }
 
 let with_time_limit t params = { params with bb = { params.bb with Branch_bound.time_limit = Some t } }
@@ -22,6 +24,8 @@ let with_time_limit t params = { params with bb = { params.bb with Branch_bound.
 let with_jobs n params = { params with bb = { params.bb with Branch_bound.jobs = max 1 n } }
 
 let with_checkpoint cfg params = { params with checkpoint = Some cfg }
+
+let with_lint level params = { params with lint = level }
 
 type certificate =
   | Certified of Certify.report
@@ -33,6 +37,7 @@ type outcome = {
   certificate : certificate;
   rungs : int;
   resumed : bool;
+  lint_report : Lint.report option;
 }
 
 let infeasible_result () =
@@ -51,8 +56,10 @@ let infeasible_result () =
 
 (* The tag binds a checkpoint both to the caller's problem and to the
    snapshot schema, so a stale file from another query — or another
-   version of this code — is rejected at load, not unmarshalled. *)
-let checkpoint_tag problem = "bb-snapshot-v1:" ^ Checkpoint.problem_digest problem
+   version of this code — is rejected at load, not unmarshalled. v2:
+   Problem.t grew a metadata field, changing the Marshal layout of the
+   persisted reduced problem. *)
+let checkpoint_tag problem = "bb-snapshot-v2:" ^ Checkpoint.problem_digest problem
 
 (* The persisted value is the pair (reduced problem, snapshot): presolve
    and cuts under a deadline are not reproducible run-to-run, so resume
@@ -218,6 +225,26 @@ let solve ?(params = default_params) ?budget ?(resume = false) ?mip_start ?on_pr
     | None -> Budget.create ?limit:params.bb.Branch_bound.time_limit ()
   in
   let tag = checkpoint_tag problem in
+  (* Static formulation audit, on the problem exactly as the caller
+     built it (before presolve or cuts reshape it). The report rides on
+     the outcome; failure policy is the caller's call via Lint.failed. *)
+  let lint_report =
+    match params.lint with
+    | Lint.Off -> None
+    | Lint.Standard | Lint.Strict ->
+      let report = Lint.analyze problem in
+      List.iter
+        (fun d ->
+          let log =
+            match d.Lint.d_severity with
+            | Lint.Error -> Logs.err
+            | Lint.Warn -> Logs.warn
+            | Lint.Info -> Logs.debug
+          in
+          log (fun m -> m "lint: %a" Lint.pp_diagnostic d))
+        report.Lint.diagnostics;
+      Some report
+  in
   (* A corrupted, truncated, missing or mismatched checkpoint degrades
      to a fresh solve — resume is an optimization, never a correctness
      dependency. *)
@@ -297,4 +324,4 @@ let solve ?(params = default_params) ?budget ?(resume = false) ?mip_start ?on_pr
     end
   in
   let result, certificate, rungs = attempt 0 None resume_state in
-  { result; certificate; rungs; resumed = Option.is_some resume_state }
+  { result; certificate; rungs; resumed = Option.is_some resume_state; lint_report }

@@ -40,6 +40,13 @@ type params = {
   checkpoint : Checkpoint.config option;
   (** when set, the search state is saved to [ck_path] every
       [ck_every_nodes] nodes and on any early stop; default [None] *)
+  lint : Lint.level;
+  (** [Off] (the default) skips the static audit; [Standard] / [Strict]
+      run {!Lint.analyze} on the caller's formulation before solving and
+      attach the report to the outcome. The solver never aborts on
+      diagnostics — enforcement (via {!Lint.failed}) is the caller's
+      policy, which is why the level distinction travels with the
+      report. *)
 }
 
 val default_params : params
@@ -58,6 +65,8 @@ val with_jobs : int -> params -> params
 
 val with_checkpoint : Checkpoint.config -> params -> params
 
+val with_lint : Lint.level -> params -> params
+
 type certificate =
   | Certified of Certify.report
       (** the returned point was independently re-verified against the
@@ -71,6 +80,9 @@ type outcome = {
   certificate : certificate;
   rungs : int;  (** recovery rung that produced [result]; 0 = first try *)
   resumed : bool;  (** the solve continued from an on-disk checkpoint *)
+  lint_report : Lint.report option;
+      (** static audit of the input formulation; [Some] iff
+          [params.lint <> Lint.Off] *)
 }
 
 val solve :

@@ -148,6 +148,20 @@ let of_problem p =
 
 let bounds t = (Array.copy t.lb, Array.copy t.ub)
 
+let coeff_range t =
+  let lo = ref infinity and hi = ref 0. in
+  for j = 0 to t.nstruct - 1 do
+    Array.iter
+      (fun (_, a) ->
+        let v = abs_float a in
+        if v > 0. then begin
+          if v < !lo then lo := v;
+          if v > !hi then hi := v
+        end)
+      t.cols.(j)
+  done;
+  if !hi = 0. then (0., 0.) else (!lo, !hi)
+
 let user_objective t z = if t.maximize then -.z +. t.obj_const else z +. t.obj_const
 
 let internal_of_user t v = if t.maximize then -.(v -. t.obj_const) else v -. t.obj_const

@@ -36,6 +36,12 @@ val of_problem : Problem.t -> t
 val bounds : t -> float array * float array
 (** Fresh copies of [(lb, ub)], suitable for mutation by branch & bound. *)
 
+val coeff_range : t -> float * float
+(** [(min, max)] absolute nonzero coefficient magnitudes of the stored
+    (equilibrated) structural matrix — the dynamic range the simplex
+    actually faces after scaling; [(0., 0.)] for an empty matrix. Used by
+    {!Lint} to report conditioning before and after equilibration. *)
+
 val user_objective : t -> float -> float
 (** [user_objective t z] maps an internal minimization value [z = c.x] back
     to the user's objective (restores sign and constant). *)

@@ -1,6 +1,6 @@
 (* Differential-testing oracle for the MILP join optimizer.
 
-   Two families of checks, both against ground truth that is computed
+   Three families of checks, all against ground truth that is computed
    independently of the MILP stack:
 
    1. Approximation oracle: on every join-graph shape x cost model, over
@@ -19,6 +19,11 @@
       same MILP objective, same true cost, same node count — because the
       parallel design only hides LP latency and replays the serial
       search exactly (see DESIGN.md).
+
+   3. Lint oracle: every formulation generated along the way must pass
+      the static audit (Milp.Lint) with zero Error diagnostics — a
+      structural encoding bug is reported even when the solve happens
+      to produce the right plan anyway.
 
    JOINOPT_TEST_JOBS sets the [jobs] value used by the approximation
    oracle (default 1), so the CI matrix drives the whole oracle through
@@ -63,8 +68,18 @@ let optimize ~spec ~jobs q =
     { Optimizer.default_config with Optimizer.cost = spec }
     |> Optimizer.with_time_limit 60.
     |> Optimizer.with_jobs jobs
+    |> Optimizer.with_lint Milp.Lint.Standard
   in
-  Optimizer.optimize ~config q
+  let r = Optimizer.optimize ~config q in
+  (* Third oracle: every formulation the grid generates must pass the
+     static audit without Error diagnostics. A failure here indicts the
+     encoder, independently of whether the solve went right. *)
+  (match r.Optimizer.lint with
+  | Some report when Milp.Lint.errors report > 0 ->
+    Alcotest.failf "formulation lint errors:@.%s"
+      (Format.asprintf "%a" Milp.Lint.pp_report report)
+  | _ -> ());
+  r
 
 (* ------------------------------------------------------------------ *)
 (* 1. Approximation oracle                                              *)

@@ -1,0 +1,206 @@
+(* repo_lint — source-level invariant checks for this repository.
+
+   Complements the MILP formulation auditor (lib/milp/lint.ml), which
+   audits generated *models*: this tool audits the *source tree* for
+   patterns that have bitten the project before. Rules:
+
+     R1  Unix.gettimeofday outside lib/milp/budget.ml — every timing
+         decision must go through the Budget monotone clock, or budget
+         accounting and checkpoint resume drift apart under clock steps.
+     R2  Random.self_init — seeds must be explicit; self_init breaks
+         workload reproducibility and the differential oracle.
+     R3  Obj.magic — never.
+     R4  Polymorphic (=)/(<>) against a float literal in cost-path
+         files — NaN-unsound and a silent trap when a cost becomes NaN;
+         use Float.compare. Scoped to the cost paths (lib/core cost and
+         threshold code, lib/dp_opt, lib/relalg/cost_model.ml) where the
+         comparison is load-bearing; the simplex kernels use exact
+         zero tests on purpose.
+
+   Comments and string literals are stripped before matching, so doc
+   references to the forbidden names do not trip the rules. Output is
+   file:line: rule: message, one per finding; exit 1 if any. *)
+
+let roots = [ "lib"; "bin"; "bench"; "test"; "examples"; "tool" ]
+
+(* gettimeofday is allowed only inside the monotone-clamp implementation. *)
+let gettimeofday_allowlist = [ "lib/milp/budget.ml" ]
+
+let cost_path file =
+  let prefixed p = String.length file >= String.length p && String.sub file 0 (String.length p) = p in
+  List.mem file
+    [ "lib/core/cost_enc.ml"; "lib/core/thresholds.ml"; "lib/relalg/cost_model.ml" ]
+  || prefixed "lib/dp_opt/"
+
+let rec walk dir acc =
+  Array.fold_left
+    (fun acc entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then walk path acc
+      else if Filename.check_suffix path ".ml" then path :: acc
+      else acc)
+    acc (Sys.readdir dir)
+
+(* Blank out comments (nested), string literals (both ".." and {x|..|x})
+   and char literals, preserving newlines so line numbers survive. *)
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let comment_depth = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if !comment_depth > 0 then begin
+      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+        incr comment_depth;
+        blank !i; blank (!i + 1); i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        decr comment_depth;
+        blank !i; blank (!i + 1); i := !i + 2
+      end
+      else begin blank !i; incr i end
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      incr comment_depth;
+      blank !i; blank (!i + 1); i := !i + 2
+    end
+    else if c = '"' then begin
+      blank !i; incr i;
+      let fin = ref false in
+      while not !fin && !i < n do
+        if src.[!i] = '\\' && !i + 1 < n then begin blank !i; blank (!i + 1); i := !i + 2 end
+        else if src.[!i] = '"' then begin blank !i; incr i; fin := true end
+        else begin blank !i; incr i end
+      done
+    end
+    else if c = '{' && !i + 1 < n && (src.[!i + 1] = '|' || (src.[!i + 1] >= 'a' && src.[!i + 1] <= 'z'))
+    then begin
+      (* possible quoted string {id|...|id} *)
+      let j = ref (!i + 1) in
+      while !j < n && src.[!j] >= 'a' && src.[!j] <= 'z' do incr j done;
+      if !j < n && src.[!j] = '|' then begin
+        let id = String.sub src (!i + 1) (!j - !i - 1) in
+        let close = "|" ^ id ^ "}" in
+        let stop = ref (!j + 1) in
+        let cl = String.length close in
+        while !stop + cl <= n && String.sub src !stop cl <> close do incr stop done;
+        let last = min n (!stop + cl) in
+        for k = !i to last - 1 do blank k done;
+        i := last
+      end
+      else incr i
+    end
+    else if c = '\'' && !i + 2 < n && src.[!i + 1] <> '\\' && src.[!i + 2] = '\'' then begin
+      (* char literal 'x' — hides '"' from the string scanner *)
+      blank !i; blank (!i + 1); blank (!i + 2); i := !i + 3
+    end
+    else if c = '\'' && !i + 3 < n && src.[!i + 1] = '\\' && src.[!i + 3] = '\'' then begin
+      for k = !i to !i + 3 do blank k done;
+      i := !i + 4
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+let contains line sub =
+  let nl = String.length line and ns = String.length sub in
+  let rec go i = i + ns <= nl && (String.sub line i ns = sub || go (i + 1)) in
+  go 0
+
+(* A float literal starts at position [i]: digits '.' — or infinity/nan. *)
+let float_lit_at line i =
+  let n = String.length line in
+  let starts w = i + String.length w <= n && String.sub line i (String.length w) = w in
+  if starts "infinity" || starts "nan" || starts "Float.infinity" || starts "Float.nan" then true
+  else begin
+    let j = ref i in
+    while !j < n && line.[!j] >= '0' && line.[!j] <= '9' do incr j done;
+    !j > i && !j < n && line.[!j] = '.'
+  end
+
+let skip_spaces line i =
+  let n = String.length line in
+  let j = ref i in
+  while !j < n && line.[!j] = ' ' do incr j done;
+  !j
+
+(* Polymorphic comparison against a float literal. (<>) is always a
+   comparison; a bare (=) is only flagged when the line reads like a
+   test (if/when/assert/&&/||) so record fields and optional-argument
+   defaults (x = 0.) stay quiet. *)
+let float_compare_hit line =
+  if contains line "Float.compare" then false
+  else
+  let n = String.length line in
+  let testish =
+    contains line "if " || contains line "when " || contains line "assert"
+    || contains line "&&" || contains line "||"
+  in
+  let hit = ref false in
+  for i = 0 to n - 1 do
+    if (not !hit) && (line.[i] = '=' || (line.[i] = '<' && i + 1 < n && line.[i + 1] = '>'))
+    then begin
+      let is_neq = line.[i] = '<' in
+      let prev = if i = 0 then ' ' else line.[i - 1] in
+      let simple_eq =
+        (not is_neq) && i + 1 < n && line.[i + 1] <> '='
+        && not (String.contains "<>:=!+-*/." prev)
+      in
+      if is_neq || simple_eq then begin
+        let after = skip_spaces line (i + (if is_neq then 2 else 1)) in
+        let rhs_float = after < n && float_lit_at line after in
+        (* also catch [0. = x] / [0. <> x] *)
+        let before = ref (i - 1) in
+        while !before >= 0 && line.[!before] = ' ' do decr before done;
+        let lhs_float =
+          !before >= 1 && line.[!before] = '.' && line.[!before - 1] >= '0'
+          && line.[!before - 1] <= '9'
+        in
+        if (rhs_float || lhs_float) && (is_neq || testish) then hit := true
+      end
+    end
+  done;
+  !hit
+
+let () =
+  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
+  Sys.chdir root;
+  let files =
+    List.concat_map (fun r -> if Sys.file_exists r then walk r [] else []) roots
+    |> List.sort compare
+  in
+  let findings = ref [] in
+  let report file lnum rule msg = findings := (file, lnum, rule, msg) :: !findings in
+  List.iter
+    (fun file ->
+      let ic = open_in_bin file in
+      let len = in_channel_length ic in
+      let src = really_input_string ic len in
+      close_in ic;
+      let lines = String.split_on_char '\n' (strip src) in
+      List.iteri
+        (fun idx line ->
+          let lnum = idx + 1 in
+          if contains line "Unix.gettimeofday" && not (List.mem file gettimeofday_allowlist)
+          then
+            report file lnum "R1"
+              "Unix.gettimeofday outside lib/milp/budget.ml; use Milp.Budget.now";
+          if contains line "Random.self_init" || contains line "Random.State.make_self_init"
+          then report file lnum "R2" "self-seeded RNG breaks reproducibility; seed explicitly";
+          if contains line "Obj.magic" then report file lnum "R3" "Obj.magic is forbidden";
+          if cost_path file && float_compare_hit line then
+            report file lnum "R4"
+              "polymorphic (=)/(<>) on a float in a cost path; use Float.compare")
+        lines)
+    files;
+  match List.rev !findings with
+  | [] ->
+    Printf.printf "repo_lint: %d files clean\n" (List.length files);
+    exit 0
+  | fs ->
+    List.iter (fun (f, l, r, m) -> Printf.printf "%s:%d: %s: %s\n" f l r m) fs;
+    Printf.printf "repo_lint: %d finding(s) in %d files scanned\n" (List.length fs)
+      (List.length files);
+    exit 1
