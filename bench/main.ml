@@ -6,7 +6,11 @@
      JOINOPT_BENCH_SCALE=quick    tiny figure-2 grid, short quota
      JOINOPT_BENCH_SCALE=default
      JOINOPT_BENCH_SCALE=paper    the paper's grid: sizes up to 60 tables
-                                  and a 60 s budget per query (hours!) *)
+                                  and a 60 s budget per query (hours!)
+
+   With --json the human-readable tables go to stderr and a machine
+   summary (per-phase wall clock, batch-service throughput, cache hit
+   rate, cached-vs-cold speedup) is printed to stdout. *)
 
 open Bechamel
 open Toolkit
@@ -14,6 +18,9 @@ module Experiments = Joinopt.Experiments
 module Thresholds = Joinopt.Thresholds
 module Workload = Relalg.Workload
 module Join_graph = Relalg.Join_graph
+module Scheduler = Service.Scheduler
+module Plan_cache = Service.Plan_cache
+module Json = Service.Json
 
 type scale = Quick | Default | Paper
 
@@ -22,6 +29,26 @@ let scale =
   | Some "quick" -> Quick
   | Some "paper" -> Paper
   | _ -> Default
+
+let json_mode = Array.exists (fun a -> a = "--json") Sys.argv
+
+(* In --json mode stdout is reserved for the JSON document, so every
+   table is printed to stderr. A dedicated formatter (rather than
+   redirecting std_formatter) because the Format module rebinds the
+   standard formatters to their original channels when the first domain
+   is spawned. *)
+let out_ppf = if json_mode then Format.err_formatter else Format.std_formatter
+let printf fmt = Format.fprintf out_ppf fmt
+
+(* Per-phase wall clock, accumulated by [timed] and reported in the
+   --json summary. *)
+let phase_times : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Milp.Budget.now () in
+  let r = f () in
+  phase_times := (name, Milp.Budget.now () -. t0) :: !phase_times;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks: one Test.make per experiment kernel                *)
@@ -74,16 +101,16 @@ let run_micro () =
   in
   let raw = Benchmark.all cfg instances micro_tests in
   let results = Analyze.all ols (Instance.monotonic_clock :> Measure.witness) raw in
-  Format.printf "Micro-benchmarks (ns per run, OLS estimate):@.";
+  printf "Micro-benchmarks (ns per run, OLS estimate):@.";
   let rows = ref [] in
   Hashtbl.iter (fun name ols -> rows := (name, ols) :: !rows) results;
   List.iter
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
-      | Some (est :: _) -> Format.printf "  %-35s %14.0f@." name est
-      | Some [] | None -> Format.printf "  %-35s %14s@." name "-")
+      | Some (est :: _) -> printf "  %-35s %14.0f@." name est
+      | Some [] | None -> printf "  %-35s %14s@." name "-")
     (List.sort compare !rows);
-  Format.printf "@."
+  printf "@."
 
 (* ------------------------------------------------------------------ *)
 (* Figures                                                              *)
@@ -116,9 +143,9 @@ let fig2_config () =
 let run_ablations () =
   let budget = match scale with Quick -> 2. | Default -> 5. | Paper -> 15. in
   let q = Workload.generate ~seed:9 ~shape:Join_graph.Star ~num_tables:9 () in
-  Format.printf
+  printf
     "Ablations (star, 9 tables, %gs budget): encoding/solver design choices@." budget;
-  Format.printf "%-34s %6s %8s %8s %12s %10s %8s %12s@." "configuration" "vars" "constrs"
+  printf "%-34s %6s %8s %8s %12s %10s %8s %12s@." "configuration" "vars" "constrs"
     "nodes" "true cost" "bound" "status" "provenance";
   let base_enc = Joinopt.Encoding.default_config in
   let base_solver = { Milp.Solver.default_params with Milp.Solver.cut_rounds = 0 } in
@@ -133,7 +160,7 @@ let run_ablations () =
       |> Joinopt.Optimizer.with_time_limit budget
     in
     let r = Joinopt.Optimizer.optimize ~config q in
-    Format.printf "%-34s %6d %8d %8d %12s %10.3g %8s %12s@." name r.Joinopt.Optimizer.num_vars
+    printf "%-34s %6d %8d %8d %12s %10.3g %8s %12s@." name r.Joinopt.Optimizer.num_vars
       r.Joinopt.Optimizer.num_constrs r.Joinopt.Optimizer.nodes
       (match r.Joinopt.Optimizer.true_cost with Some c -> Printf.sprintf "%.6g" c | None -> "-")
       r.Joinopt.Optimizer.bound
@@ -168,7 +195,7 @@ let run_ablations () =
     { base_solver with Milp.Solver.cut_rounds = 3 }
     true;
   run "no presolve" base_enc { base_solver with Milp.Solver.presolve = false } true;
-  Format.printf "@."
+  printf "@."
 
 (* ------------------------------------------------------------------ *)
 (* Parallel branch & bound scaling                                      *)
@@ -182,11 +209,11 @@ let run_jobs_scaling () =
   let budget = match scale with Quick -> 2. | Default -> 10. | Paper -> 60. in
   let num_tables = 10 in
   let q = Workload.generate ~seed:11 ~shape:Join_graph.Star ~num_tables () in
-  Format.printf
+  printf
     "Parallel scaling (star, %d tables, %gs budget; %d core(s) recommended by the runtime):@."
     num_tables budget
     (Domain.recommended_domain_count ());
-  Format.printf "%-6s %10s %12s %12s %8s@." "jobs" "seconds" "true cost" "objective" "nodes";
+  printf "%-6s %10s %12s %12s %8s@." "jobs" "seconds" "true cost" "objective" "nodes";
   let baseline = ref None in
   List.iter
     (fun jobs ->
@@ -208,26 +235,116 @@ let run_jobs_scaling () =
             "  (= jobs 1)"
           else "  (DIFFERS from jobs 1 — expected only under a tight time limit)"
       in
-      Format.printf "%-6d %10.2f %12s %12s %8d%s@." jobs dt
+      printf "%-6d %10.2f %12s %12s %8d%s@." jobs dt
         (match r.Joinopt.Optimizer.true_cost with Some c -> Printf.sprintf "%.6g" c | None -> "-")
         (match r.Joinopt.Optimizer.objective with Some o -> Printf.sprintf "%.6g" o | None -> "-")
         r.Joinopt.Optimizer.nodes agree)
     [ 1; 2; 4 ];
-  Format.printf "@."
+  printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Multi-query service throughput                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Duplicate-heavy batch through the service layer, cached --jobs 4
+   versus the cache-off sequential baseline on identical requests. The
+   speedup is reported (and asserted nowhere): it reflects the cache hit
+   rate much more than the core count, since Scheduler.run clamps its
+   domains to the runtime's recommendation. *)
+let run_batch_service () =
+  let count, num_tables, per_query =
+    match scale with
+    | Quick -> (40, 5, 2.)
+    | Default -> (200, 6, 10.)
+    | Paper -> (200, 8, 30.)
+  in
+  let requests =
+    Scheduler.synthetic_batch ~dup_fraction:0.5 ~seed:17 ~shape:Join_graph.Star
+      ~num_tables ~count ()
+  in
+  let config =
+    Joinopt.Optimizer.default_config |> Joinopt.Optimizer.with_time_limit per_query
+  in
+  printf
+    "Batch service throughput (star, %d tables, %d queries, ~50%% duplicates):@."
+    num_tables count;
+  let cache = Plan_cache.create ~capacity:256 () in
+  let _, cached =
+    Scheduler.run ~config ~cache ~jobs:4 ~per_query_limit:per_query requests
+  in
+  let _, cold = Scheduler.run ~config ~jobs:1 ~per_query_limit:per_query requests in
+  let hit_rate =
+    match cached.Scheduler.s_cache with
+    | Some c when c.Plan_cache.st_hits + c.Plan_cache.st_misses > 0 ->
+      float_of_int c.Plan_cache.st_hits
+      /. float_of_int (c.Plan_cache.st_hits + c.Plan_cache.st_misses)
+    | Some _ | None -> 0.
+  in
+  let speedup =
+    if cached.Scheduler.s_elapsed > 0. then
+      cold.Scheduler.s_elapsed /. cached.Scheduler.s_elapsed
+    else 0.
+  in
+  printf "%-28s %10s %10s %8s %8s@." "configuration" "seconds" "q/s" "solved"
+    "hits";
+  printf "%-28s %10.2f %10.1f %8d %8d@."
+    (Printf.sprintf "cached, jobs 4 (%d domain)" cached.Scheduler.s_domains)
+    cached.Scheduler.s_elapsed cached.Scheduler.s_qps cached.Scheduler.s_solved
+    cached.Scheduler.s_cache_hits;
+  printf "%-28s %10.2f %10.1f %8d %8d@." "cache off, sequential"
+    cold.Scheduler.s_elapsed cold.Scheduler.s_qps cold.Scheduler.s_solved
+    cold.Scheduler.s_cache_hits;
+  printf "cache hit rate %.0f%%, speedup %.2fx@.@." (100. *. hit_rate) speedup;
+  Json.Obj
+    [
+      ("queries", Json.Int count);
+      ("num_tables", Json.Int num_tables);
+      ("dup_fraction", Json.Float 0.5);
+      ("domains", Json.Int cached.Scheduler.s_domains);
+      ("cached_elapsed", Json.Float cached.Scheduler.s_elapsed);
+      ("cached_queries_per_sec", Json.Float cached.Scheduler.s_qps);
+      ("cold_elapsed", Json.Float cold.Scheduler.s_elapsed);
+      ("cold_queries_per_sec", Json.Float cold.Scheduler.s_qps);
+      ("cache_hits", Json.Int cached.Scheduler.s_cache_hits);
+      ("shared_in_flight", Json.Int cached.Scheduler.s_shared);
+      ("cache_hit_rate", Json.Float hit_rate);
+      ("speedup", Json.Float speedup);
+    ]
 
 let () =
-  Format.printf "%a@." Experiments.pp_table1 ();
-  Format.printf "%a@." Experiments.pp_table2 ();
-  let fig1 = Experiments.figure1 () in
-  Format.printf "%a@." Experiments.pp_figure1 fig1;
-  run_micro ();
-  run_ablations ();
-  run_jobs_scaling ();
-  let config = fig2_config () in
-  Format.printf
-    "Running Figure 2 grid: %d shapes x %d sizes x 4 algorithms x %d queries, %gs budget...@."
-    (List.length config.Experiments.f2_shapes)
-    (List.length config.Experiments.f2_sizes)
-    config.Experiments.f2_queries_per_cell config.Experiments.f2_budget;
-  let fig2 = Experiments.figure2 ~config () in
-  Format.printf "%a@." Experiments.pp_figure2 fig2
+  timed "tables_1_2" (fun () ->
+      printf "%a@." Experiments.pp_table1 ();
+      printf "%a@." Experiments.pp_table2 ());
+  timed "figure_1" (fun () ->
+      let fig1 = Experiments.figure1 () in
+      printf "%a@." Experiments.pp_figure1 fig1);
+  timed "micro" run_micro;
+  timed "ablations" run_ablations;
+  timed "jobs_scaling" run_jobs_scaling;
+  let batch_json = timed "batch_service" run_batch_service in
+  timed "figure_2" (fun () ->
+      let config = fig2_config () in
+      printf
+        "Running Figure 2 grid: %d shapes x %d sizes x 4 algorithms x %d queries, %gs budget...@."
+        (List.length config.Experiments.f2_shapes)
+        (List.length config.Experiments.f2_sizes)
+        config.Experiments.f2_queries_per_cell config.Experiments.f2_budget;
+      let fig2 = Experiments.figure2 ~config () in
+      printf "%a@." Experiments.pp_figure2 fig2);
+  if json_mode then begin
+    Format.pp_print_flush out_ppf ();
+    let summary =
+      Json.Obj
+        [
+          ( "scale",
+            Json.String
+              (match scale with Quick -> "quick" | Default -> "default" | Paper -> "paper")
+          );
+          ( "phases",
+            Json.Obj (List.rev_map (fun (n, t) -> (n, Json.Float t)) !phase_times) );
+          ("batch_service", batch_json);
+        ]
+    in
+    print_string (Json.to_string summary);
+    print_newline ()
+  end

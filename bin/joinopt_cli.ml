@@ -2,6 +2,8 @@
 
    Subcommands:
      optimize    compile a query to a MILP and solve it (anytime)
+     batch       optimize a stream of queries through the multi-query
+                 service (plan cache + domain-parallel scheduler)
      dp          run the Selinger dynamic programming baseline
      greedy      run the greedy heuristic
      export-lp   write the MILP in CPLEX LP format
@@ -17,6 +19,9 @@ module Optimizer = Joinopt.Optimizer
 module Cost_enc = Joinopt.Cost_enc
 module Thresholds = Joinopt.Thresholds
 module Experiments = Joinopt.Experiments
+module Scheduler = Service.Scheduler
+module Plan_cache = Service.Plan_cache
+module Json = Service.Json
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
@@ -94,11 +99,22 @@ let cost_term =
   Arg.(value & opt cost_conv (Cost_enc.Fixed_operator Plan.Hash_join)
          & info [ "cost" ] ~docv:"MODEL" ~doc:"Cost model: hash, smj, bnl, cout, choose.")
 
+(* Reject nonsense like --jobs 0 or --cache-size -3 at parse time with a
+   usage error, instead of leaning on the silent >= 1 clamp downstream. *)
+let positive_int_conv what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v > 0 -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "%s must be a positive integer, got %d" what v))
+    | None -> Error (`Msg (Printf.sprintf "%s must be a positive integer, got '%s'" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_term =
-  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+  Arg.(value & opt (positive_int_conv "--jobs") 1 & info [ "jobs"; "j" ] ~docv:"N"
          ~doc:"Domains used by the branch & bound. 1 is the serial engine; N>1 \
                adds N-1 speculative LP worker domains. The certified plan is \
-               identical for every value.")
+               identical for every value. Must be positive.")
 
 let checkpoint_term =
   Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
@@ -234,6 +250,229 @@ let optimize_cmd =
     Term.(
       const run_optimize $ query_term $ budget_term $ precision_term $ cost_term $ jobs_term
       $ checkpoint_term $ checkpoint_every_term $ resume_term $ lint_term $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* batch — the multi-query service front end                            *)
+(* ------------------------------------------------------------------ *)
+
+let read_stdin_paths () =
+  let rec go acc =
+    match input_line stdin with
+    | line ->
+      let line = String.trim line in
+      go (if line = "" then acc else line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+(* Requests come from positional FILES, newline-separated paths on
+   stdin, or the duplicate-heavy synthetic generator. *)
+let batch_requests_term =
+  let files =
+    Arg.(value & pos_all string [] & info [] ~docv:"FILES"
+           ~doc:"Query files (see lib/relalg/query_file.mli for the format).")
+  in
+  let use_stdin =
+    Arg.(value & flag & info [ "stdin" ]
+           ~doc:"Also read newline-separated query file paths from standard input.")
+  in
+  let gen =
+    Arg.(value & opt (some (positive_int_conv "--gen")) None & info [ "gen" ] ~docv:"COUNT"
+           ~doc:"Generate $(docv) queries instead of reading files (uses $(b,--shape), \
+                 $(b,--tables), $(b,--seed)); a $(b,--dup) fraction of them are permuted \
+                 structural duplicates of earlier ones.")
+  in
+  let dup =
+    let fraction_conv =
+      let parse s =
+        match float_of_string_opt s with
+        | Some f when f >= 0. && f <= 1. -> Ok f
+        | _ -> Error (`Msg ("--dup must be a fraction in [0, 1], got " ^ s))
+      in
+      Arg.conv (parse, Format.pp_print_float)
+    in
+    Arg.(value & opt fraction_conv 0.5 & info [ "dup" ] ~docv:"FRACTION"
+           ~doc:"Fraction of generated queries that duplicate an earlier one under a \
+                 random table/predicate permutation (only with $(b,--gen)).")
+  in
+  let shape =
+    Arg.(value & opt shape_conv Join_graph.Star & info [ "shape" ] ~docv:"SHAPE"
+           ~doc:"Join graph shape for generated queries.")
+  in
+  let tables =
+    Arg.(value & opt (positive_int_conv "--tables") 6 & info [ "tables"; "n" ] ~docv:"N"
+           ~doc:"Number of tables for generated queries.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.") in
+  let build files use_stdin gen dup shape tables seed =
+    match gen with
+    | Some count ->
+      Ok (Scheduler.synthetic_batch ~dup_fraction:dup ~seed ~shape ~num_tables:tables ~count ())
+    | None -> (
+      let files = if use_stdin then files @ read_stdin_paths () else files in
+      if files = [] then
+        Error (`Msg "batch: no queries given (positional FILES, --stdin, or --gen COUNT)")
+      else
+        let rec load acc = function
+          | [] -> Ok (List.rev acc)
+          | path :: rest -> (
+            match Query_file.of_file path with
+            | Ok q -> load ({ Scheduler.r_label = path; r_query = q } :: acc) rest
+            | Error m -> Error (`Msg (Printf.sprintf "%s: %s" path m)))
+        in
+        load [] files)
+  in
+  Term.(term_result (const build $ files $ use_stdin $ gen $ dup $ shape $ tables $ seed))
+
+let json_of_opt_float = function Some f -> Json.Float f | None -> Json.Null
+
+let json_of_report query_of_label (r : Scheduler.report) =
+  Json.Obj
+    [
+      ("label", Json.String r.Scheduler.o_label);
+      ("fingerprint", Json.String r.Scheduler.o_fingerprint);
+      ("source", Json.String (Scheduler.source_to_string r.Scheduler.o_source));
+      ("provenance", Json.String r.Scheduler.o_provenance);
+      ( "plan",
+        match r.Scheduler.o_plan with
+        | Some plan -> (
+          match query_of_label r.Scheduler.o_label with
+          | Some q -> Json.String (Format.asprintf "%a" (Plan.pp_with_query q) plan)
+          | None -> Json.String (Format.asprintf "%a" Plan.pp plan))
+        | None -> Json.Null );
+      ("objective", json_of_opt_float r.Scheduler.o_objective);
+      ("bound", Json.Float r.Scheduler.o_bound);
+      ("true_cost", json_of_opt_float r.Scheduler.o_true_cost);
+      ("elapsed", Json.Float r.Scheduler.o_elapsed);
+    ]
+
+let json_of_cache_stats (c : Plan_cache.stats) =
+  Json.Obj
+    [
+      ("hits", Json.Int c.Plan_cache.st_hits);
+      ("misses", Json.Int c.Plan_cache.st_misses);
+      ("stale_precision_hits", Json.Int c.Plan_cache.st_stale_hits);
+      ("insertions", Json.Int c.Plan_cache.st_insertions);
+      ("evictions", Json.Int c.Plan_cache.st_evictions);
+      ("invalidated", Json.Int c.Plan_cache.st_invalidated);
+      ("size", Json.Int c.Plan_cache.st_size);
+      ("capacity", Json.Int c.Plan_cache.st_capacity);
+      ("epoch", Json.Int c.Plan_cache.st_epoch);
+    ]
+
+let json_of_stats (s : Scheduler.stats) =
+  Json.Obj
+    [
+      ("queries", Json.Int s.Scheduler.s_queries);
+      ("domains", Json.Int s.Scheduler.s_domains);
+      ("solved", Json.Int s.Scheduler.s_solved);
+      ("cache_hits", Json.Int s.Scheduler.s_cache_hits);
+      ("warm_starts", Json.Int s.Scheduler.s_warm_starts);
+      ("shared_in_flight", Json.Int s.Scheduler.s_shared);
+      ("failures", Json.Int s.Scheduler.s_failures);
+      ("elapsed", Json.Float s.Scheduler.s_elapsed);
+      ("queries_per_sec", Json.Float s.Scheduler.s_qps);
+      ( "cache",
+        match s.Scheduler.s_cache with
+        | Some c -> json_of_cache_stats c
+        | None -> Json.Null );
+    ]
+
+let run_batch requests jobs cache_size no_cache per_query precision cost bench =
+  let config =
+    { Optimizer.default_config with Optimizer.cost }
+    |> Optimizer.with_precision precision
+    |> Optimizer.with_time_limit per_query
+  in
+  let cache = if no_cache then None else Some (Plan_cache.create ~capacity:cache_size ()) in
+  let budget = Milp.Budget.create () in
+  let reports, stats =
+    Milp.Budget.with_sigint budget (fun () ->
+        Scheduler.run ~config ?cache ~jobs ~budget ~per_query_limit:per_query requests)
+  in
+  let queries = List.map (fun r -> (r.Scheduler.r_label, r.Scheduler.r_query)) requests in
+  let query_of_label label = List.assoc_opt label queries in
+  let baseline =
+    if not bench then []
+    else begin
+      (* The bench baseline everyone quotes: no cache, one domain. *)
+      Format.eprintf "batch: running cache-off sequential baseline...@.";
+      let _, base =
+        Milp.Budget.with_sigint budget (fun () ->
+            Scheduler.run ~config ~jobs:1 ~budget ~per_query_limit:per_query requests)
+      in
+      [
+        ("baseline", json_of_stats base);
+        ( "speedup",
+          Json.Float
+            (if stats.Scheduler.s_elapsed > 0. then
+               base.Scheduler.s_elapsed /. stats.Scheduler.s_elapsed
+             else 0.) );
+      ]
+    end
+  in
+  let summary =
+    Json.Obj
+      ([
+         ("jobs", Json.Int jobs);
+         ( "cache_capacity",
+           if no_cache then Json.Null else Json.Int cache_size );
+         ("per_query_limit", Json.Float per_query);
+         ("precision", Json.String (Thresholds.precision_to_string precision));
+         ("cost", Json.String (Cost_enc.spec_to_string cost));
+         ("results", Json.List (List.map (json_of_report query_of_label) reports));
+         ("stats", json_of_stats stats);
+       ]
+      @ baseline)
+  in
+  print_string (Json.to_string summary);
+  print_newline ();
+  Format.eprintf "batch: %d queries in %.2fs (%.1f q/s): %d solved, %d cache hits, %d \
+                  warm-started, %d shared, %d failures@."
+    stats.Scheduler.s_queries stats.Scheduler.s_elapsed stats.Scheduler.s_qps
+    stats.Scheduler.s_solved stats.Scheduler.s_cache_hits stats.Scheduler.s_warm_starts
+    stats.Scheduler.s_shared stats.Scheduler.s_failures;
+  if stats.Scheduler.s_failures > 0 then exit 1
+
+let batch_cmd =
+  let cache_size =
+    Arg.(value & opt (positive_int_conv "--cache-size") 256 & info [ "cache-size" ] ~docv:"N"
+           ~doc:"Plan cache capacity in entries. Must be positive; use $(b,--no-cache) to \
+                 disable caching instead of passing 0.")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ]
+           ~doc:"Disable the plan cache (every query is solved; in-flight dedup of \
+                 concurrent identical queries still applies).")
+  in
+  let per_query =
+    let seconds_conv =
+      let parse s =
+        match float_of_string_opt s with
+        | Some f when Float.is_finite f && f > 0. -> Ok f
+        | _ -> Error (`Msg ("--per-query-limit must be a positive number of seconds, got " ^ s))
+      in
+      Arg.conv (parse, Format.pp_print_float)
+    in
+    Arg.(value & opt seconds_conv 30. & info [ "per-query-limit" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock sub-deadline for each individual solve (drawn from the shared \
+                 batch budget).")
+  in
+  let bench =
+    Arg.(value & flag & info [ "bench" ]
+           ~doc:"Also run the cache-off sequential baseline over the same batch and report \
+                 the end-to-end speedup in the JSON summary.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Optimize a stream of queries through the multi-query service: canonical \
+             fingerprints collapse structurally identical queries, a sharded LRU plan \
+             cache serves repeats, in-flight duplicates are solved once, and solves fan \
+             out across domains under one shared budget. Prints a JSON summary (per-query \
+             provenance + cache statistics) on stdout.")
+    Term.(
+      const run_batch $ batch_requests_term $ jobs_term $ cache_size $ no_cache $ per_query
+      $ precision_term $ cost_term $ bench)
 
 (* ------------------------------------------------------------------ *)
 (* dp / greedy                                                          *)
@@ -456,6 +695,7 @@ let () =
        (Cmd.group info
           [
             optimize_cmd;
+            batch_cmd;
             dp_cmd;
             greedy_cmd;
             ikkbz_cmd;

@@ -10,6 +10,7 @@ type config = {
   pm : Cost_model.page_model;
   solver : Solver.params;
   greedy_start : bool;
+  warm_start : Plan.t option;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
        each round costs a cold LP solve; leave them opt-in here. *)
     solver = { Solver.default_params with Solver.cut_rounds = 0 };
     greedy_start = true;
+    warm_start = None;
   }
 
 let with_precision precision config =
@@ -33,6 +35,8 @@ let with_jobs n config = { config with solver = Solver.with_jobs n config.solver
 let with_checkpoint ck config = { config with solver = Solver.with_checkpoint ck config.solver }
 
 let with_lint level config = { config with solver = Solver.with_lint level config.solver }
+
+let with_warm_start plan config = { config with warm_start = plan }
 
 type trace_point = {
   tp_elapsed : float;
@@ -130,13 +134,24 @@ let optimize ?(config = default_config) ?budget ?resume ?on_progress q =
   let enc = Encoding.build ~config:config.encoding q in
   let cost = Cost_enc.install ~pm:config.pm enc config.cost in
   let mip_start =
-    if config.greedy_start && Relalg.Query.num_tables q >= 2 then begin
-      let order = Dp_opt.Greedy.order q in
-      let x = Encoding.assignment_of_order enc order in
-      Cost_enc.extend_assignment cost order x;
-      Some x
+    if Relalg.Query.num_tables q < 2 then None
+    else begin
+      let start_of_order order =
+        let x = Encoding.assignment_of_order enc order in
+        Cost_enc.extend_assignment cost order x;
+        Some x
+      in
+      (* A caller-supplied plan (e.g. a cached plan for the same canonical
+         query at a different precision) beats the greedy seed; an invalid
+         one is ignored, never fatal. *)
+      match config.warm_start with
+      | Some plan when Plan.validate q plan = Ok () -> start_of_order plan.Plan.order
+      | Some _ ->
+        Logs.warn (fun m -> m "warm-start plan does not match the query; falling back");
+        if config.greedy_start then start_of_order (Dp_opt.Greedy.order q) else None
+      | None ->
+        if config.greedy_start then start_of_order (Dp_opt.Greedy.order q) else None
     end
-    else None
   in
   let wrap_progress =
     match on_progress with

@@ -12,6 +12,12 @@ type config = {
   (** seed the solver with the greedy heuristic's plan as a MIP start, so
       an incumbent exists from the first instant (mirrors warm-start use
       of commercial solvers) *)
+  warm_start : Relalg.Plan.t option;
+  (** a caller-supplied plan injected as the MIP start instead of the
+      greedy seed — the multi-query service uses this to re-solve a
+      cached query at a tighter precision starting from the plan it
+      already certified. A plan that fails {!Relalg.Plan.validate} is
+      ignored (with a warning) and the greedy seed applies. *)
 }
 
 val default_config : config
@@ -34,6 +40,9 @@ val with_lint : Milp.Lint.level -> config -> config
 (** Run the static formulation auditor on the generated MILP before
     solving; the report lands in {!result.lint}. Enforcement is the
     caller's job: check {!Milp.Lint.failed} against the level. *)
+
+val with_warm_start : Relalg.Plan.t option -> config -> config
+(** Set {!config.warm_start}. *)
 
 type trace_point = {
   tp_elapsed : float;

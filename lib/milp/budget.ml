@@ -50,6 +50,19 @@ let phase t ph =
   | None -> t
   | Some l -> { t with b_limit = Some (l *. phase_fraction ph) }
 
+let sub t ?limit () =
+  (match limit with
+  | Some l when not (Float.is_finite l) || l < 0. ->
+    invalid_arg "Budget.sub: limit must be finite and non-negative"
+  | _ -> ());
+  let lim =
+    match (limit, remaining t) with
+    | None, r -> r
+    | Some l, None -> Some l
+    | Some l, Some r -> Some (Float.min l r)
+  in
+  { b_limit = lim; b_started = now (); b_cancelled = t.b_cancelled }
+
 let with_sigint t f =
   match Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> cancel t)) with
   | previous -> Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigint previous) f

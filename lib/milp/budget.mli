@@ -61,6 +61,17 @@ val phase : t -> phase -> t
     the start instant with its parent, so cancelling either cancels
     both, and time spent before the phase counts against it. *)
 
+val sub : t -> ?limit:float -> unit -> t
+(** A child budget starting now that shares the parent's cancellation
+    token: cancelling either side cancels both, which is what lets one
+    SIGINT (or one batch-wide cancel) wind down every in-flight solve of
+    a multi-query batch. The child's limit is the smaller of [limit] and
+    the parent's remaining time, so a per-query sub-deadline can never
+    outlive the batch deadline; omitting [limit] inherits whatever the
+    parent has left. Unlike {!phase} views, the child measures elapsed
+    time from its own creation — it is a fresh deadline, not a fraction
+    of an ongoing one. *)
+
 val with_sigint : t -> (unit -> 'a) -> 'a
 (** Runs the thunk with a SIGINT handler that {!cancel}s the budget
     instead of killing the process, restoring the previous handler on

@@ -54,6 +54,58 @@ let min_result_card q =
   in
   Array.fold_left (fun acc c -> acc *. c.Predicate.corr_correction) with_preds q.correlations
 
+(* Permutation helpers shared by the multi-query service layer (canonical
+   fingerprints renumber tables into a declaration-order-independent form)
+   and by tests that need structurally-identical-but-permuted queries. *)
+
+let check_perm what perm len =
+  if Array.length perm <> len then
+    invalid_arg (Printf.sprintf "%s: permutation length %d <> %d" what (Array.length perm) len);
+  let seen = Array.make len false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= len || seen.(i) then invalid_arg (what ^ ": not a permutation");
+      seen.(i) <- true)
+    perm
+
+let inverse_perm perm =
+  let inv = Array.make (Array.length perm) 0 in
+  Array.iteri (fun i o -> inv.(o) <- i) perm;
+  inv
+
+let permute_tables q ~perm =
+  let n = num_tables q in
+  check_perm "Query.permute_tables" perm n;
+  let inv = inverse_perm perm in
+  let remap_tables tis = List.sort compare (List.map (fun t -> inv.(t)) tis) in
+  {
+    q with
+    tables = Array.map (fun i -> q.tables.(i)) perm;
+    predicates =
+      Array.map
+        (fun p -> { p with Predicate.pred_tables = remap_tables p.Predicate.pred_tables })
+        q.predicates;
+    output_columns = List.map (fun (ti, c) -> (inv.(ti), c)) q.output_columns;
+  }
+
+let permute_predicates q ~perm =
+  let m = num_predicates q in
+  check_perm "Query.permute_predicates" perm m;
+  let inv = inverse_perm perm in
+  {
+    q with
+    predicates = Array.map (fun i -> q.predicates.(i)) perm;
+    correlations =
+      Array.map
+        (fun c ->
+          {
+            c with
+            Predicate.corr_members =
+              List.sort compare (List.map (fun pi -> inv.(pi)) c.Predicate.corr_members);
+          })
+        q.correlations;
+  }
+
 let pp ppf q =
   Format.fprintf ppf "query{tables=[%s]; predicates=[%s]}"
     (String.concat "; "

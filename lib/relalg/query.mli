@@ -35,4 +35,17 @@ val min_result_card : t -> float
     corrections: the estimated final result size, which lower-bounds no
     intermediate result in general but is useful for threshold ranges. *)
 
+val permute_tables : t -> perm:int array -> t
+(** [permute_tables q ~perm] re-declares the tables so that new index [i]
+    holds the old table [perm.(i)], rewriting predicate table references
+    (kept sorted) and output-column references; correlations are
+    untouched (they reference predicates). The result describes the same
+    query under a different table numbering. Raises [Invalid_argument]
+    when [perm] is not a permutation of [0 .. num_tables - 1]. *)
+
+val permute_predicates : t -> perm:int array -> t
+(** [permute_predicates q ~perm] reorders the predicate array (new index
+    [i] holds old predicate [perm.(i)]), remapping correlation members
+    (kept sorted). Raises [Invalid_argument] on a non-permutation. *)
+
 val pp : Format.formatter -> t -> unit

@@ -83,6 +83,23 @@ let parse text =
           | exception Invalid_argument m -> err m)
         | None -> err "bad cost=")
     | "npred" :: rest when List.length rest >= 2 -> (
+      (* [npred t1 .. tk SEL [cost=C]] — strip the keyed cost argument
+         first, then the last remaining token is the selectivity. *)
+      let eval_cost =
+        match keyed "cost" rest with Some c -> float_of_string_opt c | None -> Some 0.
+      in
+      let rest =
+        List.filter
+          (fun t -> not (String.length t >= 5 && String.sub t 0 5 = "cost="))
+          rest
+      in
+      let* eval_cost =
+        match eval_cost with
+        | Some c when Float.is_finite c && c >= 0. -> Ok c
+        | Some c -> err (Printf.sprintf "cost= must be finite and nonnegative, got %g" c)
+        | None -> err "bad cost="
+      in
+      let* () = if List.length rest >= 2 then Ok () else err "npred needs tables and a selectivity" in
       let names = List.filteri (fun i _ -> i < List.length rest - 1) rest in
       let sel = List.nth rest (List.length rest - 1) in
       let* sel = Result.map_error (Printf.sprintf "line %d: %s" lineno) (parse_float "selectivity" sel) in
@@ -99,7 +116,7 @@ let parse text =
             Ok (i :: l))
           (Ok []) names
       in
-      match Predicate.nary (List.rev indices) sel with
+      match Predicate.nary ~eval_cost (List.rev indices) sel with
       | p ->
         acc.preds <- p :: acc.preds;
         Ok ()
@@ -189,11 +206,16 @@ let to_string q =
         Buffer.add_string buf
           (Printf.sprintf "pred %s %s %.17g cost=%.17g\n" (name t1) (name t2)
              p.Predicate.selectivity p.Predicate.eval_cost)
-      | tables ->
+      | tables when p.Predicate.eval_cost = 0. ->
         Buffer.add_string buf
           (Printf.sprintf "npred %s %.17g\n"
              (String.concat " " (List.map name tables))
-             p.Predicate.selectivity))
+             p.Predicate.selectivity)
+      | tables ->
+        Buffer.add_string buf
+          (Printf.sprintf "npred %s %.17g cost=%.17g\n"
+             (String.concat " " (List.map name tables))
+             p.Predicate.selectivity p.Predicate.eval_cost))
     q.Query.predicates;
   Array.iter
     (fun c ->

@@ -8,6 +8,7 @@
     pred orders lineitem 0.0001
     pred lineitem supplier 0.001 cost=2.5   # expensive predicate
     npred a b c 0.05                        # n-ary predicate
+    npred a b c 0.05 cost=1.5               # n-ary and expensive
     corr 0 1 x2.0                           # predicates 0 and 1 correlate
     v} *)
 

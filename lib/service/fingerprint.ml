@@ -1,0 +1,109 @@
+module Query = Relalg.Query
+module Catalog = Relalg.Catalog
+module Predicate = Relalg.Predicate
+module Plan = Relalg.Plan
+
+type t = {
+  fp_digest : string;
+  fp_to_canonical : int array;  (* original table index -> canonical index *)
+  fp_of_canonical : int array;  (* canonical index -> original table index *)
+}
+
+let digest t = t.fp_digest
+
+(* Canonical table key: everything the cost model can see about a base
+   relation, minus its position in the declaration. Column byte widths
+   are compared as a sorted multiset; column names are ignored. *)
+let table_key (tbl : Catalog.table) =
+  let bytes =
+    List.sort Float.compare (List.map (fun c -> c.Catalog.col_bytes) tbl.Catalog.tbl_columns)
+  in
+  (tbl.Catalog.tbl_name, tbl.Catalog.tbl_card, bytes)
+
+let compare_table_key (n1, c1, b1) (n2, c2, b2) =
+  match String.compare n1 n2 with
+  | 0 -> ( match Float.compare c1 c2 with 0 -> List.compare Float.compare b1 b2 | c -> c)
+  | c -> c
+
+let compare_predicate (p1 : Predicate.t) (p2 : Predicate.t) =
+  match List.compare compare p1.Predicate.pred_tables p2.Predicate.pred_tables with
+  | 0 -> (
+    match Float.compare p1.Predicate.selectivity p2.Predicate.selectivity with
+    | 0 -> Float.compare p1.Predicate.eval_cost p2.Predicate.eval_cost
+    | c -> c)
+  | c -> c
+
+(* Tables sorted by canonical key, as a permutation in the form
+   [Query.permute_tables] takes: [perm.(canonical) = original]. *)
+let table_perm q =
+  let n = Query.num_tables q in
+  let perm = Array.init n (fun i -> i) in
+  let keys = Array.map table_key q.Query.tables in
+  Array.sort (fun a b -> compare_table_key keys.(a) keys.(b)) perm;
+  perm
+
+let canonical_query q =
+  let renumbered = Query.permute_tables q ~perm:(table_perm q) in
+  let m = Query.num_predicates renumbered in
+  let pperm = Array.init m (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      compare_predicate renumbered.Query.predicates.(a) renumbered.Query.predicates.(b))
+    pperm;
+  Query.permute_predicates renumbered ~perm:pperm
+
+let of_query q =
+  let perm = table_perm q in
+  let inv = Array.make (Array.length perm) 0 in
+  Array.iteri (fun c o -> inv.(o) <- c) perm;
+  let canon = canonical_query q in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "joinopt-fp-v1\n";
+  Array.iter
+    (fun tbl ->
+      Buffer.add_string buf (Printf.sprintf "T %s %.17g" tbl.Catalog.tbl_name tbl.Catalog.tbl_card);
+      List.iter
+        (fun b -> Buffer.add_string buf (Printf.sprintf " %.17g" b))
+        (List.sort Float.compare (List.map (fun c -> c.Catalog.col_bytes) tbl.Catalog.tbl_columns));
+      Buffer.add_char buf '\n')
+    canon.Query.tables;
+  Array.iter
+    (fun p ->
+      Buffer.add_string buf "P";
+      List.iter (fun ti -> Buffer.add_string buf (Printf.sprintf " %d" ti)) p.Predicate.pred_tables;
+      Buffer.add_string buf
+        (Printf.sprintf " %.17g %.17g\n" p.Predicate.selectivity p.Predicate.eval_cost))
+    canon.Query.predicates;
+  let corrs =
+    List.sort
+      (fun c1 c2 ->
+        match List.compare compare c1.Predicate.corr_members c2.Predicate.corr_members with
+        | 0 -> Float.compare c1.Predicate.corr_correction c2.Predicate.corr_correction
+        | c -> c)
+      (Array.to_list canon.Query.correlations)
+  in
+  List.iter
+    (fun c ->
+      Buffer.add_string buf "C";
+      List.iter (fun pi -> Buffer.add_string buf (Printf.sprintf " %d" pi)) c.Predicate.corr_members;
+      Buffer.add_string buf (Printf.sprintf " %.17g\n" c.Predicate.corr_correction))
+    corrs;
+  List.iter
+    (fun (ti, bytes) -> Buffer.add_string buf (Printf.sprintf "O %d %.17g\n" ti bytes))
+    (List.sort
+       (fun (t1, b1) (t2, b2) -> match compare t1 t2 with 0 -> Float.compare b1 b2 | c -> c)
+       (List.map (fun (ti, c) -> (ti, c.Catalog.col_bytes)) canon.Query.output_columns));
+  {
+    fp_digest = Digest.to_hex (Digest.string (Buffer.contents buf));
+    fp_to_canonical = inv;
+    fp_of_canonical = perm;
+  }
+
+let map_plan mapping (plan : Plan.t) =
+  Plan.of_order
+    ~operators:(Array.copy plan.Plan.operators)
+    (Array.map (fun ti -> mapping.(ti)) plan.Plan.order)
+
+let plan_to_canonical t plan = map_plan t.fp_to_canonical plan
+
+let plan_of_canonical t plan = map_plan t.fp_of_canonical plan

@@ -1,0 +1,51 @@
+(** Canonical query fingerprints for the multi-query service.
+
+    Two queries that describe the same join ordering problem — the same
+    base tables, cardinalities, selectivities, evaluation costs,
+    correlations and projections — must produce the same fingerprint no
+    matter in which order their tables were declared or their predicates
+    listed, so that structurally identical queries collide in the plan
+    cache and in the in-flight dedup table.
+
+    Canonicalization renumbers tables by a canonical key (table name,
+    then cardinality, then column byte layout), rewrites predicate and
+    output-column references, sorts predicates by (referenced tables,
+    selectivity, evaluation cost) and correlations by (members,
+    correction), and digests the result at full float precision.
+    Identifier *names* of predicates and columns are excluded — they
+    carry no cost-model information and typically encode the original
+    declaration order. Table names are included: they identify the base
+    relations, and renaming a table is a different query as far as a
+    catalog-backed cache is concerned. Tables are assumed to have
+    distinct names within one query (the query-file parser enforces
+    this); duplicated names weaken permutation invariance to the
+    remaining key fields.
+
+    Because every fingerprint carries the canonicalizing permutation,
+    a plan solved for one member of an equivalence class can be
+    translated to any other member: {!plan_to_canonical} stores plans in
+    canonical numbering and {!plan_of_canonical} rebinds them to a
+    specific query's numbering. *)
+
+type t
+
+val of_query : Relalg.Query.t -> t
+
+val digest : t -> string
+(** Hex digest of the canonical form. Equal for permuted-but-identical
+    queries; distinct (up to hash collision) whenever any cardinality,
+    selectivity, evaluation cost, correlation, column layout or table
+    name differs. *)
+
+val canonical_query : Relalg.Query.t -> Relalg.Query.t
+(** The canonical renumbering itself (tables sorted by canonical key,
+    predicates sorted, references rewritten) — what the digest hashes,
+    exposed for tests and debugging. *)
+
+val plan_to_canonical : t -> Relalg.Plan.t -> Relalg.Plan.t
+(** Translate a plan for the fingerprinted query into canonical table
+    numbering (the form the plan cache stores). *)
+
+val plan_of_canonical : t -> Relalg.Plan.t -> Relalg.Plan.t
+(** Translate a canonically-numbered plan back to the fingerprinted
+    query's own table numbering. Inverse of {!plan_to_canonical}. *)

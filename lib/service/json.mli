@@ -1,0 +1,20 @@
+(** Minimal JSON emitter for machine-readable CLI and bench output.
+
+    Emission only — the batch subcommand and the bench harness print
+    summaries that CI jobs and trajectory tooling parse, and the
+    container deliberately carries no JSON dependency. Strings are
+    escaped per RFC 8259; non-finite floats (which JSON cannot
+    represent) are emitted as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** [indent] (default [true]) pretty-prints with two-space indentation;
+    [false] emits the compact single-line form. *)

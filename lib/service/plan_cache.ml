@@ -1,0 +1,227 @@
+type key = { k_fingerprint : string; k_cost : string; k_precision : string }
+
+type entry = {
+  e_plan : Relalg.Plan.t;
+  e_objective : float option;
+  e_bound : float;
+  e_true_cost : float option;
+  e_provenance : string;
+  e_precision : string;
+}
+
+type lookup = Hit of entry | Stale_precision of entry | Miss
+
+type stats = {
+  st_hits : int;
+  st_misses : int;
+  st_stale_hits : int;
+  st_insertions : int;
+  st_evictions : int;
+  st_invalidated : int;
+  st_size : int;
+  st_capacity : int;
+  st_shards : int;
+  st_epoch : int;
+}
+
+(* Intrusive doubly-linked LRU node; [nd_prev]/[nd_next] are [None] at
+   the list ends. The head is most recently used. *)
+type node = {
+  nd_flat : string;  (* full composite key *)
+  nd_group : string;  (* fingerprint + cost, precision-blind *)
+  nd_entry : entry;
+  nd_epoch : int;
+  mutable nd_prev : node option;
+  mutable nd_next : node option;
+}
+
+type shard = {
+  mutable sh_head : node option;
+  mutable sh_tail : node option;
+  sh_table : (string, node) Hashtbl.t;
+  sh_groups : (string, node list ref) Hashtbl.t;
+  sh_mutex : Mutex.t;
+  mutable sh_size : int;
+  mutable sh_hits : int;
+  mutable sh_misses : int;
+  mutable sh_stale_hits : int;
+  mutable sh_insertions : int;
+  mutable sh_evictions : int;
+  mutable sh_invalidated : int;
+}
+
+type t = { c_shards : shard array; c_per_shard : int; c_epoch : int Atomic.t }
+
+let flat_key k = String.concat "|" [ k.k_fingerprint; k.k_cost; k.k_precision ]
+
+let group_key k = k.k_fingerprint ^ "|" ^ k.k_cost
+
+let create ?(shards = 8) ~capacity () =
+  if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be >= 1";
+  if shards < 1 then invalid_arg "Plan_cache.create: shards must be >= 1";
+  let shards = min shards capacity in
+  let per_shard = (capacity + shards - 1) / shards in
+  {
+    c_shards =
+      Array.init shards (fun _ ->
+          {
+            sh_head = None;
+            sh_tail = None;
+            sh_table = Hashtbl.create 64;
+            sh_groups = Hashtbl.create 64;
+            sh_mutex = Mutex.create ();
+            sh_size = 0;
+            sh_hits = 0;
+            sh_misses = 0;
+            sh_stale_hits = 0;
+            sh_insertions = 0;
+            sh_evictions = 0;
+            sh_invalidated = 0;
+          });
+    c_per_shard = per_shard;
+    c_epoch = Atomic.make 0;
+  }
+
+let shard_of t k = t.c_shards.(Hashtbl.hash k.k_fingerprint mod Array.length t.c_shards)
+
+let with_shard sh f =
+  Mutex.lock sh.sh_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.sh_mutex) f
+
+(* --- DLL primitives (shard mutex held) ------------------------------ *)
+
+let unlink sh nd =
+  (match nd.nd_prev with Some p -> p.nd_next <- nd.nd_next | None -> sh.sh_head <- nd.nd_next);
+  (match nd.nd_next with Some n -> n.nd_prev <- nd.nd_prev | None -> sh.sh_tail <- nd.nd_prev);
+  nd.nd_prev <- None;
+  nd.nd_next <- None
+
+let push_front sh nd =
+  nd.nd_prev <- None;
+  nd.nd_next <- sh.sh_head;
+  (match sh.sh_head with Some h -> h.nd_prev <- Some nd | None -> sh.sh_tail <- Some nd);
+  sh.sh_head <- Some nd
+
+let remove_node sh nd =
+  unlink sh nd;
+  Hashtbl.remove sh.sh_table nd.nd_flat;
+  (match Hashtbl.find_opt sh.sh_groups nd.nd_group with
+  | Some members ->
+    members := List.filter (fun m -> m != nd) !members;
+    if !members = [] then Hashtbl.remove sh.sh_groups nd.nd_group
+  | None -> ());
+  sh.sh_size <- sh.sh_size - 1
+
+(* ------------------------------------------------------------------- *)
+
+let find t k =
+  let sh = shard_of t k in
+  let flat = flat_key k in
+  let epoch = Atomic.get t.c_epoch in
+  with_shard sh (fun () ->
+      let exact =
+        match Hashtbl.find_opt sh.sh_table flat with
+        | Some nd when nd.nd_epoch = epoch ->
+          unlink sh nd;
+          push_front sh nd;
+          Some nd.nd_entry
+        | Some nd ->
+          (* lazily reclaim a stale-epoch entry *)
+          remove_node sh nd;
+          sh.sh_invalidated <- sh.sh_invalidated + 1;
+          None
+        | None -> None
+      in
+      match exact with
+      | Some e ->
+        sh.sh_hits <- sh.sh_hits + 1;
+        Hit e
+      | None -> (
+        sh.sh_misses <- sh.sh_misses + 1;
+        (* Same query + cost model under another precision: its plan is
+           still a high-quality warm start for the re-solve. *)
+        let near =
+          match Hashtbl.find_opt sh.sh_groups (group_key k) with
+          | Some members -> List.find_opt (fun nd -> nd.nd_epoch = epoch) !members
+          | None -> None
+        in
+        match near with
+        | Some nd ->
+          sh.sh_stale_hits <- sh.sh_stale_hits + 1;
+          Stale_precision nd.nd_entry
+        | None -> Miss))
+
+let add t k entry =
+  let sh = shard_of t k in
+  let flat = flat_key k in
+  let group = group_key k in
+  let epoch = Atomic.get t.c_epoch in
+  with_shard sh (fun () ->
+      (match Hashtbl.find_opt sh.sh_table flat with
+      | Some old -> remove_node sh old
+      | None -> ());
+      let nd =
+        {
+          nd_flat = flat;
+          nd_group = group;
+          nd_entry = entry;
+          nd_epoch = epoch;
+          nd_prev = None;
+          nd_next = None;
+        }
+      in
+      Hashtbl.replace sh.sh_table flat nd;
+      (match Hashtbl.find_opt sh.sh_groups group with
+      | Some members -> members := nd :: !members
+      | None -> Hashtbl.replace sh.sh_groups group (ref [ nd ]));
+      push_front sh nd;
+      sh.sh_size <- sh.sh_size + 1;
+      sh.sh_insertions <- sh.sh_insertions + 1;
+      while sh.sh_size > t.c_per_shard do
+        match sh.sh_tail with
+        | Some victim ->
+          remove_node sh victim;
+          sh.sh_evictions <- sh.sh_evictions + 1
+        | None -> assert false
+      done)
+
+let bump_epoch t = Atomic.incr t.c_epoch
+
+let epoch t = Atomic.get t.c_epoch
+
+let stats t =
+  let zero =
+    {
+      st_hits = 0;
+      st_misses = 0;
+      st_stale_hits = 0;
+      st_insertions = 0;
+      st_evictions = 0;
+      st_invalidated = 0;
+      st_size = 0;
+      st_capacity = t.c_per_shard * Array.length t.c_shards;
+      st_shards = Array.length t.c_shards;
+      st_epoch = Atomic.get t.c_epoch;
+    }
+  in
+  Array.fold_left
+    (fun acc sh ->
+      with_shard sh (fun () ->
+          {
+            acc with
+            st_hits = acc.st_hits + sh.sh_hits;
+            st_misses = acc.st_misses + sh.sh_misses;
+            st_stale_hits = acc.st_stale_hits + sh.sh_stale_hits;
+            st_insertions = acc.st_insertions + sh.sh_insertions;
+            st_evictions = acc.st_evictions + sh.sh_evictions;
+            st_invalidated = acc.st_invalidated + sh.sh_invalidated;
+            st_size = acc.st_size + sh.sh_size;
+          }))
+    zero t.c_shards
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "cache: %d/%d entries, %d hits, %d misses (%d warm-startable), %d insertions, %d \
+     evictions, %d invalidated, epoch %d"
+    s.st_size s.st_capacity s.st_hits s.st_misses s.st_stale_hits s.st_insertions
+    s.st_evictions s.st_invalidated s.st_epoch

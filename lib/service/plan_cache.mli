@@ -1,0 +1,85 @@
+(** Sharded, bounded plan cache for the multi-query service.
+
+    Keys are (canonical query fingerprint, cost spec, precision) — the
+    three inputs that determine the certified plan — and entries carry
+    the plan in *canonical* table numbering (see {!Fingerprint}) plus
+    the objective, proven bound, true cost and provenance of the solve
+    that produced it, so a hit reconstructs the full answer without
+    touching the solver.
+
+    The cache is split into shards, each an LRU list plus hash table
+    behind its own mutex, so concurrent scheduler domains contend only
+    when they touch the same shard. Capacity is bounded per shard;
+    insertion beyond the bound evicts the least recently used entry.
+
+    Coherence with the catalog is epoch-based: {!bump_epoch} logically
+    invalidates every entry created under earlier epochs (statistics
+    changed, tables were dropped, …). Stale entries are dropped lazily
+    the next time a lookup touches them — no stop-the-world sweep.
+
+    A lookup that misses the exact precision but finds the same
+    (fingerprint, cost) under a *different* precision returns
+    {!lookup.Stale_precision} with that entry: the scheduler re-solves,
+    injecting the cached plan as a MIP start, which is dramatically
+    cheaper than a cold solve. *)
+
+type key = {
+  k_fingerprint : string;  (** {!Fingerprint.digest} of the query *)
+  k_cost : string;  (** {!Joinopt.Cost_enc.spec_to_string} *)
+  k_precision : string;  (** {!Joinopt.Thresholds.precision_to_string} *)
+}
+
+type entry = {
+  e_plan : Relalg.Plan.t;  (** in canonical table numbering *)
+  e_objective : float option;  (** MILP objective of the cached solve *)
+  e_bound : float;  (** proven lower bound *)
+  e_true_cost : float option;  (** exact-model cost of the plan *)
+  e_provenance : string;  (** {!Joinopt.Optimizer.provenance_to_string} *)
+  e_precision : string;  (** precision the entry was solved under *)
+}
+
+type lookup =
+  | Hit of entry  (** exact (fingerprint, cost, precision) match *)
+  | Stale_precision of entry
+      (** same query and cost model cached under a different precision;
+          use its plan as a warm start for the re-solve *)
+  | Miss
+
+type stats = {
+  st_hits : int;
+  st_misses : int;  (** includes stale-precision lookups *)
+  st_stale_hits : int;  (** misses that still yielded a warm-start plan *)
+  st_insertions : int;
+  st_evictions : int;  (** capacity evictions *)
+  st_invalidated : int;  (** stale-epoch entries dropped lazily *)
+  st_size : int;  (** live entries (stale-epoch ones count until touched) *)
+  st_capacity : int;
+  st_shards : int;
+  st_epoch : int;
+}
+
+val flat_key : key -> string
+(** Stable composite string form of a key — also what the scheduler's
+    in-flight dedup table is indexed by. *)
+
+type t
+
+val create : ?shards:int -> capacity:int -> unit -> t
+(** [capacity] is the total entry bound, split evenly across [shards]
+    (default 8, clamped so every shard holds at least one entry).
+    Raises [Invalid_argument] when [capacity < 1] or [shards < 1]. *)
+
+val find : t -> key -> lookup
+val add : t -> key -> entry -> unit
+(** Inserts (or replaces) under the current epoch, evicting LRU entries
+    beyond the shard's capacity. *)
+
+val bump_epoch : t -> unit
+(** Invalidate every entry created before this call (catalog changed).
+    O(1); stale entries are reclaimed lazily by later lookups. *)
+
+val epoch : t -> int
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -102,6 +102,45 @@ let budget_expires () =
   let t1 = Budget.now () in
   if t1 < t0 then Alcotest.fail "Budget.now went backwards"
 
+let budget_sub () =
+  (* A child's limit is clamped to what remains of the parent. *)
+  let b = Budget.create ~limit:10. () in
+  (match Budget.limit (Budget.sub b ~limit:2. ()) with
+  | Some l -> Alcotest.(check (float 1e-9)) "child keeps its smaller limit" 2. l
+  | None -> Alcotest.fail "child lost its limit");
+  (match Budget.limit (Budget.sub b ~limit:50. ()) with
+  | Some l -> if l > 10. then Alcotest.failf "child limit %g exceeds parent remaining" l
+  | None -> Alcotest.fail "child lost the parent's limit");
+  (* An unlimited parent passes the child limit through; no limits at all
+     means an unlimited child. *)
+  let u = Budget.create () in
+  (match Budget.limit (Budget.sub u ~limit:3. ()) with
+  | Some l -> Alcotest.(check (float 1e-9)) "unlimited parent, limited child" 3. l
+  | None -> Alcotest.fail "child of unlimited parent lost its limit");
+  (match Budget.limit (Budget.sub u ()) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "child of unlimited parent invented a limit");
+  (* The cancellation token is shared both ways. *)
+  let child = Budget.sub b () in
+  Budget.cancel child;
+  Alcotest.(check bool) "child cancel reaches parent" true (Budget.cancelled b);
+  let b2 = Budget.create () in
+  let child2 = Budget.sub b2 () in
+  Budget.cancel b2;
+  Alcotest.(check bool) "parent cancel reaches child" true (Budget.cancelled child2);
+  (match Budget.sub b ~limit:(-1.) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative child limit accepted");
+  (* The child's clock starts at [sub], not at the parent's creation. *)
+  let p = Budget.create ~limit:0.05 () in
+  Unix.sleepf 0.02;
+  let c = Budget.sub p ~limit:0.05 () in
+  (match (Budget.remaining c, Budget.remaining p) with
+  | Some rc, Some rp ->
+    if rc > rp +. 1e-9 then
+      Alcotest.failf "child remaining %g exceeds parent remaining %g" rc rp
+  | _ -> Alcotest.fail "limited budgets report no remaining")
+
 (* ------------------------------------------------------------------ *)
 (* Pqueue raw round-trip                                               *)
 (* ------------------------------------------------------------------ *)
@@ -518,6 +557,7 @@ let () =
         [
           Alcotest.test_case "phase fractions and cancellation token" `Quick budget_basics;
           Alcotest.test_case "expiry and monotone clock" `Quick budget_expires;
+          Alcotest.test_case "sub-budgets clamp and share cancellation" `Quick budget_sub;
           Alcotest.test_case "exhaustion grid certifies at any limit" `Slow
             budget_exhaustion_grid;
           Alcotest.test_case "sub-second budgets are respected" `Slow

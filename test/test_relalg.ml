@@ -335,23 +335,84 @@ let test_query_file_errors () =
   expect_error ~at:4 ~reason:"nonpositive correction"
     "table a 100\ntable b 100\npred a b 0.5\ncorr 0 1 x0"
 
+(* Everything the format can express survives parse ∘ to_string exactly:
+   column layouts, expensive (eval-cost) binary predicates, n-ary
+   predicates with and without costs, and correlation groups. Floats are
+   compared with (=): %.17g printing is lossless for finite doubles.
+   Column *names* are not compared — the format stores only count and
+   width, and the parser resynthesizes names. *)
+let same_query (q : Query.t) (q' : Query.t) =
+  Query.num_tables q' = Query.num_tables q
+  && Query.num_predicates q' = Query.num_predicates q
+  && Array.length q'.Query.correlations = Array.length q.Query.correlations
+  && Array.for_all2
+       (fun (a : Catalog.table) b ->
+         a.Catalog.tbl_name = b.Catalog.tbl_name
+         && a.Catalog.tbl_card = b.Catalog.tbl_card
+         && List.length a.Catalog.tbl_columns = List.length b.Catalog.tbl_columns
+         && List.for_all2
+              (fun ca cb -> ca.Catalog.col_bytes = cb.Catalog.col_bytes)
+              a.Catalog.tbl_columns b.Catalog.tbl_columns)
+       q.Query.tables q'.Query.tables
+  && Array.for_all2
+       (fun (a : Predicate.t) b ->
+         a.Predicate.pred_tables = b.Predicate.pred_tables
+         && a.Predicate.selectivity = b.Predicate.selectivity
+         && a.Predicate.eval_cost = b.Predicate.eval_cost)
+       q.Query.predicates q'.Query.predicates
+  && Array.for_all2
+       (fun (a : Predicate.correlation) b ->
+         a.Predicate.corr_members = b.Predicate.corr_members
+         && a.Predicate.corr_correction = b.Predicate.corr_correction)
+       q.Query.correlations q'.Query.correlations
+
 let prop_query_file_roundtrip =
-  QCheck.Test.make ~count:50 ~name:"query file round-trips"
-    QCheck.(pair (int_range 2 8) (int_range 0 10_000))
-    (fun (n, seed) ->
-      let q = Workload.generate ~seed ~shape:Join_graph.Cycle ~num_tables:n () in
+  QCheck.Test.make ~count:100 ~name:"query file round-trips (all shapes, decorated)"
+    QCheck.(triple (int_range 2 8) (int_range 0 3) (int_range 0 10_000))
+    (fun (n, shape_ix, seed) ->
+      let shape =
+        List.nth
+          [ Join_graph.Chain; Join_graph.Star; Join_graph.Cycle; Join_graph.Clique ]
+          shape_ix
+      in
+      let config =
+        {
+          Workload.default_config with
+          Workload.columns_per_table = shape_ix;  (* 0 .. 3 columns *)
+          column_bytes = 4. +. float_of_int seed;
+        }
+      in
+      let q = Workload.generate ~config ~seed ~shape ~num_tables:n () in
+      (* Decorate with everything the format supports: eval costs on
+         every third binary predicate, one costly n-ary predicate, and a
+         correlation group. *)
+      let preds =
+        Array.to_list q.Query.predicates
+        |> List.mapi (fun i (p : Predicate.t) ->
+               match p.Predicate.pred_tables with
+               | [ t1; t2 ] when i mod 3 = 0 ->
+                 Predicate.binary
+                   ~eval_cost:(0.5 +. float_of_int i)
+                   t1 t2 p.Predicate.selectivity
+               | _ -> p)
+      in
+      let preds =
+        if n >= 3 then
+          preds
+          @ [ Predicate.nary [ 0; 1; 2 ] 0.25; Predicate.nary ~eval_cost:1.5 [ 0; 2 ] 0.125 ]
+        else preds
+      in
+      let correlations =
+        if List.length preds >= 2 then
+          [ Predicate.correlation ~members:[ 0; 1 ] ~correction:1.5 ]
+        else []
+      in
+      let q =
+        Query.create ~predicates:preds ~correlations (Array.to_list q.Query.tables)
+      in
       match Query_file.parse (Query_file.to_string q) with
-      | Error _ -> false
-      | Ok q' ->
-        Query.num_tables q' = Query.num_tables q
-        && Query.num_predicates q' = Query.num_predicates q
-        && Array.for_all2
-             (fun a b -> abs_float (a.Catalog.tbl_card -. b.Catalog.tbl_card) < 1e-9)
-             q.Query.tables q'.Query.tables
-        && Array.for_all2
-             (fun (a : Predicate.t) b ->
-               abs_float (a.Predicate.selectivity -. b.Predicate.selectivity) < 1e-12)
-             q.Query.predicates q'.Query.predicates)
+      | Error m -> QCheck.Test.fail_reportf "re-parse failed: %s" m
+      | Ok q' -> same_query q q')
 
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
