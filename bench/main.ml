@@ -311,6 +311,80 @@ let run_batch_service () =
       ("speedup", Json.Float speedup);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Server request loop latency/throughput                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The persistent server driven in process through [handle_line] — the
+   whole request path (JSON parse, admission, cache, solve, response
+   rendering) minus the kernel socket, on a duplicate-heavy request mix.
+   Reported: throughput plus p50/p95/max per-request latency. *)
+let run_server_loop () =
+  let count, num_tables, per_query =
+    match scale with
+    | Quick -> (60, 5, 2.)
+    | Default -> (300, 6, 5.)
+    | Paper -> (500, 8, 10.)
+  in
+  let requests =
+    Scheduler.synthetic_batch ~dup_fraction:0.5 ~seed:23 ~shape:Join_graph.Star
+      ~num_tables ~count ()
+  in
+  let lines =
+    List.mapi
+      (fun i r ->
+        Json.to_string ~indent:false
+          (Json.Obj
+             [
+               ("op", Json.String "optimize");
+               ("id", Json.Int i);
+               ("query", Json.String (Relalg.Query_file.to_string r.Scheduler.r_query));
+               ("budget", Json.Float per_query);
+             ]))
+      requests
+  in
+  let server =
+    Service.Server.create
+      ~config:
+        {
+          Service.Server.default_config with
+          Service.Server.sv_rate = 0.;
+          sv_burst = 0.;
+          (* admission off: this measures the serving path *)
+          sv_max_queue = count + 1;
+          sv_default_limit = per_query;
+        }
+      ()
+  in
+  let lat = Array.make (List.length lines) 0. in
+  let t0 = Milp.Budget.now () in
+  List.iteri
+    (fun i line ->
+      let t = Milp.Budget.now () in
+      ignore (Service.Server.handle_line server line);
+      lat.(i) <- Milp.Budget.now () -. t)
+    lines;
+  let elapsed = Milp.Budget.now () -. t0 in
+  Array.sort compare lat;
+  let pct p = lat.(min (Array.length lat - 1) (int_of_float (p *. float_of_int (Array.length lat)))) in
+  let qps = if elapsed > 0. then float_of_int count /. elapsed else 0. in
+  printf "Server loop (star, %d tables, %d requests, ~50%% duplicates):@." num_tables count;
+  printf "  %.2fs total, %.1f req/s; latency p50 %.2gms p95 %.2gms max %.2gms@.@." elapsed
+    qps (1000. *. pct 0.50) (1000. *. pct 0.95) (1000. *. lat.(Array.length lat - 1));
+  let stats = Service.Server.stats_json server in
+  Json.Obj
+    [
+      ("requests", Json.Int count);
+      ("num_tables", Json.Int num_tables);
+      ("dup_fraction", Json.Float 0.5);
+      ("elapsed", Json.Float elapsed);
+      ("requests_per_sec", Json.Float qps);
+      ("latency_p50", Json.Float (pct 0.50));
+      ("latency_p95", Json.Float (pct 0.95));
+      ("latency_max", Json.Float lat.(Array.length lat - 1));
+      ("stats", stats);
+    ]
+
 let () =
   timed "tables_1_2" (fun () ->
       printf "%a@." Experiments.pp_table1 ();
@@ -322,6 +396,7 @@ let () =
   timed "ablations" run_ablations;
   timed "jobs_scaling" run_jobs_scaling;
   let batch_json = timed "batch_service" run_batch_service in
+  let server_json = timed "server_loop" run_server_loop in
   timed "figure_2" (fun () ->
       let config = fig2_config () in
       printf
@@ -343,6 +418,7 @@ let () =
           ( "phases",
             Json.Obj (List.rev_map (fun (n, t) -> (n, Json.Float t)) !phase_times) );
           ("batch_service", batch_json);
+          ("server_loop", server_json);
         ]
     in
     print_string (Json.to_string summary);

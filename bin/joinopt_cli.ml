@@ -4,6 +4,8 @@
      optimize    compile a query to a MILP and solve it (anytime)
      batch       optimize a stream of queries through the multi-query
                  service (plan cache + domain-parallel scheduler)
+     serve       persistent line-delimited-JSON server (admission
+                 control, degradation ladder, snapshotted plan cache)
      dp          run the Selinger dynamic programming baseline
      greedy      run the greedy heuristic
      export-lp   write the MILP in CPLEX LP format
@@ -475,6 +477,144 @@ let batch_cmd =
       $ precision_term $ cost_term $ bench)
 
 (* ------------------------------------------------------------------ *)
+(* serve — the persistent server                                        *)
+(* ------------------------------------------------------------------ *)
+
+let nonneg_float_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f && f >= 0. -> Ok f
+    | _ -> Error (`Msg (Printf.sprintf "%s must be a finite number >= 0, got '%s'" what s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let positive_float_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f && f > 0. -> Ok f
+    | _ -> Error (`Msg (Printf.sprintf "%s must be a positive number, got '%s'" what s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let nonneg_int_conv what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "%s must be >= 0, got %d" what v))
+    | None -> Error (`Msg (Printf.sprintf "%s must be an integer >= 0, got '%s'" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let run_serve socket snapshot snapshot_every cache_size rate burst max_queue default_limit
+    max_limit retries backoff degrade_after probe_every jobs precision cost =
+  if default_limit > max_limit then
+    `Error
+      ( false,
+        Printf.sprintf "--default-limit (%g) must not exceed --max-limit (%g)" default_limit
+          max_limit )
+  else begin
+    let config =
+      {
+        Service.Server.sv_cache_capacity = cache_size;
+        sv_snapshot_path = snapshot;
+        sv_snapshot_every = snapshot_every;
+        sv_rate = rate;
+        sv_burst = burst;
+        sv_max_queue = max_queue;
+        sv_default_limit = default_limit;
+        sv_max_limit = max_limit;
+        sv_retries = retries;
+        sv_backoff = backoff;
+        sv_degrade_after = degrade_after;
+        sv_probe_every = probe_every;
+        sv_jobs = jobs;
+        sv_precision = precision;
+        sv_cost = cost;
+      }
+    in
+    let server = Service.Server.create ~config () in
+    (match socket with
+    | Some path ->
+      Format.eprintf "joinopt serve: listening on %s@." path;
+      Service.Server.serve_socket server ~path
+    | None -> Service.Server.serve_fds server Unix.stdin Unix.stdout);
+    `Ok ()
+  end
+
+let serve_cmd =
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix-domain socket at $(docv) instead of stdin/stdout.")
+  in
+  let snapshot =
+    Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"FILE"
+           ~doc:"Persist the plan cache to $(docv) (checkpoint envelope: atomic \
+                 write-rename, digest-verified). Restored at startup when the file \
+                 exists; a damaged snapshot means a cold cache, never a crash.")
+  in
+  let snapshot_every =
+    Arg.(value & opt (nonneg_int_conv "--snapshot-every") 16 & info [ "snapshot-every" ]
+           ~docv:"N" ~doc:"Snapshot after every $(docv) admitted optimize requests \
+                           (0: only on request/shutdown).")
+  in
+  let cache_size =
+    Arg.(value & opt (positive_int_conv "--cache-size") 1024 & info [ "cache-size" ]
+           ~docv:"N" ~doc:"Plan cache capacity in entries.")
+  in
+  let rate =
+    Arg.(value & opt (nonneg_float_conv "--rate") 50. & info [ "rate" ] ~docv:"R"
+           ~doc:"Token-bucket refill per second per client (0 with a positive \
+                 $(b,--burst): a fixed request allowance; used by the tests).")
+  in
+  let burst =
+    Arg.(value & opt (nonneg_float_conv "--burst") 100. & info [ "burst" ] ~docv:"B"
+           ~doc:"Token-bucket capacity per client; 0 disables rate admission.")
+  in
+  let max_queue =
+    Arg.(value & opt (positive_int_conv "--max-queue") 64 & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Pending requests beyond $(docv) in one input burst are rejected \
+                 with overload:queue.")
+  in
+  let default_limit =
+    Arg.(value & opt (positive_float_conv "--default-limit") 10. & info [ "default-limit" ]
+           ~docv:"SECONDS" ~doc:"Per-request budget when the client names none.")
+  in
+  let max_limit =
+    Arg.(value & opt (positive_float_conv "--max-limit") 120. & info [ "max-limit" ]
+           ~docv:"SECONDS" ~doc:"Hard cap on client-requested budgets (larger requests \
+                                 are clamped, not rejected).")
+  in
+  let retries =
+    Arg.(value & opt (nonneg_int_conv "--retries") 2 & info [ "retries" ] ~docv:"N"
+           ~doc:"Transient-failure retries per request.")
+  in
+  let backoff =
+    Arg.(value & opt (nonneg_float_conv "--backoff") 0.02 & info [ "backoff" ] ~docv:"SECONDS"
+           ~doc:"First retry pause; doubles per retry, capped by the request budget.")
+  in
+  let degrade_after =
+    Arg.(value & opt (nonneg_int_conv "--degrade-after") 3 & info [ "degrade-after" ]
+           ~docv:"N" ~doc:"Consecutive exact-path failures before degraded mode \
+                           (0: never degrade).")
+  in
+  let probe_every =
+    Arg.(value & opt (positive_int_conv "--probe-every") 4 & info [ "probe-every" ] ~docv:"K"
+           ~doc:"In degraded mode, retry the exact path on every $(docv)-th request.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent optimizer server: line-delimited JSON requests over \
+             stdin/stdout or a Unix-domain socket, with per-client admission control, \
+             per-request deadlines, retry with backoff, a cache/heuristic degradation \
+             ladder (degraded answers are tagged, never mislabeled as exact), and \
+             crash-safe plan-cache snapshots.")
+    Term.(
+      ret
+        (const run_serve $ socket $ snapshot $ snapshot_every $ cache_size $ rate $ burst
+        $ max_queue $ default_limit $ max_limit $ retries $ backoff $ degrade_after
+        $ probe_every $ jobs_term $ precision_term $ cost_term))
+
+(* ------------------------------------------------------------------ *)
 (* dp / greedy                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -696,6 +836,7 @@ let () =
           [
             optimize_cmd;
             batch_cmd;
+            serve_cmd;
             dp_cmd;
             greedy_cmd;
             ikkbz_cmd;

@@ -7,11 +7,19 @@ let phase_fraction = function
 
 (* Process-wide monotone clamp over gettimeofday: a backwards clock step
    freezes the budget instead of rewinding it. This is the only
-   wall-clock read in the solver stack. *)
+   wall-clock read in the solver stack.
+
+   Readings are rebased to a process-local epoch: at gettimeofday's
+   magnitude (~2^31 s) a double's ulp is ~0.4µs, so deadline arithmetic
+   on raw epoch times carries microsecond-scale rounding noise.
+   Seconds-since-start keeps sub-nanosecond resolution for any
+   realistic process lifetime. *)
+let epoch = Unix.gettimeofday ()
+
 let last_now = Atomic.make neg_infinity
 
 let rec now () =
-  let t = Unix.gettimeofday () in
+  let t = Unix.gettimeofday () -. epoch in
   let prev = Atomic.get last_now in
   if t <= prev then prev
   else if Atomic.compare_and_set last_now prev t then t
@@ -55,13 +63,24 @@ let sub t ?limit () =
   | Some l when not (Float.is_finite l) || l < 0. ->
     invalid_arg "Budget.sub: limit must be finite and non-negative"
   | _ -> ());
+  (* One clock read for both the clamp and the child's start: computing
+     the parent's remaining first and stamping [b_started] later would
+     gift the child the gap between the two reads, letting it outlive
+     the parent's deadline by the scheduling delay (µs normally,
+     unbounded under preemption). *)
+  let started = now () in
+  let parent_remaining =
+    match t.b_limit with
+    | None -> None
+    | Some l -> Some (Float.max 0. (l -. (started -. t.b_started)))
+  in
   let lim =
-    match (limit, remaining t) with
+    match (limit, parent_remaining) with
     | None, r -> r
     | Some l, None -> Some l
     | Some l, Some r -> Some (Float.min l r)
   in
-  { b_limit = lim; b_started = now (); b_cancelled = t.b_cancelled }
+  { b_limit = lim; b_started = started; b_cancelled = t.b_cancelled }
 
 let with_sigint t f =
   match Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> cancel t)) with

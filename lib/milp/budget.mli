@@ -11,10 +11,11 @@
     speculative worker domains), the branch & bound search loop and the
     recovery ladder.
 
-    The clock is [Unix.gettimeofday] clamped to be non-decreasing
-    process-wide (an [Atomic] running maximum), so a backwards NTP step
-    can pause the budget but never un-expire it or make phases
-    re-open. *)
+    The clock is [Unix.gettimeofday], rebased to a process-local epoch
+    (raw epoch-magnitude doubles round deadlines at the microsecond
+    scale) and clamped to be non-decreasing process-wide (an [Atomic]
+    running maximum), so a backwards NTP step can pause the budget but
+    never un-expire it or make phases re-open. *)
 
 type t
 

@@ -47,13 +47,13 @@ let problem_digest p =
   add_expr obj;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-let save ~path ~tag value =
+let save ?(mangle = Faults.mangle_checkpoint) ~path ~tag value =
   try
     let payload = Marshal.to_bytes value [] in
     (* Digest the honest payload first: injected mangling below is then
        exactly the damage [load]'s verification must detect. *)
     let sum = Digest.bytes payload in
-    let payload = Faults.mangle_checkpoint payload in
+    let payload = mangle payload in
     let tmp = path ^ ".tmp" in
     let oc = open_out_bin tmp in
     Fun.protect

@@ -29,9 +29,14 @@ val problem_digest : Problem.t -> string
     objective — the [tag] that prevents resuming a snapshot against a
     different query. Insensitive to internal caches (name index). *)
 
-val save : path:string -> tag:string -> 'a -> (unit, string) result
+val save :
+  ?mangle:(bytes -> bytes) -> path:string -> tag:string -> 'a -> (unit, string) result
 (** Marshal the value and atomically replace [path] with the enveloped
-    payload. All I/O failures are returned as [Error], never raised. *)
+    payload. All I/O failures are returned as [Error], never raised.
+    [mangle] (default {!Faults.mangle_checkpoint}) is the fault-injection
+    hook applied to the payload after its digest is computed — the
+    service layer passes {!Faults.mangle_snapshot} so its snapshots are
+    damaged independently of solver checkpoints. *)
 
 val load : path:string -> tag:string -> ('a, string) result
 (** Read, verify magic / tag / length / digest, and unmarshal. Any

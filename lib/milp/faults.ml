@@ -1,3 +1,5 @@
+exception Injected_abort
+
 type plan = {
   f_seed : int;
   f_pivot_reject : float;
@@ -8,6 +10,10 @@ type plan = {
   f_checkpoint_corrupt : float;
   f_checkpoint_truncate : float;
   f_cancel_after_nodes : int;
+  f_snapshot_corrupt : float;
+  f_snapshot_truncate : float;
+  f_request_stall : float;
+  f_abort_every : int;
 }
 
 let none =
@@ -21,6 +27,10 @@ let none =
     f_checkpoint_corrupt = 0.;
     f_checkpoint_truncate = 0.;
     f_cancel_after_nodes = 0;
+    f_snapshot_corrupt = 0.;
+    f_snapshot_truncate = 0.;
+    f_request_stall = 0.;
+    f_abort_every = 0;
   }
 
 type state = {
@@ -29,6 +39,7 @@ type state = {
   mutable refactors : int;
   mutable nodes_seen : int;
   mutable cancel_fired : bool;
+  mutable requests : int;
   counters : (string, int) Hashtbl.t;
 }
 
@@ -56,6 +67,7 @@ let install plan =
         refactors = 0;
         nodes_seen = 0;
         cancel_fired = false;
+        requests = 0;
         counters = Hashtbl.create 8;
       };
   enabled := true;
@@ -169,7 +181,11 @@ let cancel_requested () =
                  end
             end)
 
-let mangle_checkpoint payload =
+(* Shared payload-damage engine behind [mangle_checkpoint] (solver search
+   snapshots) and [mangle_snapshot] (the service's plan-cache snapshots):
+   the two persistence paths are damaged independently so a test can
+   corrupt one without touching the other. *)
+let mangle ~truncate_p ~truncate_name ~corrupt_p ~corrupt_name payload =
   if not !enabled then payload
   else begin
     Mutex.lock mu;
@@ -177,18 +193,17 @@ let mangle_checkpoint payload =
       match !state with
       | Some st ->
         let p = ref payload in
-        if st.plan.f_checkpoint_truncate > 0. && next_float st < st.plan.f_checkpoint_truncate
-        then begin
-          bump st "checkpoint_truncate";
+        if truncate_p st.plan > 0. && next_float st < truncate_p st.plan then begin
+          bump st truncate_name;
           let n = Bytes.length !p in
           p := Bytes.sub !p 0 (n / 2)
         end;
         if
           Bytes.length !p > 0
-          && st.plan.f_checkpoint_corrupt > 0.
-          && next_float st < st.plan.f_checkpoint_corrupt
+          && corrupt_p st.plan > 0.
+          && next_float st < corrupt_p st.plan
         then begin
-          bump st "checkpoint_corrupt";
+          bump st corrupt_name;
           let copy = Bytes.copy !p in
           let i = int_of_float (next_float st *. float_of_int (Bytes.length copy)) in
           let i = min i (Bytes.length copy - 1) in
@@ -201,6 +216,48 @@ let mangle_checkpoint payload =
     Mutex.unlock mu;
     r
   end
+
+let mangle_checkpoint payload =
+  mangle
+    ~truncate_p:(fun p -> p.f_checkpoint_truncate)
+    ~truncate_name:"checkpoint_truncate"
+    ~corrupt_p:(fun p -> p.f_checkpoint_corrupt)
+    ~corrupt_name:"checkpoint_corrupt" payload
+
+let mangle_snapshot payload =
+  mangle
+    ~truncate_p:(fun p -> p.f_snapshot_truncate)
+    ~truncate_name:"snapshot_truncate"
+    ~corrupt_p:(fun p -> p.f_snapshot_corrupt)
+    ~corrupt_name:"snapshot_corrupt" payload
+
+let request_stall () =
+  if not !enabled then 0.
+  else begin
+    Mutex.lock mu;
+    let r =
+      match !state with
+      | Some st when st.plan.f_request_stall > 0. ->
+        bump st "request_stall";
+        st.plan.f_request_stall
+      | _ -> 0.
+    in
+    Mutex.unlock mu;
+    r
+  end
+
+let request_aborts () =
+  !enabled
+  && with_state (fun st ->
+         st.plan.f_abort_every > 0
+         && begin
+              st.requests <- st.requests + 1;
+              st.requests mod st.plan.f_abort_every = 0
+              && begin
+                   bump st "request_abort";
+                   true
+                 end
+            end)
 
 let with_plan plan f =
   install plan;

@@ -19,6 +19,11 @@
     then depend on domain interleaving, but counters stay exact and the
     process stays crash-free. *)
 
+exception Injected_abort
+(** Raised by service-layer code when {!request_aborts} fires — a
+    deterministic stand-in for "this request's handler died mid-flight"
+    that flight cleanup and the server's retry ladder must absorb. *)
+
 type plan = {
   f_seed : int;
   f_pivot_reject : float;
@@ -49,6 +54,24 @@ type plan = {
   (** request cooperative cancellation after this many branch & bound
       node visits — simulates a user hitting Ctrl-C mid-search at a
       deterministic point; fires exactly once; [0] disables *)
+  f_snapshot_corrupt : float;
+  (** probability of flipping bits in a *service snapshot* payload (the
+      plan-cache persistence path) as it is written; independent of
+      [f_checkpoint_corrupt] so tests can damage one persistence path
+      without the other; [0.] disables *)
+  f_snapshot_truncate : float;
+  (** probability of truncating a service snapshot payload to half its
+      length mid-write — a crash the atomic rename did not cover; [0.]
+      disables *)
+  f_request_stall : float;
+  (** seconds of injected stall per served request — simulates a slow
+      client (or slow downstream disk) holding the server's loop, so
+      overload and queue-depth admission can be driven deterministically;
+      [0.] disables *)
+  f_abort_every : int;
+  (** raise {!Injected_abort} out of every k-th guarded request handler
+      (scheduler flights, server solve attempts) — exercises in-flight
+      cleanup and the retry ladder; [0] disables *)
 }
 
 val none : plan
@@ -87,6 +110,19 @@ val mangle_checkpoint : bytes -> bytes
     disk (after the checksum over the honest payload is computed), so
     the injected damage is exactly what {!Checkpoint.load}'s
     verification must detect. *)
+
+val mangle_snapshot : bytes -> bytes
+(** Same damage engine as {!mangle_checkpoint}, but driven by the
+    [f_snapshot_*] knobs — applied to service-layer snapshots (the plan
+    cache's persistence envelope) instead of solver checkpoints. *)
+
+val request_stall : unit -> float
+(** Seconds the service loop should stall before handling the next
+    request ([0.] when disabled) — the slow-client fault point. *)
+
+val request_aborts : unit -> bool
+(** Polled once per guarded request handler; [true] on every
+    [f_abort_every]-th poll. Callers raise {!Injected_abort}. *)
 
 val fired : unit -> (string * int) list
 (** Counters of faults actually injected since {!install}, keyed by hook

@@ -29,6 +29,245 @@ let float_repr f =
     let s = Printf.sprintf "%.12g" f in
     if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
+(* --- parsing -------------------------------------------------------- *)
+
+(* Recursive-descent RFC 8259 parser, the read side of the writer above.
+   Built for hostile input: every malformation is an [Error] with a byte
+   offset (never an exception), nesting depth is capped so a bracket
+   bomb cannot blow the stack, and trailing garbage after the document
+   is rejected — a concatenation of two requests on one line is a
+   protocol error, not a silently dropped second half. *)
+
+let max_depth = 256
+
+exception Bad of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let bad msg = raise (Bad (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> bad (Printf.sprintf "expected '%c', got '%c'" c c')
+    | None -> bad (Printf.sprintf "expected '%c', got end of input" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else bad (Printf.sprintf "invalid literal (expected %s)" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then bad "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> bad "bad hex digit in \\u escape"
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let fin = ref false in
+    while not !fin do
+      match peek () with
+      | None -> bad "unterminated string"
+      | Some '"' ->
+        advance ();
+        fin := true
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | None -> bad "unterminated escape"
+        | Some c -> (
+          advance ();
+          match c with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+            let cp = hex4 () in
+            if cp >= 0xD800 && cp <= 0xDBFF then begin
+              (* high surrogate: require the low half *)
+              if !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u' then begin
+                pos := !pos + 2;
+                let lo = hex4 () in
+                if lo < 0xDC00 || lo > 0xDFFF then bad "invalid low surrogate"
+                else
+                  add_utf8 buf
+                    (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+              end
+              else bad "lone high surrogate"
+            end
+            else if cp >= 0xDC00 && cp <= 0xDFFF then bad "lone low surrogate"
+            else add_utf8 buf cp
+          | _ -> bad (Printf.sprintf "invalid escape '\\%c'" c)))
+      | Some c when Char.code c < 0x20 -> bad "unescaped control character in string"
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c
+    done;
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        advance ()
+      done;
+      if !pos = d0 then bad "malformed number"
+    in
+    digits ();
+    let is_float = ref false in
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> Float (float_of_string text) (* out of int range *)
+  in
+  let rec value depth =
+    if depth > max_depth then bad "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> bad "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let fin = ref false in
+        while not !fin do
+          skip_ws ();
+          let name = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = value (depth + 1) in
+          fields := (name, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance ()
+          | Some '}' ->
+            advance ();
+            fin := true
+          | _ -> bad "expected ',' or '}' in object"
+        done;
+        Obj (List.rev !fields)
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let fin = ref false in
+        while not !fin do
+          let v = value (depth + 1) in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance ()
+          | Some ']' ->
+            advance ();
+            fin := true
+          | _ -> bad "expected ',' or ']' in array"
+        done;
+        List (List.rev !items)
+      end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> bad (Printf.sprintf "unexpected character '%c'" c)
+  in
+  match
+    let v = value 0 in
+    skip_ws ();
+    if !pos < n then bad "trailing garbage after document";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (at, msg) -> Error (Printf.sprintf "byte %d: %s" at msg)
+  | exception Failure msg -> Error msg
+
+(* --- accessors ------------------------------------------------------ *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
 let to_string ?(indent = true) v =
   let buf = Buffer.create 256 in
   let pad depth = if indent then Buffer.add_string buf (String.make (2 * depth) ' ') in

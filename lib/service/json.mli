@@ -1,10 +1,16 @@
-(** Minimal JSON emitter for machine-readable CLI and bench output.
+(** Dependency-free RFC 8259 JSON, both directions.
 
-    Emission only — the batch subcommand and the bench harness print
-    summaries that CI jobs and trajectory tooling parse, and the
+    Emission: the batch subcommand, the server and the bench harness
+    print summaries that CI jobs and trajectory tooling parse, and the
     container deliberately carries no JSON dependency. Strings are
     escaped per RFC 8259; non-finite floats (which JSON cannot
-    represent) are emitted as [null]. *)
+    represent) are emitted as [null].
+
+    Parsing: the read side of the line-delimited service protocol,
+    built for hostile input — every malformation yields [Error] with a
+    byte offset (never an exception), nesting depth is capped at
+    {!max_depth} so a bracket bomb cannot blow the stack, and trailing
+    bytes after the document are rejected. *)
 
 type t =
   | Null
@@ -15,6 +21,23 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
+val max_depth : int
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document. Numbers without a fraction or
+    exponent that fit in [int] become [Int]; everything else numeric
+    becomes [Float]. [\u] escapes decode to UTF-8 (surrogate pairs
+    combined, lone surrogates rejected). *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on non-objects and missing fields. *)
+
+val to_string_opt : t -> string option
+
+val to_float_opt : t -> float option
+(** [Int]s widen to float. *)
+
 val to_string : ?indent:bool -> t -> string
 (** [indent] (default [true]) pretty-prints with two-space indentation;
-    [false] emits the compact single-line form. *)
+    [false] emits the compact single-line form — the service protocol's
+    response framing. *)

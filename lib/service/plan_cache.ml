@@ -27,6 +27,7 @@ type stats = {
 (* Intrusive doubly-linked LRU node; [nd_prev]/[nd_next] are [None] at
    the list ends. The head is most recently used. *)
 type node = {
+  nd_key : key;  (* structured key, for snapshots *)
   nd_flat : string;  (* full composite key *)
   nd_group : string;  (* fingerprint + cost, precision-blind *)
   nd_entry : entry;
@@ -162,6 +163,7 @@ let add t k entry =
       | None -> ());
       let nd =
         {
+          nd_key = k;
           nd_flat = flat;
           nd_group = group;
           nd_entry = entry;
@@ -218,6 +220,46 @@ let stats t =
             st_size = acc.st_size + sh.sh_size;
           }))
     zero t.c_shards
+
+(* --- persistence ---------------------------------------------------- *)
+
+let snapshot_tag = "joinopt-plan-cache-v1"
+
+let snapshot t =
+  (* Least-recently-used first, per shard: replaying the list through
+     [restore] (which inserts at the MRU end) rebuilds the exact
+     recency order, so eviction behaves identically after a restart.
+     Only current-epoch entries are persisted — logically invalidated
+     ones would just be reclaimed on first touch anyway. Walking
+     head→tail while prepending yields the tail (LRU) at the front of
+     the accumulated list. *)
+  let epoch = Atomic.get t.c_epoch in
+  Array.fold_left
+    (fun acc sh ->
+      with_shard sh (fun () ->
+          let rec collect acc = function
+            | None -> acc
+            | Some nd ->
+              let acc =
+                if nd.nd_epoch = epoch then (nd.nd_key, nd.nd_entry) :: acc else acc
+              in
+              collect acc nd.nd_next
+          in
+          acc @ collect [] sh.sh_head))
+    [] t.c_shards
+
+let restore t entries =
+  List.iter (fun (k, e) -> add t k e) entries;
+  List.length entries
+
+let save t ~path =
+  Milp.Checkpoint.save ~mangle:Milp.Faults.mangle_snapshot ~path ~tag:snapshot_tag
+    (snapshot t)
+
+let load_into t ~path =
+  match Milp.Checkpoint.load ~path ~tag:snapshot_tag with
+  | Ok (entries : (key * entry) list) -> Ok (restore t entries)
+  | Error msg -> Error msg
 
 let pp_stats ppf s =
   Format.fprintf ppf

@@ -83,3 +83,33 @@ val epoch : t -> int
 val stats : t -> stats
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {2 Crash-safe persistence}
+
+    Snapshots ride the {!Milp.Checkpoint} envelope (magic, schema tag,
+    payload length, MD5, atomic write-rename), so a crash mid-write
+    leaves the previous snapshot intact, and any corruption or
+    truncation is detected at load time and reported as [Error] — a
+    damaged snapshot degrades to a cold cache, never a crash. The
+    {!Milp.Faults.mangle_snapshot} hook damages these payloads (and only
+    these) under an installed fault plan. *)
+
+val snapshot_tag : string
+(** The envelope tag binding a snapshot file to this module's schema —
+    a snapshot written by a different (past or future) schema, or by the
+    solver's checkpoint path, is rejected at load with a tag mismatch. *)
+
+val snapshot : t -> (key * entry) list
+(** Current-epoch entries, least recently used first, so replaying them
+    through {!restore} reproduces both contents and eviction order. *)
+
+val restore : t -> (key * entry) list -> int
+(** Insert entries in order under the receiving cache's current epoch
+    (capacity eviction applies as usual); returns the number replayed. *)
+
+val save : t -> path:string -> (unit, string) result
+(** {!snapshot} into an enveloped file, atomically. *)
+
+val load_into : t -> path:string -> (int, string) result
+(** Verify the envelope and {!restore} into [t]; [Ok n] is the number of
+    entries restored, [Error reason] leaves [t] untouched (cold). *)

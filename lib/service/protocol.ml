@@ -1,0 +1,132 @@
+module Thresholds = Joinopt.Thresholds
+module Cost_enc = Joinopt.Cost_enc
+module Plan = Relalg.Plan
+module Query_file = Relalg.Query_file
+
+type optimize_params = {
+  p_query : Relalg.Query.t;
+  p_budget : float option;
+  p_precision : Thresholds.precision option;
+  p_cost : Cost_enc.spec option;
+}
+
+type op =
+  | Optimize of optimize_params
+  | Stats
+  | Ping
+  | Snapshot
+  | Bump_epoch
+  | Shutdown
+
+type request = { rq_id : Json.t; rq_client : string; rq_op : op }
+
+let max_line_bytes = 1 lsl 20
+
+let precision_of_string = function
+  | "low" -> Ok Thresholds.Low
+  | "medium" -> Ok Thresholds.Medium
+  | "high" -> Ok Thresholds.High
+  | s -> (
+    match float_of_string_opt s with
+    | Some f when f > 1. -> Ok (Thresholds.Custom f)
+    | _ -> Error ("unknown precision: " ^ s))
+
+let cost_of_string = function
+  | "hash" -> Ok (Cost_enc.Fixed_operator Plan.Hash_join)
+  | "smj" -> Ok (Cost_enc.Fixed_operator Plan.Sort_merge_join)
+  | "bnl" -> Ok (Cost_enc.Fixed_operator Plan.Block_nested_loop)
+  | "cout" -> Ok Cost_enc.Cout
+  | "choose" ->
+    Ok
+      (Cost_enc.Choose_operator
+         [ Plan.Hash_join; Plan.Sort_merge_join; Plan.Block_nested_loop ])
+  | s -> Error ("unknown cost model: " ^ s)
+
+let ( let* ) = Result.bind
+
+(* A field that must be a string when present. *)
+let opt_string_field doc name =
+  match Json.member name doc with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.String s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+
+let opt_number_field doc name =
+  match Json.member name doc with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+    match Json.to_float_opt v with
+    | Some f -> Ok (Some f)
+    | None -> Error (Printf.sprintf "field %S must be a number" name))
+
+let optimize_of_doc doc =
+  let* inline = opt_string_field doc "query" in
+  let* path = opt_string_field doc "query_file" in
+  let* query =
+    match (inline, path) with
+    | Some _, Some _ -> Error "give either \"query\" or \"query_file\", not both"
+    | None, None -> Error "optimize needs a \"query\" (inline text) or \"query_file\" (path)"
+    | Some text, None -> (
+      match Query_file.parse text with
+      | Ok q -> Ok q
+      | Error m -> Error ("query: " ^ m))
+    | None, Some p -> (
+      match Query_file.of_file p with
+      | Ok q -> Ok q
+      | Error m -> Error (Printf.sprintf "query_file %s: %s" p m))
+  in
+  let* budget = opt_number_field doc "budget" in
+  let* () =
+    match budget with
+    | Some b when (not (Float.is_finite b)) || b <= 0. ->
+      Error "\"budget\" must be a positive number of seconds"
+    | _ -> Ok ()
+  in
+  let* precision =
+    let* s = opt_string_field doc "precision" in
+    match s with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (precision_of_string s)
+  in
+  let* cost =
+    let* s = opt_string_field doc "cost" in
+    match s with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (cost_of_string s)
+  in
+  Ok (Optimize { p_query = query; p_budget = budget; p_precision = precision; p_cost = cost })
+
+let request_of_line line =
+  if String.length line > max_line_bytes then
+    Error (Printf.sprintf "request line exceeds %d bytes" max_line_bytes)
+  else
+    let* doc = Result.map_error (fun m -> "parse: " ^ m) (Json.parse line) in
+    let* () = match doc with Json.Obj _ -> Ok () | _ -> Error "request must be a JSON object" in
+    let rq_id = Option.value ~default:Json.Null (Json.member "id" doc) in
+    let* client = opt_string_field doc "client" in
+    let rq_client = Option.value ~default:"default" client in
+    let* op_name =
+      match Json.member "op" doc with
+      | Some (Json.String s) -> Ok s
+      | Some _ -> Error "field \"op\" must be a string"
+      | None -> Error "missing \"op\""
+    in
+    let* rq_op =
+      match op_name with
+      | "optimize" -> optimize_of_doc doc
+      | "stats" -> Ok Stats
+      | "ping" -> Ok Ping
+      | "snapshot" -> Ok Snapshot
+      | "bump-epoch" -> Ok Bump_epoch
+      | "shutdown" -> Ok Shutdown
+      | s -> Error ("unknown op: " ^ s)
+    in
+    Ok { rq_id; rq_client; rq_op }
+
+let response ~id fields = Json.to_string ~indent:false (Json.Obj (("id", id) :: fields))
+
+let error_response ~id reason =
+  response ~id [ ("status", Json.String "error"); ("reason", Json.String reason) ]
+
+let rejected_response ~id reason =
+  response ~id [ ("status", Json.String "rejected"); ("reason", Json.String reason) ]

@@ -1,0 +1,80 @@
+(** Wire protocol of the persistent joinopt server.
+
+    One request per line, one response per line, both JSON objects —
+    the framing works identically over stdin/stdout and over a
+    Unix-domain socket, and a line that fails to parse is answered with
+    a [status:"error"] response rather than tearing the connection
+    down, so a malformed-input storm degrades one request at a time.
+
+    Requests:
+    {v
+    {"op":"optimize", "id":"q1", "query":"table a 100\n...", "budget":5,
+     "precision":"medium", "cost":"hash", "client":"tenant-7"}
+    {"op":"stats"}
+    {"op":"ping"}
+    {"op":"snapshot"}
+    {"op":"bump-epoch"}
+    {"op":"shutdown"}
+    v}
+
+    [id] (echoed back verbatim) and [client] (the admission-control
+    bucket key, default ["default"]) are optional on every request;
+    [query] holds inline query-file text ({!Relalg.Query_file}), or
+    [query_file] names a path to load instead. [budget] is the
+    per-request deadline in seconds (clamped to the server's maximum);
+    [precision] and [cost] override the server defaults per request.
+
+    Responses always carry [id] (or [null]) and a [status] of ["ok"],
+    ["rejected"] (admission control; [reason] says which limit) or
+    ["error"] ([reason] says what broke). Optimize answers additionally
+    carry [source], [provenance], [degraded], [plan], [objective],
+    [bound], [true_cost] and [elapsed] — with the contract that
+    [degraded:true] answers are never labeled with an exact-solve
+    provenance. *)
+
+type optimize_params = {
+  p_query : Relalg.Query.t;
+  p_budget : float option;  (** requested deadline, seconds *)
+  p_precision : Joinopt.Thresholds.precision option;
+  p_cost : Joinopt.Cost_enc.spec option;
+}
+
+type op =
+  | Optimize of optimize_params
+  | Stats
+  | Ping
+  | Snapshot  (** force a plan-cache snapshot now *)
+  | Bump_epoch  (** invalidate the plan cache (catalog changed) *)
+  | Shutdown  (** graceful stop: final snapshot, then exit the loop *)
+
+type request = { rq_id : Json.t; rq_client : string; rq_op : op }
+(** [rq_id] is echoed verbatim ([Null] when absent) — clients may use
+    strings or numbers. *)
+
+val max_line_bytes : int
+(** Upper bound on an accepted request line (1 MiB): longer lines are
+    answered with an error and dropped without being parsed, so a
+    malicious client cannot balloon the server's heap. *)
+
+val precision_of_string : string -> (Joinopt.Thresholds.precision, string) result
+(** ["low"], ["medium"], ["high"], or a tolerance factor > 1. *)
+
+val cost_of_string : string -> (Joinopt.Cost_enc.spec, string) result
+(** ["hash"], ["smj"], ["bnl"], ["cout"], ["choose"]. *)
+
+val request_of_line : string -> (request, string) result
+(** Parse and validate one request line. Unknown *fields* are ignored
+    (forward compatibility); unknown [op]s, wrong field types, missing
+    queries, non-positive budgets and oversized lines are errors. *)
+
+val response : id:Json.t -> (string * Json.t) list -> string
+(** A single-line response with [id] and [status] fields first. The
+    caller supplies [status]; this helper only guarantees one-line
+    framing. *)
+
+val error_response : id:Json.t -> string -> string
+(** [status:"error"] with the given reason. *)
+
+val rejected_response : id:Json.t -> string -> string
+(** [status:"rejected"] with the given reason (e.g. ["overload:rate"],
+    ["overload:queue"]). *)

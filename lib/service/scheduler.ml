@@ -3,6 +3,7 @@ module Cost_enc = Joinopt.Cost_enc
 module Thresholds = Joinopt.Thresholds
 module Encoding = Joinopt.Encoding
 module Budget = Milp.Budget
+module Faults = Milp.Faults
 module Query = Relalg.Query
 module Plan = Relalg.Plan
 module Workload = Relalg.Workload
@@ -206,18 +207,36 @@ let run ?(config = Optimizer.default_config) ?cache ?(jobs = 1) ?(oversubscribe 
         Atomic.incr shared;
         finish Shared (await_flight fl)
       | First fl ->
-        let outcome =
-          try solve_one ?warm fp req.r_query
-          with exn -> Error (Printexc.to_string exn)
+        (* The flight's owner must publish *no matter how it dies*: any
+           exception escaping between claiming the flight and publishing
+           (cache insertion, bookkeeping, an injected abort) would
+           otherwise leave the entry in the table and every waiter
+           asleep on the condition variable forever. The [finally] below
+           wakes them with the failure; [published] keeps the success
+           path from being overwritten. *)
+        let published = ref false in
+        let publish outcome =
+          if not !published then begin
+            published := true;
+            publish_flight fl_mutex fl_table (Plan_cache.flat_key key) fl outcome
+          end
         in
-        (match (cache, outcome) with
-        | Some c, Ok entry -> Plan_cache.add c key entry
-        | _ -> ());
-        publish_flight fl_mutex fl_table (Plan_cache.flat_key key) fl outcome;
-        (match warm with
-        | Some _ -> Atomic.incr warm_starts
-        | None -> Atomic.incr solved);
-        finish (if warm <> None then Warm_started else Solved) outcome)
+        Fun.protect
+          ~finally:(fun () -> publish (Error "in-flight solve crashed before publishing"))
+          (fun () ->
+            if Faults.request_aborts () then raise Faults.Injected_abort;
+            let outcome =
+              try solve_one ?warm fp req.r_query
+              with exn -> Error (Printexc.to_string exn)
+            in
+            (match (cache, outcome) with
+            | Some c, Ok entry -> Plan_cache.add c key entry
+            | _ -> ());
+            publish outcome;
+            (match warm with
+            | Some _ -> Atomic.incr warm_starts
+            | None -> Atomic.incr solved);
+            finish (if warm <> None then Warm_started else Solved) outcome))
   in
   let rec worker () =
     let i = Atomic.fetch_and_add next 1 in

@@ -1,0 +1,743 @@
+module Optimizer = Joinopt.Optimizer
+module Cost_enc = Joinopt.Cost_enc
+module Thresholds = Joinopt.Thresholds
+module Encoding = Joinopt.Encoding
+module Budget = Milp.Budget
+module Faults = Milp.Faults
+module Plan = Relalg.Plan
+module Query = Relalg.Query
+
+type config = {
+  sv_cache_capacity : int;
+  sv_snapshot_path : string option;
+  sv_snapshot_every : int;
+  sv_rate : float;
+  sv_burst : float;
+  sv_max_queue : int;
+  sv_default_limit : float;
+  sv_max_limit : float;
+  sv_retries : int;
+  sv_backoff : float;
+  sv_degrade_after : int;
+  sv_probe_every : int;
+  sv_jobs : int;
+  sv_precision : Thresholds.precision;
+  sv_cost : Cost_enc.spec;
+}
+
+let default_config =
+  {
+    sv_cache_capacity = 1024;
+    sv_snapshot_path = None;
+    sv_snapshot_every = 16;
+    sv_rate = 50.;
+    sv_burst = 100.;
+    sv_max_queue = 64;
+    sv_default_limit = 10.;
+    sv_max_limit = 120.;
+    sv_retries = 2;
+    sv_backoff = 0.02;
+    sv_degrade_after = 3;
+    sv_probe_every = 4;
+    sv_jobs = 1;
+    sv_precision = Thresholds.Medium;
+    sv_cost = Cost_enc.Fixed_operator Plan.Hash_join;
+  }
+
+type bucket = { mutable bk_tokens : float; mutable bk_last : float }
+
+type phase_stat = {
+  mutable ps_count : int;
+  mutable ps_total : float;
+  mutable ps_max : float;
+}
+
+let phase_stat () = { ps_count = 0; ps_total = 0.; ps_max = 0. }
+
+let record ps dt =
+  ps.ps_count <- ps.ps_count + 1;
+  ps.ps_total <- ps.ps_total +. dt;
+  if dt > ps.ps_max then ps.ps_max <- dt
+
+type mode = Exact | Degraded
+
+type t = {
+  cfg : config;
+  cache : Plan_cache.t;
+  budget : Budget.t;  (* server lifetime; every request budget is a sub of it *)
+  buckets : (string, bucket) Hashtbl.t;
+  mutable mode : mode;
+  mutable strikes : int;  (* consecutive exact-path failures/timeouts *)
+  mutable probe_clock : int;  (* degraded-mode request counter, drives probing *)
+  mutable since_snapshot : int;  (* admitted optimizes since the last snapshot *)
+  mutable shutdown : bool;
+  mutable snapshot_status : string;
+  (* counters *)
+  mutable n_accepted : int;
+  mutable n_rejected_rate : int;
+  mutable n_rejected_queue : int;
+  mutable n_malformed : int;
+  mutable n_errors : int;
+  mutable n_exact : int;
+  mutable n_cache_hits : int;
+  mutable n_warm : int;
+  mutable n_degraded_cache : int;
+  mutable n_degraded_heuristic : int;
+  mutable n_timeouts : int;
+  mutable n_retries : int;
+  mutable n_probes : int;
+  mutable n_recoveries : int;
+  mutable n_degradations : int;
+  mutable n_snapshots : int;
+  lat_parse : phase_stat;
+  lat_solve : phase_stat;
+  lat_request : phase_stat;
+}
+
+let create ?(config = default_config) () =
+  if config.sv_cache_capacity < 1 then
+    invalid_arg "Server.create: cache capacity must be >= 1";
+  if config.sv_max_queue < 1 then invalid_arg "Server.create: max queue must be >= 1";
+  let cache = Plan_cache.create ~capacity:config.sv_cache_capacity () in
+  let snapshot_status =
+    match config.sv_snapshot_path with
+    | None -> "disabled"
+    | Some path ->
+      if not (Sys.file_exists path) then "cold"
+      else (
+        (* A damaged snapshot is a logged cold start, never a crash:
+           the checkpoint envelope verifies magic, schema tag, length
+           and digest before anything is unmarshalled. *)
+        match Plan_cache.load_into cache ~path with
+        | Ok n -> Printf.sprintf "restored:%d" n
+        | Error reason -> "damaged (cold start): " ^ reason)
+  in
+  {
+    cfg = config;
+    cache;
+    budget = Budget.create ();
+    buckets = Hashtbl.create 16;
+    mode = Exact;
+    strikes = 0;
+    probe_clock = 0;
+    since_snapshot = 0;
+    shutdown = false;
+    snapshot_status;
+    n_accepted = 0;
+    n_rejected_rate = 0;
+    n_rejected_queue = 0;
+    n_malformed = 0;
+    n_errors = 0;
+    n_exact = 0;
+    n_cache_hits = 0;
+    n_warm = 0;
+    n_degraded_cache = 0;
+    n_degraded_heuristic = 0;
+    n_timeouts = 0;
+    n_retries = 0;
+    n_probes = 0;
+    n_recoveries = 0;
+    n_degradations = 0;
+    n_snapshots = 0;
+    lat_parse = phase_stat ();
+    lat_solve = phase_stat ();
+    lat_request = phase_stat ();
+  }
+
+let shutdown_requested t = t.shutdown
+
+let save_snapshot t =
+  match t.cfg.sv_snapshot_path with
+  | None -> Ok ()
+  | Some path -> (
+    match Plan_cache.save t.cache ~path with
+    | Ok () ->
+      t.n_snapshots <- t.n_snapshots + 1;
+      t.since_snapshot <- 0;
+      Ok ()
+    | Error _ as e -> e)
+
+let maybe_snapshot t =
+  t.since_snapshot <- t.since_snapshot + 1;
+  if
+    t.cfg.sv_snapshot_path <> None
+    && t.cfg.sv_snapshot_every > 0
+    && t.since_snapshot >= t.cfg.sv_snapshot_every
+  then ignore (save_snapshot t)
+
+(* --- admission ------------------------------------------------------ *)
+
+(* Deterministic when [sv_rate = 0.]: the bucket holds exactly
+   [sv_burst] requests per client, ever — which is what the tests and
+   the overload CI storm rely on. *)
+let admit t client =
+  if t.cfg.sv_burst <= 0. then true
+  else begin
+    let now = Budget.now () in
+    let bk =
+      match Hashtbl.find_opt t.buckets client with
+      | Some bk -> bk
+      | None ->
+        let bk = { bk_tokens = t.cfg.sv_burst; bk_last = now } in
+        Hashtbl.replace t.buckets client bk;
+        bk
+    in
+    bk.bk_tokens <-
+      Float.min t.cfg.sv_burst (bk.bk_tokens +. ((now -. bk.bk_last) *. t.cfg.sv_rate));
+    bk.bk_last <- now;
+    if bk.bk_tokens >= 1. then begin
+      bk.bk_tokens <- bk.bk_tokens -. 1.;
+      true
+    end
+    else false
+  end
+
+(* --- the optimize path ---------------------------------------------- *)
+
+let cache_key (config : Optimizer.config) fp =
+  {
+    Plan_cache.k_fingerprint = Fingerprint.digest fp;
+    k_cost = Cost_enc.spec_to_string config.Optimizer.cost;
+    k_precision =
+      Thresholds.precision_to_string config.Optimizer.encoding.Encoding.precision;
+  }
+
+let entry_of_result config (r : Optimizer.result) plan =
+  {
+    Plan_cache.e_plan = plan;
+    e_objective = r.Optimizer.objective;
+    e_bound = r.Optimizer.bound;
+    e_true_cost = r.Optimizer.true_cost;
+    e_provenance =
+      (match r.Optimizer.provenance with
+      | Some p -> Optimizer.provenance_to_string p
+      | None -> "none");
+    e_precision =
+      Thresholds.precision_to_string config.Optimizer.encoding.Encoding.precision;
+  }
+
+(* One exact attempt; raises on injected aborts and transient crashes,
+   which the retry ladder above it absorbs. *)
+let attempt_exact config budget ?warm fp q =
+  ignore fp;
+  if Faults.request_aborts () then raise Faults.Injected_abort;
+  let config =
+    match (warm : Plan_cache.entry option) with
+    | Some entry -> Optimizer.with_warm_start (Some entry.Plan_cache.e_plan) config
+    | None -> config
+  in
+  Optimizer.optimize ~config ~budget (Fingerprint.canonical_query q)
+
+(* Exact solve under the request budget with retry/backoff: attempt
+   [1 + sv_retries] times while budget remains, pausing [sv_backoff *
+   2^i] between attempts (capped by the remaining budget). This and the
+   poll loop are the only places in lib/service allowed to block
+   outside Budget/condition variables — the repo linter enforces it. *)
+let solve_with_retries t config request_budget ?warm fp q =
+  let rec go attempt backoff =
+    match attempt_exact config (Budget.sub request_budget ()) ?warm fp q with
+    | r -> Ok r
+    | exception exn ->
+      if attempt >= t.cfg.sv_retries || Budget.exhausted request_budget then
+        Error (Printexc.to_string exn)
+      else begin
+        t.n_retries <- t.n_retries + 1;
+        let pause =
+          match Budget.remaining request_budget with
+          | Some rem -> Float.min backoff rem
+          | None -> backoff
+        in
+        if pause > 0. then Unix.sleepf pause;
+        go (attempt + 1) (backoff *. 2.)
+      end
+  in
+  go 0 t.cfg.sv_backoff
+
+(* The heuristic rung at the bottom of the ladder: greedy is O(n^2),
+   always produces a plan, and is costed under the request's exact
+   metric — an honest answer in microseconds when the exact path cannot
+   meet its deadline. *)
+let heuristic_answer (config : Optimizer.config) q =
+  let metric = Optimizer.exact_metric config.Optimizer.cost in
+  let operators =
+    match config.Optimizer.cost with
+    | Cost_enc.Fixed_operator op -> Dp_opt.Selinger.Fixed op
+    | Cost_enc.Cout -> Dp_opt.Selinger.Fixed Plan.Hash_join
+    | Cost_enc.Choose_operator _ -> Dp_opt.Selinger.Best_per_join
+  in
+  Dp_opt.Greedy.plan ~metric ~operators q
+
+type answer = {
+  a_source : string;
+  a_degraded : bool;
+  a_provenance : string;
+  a_plan : Plan.t;  (* in the request's own numbering *)
+  a_objective : float option;
+  a_bound : float;
+  a_true_cost : float option;
+}
+
+let answer_of_entry fp source degraded (e : Plan_cache.entry) =
+  {
+    a_source = source;
+    a_degraded = degraded;
+    a_provenance =
+      (if degraded then "degraded:cache(" ^ e.Plan_cache.e_provenance ^ ")"
+       else e.Plan_cache.e_provenance);
+    a_plan = Fingerprint.plan_of_canonical fp e.Plan_cache.e_plan;
+    a_objective = e.Plan_cache.e_objective;
+    a_bound = e.Plan_cache.e_bound;
+    a_true_cost = e.Plan_cache.e_true_cost;
+  }
+
+(* Serve one admitted optimize request through the ladder. *)
+let optimize_answer t (p : Protocol.optimize_params) =
+  let config =
+    { Optimizer.default_config with Optimizer.cost = Option.value ~default:t.cfg.sv_cost p.Protocol.p_cost }
+    |> Optimizer.with_precision
+         (Option.value ~default:t.cfg.sv_precision p.Protocol.p_precision)
+    |> Optimizer.with_jobs t.cfg.sv_jobs
+  in
+  let limit =
+    Float.min (Option.value ~default:t.cfg.sv_default_limit p.Protocol.p_budget)
+      t.cfg.sv_max_limit
+  in
+  let config = Optimizer.with_time_limit limit config in
+  let q = p.Protocol.p_query in
+  let fp = Fingerprint.of_query q in
+  let key = cache_key config fp in
+  let degraded_fallback warm =
+    match warm with
+    | Some entry ->
+      t.n_degraded_cache <- t.n_degraded_cache + 1;
+      answer_of_entry fp "degraded-cache" true entry
+    | None ->
+      t.n_degraded_heuristic <- t.n_degraded_heuristic + 1;
+      let plan, cost = heuristic_answer config q in
+      {
+        a_source = "degraded-heuristic";
+        a_degraded = true;
+        a_provenance = "degraded:greedy";
+        a_plan = plan;
+        a_objective = None;
+        a_bound = 0.;
+        a_true_cost = Some cost;
+      }
+  in
+  let exact warm =
+    (* per-request deadline drawn from the server's lifetime budget, so
+       one SIGTERM winds down whatever is in flight *)
+    let request_budget = Budget.sub t.budget ~limit () in
+    let t0 = Budget.now () in
+    let outcome = solve_with_retries t config request_budget ?warm fp q in
+    record t.lat_solve (Budget.now () -. t0);
+    match outcome with
+    | Ok r -> (
+      match r.Optimizer.plan with
+      | Some plan ->
+        let timed_out = r.Optimizer.stopped <> Milp.Branch_bound.Completed in
+        if timed_out then begin
+          t.n_timeouts <- t.n_timeouts + 1;
+          t.strikes <- t.strikes + 1
+        end
+        else t.strikes <- 0;
+        let entry = entry_of_result config r plan in
+        Plan_cache.add t.cache key entry;
+        t.n_exact <- t.n_exact + 1;
+        Some (answer_of_entry fp "solved" false entry)
+      | None ->
+        t.strikes <- t.strikes + 1;
+        None)
+    | Error _ ->
+      t.strikes <- t.strikes + 1;
+      None
+  in
+  let answer =
+    match Plan_cache.find t.cache key with
+    | Plan_cache.Hit entry ->
+      t.n_cache_hits <- t.n_cache_hits + 1;
+      answer_of_entry fp "cache-hit" false entry
+    | (Plan_cache.Stale_precision _ | Plan_cache.Miss) as lookup -> (
+      let warm =
+        match lookup with Plan_cache.Stale_precision e -> Some e | _ -> None
+      in
+      match t.mode with
+      | Exact -> (
+        match exact warm with
+        | Some a ->
+          if warm <> None then t.n_warm <- t.n_warm + 1;
+          a
+        | None ->
+          if t.cfg.sv_degrade_after > 0 && t.strikes >= t.cfg.sv_degrade_after then begin
+            t.mode <- Degraded;
+            t.probe_clock <- 0;
+            t.n_degradations <- t.n_degradations + 1
+          end;
+          degraded_fallback warm)
+      | Degraded ->
+        (* Probe the exact path every k-th request; a clean completion
+           recovers the server, anything else keeps it degraded. *)
+        t.probe_clock <- t.probe_clock + 1;
+        if t.cfg.sv_probe_every > 0 && t.probe_clock mod t.cfg.sv_probe_every = 0 then begin
+          t.n_probes <- t.n_probes + 1;
+          match exact warm with
+          | Some a when t.strikes = 0 ->
+            t.mode <- Exact;
+            t.n_recoveries <- t.n_recoveries + 1;
+            a
+          | Some a -> a (* answered exactly, but still shaky: stay degraded *)
+          | None -> degraded_fallback warm
+        end
+        else degraded_fallback warm)
+  in
+  maybe_snapshot t;
+  answer
+
+(* --- request dispatch ----------------------------------------------- *)
+
+let json_of_opt_float = function Some f -> Json.Float f | None -> Json.Null
+
+let json_of_phase ps =
+  Json.Obj
+    [
+      ("count", Json.Int ps.ps_count);
+      ("total", Json.Float ps.ps_total);
+      ( "mean",
+        Json.Float (if ps.ps_count = 0 then 0. else ps.ps_total /. float_of_int ps.ps_count)
+      );
+      ("max", Json.Float ps.ps_max);
+    ]
+
+let json_of_cache_stats (c : Plan_cache.stats) =
+  Json.Obj
+    [
+      ("hits", Json.Int c.Plan_cache.st_hits);
+      ("misses", Json.Int c.Plan_cache.st_misses);
+      ("stale_precision_hits", Json.Int c.Plan_cache.st_stale_hits);
+      ("insertions", Json.Int c.Plan_cache.st_insertions);
+      ("evictions", Json.Int c.Plan_cache.st_evictions);
+      ("invalidated", Json.Int c.Plan_cache.st_invalidated);
+      ("size", Json.Int c.Plan_cache.st_size);
+      ("capacity", Json.Int c.Plan_cache.st_capacity);
+      ("epoch", Json.Int c.Plan_cache.st_epoch);
+    ]
+
+let stats_json t =
+  Json.Obj
+    [
+      ("uptime", Json.Float (Budget.elapsed t.budget));
+      ("mode", Json.String (match t.mode with Exact -> "exact" | Degraded -> "degraded"));
+      ( "admission",
+        Json.Obj
+          [
+            ("accepted", Json.Int t.n_accepted);
+            ("rejected_rate", Json.Int t.n_rejected_rate);
+            ("rejected_queue", Json.Int t.n_rejected_queue);
+            ("malformed", Json.Int t.n_malformed);
+            ("errors", Json.Int t.n_errors);
+          ] );
+      ( "answers",
+        Json.Obj
+          [
+            ("solved", Json.Int t.n_exact);
+            ("cache_hits", Json.Int t.n_cache_hits);
+            ("warm_started", Json.Int t.n_warm);
+            ("degraded_cache", Json.Int t.n_degraded_cache);
+            ("degraded_heuristic", Json.Int t.n_degraded_heuristic);
+            ("timeouts", Json.Int t.n_timeouts);
+            ("retries", Json.Int t.n_retries);
+          ] );
+      ( "degradation",
+        Json.Obj
+          [
+            ("strikes", Json.Int t.strikes);
+            ("entered", Json.Int t.n_degradations);
+            ("probes", Json.Int t.n_probes);
+            ("recoveries", Json.Int t.n_recoveries);
+          ] );
+      ( "snapshot",
+        Json.Obj
+          [
+            ("status", Json.String t.snapshot_status);
+            ("written", Json.Int t.n_snapshots);
+          ] );
+      ("cache", json_of_cache_stats (Plan_cache.stats t.cache));
+      ( "latency",
+        Json.Obj
+          [
+            ("parse", json_of_phase t.lat_parse);
+            ("solve", json_of_phase t.lat_solve);
+            ("request", json_of_phase t.lat_request);
+          ] );
+    ]
+
+let ok_fields fields = ("status", Json.String "ok") :: fields
+
+let handle_line t ?(client = "default") line =
+  let t_req = Budget.now () in
+  let t0 = Budget.now () in
+  let parsed = Protocol.request_of_line line in
+  record t.lat_parse (Budget.now () -. t0);
+  let resp =
+    match parsed with
+    | Error reason ->
+      t.n_malformed <- t.n_malformed + 1;
+      (* Best effort at echoing the id even for invalid requests, so a
+         client can correlate the rejection. *)
+      let id =
+        match Json.parse line with
+        | Ok doc -> Option.value ~default:Json.Null (Json.member "id" doc)
+        | Error _ -> Json.Null
+      in
+      Protocol.error_response ~id reason
+    | Ok req -> (
+      let id = req.Protocol.rq_id in
+      let client = if req.Protocol.rq_client <> "default" then req.Protocol.rq_client else client in
+      match req.Protocol.rq_op with
+      | Protocol.Ping -> Protocol.response ~id (ok_fields [ ("pong", Json.Bool true) ])
+      | Protocol.Stats -> Protocol.response ~id (ok_fields [ ("stats", stats_json t) ])
+      | Protocol.Bump_epoch ->
+        Plan_cache.bump_epoch t.cache;
+        Protocol.response ~id
+          (ok_fields [ ("epoch", Json.Int (Plan_cache.epoch t.cache)) ])
+      | Protocol.Snapshot -> (
+        match save_snapshot t with
+        | Ok () ->
+          Protocol.response ~id
+            (ok_fields
+               [
+                 ( "snapshot",
+                   match t.cfg.sv_snapshot_path with
+                   | Some p -> Json.String p
+                   | None -> Json.Null );
+               ])
+        | Error reason -> Protocol.error_response ~id ("snapshot failed: " ^ reason))
+      | Protocol.Shutdown ->
+        t.shutdown <- true;
+        Protocol.response ~id (ok_fields [ ("shutting_down", Json.Bool true) ])
+      | Protocol.Optimize p ->
+        if not (admit t client) then begin
+          t.n_rejected_rate <- t.n_rejected_rate + 1;
+          Protocol.rejected_response ~id "overload:rate"
+        end
+        else begin
+          t.n_accepted <- t.n_accepted + 1;
+          match optimize_answer t p with
+          | a ->
+            Protocol.response ~id
+              (ok_fields
+                 [
+                   ("source", Json.String a.a_source);
+                   ("degraded", Json.Bool a.a_degraded);
+                   ( "mode",
+                     Json.String
+                       (match t.mode with Exact -> "exact" | Degraded -> "degraded") );
+                   ("provenance", Json.String a.a_provenance);
+                   ( "plan",
+                     Json.String
+                       (Format.asprintf "%a" (Plan.pp_with_query p.Protocol.p_query) a.a_plan)
+                   );
+                   ("objective", json_of_opt_float a.a_objective);
+                   ("bound", Json.Float a.a_bound);
+                   ("true_cost", json_of_opt_float a.a_true_cost);
+                   ("elapsed", Json.Float (Budget.now () -. t_req));
+                 ])
+          | exception exn ->
+            (* The ladder itself crashed (should not happen — retries and
+               fallbacks absorb solver failures): a definitive error
+               response, never a dropped request. *)
+            t.n_errors <- t.n_errors + 1;
+            Protocol.error_response ~id (Printexc.to_string exn)
+        end)
+  in
+  record t.lat_request (Budget.now () -. t_req);
+  resp
+
+let id_of_line line =
+  match Json.parse line with
+  | Ok doc -> Option.value ~default:Json.Null (Json.member "id" doc)
+  | Error _ -> Json.Null
+
+let handle_batch t ?client lines =
+  (* Queue-depth admission over a burst: everything past the first
+     [sv_max_queue] pending lines is answered [overload:queue] without
+     being processed — definitive, immediate, and cheap. *)
+  List.mapi
+    (fun i line ->
+      if i >= t.cfg.sv_max_queue then begin
+        t.n_rejected_queue <- t.n_rejected_queue + 1;
+        Protocol.rejected_response ~id:(id_of_line line) "overload:queue"
+      end
+      else handle_line t ?client line)
+    lines
+
+(* --- the poll loop --------------------------------------------------- *)
+
+(* Per-connection line reassembly. [cn_discard] is set once a line
+   exceeds the protocol bound: the overflow is answered with one error
+   and input is dropped until the next newline, so an unbounded
+   un-terminated line cannot balloon the heap. *)
+type conn = {
+  cn_fd : Unix.file_descr;
+  cn_client : string;
+  cn_buf : Buffer.t;
+  mutable cn_discard : bool;
+}
+
+let make_conn fd client = { cn_fd = fd; cn_client = client; cn_buf = Buffer.create 4096; cn_discard = false }
+
+(* Split the connection buffer into complete lines, keeping the
+   unterminated tail buffered. Returns the lines plus whether the
+   still-buffered tail overflowed the line bound. *)
+let take_lines conn =
+  let data = Buffer.contents conn.cn_buf in
+  let lines = ref [] in
+  let start = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '\n' then begin
+        let line = String.sub data !start (i - !start) in
+        let line =
+          if String.length line > 0 && line.[String.length line - 1] = '\r' then
+            String.sub line 0 (String.length line - 1)
+          else line
+        in
+        (if conn.cn_discard then conn.cn_discard <- false
+         else if String.trim line <> "" then lines := line :: !lines);
+        start := i + 1
+      end)
+    data;
+  Buffer.clear conn.cn_buf;
+  Buffer.add_substring conn.cn_buf data !start (String.length data - !start);
+  let overflow =
+    (not conn.cn_discard) && Buffer.length conn.cn_buf > Protocol.max_line_bytes
+  in
+  if overflow then begin
+    Buffer.clear conn.cn_buf;
+    conn.cn_discard <- true
+  end;
+  (List.rev !lines, overflow)
+
+let rec write_all fd bytes off len =
+  if len > 0 then begin
+    match Unix.write fd bytes off len with
+    | n -> write_all fd bytes (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes off len
+  end
+
+let write_line fd line =
+  let bytes = Bytes.of_string (line ^ "\n") in
+  write_all fd bytes 0 (Bytes.length bytes)
+
+(* Read whatever is available; [`Eof] on orderly close. *)
+let read_chunk fd conn chunk =
+  match Unix.read fd chunk 0 (Bytes.length chunk) with
+  | 0 -> `Eof
+  | n ->
+    Buffer.add_subbytes conn.cn_buf chunk 0 n;
+    `Data
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Again
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Eof
+
+(* Serve every complete line currently buffered on [conn], writing
+   responses to [out_fd]. *)
+let drain_conn t conn out_fd =
+  let lines, overflow = take_lines conn in
+  if overflow then begin
+    t.n_malformed <- t.n_malformed + 1;
+    (try write_line out_fd (Protocol.error_response ~id:Json.Null "request line too long")
+     with Unix.Unix_error _ -> ())
+  end;
+  if lines <> [] then begin
+    (* Slow-client fault point: a stall injected here holds the whole
+       loop, which is exactly how a real slow consumer backs the server
+       up — the admission layer is what keeps that survivable. *)
+    let stall = Faults.request_stall () in
+    if stall > 0. then Unix.sleepf stall;
+    let responses = handle_batch t ~client:conn.cn_client lines in
+    List.iter
+      (fun r -> try write_line out_fd r with Unix.Unix_error _ -> ())
+      responses
+  end
+
+let with_signals t f =
+  let stop _ =
+    t.shutdown <- true;
+    Budget.cancel t.budget
+  in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop) in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle stop) in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int;
+      (* every graceful exit path ends with a snapshot *)
+      ignore (save_snapshot t))
+    f
+
+let serve_fds t in_fd out_fd =
+  with_signals t (fun () ->
+      let conn = make_conn in_fd "default" in
+      let chunk = Bytes.create 65536 in
+      let eof = ref false in
+      while not (!eof || t.shutdown) do
+        match Unix.select [ in_fd ] [] [] 0.25 with
+        | [], _, _ -> ()
+        | _ -> (
+          match read_chunk in_fd conn chunk with
+          | `Eof ->
+            (* serve whatever is already buffered before stopping *)
+            Buffer.add_char conn.cn_buf '\n';
+            drain_conn t conn out_fd;
+            eof := true
+          | `Data | `Again -> drain_conn t conn out_fd)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done)
+
+let serve_socket t ~path =
+  (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 16;
+  let conns : conn list ref = ref [] in
+  let next_conn = ref 0 in
+  let chunk = Bytes.create 65536 in
+  let close_conn conn =
+    conns := List.filter (fun c -> c.cn_fd != conn.cn_fd) !conns;
+    try Unix.close conn.cn_fd with Unix.Unix_error _ -> ()
+  in
+  with_signals t (fun () ->
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun c -> try Unix.close c.cn_fd with Unix.Unix_error _ -> ()) !conns;
+          (try Unix.close srv with Unix.Unix_error _ -> ());
+          try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+        (fun () ->
+          while not t.shutdown do
+            let fds = srv :: List.map (fun c -> c.cn_fd) !conns in
+            match Unix.select fds [] [] 0.25 with
+            | readable, _, _ ->
+              List.iter
+                (fun fd ->
+                  if fd == srv then begin
+                    match Unix.accept srv with
+                    | client_fd, _ ->
+                      incr next_conn;
+                      conns :=
+                        make_conn client_fd (Printf.sprintf "conn-%d" !next_conn)
+                        :: !conns
+                    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                  end
+                  else
+                    match List.find_opt (fun c -> c.cn_fd == fd) !conns with
+                    | None -> ()
+                    | Some conn -> (
+                      match read_chunk fd conn chunk with
+                      | `Eof ->
+                        Buffer.add_char conn.cn_buf '\n';
+                        drain_conn t conn conn.cn_fd;
+                        close_conn conn
+                      | `Data | `Again -> drain_conn t conn conn.cn_fd))
+                readable
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          done))

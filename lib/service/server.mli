@@ -1,0 +1,107 @@
+(** Persistent joinopt server: a long-lived request loop layering
+    admission control, graceful degradation and crash-safe plan-cache
+    persistence on the optimizer.
+
+    The request/response wire format is {!Protocol} (one JSON object
+    per line); the loop runs over raw file descriptors — stdin/stdout
+    ({!serve_fds}) or a Unix-domain socket ({!serve_socket}) — with its
+    own line reassembly, so the poll loop can multiplex connections and
+    notice shutdown signals between reads.
+
+    Robustness layers, outermost first:
+
+    - {b Admission control.} A token bucket per client ([rate] tokens
+      per second, capacity [burst]) plus a global pending-queue depth
+      limit. Work that would exceed either limit is answered
+      immediately with [status:"rejected"], [reason:"overload:rate"] /
+      ["overload:queue"] — a definitive response, never a silent stall.
+    - {b Per-request deadlines.} Every optimize runs under
+      {!Milp.Budget.sub} of the server's lifetime budget, so one
+      SIGTERM cancels every in-flight solve cooperatively, and a
+      client's requested budget can never exceed [max_limit].
+    - {b Retry with backoff.} A solve attempt that dies (an injected
+      abort, a transient numeric crash) is retried up to [retries]
+      times with exponentially growing pauses, as long as the request's
+      budget has time left.
+    - {b Degradation ladder.} A request whose exact path fails or times
+      out falls back to a warm cache entry at another precision, then
+      to the greedy heuristic — tagged [degraded:true] with a
+      [degraded:*] provenance, never mislabeled as exact. After
+      [degrade_after] consecutive exact-path strikes the server enters
+      degraded *mode* and answers from the cache or the heuristic
+      without touching the MILP at all, probing the exact path every
+      [probe_every]-th request to recover. Degraded plans are never
+      inserted into the cache.
+    - {b Crash-safe persistence.} The plan cache is snapshotted through
+      the {!Milp.Checkpoint} envelope every [snapshot_every] admitted
+      optimize requests and at graceful shutdown; a damaged or
+      truncated snapshot is detected at startup and dropped to a cold
+      cache with the reason recorded in [stats]. *)
+
+type config = {
+  sv_cache_capacity : int;
+  sv_snapshot_path : string option;
+  sv_snapshot_every : int;
+      (** snapshot after every N admitted optimize requests; [0] means
+          only on explicit request / graceful shutdown *)
+  sv_rate : float;  (** token-bucket refill per second per client *)
+  sv_burst : float;  (** token-bucket capacity; [0.] disables rate admission *)
+  sv_max_queue : int;  (** pending requests beyond this are rejected *)
+  sv_default_limit : float;  (** per-request budget when the client names none *)
+  sv_max_limit : float;  (** hard cap on client-requested budgets *)
+  sv_retries : int;  (** transient-failure retries per request *)
+  sv_backoff : float;  (** first retry pause, seconds; doubles per retry *)
+  sv_degrade_after : int;
+      (** consecutive exact-path strikes before degraded mode; [0] never *)
+  sv_probe_every : int;
+      (** in degraded mode, retry the exact path on every k-th request *)
+  sv_jobs : int;  (** branch & bound domains per solve *)
+  sv_precision : Joinopt.Thresholds.precision;
+  sv_cost : Joinopt.Cost_enc.spec;
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Build the server state; when [sv_snapshot_path] names an existing
+    file the plan cache is restored from it, and a damaged snapshot is
+    dropped (cold start) with the reason kept for [stats] — never an
+    exception. *)
+
+val handle_line : t -> ?client:string -> string -> string
+(** Parse, admit and serve one request line; returns the one-line
+    response. [client] is a transport-level client key used when the
+    request itself names none (socket connections pass their peer id).
+    This is the whole server minus the I/O loop — tests drive it
+    directly, deterministically. *)
+
+val handle_batch : t -> ?client:string -> string list -> string list
+(** [handle_lines] with queue-depth admission applied across the batch:
+    lines beyond [sv_max_queue] pending are rejected with
+    ["overload:queue"] before any processing, exactly as the poll loop
+    treats a burst of input. Responses come back in request order. *)
+
+val shutdown_requested : t -> bool
+
+val save_snapshot : t -> (unit, string) result
+(** Snapshot now (no-op [Ok] when no snapshot path is configured). *)
+
+val stats_json : t -> Json.t
+(** The same document a [{"op":"stats"}] request returns (admission and
+    degradation counters, cache statistics, per-phase latencies,
+    snapshot status, uptime). *)
+
+val serve_fds : t -> Unix.file_descr -> Unix.file_descr -> unit
+(** Serve until EOF, a [shutdown] request, or SIGTERM/SIGINT (handlers
+    installed for the duration): read request lines from the first
+    descriptor, write response lines to the second. A final snapshot is
+    written on every graceful exit path. *)
+
+val serve_socket : t -> path:string -> unit
+(** Bind a Unix-domain socket at [path] (replacing a stale file),
+    accept any number of concurrent connections, and serve each with
+    the same per-line protocol; connection N's default client key is
+    ["conn-N"]. Returns on [shutdown] or SIGTERM/SIGINT, removing the
+    socket file and writing a final snapshot. *)

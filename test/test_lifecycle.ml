@@ -135,8 +135,15 @@ let budget_sub () =
   let p = Budget.create ~limit:0.05 () in
   Unix.sleepf 0.02;
   let c = Budget.sub p ~limit:0.05 () in
-  (match (Budget.remaining c, Budget.remaining p) with
-  | Some rc, Some rp ->
+  (* Read the parent first (explicit [let]s — tuple components evaluate
+     right-to-left): the clamp makes the two remainings equal at any
+     single instant, so reading the child a few microseconds later can
+     only shrink it — the reverse order inflates the child by the read
+     skew and trips the comparison spuriously. *)
+  let rp = Budget.remaining p in
+  let rc = Budget.remaining c in
+  (match (rp, rc) with
+  | Some rp, Some rc ->
     if rc > rp +. 1e-9 then
       Alcotest.failf "child remaining %g exceeds parent remaining %g" rc rp
   | _ -> Alcotest.fail "limited budgets report no remaining")

@@ -16,6 +16,11 @@
          threshold code, lib/dp_opt, lib/relalg/cost_model.ml) where the
          comparison is load-bearing; the simplex kernels use exact
          zero tests on purpose.
+     R5  Blocking primitives (Unix.sleep/sleepf/select/read, input_line,
+         really_input) in lib/service outside server.ml — the service
+         layer must stay non-blocking so the scheduler's domains and the
+         server's admission path can never stall on I/O; only the
+         server's own poll loop (and its retry backoff) may block.
 
    Comments and string literals are stripped before matching, so doc
    references to the forbidden names do not trip the rules. Output is
@@ -25,6 +30,19 @@ let roots = [ "lib"; "bin"; "bench"; "test"; "examples"; "tool" ]
 
 (* gettimeofday is allowed only inside the monotone-clamp implementation. *)
 let gettimeofday_allowlist = [ "lib/milp/budget.ml" ]
+
+(* Blocking calls in the service layer are confined to the server's
+   poll loop. *)
+let service_blocking_allowlist = [ "lib/service/server.ml" ]
+
+let service_blocking_tokens =
+  [
+    "Unix.sleep";  (* also matches Unix.sleepf *)
+    "Unix.select";
+    "Unix.read";
+    "input_line";
+    "really_input";
+  ]
 
 let cost_path file =
   let prefixed p = String.length file >= String.length p && String.sub file 0 (String.length p) = p in
@@ -192,7 +210,20 @@ let () =
           if contains line "Obj.magic" then report file lnum "R3" "Obj.magic is forbidden";
           if cost_path file && float_compare_hit line then
             report file lnum "R4"
-              "polymorphic (=)/(<>) on a float in a cost path; use Float.compare")
+              "polymorphic (=)/(<>) on a float in a cost path; use Float.compare";
+          if
+            String.length file >= 12
+            && String.sub file 0 12 = "lib/service/"
+            && not (List.mem file service_blocking_allowlist)
+          then
+            List.iter
+              (fun tok ->
+                if contains line tok then
+                  report file lnum "R5"
+                    (tok
+                    ^ " in lib/service outside server.ml; the service layer must not \
+                       block"))
+              service_blocking_tokens)
         lines)
     files;
   match List.rev !findings with
