@@ -101,6 +101,35 @@ let cost_term =
   Arg.(value & opt cost_conv (Cost_enc.Fixed_operator Plan.Hash_join)
          & info [ "cost" ] ~docv:"MODEL" ~doc:"Cost model: hash, smj, bnl, cout, choose.")
 
+let warm_policy_conv =
+  let parse s =
+    match Optimizer.warm_start_of_string s with Ok w -> Ok w | Error m -> Error (`Msg m)
+  in
+  let print ppf w = Format.pp_print_string ppf (Optimizer.warm_start_to_string w) in
+  Arg.conv (parse, print)
+
+let warm_start_term =
+  Arg.(value & opt warm_policy_conv Optimizer.Ws_greedy & info [ "warm-start" ] ~docv:"MODE"
+         ~doc:"MIP-start policy: $(b,off) (cold start), $(b,greedy) (seed the greedy \
+               heuristic's plan; the default), or $(b,portfolio) (race greedy, IKKBZ and \
+               simulated annealing under a slice of the budget and seed the best \
+               certified finisher). Every candidate is re-certified against the \
+               original formulation before it is trusted.")
+
+let warm_mode_conv =
+  let parse s =
+    match Service.Protocol.warm_of_string s with Ok w -> Ok w | Error m -> Error (`Msg m)
+  in
+  let print ppf w = Format.pp_print_string ppf (Service.Protocol.warm_to_string w) in
+  Arg.conv (parse, print)
+
+let warm_mode_term =
+  Arg.(value & opt warm_mode_conv Service.Protocol.Warm_cache & info [ "warm-start" ]
+         ~docv:"MODE"
+         ~doc:"MIP-start mode: $(b,off), $(b,greedy), $(b,portfolio), or $(b,cache) (the \
+               default: prefer a translated plan-cache entry for the same canonical \
+               query, falling back to the greedy seed).")
+
 (* Reject nonsense like --jobs 0 or --cache-size -3 at parse time with a
    usage error, instead of leaning on the silent >= 1 clamp downstream. *)
 let positive_int_conv what =
@@ -157,13 +186,14 @@ let lint_term =
 (* optimize                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_optimize query budget precision cost jobs checkpoint checkpoint_every resume lint
-    verbose =
+let run_optimize query budget precision cost jobs warm_start checkpoint checkpoint_every
+    resume lint verbose =
   let config =
     { Optimizer.default_config with Optimizer.cost }
     |> Optimizer.with_precision precision
     |> Optimizer.with_time_limit budget
     |> Optimizer.with_jobs jobs
+    |> Optimizer.with_warm_start_policy warm_start
   in
   let config =
     match checkpoint with
@@ -217,6 +247,11 @@ let run_optimize query budget precision cost jobs checkpoint checkpoint_every re
   (match r.Optimizer.provenance with
   | Some p -> Format.printf "provenance: %s@." (Optimizer.provenance_to_string p)
   | None -> ());
+  (match r.Optimizer.seed with
+  | Some s ->
+    Format.printf "warm start: seeded by %s (objective %.6g)@." s.Milp.Warm_start.sd_source
+      s.Milp.Warm_start.sd_objective
+  | None -> Format.printf "warm start: none (cold)@.");
   Format.printf "certificate: %s@."
     (match r.Optimizer.certificate with
     | Milp.Solver.Certified rep ->
@@ -251,7 +286,8 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Optimize a join query through the MILP encoding")
     Term.(
       const run_optimize $ query_term $ budget_term $ precision_term $ cost_term $ jobs_term
-      $ checkpoint_term $ checkpoint_every_term $ resume_term $ lint_term $ verbose)
+      $ warm_start_term $ checkpoint_term $ checkpoint_every_term $ resume_term $ lint_term
+      $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* batch — the multi-query service front end                            *)
@@ -380,17 +416,30 @@ let json_of_stats (s : Scheduler.stats) =
         | None -> Json.Null );
     ]
 
-let run_batch requests jobs cache_size no_cache per_query precision cost bench =
+let run_batch requests jobs cache_size no_cache per_query precision cost warm bench =
   let config =
     { Optimizer.default_config with Optimizer.cost }
     |> Optimizer.with_precision precision
     |> Optimizer.with_time_limit per_query
   in
+  (* cache mode = the scheduler's native behavior (stale-precision cache
+     entries injected as MIP starts); the other modes pin the policy and
+     turn that injection off so the answer is honestly cold/greedy/raced. *)
+  let config, cache_warm =
+    match (warm : Service.Protocol.warm_mode) with
+    | Service.Protocol.Warm_cache -> (config, true)
+    | Service.Protocol.Warm_off -> (Optimizer.with_warm_start_policy Optimizer.Ws_off config, false)
+    | Service.Protocol.Warm_greedy ->
+      (Optimizer.with_warm_start_policy Optimizer.Ws_greedy config, false)
+    | Service.Protocol.Warm_portfolio ->
+      (Optimizer.with_warm_start_policy Optimizer.Ws_portfolio config, false)
+  in
   let cache = if no_cache then None else Some (Plan_cache.create ~capacity:cache_size ()) in
   let budget = Milp.Budget.create () in
   let reports, stats =
     Milp.Budget.with_sigint budget (fun () ->
-        Scheduler.run ~config ?cache ~jobs ~budget ~per_query_limit:per_query requests)
+        Scheduler.run ~config ?cache ~cache_warm ~jobs ~budget ~per_query_limit:per_query
+          requests)
   in
   let queries = List.map (fun r -> (r.Scheduler.r_label, r.Scheduler.r_query)) requests in
   let query_of_label label = List.assoc_opt label queries in
@@ -422,6 +471,7 @@ let run_batch requests jobs cache_size no_cache per_query precision cost bench =
          ("per_query_limit", Json.Float per_query);
          ("precision", Json.String (Thresholds.precision_to_string precision));
          ("cost", Json.String (Cost_enc.spec_to_string cost));
+         ("warm_start", Json.String (Service.Protocol.warm_to_string warm));
          ("results", Json.List (List.map (json_of_report query_of_label) reports));
          ("stats", json_of_stats stats);
        ]
@@ -474,7 +524,7 @@ let batch_cmd =
              provenance + cache statistics) on stdout.")
     Term.(
       const run_batch $ batch_requests_term $ jobs_term $ cache_size $ no_cache $ per_query
-      $ precision_term $ cost_term $ bench)
+      $ precision_term $ cost_term $ warm_mode_term $ bench)
 
 (* ------------------------------------------------------------------ *)
 (* serve — the persistent server                                        *)
@@ -506,7 +556,7 @@ let nonneg_int_conv what =
   Arg.conv (parse, Format.pp_print_int)
 
 let run_serve socket snapshot snapshot_every cache_size rate burst max_queue default_limit
-    max_limit retries backoff degrade_after probe_every jobs precision cost =
+    max_limit retries backoff degrade_after probe_every jobs precision cost warm =
   if default_limit > max_limit then
     `Error
       ( false,
@@ -530,6 +580,7 @@ let run_serve socket snapshot snapshot_every cache_size rate burst max_queue def
         sv_jobs = jobs;
         sv_precision = precision;
         sv_cost = cost;
+        sv_warm = warm;
       }
     in
     let server = Service.Server.create ~config () in
@@ -612,7 +663,7 @@ let serve_cmd =
       ret
         (const run_serve $ socket $ snapshot $ snapshot_every $ cache_size $ rate $ burst
         $ max_queue $ default_limit $ max_limit $ retries $ backoff $ degrade_after
-        $ probe_every $ jobs_term $ precision_term $ cost_term))
+        $ probe_every $ jobs_term $ precision_term $ cost_term $ warm_mode_term))
 
 (* ------------------------------------------------------------------ *)
 (* dp / greedy                                                          *)

@@ -390,6 +390,16 @@ let build ?(config = default_config) q =
   Problem.set_meta p "joinopt.log10_sels"
     (String.concat ";"
        (Array.to_list (Array.map (fun s -> Printf.sprintf "%.17g" s) log10_sels)));
+  (* Effective cardinalities and the threshold ladder, in full [%.17g]
+     precision so {!Milp.Warm_start} can rebuild a variable assignment
+     for a candidate plan bit-for-bit equal to {!assignment_of_order}
+     without access to the query or this record. *)
+  let floats17 a =
+    String.concat ";" (Array.to_list (Array.map (fun v -> Printf.sprintf "%.17g" v) a))
+  in
+  Problem.set_meta p "joinopt.cards" (floats17 cards);
+  Problem.set_meta p "joinopt.ladder.log10_thetas" (floats17 ladder.Thresholds.log10_thetas);
+  Problem.set_meta p "joinopt.ladder.deltas" (floats17 ladder.Thresholds.deltas);
   {
     problem = p;
     query = q;

@@ -349,7 +349,12 @@ let optimize ?(pm = Cost_model.default_page_model) ?(config = Encoding.default_c
   let enc = Encoding.build ~config q in
   let t = install ~pm ~sorted_tables enc in
   let greedy_order = Dp_opt.Greedy.order q in
-  let mip_start = assignment_of t greedy_order (best_variants_approx t greedy_order) in
+  let mip_start =
+    {
+      Milp.Warm_start.ws_x = assignment_of t greedy_order (best_variants_approx t greedy_order);
+      ws_source = "greedy";
+    }
+  in
   let outcome = (Milp.Solver.solve ~params:solver ~mip_start enc.Encoding.problem).Milp.Solver.result in
   match outcome.Milp.Branch_bound.o_x with
   | Some x ->

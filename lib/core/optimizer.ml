@@ -4,13 +4,30 @@ module Branch_bound = Milp.Branch_bound
 module Plan = Relalg.Plan
 module Cost_model = Relalg.Cost_model
 
+type warm_start_policy =
+  | Ws_off
+  | Ws_greedy
+  | Ws_portfolio
+  | Ws_plan of Plan.t
+
+let warm_start_to_string = function
+  | Ws_off -> "off"
+  | Ws_greedy -> "greedy"
+  | Ws_portfolio -> "portfolio"
+  | Ws_plan _ -> "plan"
+
+let warm_start_of_string = function
+  | "off" -> Ok Ws_off
+  | "greedy" -> Ok Ws_greedy
+  | "portfolio" -> Ok Ws_portfolio
+  | s -> Error (Printf.sprintf "unknown warm-start policy %S (expected off|greedy|portfolio)" s)
+
 type config = {
   encoding : Encoding.config;
   cost : Cost_enc.spec;
   pm : Cost_model.page_model;
   solver : Solver.params;
-  greedy_start : bool;
-  warm_start : Plan.t option;
+  warm_start : warm_start_policy;
 }
 
 let default_config =
@@ -21,8 +38,7 @@ let default_config =
     (* Root Gomory cuts rarely pay off on the big-M threshold rows and
        each round costs a cold LP solve; leave them opt-in here. *)
     solver = { Solver.default_params with Solver.cut_rounds = 0 };
-    greedy_start = true;
-    warm_start = None;
+    warm_start = Ws_greedy;
   }
 
 let with_precision precision config =
@@ -36,7 +52,10 @@ let with_checkpoint ck config = { config with solver = Solver.with_checkpoint ck
 
 let with_lint level config = { config with solver = Solver.with_lint level config.solver }
 
-let with_warm_start plan config = { config with warm_start = plan }
+let with_warm_start plan config =
+  { config with warm_start = (match plan with Some p -> Ws_plan p | None -> Ws_greedy) }
+
+let with_warm_start_policy ws config = { config with warm_start = ws }
 
 type trace_point = {
   tp_elapsed : float;
@@ -71,6 +90,7 @@ type result = {
   num_constrs : int;
   elapsed : float;
   lint : Milp.Lint.report option;
+  seed : Milp.Warm_start.seed option;
 }
 
 let guaranteed_factor ~objective ~bound =
@@ -133,25 +153,86 @@ let optimize ?(config = default_config) ?budget ?resume ?on_progress q =
   in
   let enc = Encoding.build ~config:config.encoding q in
   let cost = Cost_enc.install ~pm:config.pm enc config.cost in
+  let problem = enc.Encoding.problem in
+  (* All candidate plans go through the metadata-driven translation in
+     {!Milp.Warm_start}: the MILP side reconstructs the assignment from
+     the [joinopt.*] stamps alone, and branch & bound re-certifies it
+     against the original rows before seeding, so a bad candidate can
+     cost us the warm start but never the answer. *)
+  let assignment_of (plan : Plan.t) =
+    let operators = Array.map Plan.operator_to_string plan.Plan.operators in
+    Milp.Warm_start.assignment_of_plan ~operators problem plan.Plan.order
+  in
+  let metric = exact_metric config.cost in
+  let operators = fallback_operators config.cost in
+  let candidate_of ~source plan =
+    match assignment_of plan with
+    | Ok ws_x -> Some { Milp.Warm_start.ws_x; ws_source = source }
+    | Error msg ->
+      Logs.warn (fun m -> m "%s warm-start candidate dropped: %s" source msg);
+      None
+  in
+  let greedy_candidate () =
+    let plan, _ = Dp_opt.Greedy.plan ~metric ~pm:config.pm ~operators q in
+    candidate_of ~source:"greedy" plan
+  in
+  (* Race the heuristic portfolio under a small slice of the solve
+     budget: greedy and IKKBZ are effectively instant, annealing gets the
+     slice as its stopping clock. {!Milp.Warm_start.race} certifies every
+     finisher and keeps the best certified objective (first listed wins
+     ties, so the outcome is deterministic). *)
+  let portfolio_candidate () =
+    let limit =
+      match Milp.Budget.remaining budget with
+      | Some r -> Float.max 0.05 (Float.min 2.0 (0.1 *. r))
+      | None -> 2.0
+    in
+    let slice = Milp.Budget.sub budget ~limit () in
+    let raw plan = match assignment_of plan with Ok x -> Some x | Error _ -> None in
+    let racers =
+      [
+        ("greedy", fun () -> raw (fst (Dp_opt.Greedy.plan ~metric ~pm:config.pm ~operators q)));
+        ( "ikkbz",
+          fun () ->
+            match Dp_opt.Ikkbz.plan q with
+            | Ok (plan, _) -> raw plan
+            | Error Dp_opt.Ikkbz.Not_a_tree -> None );
+        ( "annealing",
+          fun () ->
+            let time_limit =
+              match Milp.Budget.remaining slice with Some r -> r | None -> limit
+            in
+            let r =
+              Dp_opt.Annealing.simulated_annealing ~metric ~pm:config.pm ~seed:7 ~time_limit q
+            in
+            raw r.Dp_opt.Annealing.plan );
+      ]
+    in
+    let best, rejected = Milp.Warm_start.race problem racers in
+    List.iter
+      (fun (src, msg) -> Logs.debug (fun m -> m "portfolio candidate %s rejected: %s" src msg))
+      rejected;
+    match best with
+    | Some (cand, obj) ->
+      Logs.info (fun m ->
+          m "portfolio warm start: %s wins with objective %g" cand.Milp.Warm_start.ws_source obj);
+      Some cand
+    | None -> None
+  in
   let mip_start =
     if Relalg.Query.num_tables q < 2 then None
-    else begin
-      let start_of_order order =
-        let x = Encoding.assignment_of_order enc order in
-        Cost_enc.extend_assignment cost order x;
-        Some x
-      in
-      (* A caller-supplied plan (e.g. a cached plan for the same canonical
-         query at a different precision) beats the greedy seed; an invalid
-         one is ignored, never fatal. *)
+    else
       match config.warm_start with
-      | Some plan when Plan.validate q plan = Ok () -> start_of_order plan.Plan.order
-      | Some _ ->
-        Logs.warn (fun m -> m "warm-start plan does not match the query; falling back");
-        if config.greedy_start then start_of_order (Dp_opt.Greedy.order q) else None
-      | None ->
-        if config.greedy_start then start_of_order (Dp_opt.Greedy.order q) else None
-    end
+      | Ws_off -> None
+      | Ws_greedy -> greedy_candidate ()
+      | Ws_portfolio -> portfolio_candidate ()
+      (* A caller-supplied plan (e.g. a cached plan for the same canonical
+         query at a different precision) beats the heuristics; an invalid
+         one is ignored, never fatal. *)
+      | Ws_plan plan when Plan.validate q plan = Ok () -> candidate_of ~source:"plan" plan
+      | Ws_plan _ ->
+        Logs.warn (fun m -> m "warm-start plan does not match the query; using the greedy seed");
+        greedy_candidate ()
   in
   let wrap_progress =
     match on_progress with
@@ -222,4 +303,5 @@ let optimize ?(config = default_config) ?budget ?resume ?on_progress q =
     num_constrs = Problem.num_constrs enc.Encoding.problem;
     elapsed = Milp.Budget.elapsed budget;
     lint = outcome.Solver.lint_report;
+    seed = bb.Branch_bound.o_seed;
   }

@@ -3,26 +3,46 @@
     lower bound — the paper's Cost/LB criterion, Section 7.1), and decode
     the winning assignment back into a left-deep plan. *)
 
+(** How the branch & bound gets its initial incumbent. Every candidate —
+    whatever its origin — is translated into a full MILP assignment from
+    the [joinopt.*] metadata alone ({!Milp.Warm_start.assignment_of_plan})
+    and re-certified against the original formulation before it is
+    seeded, so a corrupt or stale candidate degrades to a cold start,
+    never to a wrong answer. *)
+type warm_start_policy =
+  | Ws_off  (** cold start: no incumbent until the tree finds one *)
+  | Ws_greedy
+      (** seed the greedy heuristic's plan, so an incumbent exists from
+          the first instant (mirrors warm-start use of commercial
+          solvers); the default *)
+  | Ws_portfolio
+      (** race greedy / IKKBZ / simulated annealing on separate domains
+          under a small {!Milp.Budget.sub} slice of the solve budget and
+          seed the best certified finisher *)
+  | Ws_plan of Relalg.Plan.t
+      (** a caller-supplied plan — the multi-query service uses this to
+          inject a translated plan-cache entry instead of re-running
+          heuristics. A plan that fails {!Relalg.Plan.validate} is
+          ignored (with a warning) and the greedy seed applies. *)
+
+val warm_start_to_string : warm_start_policy -> string
+(** ["off"], ["greedy"], ["portfolio"] or ["plan"]. *)
+
+val warm_start_of_string : string -> (warm_start_policy, string) result
+(** Parses ["off"] / ["greedy"] / ["portfolio"] (the CLI surface;
+    [Ws_plan] has no textual form). *)
+
 type config = {
   encoding : Encoding.config;
   cost : Cost_enc.spec;
   pm : Relalg.Cost_model.page_model;
   solver : Milp.Solver.params;
-  greedy_start : bool;
-  (** seed the solver with the greedy heuristic's plan as a MIP start, so
-      an incumbent exists from the first instant (mirrors warm-start use
-      of commercial solvers) *)
-  warm_start : Relalg.Plan.t option;
-  (** a caller-supplied plan injected as the MIP start instead of the
-      greedy seed — the multi-query service uses this to re-solve a
-      cached query at a tighter precision starting from the plan it
-      already certified. A plan that fails {!Relalg.Plan.validate} is
-      ignored (with a warning) and the greedy seed applies. *)
+  warm_start : warm_start_policy;
 }
 
 val default_config : config
 (** Medium precision, hash joins (the paper's experimental setup), greedy
-    start, solver defaults. *)
+    warm start, solver defaults. *)
 
 val with_precision : Thresholds.precision -> config -> config
 val with_time_limit : float -> config -> config
@@ -42,7 +62,11 @@ val with_lint : Milp.Lint.level -> config -> config
     caller's job: check {!Milp.Lint.failed} against the level. *)
 
 val with_warm_start : Relalg.Plan.t option -> config -> config
-(** Set {!config.warm_start}. *)
+(** [Some p] sets [Ws_plan p]; [None] restores the default [Ws_greedy].
+    Kept for callers (the service scheduler) that think in terms of an
+    optional cached plan. *)
+
+val with_warm_start_policy : warm_start_policy -> config -> config
 
 type trace_point = {
   tp_elapsed : float;
@@ -87,6 +111,10 @@ type result = {
   lint : Milp.Lint.report option;
       (** static audit of the generated formulation; [Some] iff the
           config enables {!with_lint} *)
+  seed : Milp.Warm_start.seed option;
+      (** provenance of the seeded initial incumbent: [None] on a cold
+          start or when every candidate was rejected at certification;
+          carried through checkpoint/resume *)
 }
 
 val guaranteed_factor : objective:float -> bound:float -> float

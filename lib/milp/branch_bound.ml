@@ -48,6 +48,7 @@ type outcome = {
   o_bound_is_proven : bool;
   o_rejected_incumbents : int;
   o_stop : stop_reason;
+  o_seed : Warm_start.seed option;
 }
 
 let gap ~incumbent ~bound =
@@ -82,6 +83,7 @@ type snapshot = {
   sn_nodes : int;
   sn_simplex_iters : int;
   sn_rejected_incumbents : int;
+  sn_seed : Warm_start.seed option;
 }
 
 type search = {
@@ -107,6 +109,10 @@ type search = {
   mutable stop_hint : stop_reason option;  (* why the loop gave up early *)
   on_progress : progress -> unit;
   mutable incumbent : (float * float array) option;  (* internal min sense, full x *)
+  (* Provenance of the seeded initial incumbent, if one survived
+     certification: carried through snapshots so a resumed solve reports
+     the same seed as the uninterrupted one. *)
+  mutable seed : Warm_start.seed option;
   (* The incumbent objective, republished for worker domains: the only
      piece of search state the speculative LP pool reads. Monotone
      non-increasing, so a stale read only costs a wasted LP, never a
@@ -366,6 +372,7 @@ let take_snapshot s =
     sn_nodes = s.nodes;
     sn_simplex_iters = s.simplex_iters;
     sn_rejected_incumbents = s.rejected_incumbents;
+    sn_seed = s.seed;
   }
 
 (* A checkpoint sink failure (disk full, permissions) must never take
@@ -426,6 +433,7 @@ let finish s status_when_done =
     o_bound_is_proven = s.bound_is_proven;
     o_rejected_incumbents = s.rejected_incumbents;
     o_stop = stop;
+    o_seed = s.seed;
   }
 
 let node_key s n =
@@ -635,6 +643,7 @@ let solve ?(params = default_params) ?budget ?checkpoint ?certify_against ?mip_s
       stop_hint = None;
       on_progress;
       incumbent = (match resume with Some sn -> sn.sn_incumbent | None -> None);
+      seed = (match resume with Some sn -> sn.sn_seed | None -> None);
       inc_published =
         Atomic.make
           (match resume with Some { sn_incumbent = Some (v, _); _ } -> v | _ -> infinity);
@@ -659,12 +668,18 @@ let solve ?(params = default_params) ?budget ?checkpoint ?certify_against ?mip_s
     report ~force:true s;
     run_search s (Array.to_list (Pqueue.raw s.heap))
   | None -> (
-    (* Install the MIP start, if any. *)
+    (* Install the MIP start, if any. The candidate is re-certified here
+       no matter who produced it — heuristic, cache translation or test —
+       and the chaos hook gets a chance to corrupt it first, because this
+       gate is exactly what must keep a stale or damaged candidate from
+       ever becoming an incumbent. A rejected start degrades to a cold
+       start, honestly: no seed provenance is recorded. *)
     (match mip_start with
     | None -> ()
-    | Some x0 ->
-      if Array.length x0 <> sf.Stdform.nstruct then
+    | Some { Warm_start.ws_x; ws_source } ->
+      if Array.length ws_x <> sf.Stdform.nstruct then
         invalid_arg "Branch_bound.solve: mip_start length mismatch";
+      let x0 = Faults.mangle_warm_start ws_x in
       let value v = x0.(v) in
       (match Certify.check_point s.certify value with
       | Certify.Certified r ->
@@ -678,11 +693,13 @@ let solve ?(params = default_params) ?budget ?checkpoint ?certify_against ?mip_s
               c.Problem.c_rhs -. Linexpr.eval value c.Problem.c_expr)
           problem;
         s.incumbent <- Some (obj, full);
+        s.seed <- Some { Warm_start.sd_source = ws_source; sd_objective = r.Certify.r_objective };
         Atomic.set s.inc_published obj;
         (* The anytime contract: a warm start is an incumbent before any
            search happens (its bound is still unproven, hence -inf). *)
         report s
-      | Certify.Rejected msg -> Logs.warn (fun m -> m "MIP start rejected: %s" msg)));
+      | Certify.Rejected msg ->
+        Logs.warn (fun m -> m "MIP start (%s) rejected: %s" ws_source msg)));
     (* Root relaxation. *)
     let res = solve_node s ~warm:None ~lb:root_lb ~ub:root_ub in
     match res.Simplex.status with

@@ -77,6 +77,11 @@ type outcome = {
   (** integral LP points that {!Certify.check_point} refused to install as
       incumbents — nonzero values signal numeric trouble in the LP stack *)
   o_stop : stop_reason;
+  o_seed : Warm_start.seed option;
+  (** Provenance of the seeded initial incumbent when a [mip_start]
+      survived certification; [None] on a cold start or when the
+      candidate was rejected. Carried through checkpoints, so a resumed
+      solve reports the same seed as the uninterrupted one. *)
 }
 
 type snapshot
@@ -96,15 +101,18 @@ val solve :
   ?budget:Budget.t ->
   ?checkpoint:int * (snapshot -> unit) ->
   ?certify_against:Problem.t ->
-  ?mip_start:float array ->
+  ?mip_start:Warm_start.candidate ->
   ?on_progress:(progress -> unit) ->
   ?resume:snapshot ->
   Problem.t ->
   outcome
-(** [mip_start] is a full assignment to structural variables; it is
-    verified with {!Certify.check_point} and, when valid, installed as
-    the initial incumbent (warm starts mirror Gurobi's MIP starts, which
-    the paper's anytime experiments depend on for early plans).
+(** [mip_start] is a candidate assignment to structural variables with a
+    provenance label; it is verified with {!Certify.check_point} (after
+    the {!Faults.mangle_warm_start} chaos hook) and, when valid,
+    installed as the initial incumbent with its provenance recorded in
+    [o_seed] (warm starts mirror Gurobi's MIP starts, which the paper's
+    anytime experiments depend on for early plans). A candidate that
+    fails certification is logged, dropped, and the solve proceeds cold.
 
     [certify_against] is the problem every candidate incumbent is
     re-verified against before installation (default: the problem being

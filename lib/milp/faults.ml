@@ -14,6 +14,7 @@ type plan = {
   f_snapshot_truncate : float;
   f_request_stall : float;
   f_abort_every : int;
+  f_warm_start_mangle : float;
 }
 
 let none =
@@ -31,6 +32,7 @@ let none =
     f_snapshot_truncate = 0.;
     f_request_stall = 0.;
     f_abort_every = 0;
+    f_warm_start_mangle = 0.;
   }
 
 type state = {
@@ -258,6 +260,36 @@ let request_aborts () =
                    true
                  end
             end)
+
+(* Damage a warm-start assignment *after* the candidate was produced but
+   *before* the solver certifies it: the certification gate, not the
+   producer, is what must catch a stale or corrupted incumbent. The
+   damage is loud — a bound-scale bump on one coordinate plus a flipped
+   binary — so a mangled candidate can never still be the optimum. *)
+let mangle_warm_start x =
+  if not !enabled then x
+  else begin
+    Mutex.lock mu;
+    let r =
+      match !state with
+      | Some st
+        when st.plan.f_warm_start_mangle > 0.
+             && Array.length x > 0
+             && next_float st < st.plan.f_warm_start_mangle ->
+        bump st "warm_start_mangle";
+        let copy = Array.copy x in
+        let i = int_of_float (next_float st *. float_of_int (Array.length copy)) in
+        let i = min i (Array.length copy - 1) in
+        copy.(i) <- copy.(i) +. 0.5;
+        let j = int_of_float (next_float st *. float_of_int (Array.length copy)) in
+        let j = min j (Array.length copy - 1) in
+        copy.(j) <- (if copy.(j) > 0.5 then 0. else 1.);
+        copy
+      | _ -> x
+    in
+    Mutex.unlock mu;
+    r
+  end
 
 let with_plan plan f =
   install plan;

@@ -72,6 +72,11 @@ type plan = {
   (** raise {!Injected_abort} out of every k-th guarded request handler
       (scheduler flights, server solve attempts) — exercises in-flight
       cleanup and the retry ladder; [0] disables *)
+  f_warm_start_mangle : float;
+  (** probability of corrupting a warm-start candidate assignment just
+      before the branch & bound certifies it — simulates a stale cache
+      entry or a buggy heuristic translation; the certification gate
+      must reject it and fall back to a cold start; [0.] disables *)
 }
 
 val none : plan
@@ -123,6 +128,13 @@ val request_stall : unit -> float
 val request_aborts : unit -> bool
 (** Polled once per guarded request handler; [true] on every
     [f_abort_every]-th poll. Callers raise {!Injected_abort}. *)
+
+val mangle_warm_start : float array -> float array
+(** Applied to a warm-start candidate assignment just before the branch
+    & bound certifies it; when the fault fires, returns a damaged copy
+    (one coordinate bumped off scale, one binary flipped) that the
+    certification gate must reject. Returns the array unchanged when
+    disabled. *)
 
 val fired : unit -> (string * int) list
 (** Counters of faults actually injected since {!install}, keyed by hook

@@ -52,14 +52,16 @@ let infeasible_result () =
     o_bound_is_proven = true;
     o_rejected_incumbents = 0;
     o_stop = Branch_bound.Completed;
+    o_seed = None;
   }
 
 (* The tag binds a checkpoint both to the caller's problem and to the
    snapshot schema, so a stale file from another query — or another
    version of this code — is rejected at load, not unmarshalled. v2:
    Problem.t grew a metadata field, changing the Marshal layout of the
-   persisted reduced problem. *)
-let checkpoint_tag problem = "bb-snapshot-v2:" ^ Checkpoint.problem_digest problem
+   persisted reduced problem. v3: the snapshot carries the seeded
+   incumbent's provenance. *)
+let checkpoint_tag problem = "bb-snapshot-v3:" ^ Checkpoint.problem_digest problem
 
 (* The persisted value is the pair (reduced problem, snapshot): presolve
    and cuts under a deadline are not reproducible run-to-run, so resume

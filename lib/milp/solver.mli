@@ -89,7 +89,7 @@ val solve :
   ?params:params ->
   ?budget:Budget.t ->
   ?resume:bool ->
-  ?mip_start:float array ->
+  ?mip_start:Warm_start.candidate ->
   ?on_progress:(Branch_bound.progress -> unit) ->
   Problem.t ->
   outcome

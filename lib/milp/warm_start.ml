@@ -1,0 +1,340 @@
+type candidate = { ws_x : float array; ws_source : string }
+type seed = { sd_source : string; sd_objective : float }
+
+exception Reject of string
+
+let rejectf fmt = Printf.ksprintf (fun s -> raise (Reject s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Metadata parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let meta p key =
+  match Problem.find_meta p key with
+  | Some v -> v
+  | None -> rejectf "missing %s metadata" key
+
+let meta_int p key =
+  match int_of_string_opt (String.trim (meta p key)) with
+  | Some v -> v
+  | None -> rejectf "%s is not an integer" key
+
+(* The encoders stamp float arrays as ";"-joined [%.17g], which
+   round-trips IEEE doubles exactly — reconstruction below reproduces
+   the encoder's own arithmetic bit for bit. *)
+let meta_floats p key =
+  let s = meta p key in
+  if s = "" then [||]
+  else
+    Array.of_list
+      (List.map
+         (fun tok ->
+           match float_of_string_opt tok with
+           | Some f -> f
+           | None -> rejectf "%s: %S is not a float" key tok)
+         (String.split_on_char ';' s))
+
+let var p name =
+  match Problem.var_by_name p name with
+  | Some v -> v
+  | None -> rejectf "missing variable %s" name
+
+(* Definition rows by name, first binding wins (mirrors
+   [Problem.var_by_name]); built once per translation. *)
+let row_table p =
+  let tbl = Hashtbl.create 256 in
+  Problem.iter_constrs
+    (fun _ ci -> if not (Hashtbl.mem tbl ci.Problem.c_name) then Hashtbl.add tbl ci.Problem.c_name ci)
+    p;
+  tbl
+
+(* The value of [target] that zeroes the residual of row [name] given
+   the other variables' values in [x]: auxiliary variables pinned by an
+   equality definition row (block counts, per-operator costs) are read
+   off the row itself, so the assignment satisfies the formulation the
+   encoder actually emitted — whatever its coefficients — to round-off. *)
+let eval_from_row rows x name target =
+  match Hashtbl.find_opt rows name with
+  | None -> rejectf "missing constraint %s" name
+  | Some ci ->
+    let acc = ref 0. and tcoeff = ref 0. in
+    List.iter
+      (fun (v, c) -> if v = target then tcoeff := c else acc := !acc +. (c *. x.(v)))
+      (Linexpr.terms ci.Problem.c_expr);
+    if !tcoeff = 0. then rejectf "row %s does not mention its variable" name;
+    (ci.Problem.c_rhs -. !acc) /. !tcoeff
+
+(* ------------------------------------------------------------------ *)
+(* Plan -> assignment                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Operator names as printed by the relalg layer; ranked in constructor
+   order, which is the order [Cost_enc] encodes a Choose_operator set
+   in (it sorts with the polymorphic compare on the variant). *)
+let operator_rank = function
+  | "HJ" -> 0
+  | "SMJ" -> 1
+  | "BNL" -> 2
+  | s -> rejectf "unknown join operator %S" s
+
+let translate ?operators p order =
+  (match Problem.find_meta p "joinopt.ext.orders" with
+  | Some _ -> rejectf "interesting-orders extension is not supported"
+  | None -> ());
+  (match Problem.find_meta p "joinopt.ext.projection" with
+  | Some _ -> rejectf "projection extension is not supported"
+  | None -> ());
+  let n = meta_int p "joinopt.tables" in
+  let num_joins = meta_int p "joinopt.joins" in
+  if n < 2 || num_joins <> n - 1 then rejectf "inconsistent table/join counts";
+  if Array.length order <> n then rejectf "order has %d entries, expected %d" (Array.length order) n;
+  let seen = Array.make n false in
+  Array.iter
+    (fun t ->
+      if t < 0 || t >= n || seen.(t) then rejectf "order is not a permutation of 0..%d" (n - 1);
+      seen.(t) <- true)
+    order;
+  let full_paper =
+    match meta p "joinopt.formulation" with
+    | "full-paper" -> true
+    | "reduced" -> false
+    | s -> rejectf "unknown formulation %S" s
+  in
+  let cards = meta_floats p "joinopt.cards" in
+  if Array.length cards <> n then rejectf "joinopt.cards has the wrong arity";
+  let log10_thetas = meta_floats p "joinopt.ladder.log10_thetas" in
+  let deltas = meta_floats p "joinopt.ladder.deltas" in
+  let l = meta_int p "joinopt.thresholds" in
+  if Array.length log10_thetas <> l || Array.length deltas <> l then
+    rejectf "threshold ladder has the wrong arity";
+  let sels = meta_floats p "joinopt.log10_sels" in
+  let pred_masks =
+    let s = meta p "joinopt.pred_tables" in
+    if s = "" then [||]
+    else
+      Array.of_list
+        (List.map
+           (fun group ->
+             List.fold_left
+               (fun m tok ->
+                 match int_of_string_opt tok with
+                 | Some t when t >= 0 && t < n -> m lor (1 lsl t)
+                 | _ -> rejectf "joinopt.pred_tables: bad table %S" tok)
+               0
+               (String.split_on_char ',' group))
+           (String.split_on_char ';' s))
+  in
+  let mp = Array.length pred_masks in
+  if Array.length sels <> mp then rejectf "joinopt.log10_sels arity mismatch";
+  let x = Array.make (Problem.num_vars p) 0. in
+  let v fmt = Printf.ksprintf (fun s -> var p s) fmt in
+  let jmax = num_joins - 1 in
+  (* Join-order selectors and inner cardinalities. *)
+  for j = 0 to jmax do
+    if j = 0 || full_paper then
+      for k = 0 to j do
+        x.(v "tio_t%d_j%d" order.(k) j) <- 1.
+      done;
+    x.(v "tii_t%d_j%d" order.(j + 1) j) <- 1.;
+    x.(v "ci_j%d" j) <- cards.(order.(j + 1))
+  done;
+  (* Predicate applicability in the outer operand of join j: every
+     referenced table joined in already — exactly the condition the
+     applicable/group-forced rows pin. [applied.(0)] stays all-false
+     (join 0's outer is a single base table; no pao variables exist). *)
+  let applied =
+    Array.init num_joins (fun j ->
+        if j = 0 then Array.make mp false
+        else begin
+          let mask = ref 0 in
+          for k = 0 to j do
+            mask := !mask lor (1 lsl order.(k))
+          done;
+          Array.map (fun m -> m land !mask = m) pred_masks
+        end)
+  in
+  let reached lc = Array.map (fun lt -> lc >= lt -. 1e-12) log10_thetas in
+  let approx_card lc =
+    let acc = ref 0. in
+    Array.iteri (fun r hit -> if hit then acc := !acc +. deltas.(r)) (reached lc);
+    !acc
+  in
+  (* Log-cardinality of the outer operand of join j, summed in exactly
+     the encoder's order (tables along the plan, then selectivities in
+     predicate order) so the value matches the encoder's own honest
+     assignment bit for bit. *)
+  let log10_outer j =
+    let logc = ref 0. in
+    for k = 0 to j do
+      logc := !logc +. log10 cards.(order.(k))
+    done;
+    Array.iteri (fun pi ls -> if applied.(j).(pi) then logc := !logc +. ls) sels;
+    !logc
+  in
+  for j = 1 to jmax do
+    Array.iteri (fun pi a -> if a then x.(v "pao_p%d_j%d" pi j) <- 1.) applied.(j);
+    let lc = log10_outer j in
+    x.(v "lco_j%d" j) <- lc;
+    Array.iteri (fun r hit -> if hit then x.(v "cto_r%d_j%d" r j) <- 1.) (reached lc);
+    x.(v "co_j%d" j) <- approx_card lc
+  done;
+  let rows = lazy (row_table p) in
+  (* Expensive-predicate extension (Section 5.2): pre-predicate output
+     ladders per join, plus evaluation placement at the earliest
+     applicable join — the schedule the pco definition rows force under
+     the applicability above. *)
+  (match Problem.find_meta p "joinopt.ext.expensive" with
+  | None -> ()
+  | Some priced_s ->
+    let priced =
+      if priced_s = "" then []
+      else
+        List.map
+          (fun tok ->
+            match int_of_string_opt tok with
+            | Some pi when pi >= 0 && pi < mp -> pi
+            | _ -> rejectf "joinopt.ext.expensive: bad index %S" tok)
+          (String.split_on_char ',' priced_s)
+    in
+    let lcob j =
+      let logc = ref 0. in
+      for k = 0 to min (j + 1) (n - 1) do
+        logc := !logc +. log10 cards.(order.(k))
+      done;
+      Array.iteri (fun pi ls -> if applied.(j).(pi) then logc := !logc +. ls) sels;
+      !logc
+    in
+    let cob = Array.make num_joins 0. in
+    for j = 0 to jmax do
+      let lc = lcob j in
+      x.(v "lcob_j%d" j) <- lc;
+      Array.iteri (fun r hit -> if hit then x.(v "ctob_r%d_j%d" r j) <- 1.) (reached lc);
+      cob.(j) <- approx_card lc;
+      x.(v "cob_j%d" j) <- cob.(j)
+    done;
+    List.iter
+      (fun pi ->
+        (* First join whose result contains every table the predicate
+           references — where pao flips 0 -> 1, so where pco must be 1. *)
+        let rec first j =
+          if j = jmax then jmax
+          else if applied.(j + 1).(pi) then j
+          else first (j + 1)
+        in
+        let j_eval = first 0 in
+        x.(v "pco_p%d_j%d" pi j_eval) <- 1.;
+        x.(v "evalq_p%d_j%d" pi j_eval) <- cob.(j_eval))
+      priced);
+  (* Cost layer auxiliaries. *)
+  let fill_bnl () =
+    let blocks =
+      Array.init num_joins (fun j ->
+          let bv = v "blocks_j%d" j in
+          let b = eval_from_row (Lazy.force rows) x (Printf.sprintf "blocks_def_j%d" j) bv in
+          x.(bv) <- b;
+          b)
+    in
+    for j = 0 to jmax do
+      for t = 0 to n - 1 do
+        x.(v "bnl_y_t%d_j%d" t j) <- (if t = order.(j + 1) then blocks.(j) else 0.)
+      done
+    done
+  in
+  (match Problem.find_meta p "joinopt.cost" with
+  | None | Some "cout" -> ()
+  | Some "fixed-BNL" -> fill_bnl ()
+  | Some s when String.length s >= 6 && String.sub s 0 6 = "fixed-" -> ignore (operator_rank (String.sub s 6 (String.length s - 6)))
+  | Some s when String.length s >= 7 && String.sub s 0 7 = "choose-" ->
+    let named = String.split_on_char '/' (String.sub s 7 (String.length s - 7)) in
+    let ops =
+      Array.of_list
+        (List.sort_uniq compare (List.map (fun nm -> (operator_rank nm, nm)) named))
+    in
+    if Array.exists (fun (_, nm) -> nm = "BNL") ops then fill_bnl ();
+    for j = 0 to jmax do
+      let costs =
+        Array.mapi
+          (fun i (_, nm) ->
+            eval_from_row (Lazy.force rows) x
+              (Printf.sprintf "pjc_def_j%d_%d" j i)
+              (v "pjc_j%d_%s" j nm))
+          ops
+      in
+      let chosen =
+        let from_plan =
+          match operators with
+          | Some names when Array.length names = num_joins ->
+            let found = ref (-1) in
+            Array.iteri (fun i (_, nm) -> if !found < 0 && nm = names.(j) then found := i) ops;
+            if !found >= 0 then Some !found else None
+          | _ -> None
+        in
+        match from_plan with
+        | Some i -> i
+        | None ->
+          (* Cheapest encoded operator, first on ties — the same rule
+             the encoder's own honest assignment uses. *)
+          let best = ref 0 in
+          Array.iteri (fun i c -> if c < costs.(!best) then best := i) costs;
+          !best
+      in
+      Array.iteri
+        (fun i (_, nm) ->
+          x.(v "jos_j%d_%s" j nm) <- (if i = chosen then 1. else 0.);
+          x.(v "pjc_j%d_%s" j nm) <- costs.(i);
+          x.(v "ajc_j%d_%s" j nm) <- (if i = chosen then costs.(i) else 0.))
+        ops
+    done
+  | Some s -> rejectf "unknown cost layer %S" s);
+  x
+
+let assignment_of_plan ?operators p order =
+  match translate ?operators p order with
+  | x -> Ok x
+  | exception Reject msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio race                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let race p racers =
+  let results =
+    match racers with
+    | [] -> []
+    | (name0, run0) :: rest ->
+      (* One domain per extra racer; the first racer runs here so a
+         single-racer "race" costs no domain spawn at all. *)
+      let spawned =
+        List.map
+          (fun (nm, run) -> (nm, Domain.spawn (fun () -> (try run () with _ -> None))))
+          rest
+      in
+      let first = (name0, (try run0 () with _ -> None)) in
+      first :: List.map (fun (nm, d) -> (nm, Domain.join d)) spawned
+  in
+  let sense, _ = Problem.objective p in
+  let nvars = Problem.num_vars p in
+  let best = ref None in
+  let rejected = ref [] in
+  List.iter
+    (fun (nm, produced) ->
+      match produced with
+      | None -> ()
+      | Some xarr when Array.length xarr <> nvars ->
+        rejected := (nm, "assignment has the wrong arity") :: !rejected
+      | Some xarr -> (
+        match Certify.check_point p (fun v -> xarr.(v)) with
+        | Certify.Rejected msg -> rejected := (nm, msg) :: !rejected
+        | Certify.Certified r ->
+          let obj = r.Certify.r_objective in
+          let improves =
+            match !best with
+            | None -> true
+            | Some (_, incumbent) -> (
+              match sense with
+              | Problem.Minimize -> obj < incumbent
+              | Problem.Maximize -> obj > incumbent)
+          in
+          if improves then best := Some ({ ws_x = xarr; ws_source = nm }, obj)))
+    results;
+  (!best, List.rev !rejected)

@@ -1,0 +1,68 @@
+(** MIP starts: turning a left-deep join plan into a certified initial
+    incumbent for the branch & bound.
+
+    The paper's Gurobi baseline exploits MIP starts — search begins from
+    a heuristic incumbent, so pruning works against a tight upper bound
+    from node one. This module is our equivalent. It is deliberately
+    query-blind: everything it knows about the join-order formulation it
+    learns from the [joinopt.*] metadata channel the encoders stamp
+    ({!Problem.find_meta}), so it lives in the MILP layer with no
+    dependency on the relational algebra or the heuristics that produce
+    candidate plans.
+
+    A candidate never becomes an incumbent on trust: {!race} certifies
+    every assignment against the *original* problem with {!Certify}, and
+    {!Branch_bound} re-certifies whatever it is handed (after the
+    {!Faults.mangle_warm_start} chaos hook) before seeding it. A stale,
+    corrupted or simply wrong candidate degrades to a cold start — never
+    to a wrong plan. *)
+
+type candidate = {
+  ws_x : float array;  (** full assignment over the problem's variables *)
+  ws_source : string;  (** provenance label, e.g. ["greedy"] or ["cache"] *)
+}
+
+type seed = {
+  sd_source : string;  (** where the seeded incumbent came from *)
+  sd_objective : float;  (** its certified objective, user sense *)
+}
+(** Provenance of a seeded incumbent, carried through the search state,
+    the checkpoint envelope and the outcome — a resumed solve reports
+    the same seed as the uninterrupted one. Plain data, marshal-safe. *)
+
+val assignment_of_plan :
+  ?operators:string array -> Problem.t -> int array -> (float array, string) result
+(** [assignment_of_plan problem order] rebuilds the full MILP variable
+    assignment that {!Problem.t}'s encoder would produce for the
+    left-deep plan [order] (a permutation of the tables, outermost
+    first), from the [joinopt.*] metadata alone: join-order selectors,
+    predicate applicability, log-cardinalities, the threshold staircase,
+    the cost layer's auxiliaries (block counts, operator selectors and
+    their linearization products) and the expensive-predicate extension
+    when present. Auxiliary variables pinned by definition rows are
+    evaluated from those very rows, so the assignment satisfies them to
+    round-off.
+
+    [operators] optionally names the plan's join operator per join
+    (["HJ"], ["SMJ"], ["BNL"]) — honored under a [Choose_operator] cost
+    layer, where an operator outside the encoded set (or an omitted
+    array) falls back to the cheapest encoded operator for that join.
+
+    Returns [Error] — never a bogus assignment — when the metadata is
+    missing or malformed, [order] is not a permutation, or the problem
+    carries an extension this translation does not cover (interesting
+    orders, projection). *)
+
+val race :
+  Problem.t ->
+  (string * (unit -> float array option)) list ->
+  (candidate * float) option * (string * string) list
+(** [race problem racers] runs the named candidate producers
+    concurrently (one domain per extra racer; the first runs on the
+    calling domain), certifies every returned assignment against
+    [problem] with {!Certify.check_point}, and returns the certified
+    candidate with the best objective (respecting the problem's
+    objective sense) together with its objective, plus the list of
+    rejected racers and why. Ties and the winner are decided by list
+    order, so the result is deterministic for deterministic racers. A
+    racer that raises counts as producing nothing. *)

@@ -3,11 +3,27 @@ module Cost_enc = Joinopt.Cost_enc
 module Plan = Relalg.Plan
 module Query_file = Relalg.Query_file
 
+type warm_mode = Warm_off | Warm_greedy | Warm_portfolio | Warm_cache
+
+let warm_of_string = function
+  | "off" -> Ok Warm_off
+  | "greedy" -> Ok Warm_greedy
+  | "portfolio" -> Ok Warm_portfolio
+  | "cache" -> Ok Warm_cache
+  | s -> Error ("unknown warm-start mode: " ^ s)
+
+let warm_to_string = function
+  | Warm_off -> "off"
+  | Warm_greedy -> "greedy"
+  | Warm_portfolio -> "portfolio"
+  | Warm_cache -> "cache"
+
 type optimize_params = {
   p_query : Relalg.Query.t;
   p_budget : float option;
   p_precision : Thresholds.precision option;
   p_cost : Cost_enc.spec option;
+  p_warm : warm_mode option;
 }
 
 type op =
@@ -94,7 +110,15 @@ let optimize_of_doc doc =
     | None -> Ok None
     | Some s -> Result.map Option.some (cost_of_string s)
   in
-  Ok (Optimize { p_query = query; p_budget = budget; p_precision = precision; p_cost = cost })
+  let* warm =
+    let* s = opt_string_field doc "warm_start" in
+    match s with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (warm_of_string s)
+  in
+  Ok
+    (Optimize
+       { p_query = query; p_budget = budget; p_precision = precision; p_cost = cost; p_warm = warm })
 
 let request_of_line line =
   if String.length line > max_line_bytes then

@@ -22,7 +22,9 @@
     [query] holds inline query-file text ({!Relalg.Query_file}), or
     [query_file] names a path to load instead. [budget] is the
     per-request deadline in seconds (clamped to the server's maximum);
-    [precision] and [cost] override the server defaults per request.
+    [precision] and [cost] override the server defaults per request, and
+    [warm_start] (["off"] / ["greedy"] / ["portfolio"] / ["cache"], the
+    default) picks how the solve's initial incumbent is seeded.
 
     Responses always carry [id] (or [null]) and a [status] of ["ok"],
     ["rejected"] (admission control; [reason] says which limit) or
@@ -32,11 +34,24 @@
     [degraded:true] answers are never labeled with an exact-solve
     provenance. *)
 
+(** Per-request MIP-start policy. [Warm_cache] (the server default)
+    prefers a translated plan-cache entry for the same canonical query
+    when one exists (even at a stale precision) and falls back to the
+    greedy seed; the other three force the corresponding
+    {!Joinopt.Optimizer.warm_start_policy} and ignore the cache. *)
+type warm_mode = Warm_off | Warm_greedy | Warm_portfolio | Warm_cache
+
+val warm_of_string : string -> (warm_mode, string) result
+(** ["off"], ["greedy"], ["portfolio"], ["cache"]. *)
+
+val warm_to_string : warm_mode -> string
+
 type optimize_params = {
   p_query : Relalg.Query.t;
   p_budget : float option;  (** requested deadline, seconds *)
   p_precision : Joinopt.Thresholds.precision option;
   p_cost : Joinopt.Cost_enc.spec option;
+  p_warm : warm_mode option;  (** [warm_start] field; server default [Warm_cache] *)
 }
 
 type op =

@@ -94,8 +94,8 @@ let cache_key (config : Optimizer.config) fp =
       Thresholds.precision_to_string config.Optimizer.encoding.Encoding.precision;
   }
 
-let run ?(config = Optimizer.default_config) ?cache ?(jobs = 1) ?(oversubscribe = false)
-    ?budget ?per_query_limit requests =
+let run ?(config = Optimizer.default_config) ?cache ?(cache_warm = true) ?(jobs = 1)
+    ?(oversubscribe = false) ?budget ?per_query_limit requests =
   (* MILP solves are CPU-bound: more domains than cores only adds
      cross-domain GC synchronization, so the requested parallelism is
      clamped to the runtime's recommendation unless the caller insists
@@ -200,7 +200,9 @@ let run ?(config = Optimizer.default_config) ?cache ?(jobs = 1) ?(oversubscribe 
       finish Cache_hit (Ok entry)
     | (Plan_cache.Stale_precision _ | Plan_cache.Miss) as lookup -> (
       let warm =
-        match lookup with Plan_cache.Stale_precision e -> Some e | _ -> None
+        match lookup with
+        | Plan_cache.Stale_precision e when cache_warm -> Some e
+        | _ -> None
       in
       match claim_flight fl_mutex fl_table (Plan_cache.flat_key key) with
       | Waiter fl ->

@@ -67,6 +67,7 @@ type stats = {
 val run :
   ?config:Joinopt.Optimizer.config ->
   ?cache:Plan_cache.t ->
+  ?cache_warm:bool ->
   ?jobs:int ->
   ?oversubscribe:bool ->
   ?budget:Milp.Budget.t ->
@@ -82,7 +83,11 @@ val run :
     dedup against in-flight solves (waiters sleep) and in tests that
     must exercise the in-flight path on small machines. [cache = None]
     disables caching (every request is solved — the differential
-    baseline); [budget] defaults to an unlimited fresh budget;
+    baseline); [cache_warm] (default [true]) controls whether a
+    stale-precision cache entry is injected as the MIP start — with it
+    off such requests solve under [config]'s own warm-start policy and
+    are reported as {!Solved}; [budget] defaults to an unlimited fresh
+    budget;
     [per_query_limit] caps each individual solve in seconds on top of
     whatever remains of the shared budget. *)
 

@@ -23,6 +23,7 @@ type config = {
   sv_jobs : int;
   sv_precision : Thresholds.precision;
   sv_cost : Cost_enc.spec;
+  sv_warm : Protocol.warm_mode;
 }
 
 let default_config =
@@ -42,6 +43,7 @@ let default_config =
     sv_jobs = 1;
     sv_precision = Thresholds.Medium;
     sv_cost = Cost_enc.Fixed_operator Plan.Hash_join;
+    sv_warm = Protocol.Warm_cache;
   }
 
 type bucket = { mutable bk_tokens : float; mutable bk_last : float }
@@ -218,13 +220,20 @@ let entry_of_result config (r : Optimizer.result) plan =
 
 (* One exact attempt; raises on injected aborts and transient crashes,
    which the retry ladder above it absorbs. *)
-let attempt_exact config budget ?warm fp q =
+let attempt_exact config budget ~mode ?warm fp q =
   ignore fp;
   if Faults.request_aborts () then raise Faults.Injected_abort;
   let config =
-    match (warm : Plan_cache.entry option) with
-    | Some entry -> Optimizer.with_warm_start (Some entry.Plan_cache.e_plan) config
-    | None -> config
+    match (mode : Protocol.warm_mode) with
+    | Protocol.Warm_off -> Optimizer.with_warm_start_policy Optimizer.Ws_off config
+    | Protocol.Warm_greedy -> Optimizer.with_warm_start_policy Optimizer.Ws_greedy config
+    | Protocol.Warm_portfolio -> Optimizer.with_warm_start_policy Optimizer.Ws_portfolio config
+    | Protocol.Warm_cache -> (
+      (* A translated plan-cache entry for the same canonical query beats
+         re-running heuristics; with no entry the greedy default stands. *)
+      match (warm : Plan_cache.entry option) with
+      | Some entry -> Optimizer.with_warm_start (Some entry.Plan_cache.e_plan) config
+      | None -> config)
   in
   Optimizer.optimize ~config ~budget (Fingerprint.canonical_query q)
 
@@ -233,9 +242,9 @@ let attempt_exact config budget ?warm fp q =
    2^i] between attempts (capped by the remaining budget). This and the
    poll loop are the only places in lib/service allowed to block
    outside Budget/condition variables — the repo linter enforces it. *)
-let solve_with_retries t config request_budget ?warm fp q =
+let solve_with_retries t config request_budget ~mode ?warm fp q =
   let rec go attempt backoff =
-    match attempt_exact config (Budget.sub request_budget ()) ?warm fp q with
+    match attempt_exact config (Budget.sub request_budget ()) ~mode ?warm fp q with
     | r -> Ok r
     | exception exn ->
       if attempt >= t.cfg.sv_retries || Budget.exhausted request_budget then
@@ -304,6 +313,7 @@ let optimize_answer t (p : Protocol.optimize_params) =
   in
   let config = Optimizer.with_time_limit limit config in
   let q = p.Protocol.p_query in
+  let mode = Option.value ~default:t.cfg.sv_warm p.Protocol.p_warm in
   let fp = Fingerprint.of_query q in
   let key = cache_key config fp in
   let degraded_fallback warm =
@@ -329,7 +339,7 @@ let optimize_answer t (p : Protocol.optimize_params) =
        one SIGTERM winds down whatever is in flight *)
     let request_budget = Budget.sub t.budget ~limit () in
     let t0 = Budget.now () in
-    let outcome = solve_with_retries t config request_budget ?warm fp q in
+    let outcome = solve_with_retries t config request_budget ~mode ?warm fp q in
     record t.lat_solve (Budget.now () -. t0);
     match outcome with
     | Ok r -> (
@@ -365,7 +375,7 @@ let optimize_answer t (p : Protocol.optimize_params) =
       | Exact -> (
         match exact warm with
         | Some a ->
-          if warm <> None then t.n_warm <- t.n_warm + 1;
+          if mode = Protocol.Warm_cache && warm <> None then t.n_warm <- t.n_warm + 1;
           a
         | None ->
           if t.cfg.sv_degrade_after > 0 && t.strikes >= t.cfg.sv_degrade_after then begin

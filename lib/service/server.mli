@@ -58,6 +58,9 @@ type config = {
   sv_jobs : int;  (** branch & bound domains per solve *)
   sv_precision : Joinopt.Thresholds.precision;
   sv_cost : Joinopt.Cost_enc.spec;
+  sv_warm : Protocol.warm_mode;
+      (** warm-start mode for requests that do not name one;
+          default [Warm_cache] *)
 }
 
 val default_config : config

@@ -477,6 +477,114 @@ let prop_projection_assignments_feasible =
       let x = Ext_projection.assignment_of t order in
       Result.is_ok (Problem.check_feasible enc.Encoding.problem (fun v -> x.(v))))
 
+(* ------------------------------------------------------------------ *)
+(* Warm-start translation (MIP starts)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The warm-start translation is query-blind: it rebuilds the encoder's
+   assignment from the [joinopt.*] metadata channel alone. The property
+   pins it three ways: the rebuilt point certifies against the problem,
+   decoding recovers the plan (order and operators), and — for the cost
+   layers whose auxiliaries the encoder fills by the same closed forms
+   (Cout and every fixed operator, BNL included) — the translation is
+   bit-exact against [Encoding.assignment_of_order] +
+   [Cost_enc.extend_assignment]. Under [Choose_operator] the linearized
+   products are evaluated from the definition rows, which can differ
+   from the encoder's arithmetic in the last ulps, so there the
+   certificate and the decode are the contract. *)
+let prop_warm_start_roundtrip =
+  QCheck.Test.make ~count:30
+    ~name:"warm-start translation certifies and round-trips the plan"
+    QCheck.(quad (int_range 2 6) (int_range 0 5000) (int_range 0 2) bool)
+    (fun (n, seed, shape_idx, full) ->
+      let shape =
+        match shape_idx with 0 -> Join_graph.Chain | 1 -> Join_graph.Star | _ -> Join_graph.Cycle
+      in
+      let q = Workload.generate ~seed ~shape ~num_tables:n () in
+      let config =
+        {
+          Encoding.default_config with
+          Encoding.formulation = (if full then Encoding.Full_paper else Encoding.Reduced);
+        }
+      in
+      let order = Array.init n (fun i -> (i + seed) mod n) in
+      List.for_all
+        (fun (spec, exact) ->
+          let enc = Encoding.build ~config q in
+          let cost = Cost_enc.install enc spec in
+          let x_ref = Encoding.assignment_of_order enc order in
+          Cost_enc.extend_assignment cost order x_ref;
+          let plan_ref = Cost_enc.decode_operators cost (fun v -> x_ref.(v)) order in
+          let operators = Array.map Plan.operator_to_string plan_ref.Plan.operators in
+          match
+            Milp.Warm_start.assignment_of_plan ~operators enc.Encoding.problem order
+          with
+          | Error _ -> false
+          | Ok x ->
+            (match Milp.Certify.check_point enc.Encoding.problem (fun v -> x.(v)) with
+            | Milp.Certify.Certified _ -> true
+            | Milp.Certify.Rejected _ -> false)
+            && Encoding.order_of_assignment enc (fun v -> x.(v)) = order
+            && Cost_enc.decode_operators cost (fun v -> x.(v)) order = plan_ref
+            && ((not exact) || x = x_ref))
+        [
+          (Cost_enc.Cout, true);
+          (Cost_enc.Fixed_operator Plan.Hash_join, true);
+          (Cost_enc.Fixed_operator Plan.Sort_merge_join, true);
+          (Cost_enc.Fixed_operator Plan.Block_nested_loop, true);
+          ( Cost_enc.Choose_operator
+              [ Plan.Hash_join; Plan.Sort_merge_join; Plan.Block_nested_loop ],
+            false );
+        ])
+
+let prop_warm_start_expensive_roundtrip =
+  QCheck.Test.make ~count:20
+    ~name:"warm-start translation covers the expensive-predicate extension"
+    (QCheck.int_range 0 10_000)
+    (fun seed ->
+      let q =
+        let base = Workload.generate ~seed ~shape:Join_graph.Chain ~num_tables:4 () in
+        Query.create
+          ~predicates:
+            (Array.to_list base.Query.predicates
+            |> List.mapi (fun i p ->
+                   if i = 0 then
+                     Predicate.binary ~eval_cost:1.5
+                       (List.nth p.Predicate.pred_tables 0)
+                       (List.nth p.Predicate.pred_tables 1)
+                       p.Predicate.selectivity
+                   else p))
+          (Array.to_list base.Query.tables)
+      in
+      let enc = Encoding.build ~config:(config_of Thresholds.Medium) q in
+      let (_ : Ext_expensive.t) = Ext_expensive.install enc in
+      let order = Array.init 4 (fun i -> (i + seed) mod 4) in
+      match Milp.Warm_start.assignment_of_plan enc.Encoding.problem order with
+      | Error _ -> false
+      | Ok x ->
+        (match Milp.Certify.check_point enc.Encoding.problem (fun v -> x.(v)) with
+        | Milp.Certify.Certified _ -> true
+        | Milp.Certify.Rejected _ -> false)
+        && Encoding.order_of_assignment enc (fun v -> x.(v)) = order)
+
+(* Interesting orders and projection add variables the translation does
+   not reconstruct; it must refuse cleanly rather than hand the solver a
+   half-filled point (which certification would then reject anyway). *)
+let prop_warm_start_refuses_uncovered_extensions =
+  QCheck.Test.make ~count:10 ~name:"warm-start translation refuses uncovered extensions"
+    (QCheck.int_range 0 10_000)
+    (fun seed ->
+      let order = [| 0; 1; 2; 3 |] in
+      let refused q install =
+        let enc = Encoding.build ~config:(config_of Thresholds.Medium) q in
+        install enc;
+        Result.is_error (Milp.Warm_start.assignment_of_plan enc.Encoding.problem order)
+      in
+      refused
+        (Workload.generate ~seed ~shape:Join_graph.Star ~num_tables:4 ())
+        (fun enc -> ignore (Ext_orders.install ~sorted_tables:[ 0; 2 ] enc))
+      && refused (projection_query ()) (fun enc -> ignore (Ext_projection.install enc)))
+
 let test_projection_end_to_end () =
   let q = projection_query () in
   let config = config_of Thresholds.High in
@@ -578,6 +686,9 @@ let qcheck_tests =
       prop_expensive_assignments_feasible;
       prop_orders_assignments_feasible;
       prop_projection_assignments_feasible;
+      prop_warm_start_roundtrip;
+      prop_warm_start_expensive_roundtrip;
+      prop_warm_start_refuses_uncovered_extensions;
     ]
 
 let () =

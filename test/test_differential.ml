@@ -184,9 +184,114 @@ let parallel_tests =
         (fun () -> check_parallel_agreement shape))
     shapes
 
+(* ------------------------------------------------------------------ *)
+(* 4. Warm-start oracle: off / portfolio / cache must agree             *)
+(* ------------------------------------------------------------------ *)
+
+(* A MIP start is an optimization, never an answer: whatever seeded the
+   search — nothing, the heuristic portfolio race, or a plan certified
+   at a coarser precision and injected back (the plan-cache translation
+   path in miniature) — the solver must finish certified, with the same
+   status and the same optimal objective, and a seeded search must never
+   explore *more* nodes than the cold one (the incumbent only tightens
+   pruning).
+
+   Plan *identity* across modes is deliberately not asserted: the
+   staircase approximation quantizes costs, so distinct orders routinely
+   tie at the optimal MILP objective, and which optimal plan a branch &
+   bound returns then depends on where its first incumbent came from —
+   a seeded tie is kept (incumbents are only replaced on strict
+   improvement), exactly as in commercial solvers. True costs of tied
+   plans can differ arbitrarily in *ratio* below the first threshold
+   (every sub-threshold quantity quantizes alike, so the objective
+   cannot discriminate there — e.g. Cout on a 5-table clique whose
+   intermediate cardinalities all round to the same level). What is
+   invariant is the certified MILP objective value, and that is what
+   the oracle pins, to 1e-9 relative — far tighter than the
+   [Thresholds.tolerance] the approximation guarantee promises. *)
+let check_warm_start_agreement ~spec ~spec_name shape =
+  let grid = [ (4, 6); (5, 5); (6, 4) ] in
+  List.iter
+    (fun (n, seeds) ->
+      for seed = 1 to seeds do
+        let q = Workload.generate ~seed ~shape ~num_tables:n () in
+        let solve policy =
+          let config =
+            { Optimizer.default_config with Optimizer.cost = spec }
+            |> Optimizer.with_time_limit 60.
+            |> Optimizer.with_warm_start_policy policy
+          in
+          Optimizer.optimize ~config q
+        in
+        let cold = solve Optimizer.Ws_off in
+        let label mode =
+          Printf.sprintf "%s/%s n=%d seed=%d warm=%s" spec_name
+            (Join_graph.shape_to_string shape) n seed mode
+        in
+        let check mode (warm : Optimizer.result) =
+          let label = label mode in
+          (match warm.Optimizer.certificate with
+          | Milp.Solver.Certified _ -> ()
+          | Milp.Solver.Uncertified msg -> Alcotest.failf "%s: uncertified: %s" label msg
+          | Milp.Solver.No_incumbent -> Alcotest.failf "%s: no incumbent" label);
+          if warm.Optimizer.status <> cold.Optimizer.status then
+            Alcotest.failf "%s: status differs from cold" label;
+          (match warm.Optimizer.plan with
+          | Some plan when Result.is_ok (Plan.validate q plan) -> ()
+          | Some _ -> Alcotest.failf "%s: invalid plan" label
+          | None -> Alcotest.failf "%s: no plan" label);
+          if warm.Optimizer.true_cost = None then Alcotest.failf "%s: missing true cost" label;
+          (match (warm.Optimizer.objective, cold.Optimizer.objective) with
+          | Some w, Some c ->
+            if abs_float (w -. c) > 1e-9 *. Float.max 1. (abs_float c) then
+              Alcotest.failf "%s: objective %.17g differs from cold %.17g" label w c
+          | _ -> Alcotest.failf "%s: missing objective" label);
+          if warm.Optimizer.nodes > cold.Optimizer.nodes then
+            Alcotest.failf "%s: warm search explored more nodes than cold (%d > %d)" label
+              warm.Optimizer.nodes cold.Optimizer.nodes
+        in
+        let portfolio = solve Optimizer.Ws_portfolio in
+        (match portfolio.Optimizer.seed with
+        | Some _ -> ()
+        | None -> Alcotest.failf "%s: portfolio run recorded no seed provenance" (label "portfolio"));
+        check "portfolio" portfolio;
+        (* The cache path: certify a plan at Low precision, then inject it
+           as the incumbent of the Medium-precision solve — what the
+           service does when it finds a stale-precision cache entry. *)
+        let coarse =
+          let config =
+            { Optimizer.default_config with Optimizer.cost = spec }
+            |> Optimizer.with_precision Thresholds.Low
+            |> Optimizer.with_time_limit 60.
+          in
+          Optimizer.optimize ~config q
+        in
+        match coarse.Optimizer.plan with
+        | None -> Alcotest.failf "%s: coarse solve produced no plan" (label "cache")
+        | Some plan -> check "cache" (solve (Optimizer.Ws_plan plan))
+      done)
+    grid
+
+let warm_start_tests =
+  List.concat_map
+    (fun shape ->
+      let name spec_name =
+        Printf.sprintf "%s/%s off = portfolio = cache" spec_name
+          (Join_graph.shape_to_string shape)
+      in
+      [
+        Alcotest.test_case (name "hash") `Slow (fun () ->
+            check_warm_start_agreement ~spec:(Cost_enc.Fixed_operator Plan.Hash_join)
+              ~spec_name:"hash" shape);
+        Alcotest.test_case (name "cout") `Slow (fun () ->
+            check_warm_start_agreement ~spec:Cost_enc.Cout ~spec_name:"cout" shape);
+      ])
+    shapes
+
 let () =
   Alcotest.run "differential"
     [
       ("approximation-oracle", approximation_tests);
       ("parallel-determinism", parallel_tests);
+      ("warm-start-oracle", warm_start_tests);
     ]

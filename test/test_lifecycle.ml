@@ -453,6 +453,89 @@ let resume_reproduces_clean () =
   if !exercised = 0 then
     Alcotest.fail "no case was actually interrupted; the grid is too easy"
 
+(* A *seeded* solve interrupted mid-search must resume with its seed
+   provenance intact: the snapshot carries [o_seed] through the
+   checkpoint envelope, the resume path skips re-seeding (the candidate
+   is deliberately NOT re-passed below), and the resumed run still
+   reproduces the uninterrupted warm run exactly. *)
+let warm_resume_carries_seed () =
+  let cases = [ ("star", Join_graph.Star, 7); ("clique", Join_graph.Clique, 6) ] in
+  let seeds = if chaos then [ 1; 2; 3; 4 ] else [ 1; 2 ] in
+  let exercised = ref 0 in
+  List.iter
+    (fun (name, shape, n) ->
+      List.iter
+        (fun seed ->
+          let q = query ~seed ~shape ~n in
+          let enc = Encoding.build q in
+          ignore (Cost_enc.install enc Optimizer.default_config.Optimizer.cost);
+          let problem = enc.Encoding.problem in
+          let where = Printf.sprintf "%s/seed=%d" name seed in
+          let mip_start =
+            match
+              Milp.Warm_start.assignment_of_plan problem (Dp_opt.Greedy.order q)
+            with
+            | Ok ws_x -> { Milp.Warm_start.ws_x; ws_source = "greedy" }
+            | Error msg -> Alcotest.failf "%s: warm candidate refused: %s" where msg
+          in
+          let clean = Solver.solve ~params:solver_params ~mip_start problem in
+          let cb = clean.Solver.result in
+          (match cb.Branch_bound.o_seed with
+          | Some s when s.Milp.Warm_start.sd_source = "greedy" -> ()
+          | _ -> Alcotest.failf "%s: clean warm run reports no greedy seed" where);
+          let path = tmp (Printf.sprintf "warm-resume-%s-%d.ckpt" name seed) in
+          let cparams =
+            Solver.with_checkpoint
+              { Checkpoint.ck_path = path; ck_every_nodes = 2 }
+              solver_params
+          in
+          let interrupted =
+            Faults.with_plan
+              { Faults.none with Faults.f_seed = 51; f_cancel_after_nodes = 3 }
+              (fun () -> Solver.solve ~params:cparams ~mip_start problem)
+          in
+          (match interrupted.Solver.result.Branch_bound.o_stop with
+          | Branch_bound.Interrupted ->
+            incr exercised;
+            let resumed = Solver.solve ~params:cparams ~resume:true problem in
+            let rb = resumed.Solver.result in
+            if not resumed.Solver.resumed then
+              Alcotest.failf "%s: checkpoint did not load" where;
+            (match rb.Branch_bound.o_seed with
+            | Some s when s.Milp.Warm_start.sd_source = "greedy" -> ()
+            | Some s ->
+              Alcotest.failf "%s: resumed seed source %S, wanted \"greedy\"" where
+                s.Milp.Warm_start.sd_source
+            | None -> Alcotest.failf "%s: resume dropped the seed provenance" where);
+            (match (cb.Branch_bound.o_seed, rb.Branch_bound.o_seed) with
+            | Some a, Some b ->
+              if a.Milp.Warm_start.sd_objective <> b.Milp.Warm_start.sd_objective then
+                Alcotest.failf "%s: seed objective %.17g vs %.17g" where
+                  a.Milp.Warm_start.sd_objective b.Milp.Warm_start.sd_objective
+            | _ -> ());
+            Alcotest.(check string)
+              (where ^ ": status") (status_name cb.Branch_bound.o_status)
+              (status_name rb.Branch_bound.o_status);
+            (match (cb.Branch_bound.o_objective, rb.Branch_bound.o_objective) with
+            | Some a, Some b ->
+              if a <> b then Alcotest.failf "%s: objective %.17g vs %.17g" where a b
+            | None, None -> ()
+            | _ -> Alcotest.failf "%s: incumbent presence differs" where);
+            if cb.Branch_bound.o_x <> rb.Branch_bound.o_x then
+              Alcotest.failf "%s: solution vectors differ" where;
+            Alcotest.(check int)
+              (where ^ ": total nodes") cb.Branch_bound.o_nodes rb.Branch_bound.o_nodes;
+            (match resumed.Solver.certificate with
+            | Solver.Certified _ -> ()
+            | Solver.Uncertified msg -> Alcotest.failf "%s: resumed uncertified: %s" where msg
+            | Solver.No_incumbent -> Alcotest.failf "%s: resumed lost the incumbent" where)
+          | _ -> ());
+          if Sys.file_exists path then Sys.remove path)
+        seeds)
+    cases;
+  if !exercised = 0 then
+    Alcotest.fail "no warm-seeded case was actually interrupted; the grid is too easy"
+
 (* A mangled checkpoint must not poison a resume: the solver logs, falls
    back to a fresh solve, and still produces the clean answer. *)
 let damaged_checkpoint_falls_back () =
@@ -590,6 +673,8 @@ let () =
         [
           Alcotest.test_case "resume reproduces the uninterrupted run" `Slow
             resume_reproduces_clean;
+          Alcotest.test_case "warm-seeded resume carries seed provenance" `Slow
+            warm_resume_carries_seed;
           Alcotest.test_case "damaged checkpoints fall back to fresh" `Slow
             damaged_checkpoint_falls_back;
         ] );

@@ -232,7 +232,7 @@ let test_mip_infeasible () =
 let test_mip_start () =
   let p, _ = knapsack_problem () in
   (* Feasible but suboptimal start: item 0 and item 2 (17). *)
-  let start = [| 1.; 0.; 1.; 0. |] in
+  let start = { Milp.Warm_start.ws_x = [| 1.; 0.; 1.; 0. |]; ws_source = "test" } in
   let saw_start = ref false in
   let out =
     solve_mip ~mip_start:start

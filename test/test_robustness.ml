@@ -129,6 +129,39 @@ let certified_without_faults () =
   if float_of_int certified < 0.95 *. float_of_int total then
     Alcotest.failf "only %d/%d clean runs were certified" certified total
 
+(* A corrupted MIP start must die at the certification gate, not become
+   an incumbent: the solve falls back to a cold start with honest
+   provenance ([result.seed = None]) and still reaches the same
+   certified objective as a clean warm run. *)
+let warm_start_mangle_rejected () =
+  let fault_plan = { Faults.none with Faults.f_seed = 21; f_warm_start_mangle = 1. } in
+  List.iter
+    (fun (shape_name, shape) ->
+      let q = query ~seed:(Hashtbl.hash shape_name) ~shape ~n:5 in
+      let config = Optimizer.default_config |> Optimizer.with_time_limit 10. in
+      let clean = Optimizer.optimize ~config q in
+      (match clean.Optimizer.seed with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s: clean run was not seeded — test proves nothing" shape_name);
+      let mangled, fired =
+        Faults.with_plan fault_plan (fun () ->
+            let r = Optimizer.optimize ~config q in
+            (r, Faults.fired ()))
+      in
+      let n = try List.assoc "warm_start_mangle" fired with Not_found -> 0 in
+      if n = 0 then Alcotest.failf "%s: warm_start_mangle hook never fired" shape_name;
+      (match mangled.Optimizer.seed with
+      | Some s ->
+        Alcotest.failf "%s: corrupted candidate (%s) survived certification" shape_name
+          s.Milp.Warm_start.sd_source
+      | None -> ());
+      match (clean.Optimizer.objective, mangled.Optimizer.objective) with
+      | Some a, Some b ->
+        if abs_float (a -. b) > 1e-9 *. Float.max 1. (abs_float a) then
+          Alcotest.failf "%s: cold fallback objective %g differs from clean %g" shape_name b a
+      | _ -> Alcotest.failf "%s: missing objective" shape_name)
+    shapes
+
 (* ------------------------------------------------------------------ *)
 (* Certification vs. Problem.check_feasible                            *)
 (* ------------------------------------------------------------------ *)
@@ -268,6 +301,8 @@ let () =
           Alcotest.test_case "optimizer survives every fault plan" `Slow survives_faults;
           Alcotest.test_case "fault hooks actually fire" `Slow faults_actually_fire;
           Alcotest.test_case "clean runs are certified" `Slow certified_without_faults;
+          Alcotest.test_case "mangled warm start rejected at the gate" `Slow
+            warm_start_mangle_rejected;
         ] );
       ( "certification",
         [
