@@ -556,7 +556,8 @@ let nonneg_int_conv what =
   Arg.conv (parse, Format.pp_print_int)
 
 let run_serve socket snapshot snapshot_every cache_size rate burst max_queue default_limit
-    max_limit retries backoff degrade_after probe_every jobs precision cost warm =
+    max_limit retries backoff degrade_after probe_every max_conns backlog max_write_buf
+    watchdog_grace drain_limit jobs precision cost warm =
   if default_limit > max_limit then
     `Error
       ( false,
@@ -581,6 +582,11 @@ let run_serve socket snapshot snapshot_every cache_size rate burst max_queue def
         sv_precision = precision;
         sv_cost = cost;
         sv_warm = warm;
+        sv_max_conns = max_conns;
+        sv_backlog = backlog;
+        sv_max_write_buf = max_write_buf;
+        sv_watchdog_grace = watchdog_grace;
+        sv_drain_limit = drain_limit;
       }
     in
     let server = Service.Server.create ~config () in
@@ -652,6 +658,33 @@ let serve_cmd =
     Arg.(value & opt (positive_int_conv "--probe-every") 4 & info [ "probe-every" ] ~docv:"K"
            ~doc:"In degraded mode, retry the exact path on every $(docv)-th request.")
   in
+  let max_conns =
+    Arg.(value & opt (positive_int_conv "--max-conns") 64 & info [ "max-conns" ] ~docv:"N"
+           ~doc:"Simultaneous socket connections; further clients are answered \
+                 rejected:overload:conns and closed immediately.")
+  in
+  let backlog =
+    Arg.(value & opt (positive_int_conv "--backlog") 16 & info [ "backlog" ] ~docv:"N"
+           ~doc:"Listen backlog of the server socket.")
+  in
+  let max_write_buf =
+    Arg.(value & opt (positive_int_conv "--max-write-buf") (4 * 1024 * 1024)
+         & info [ "max-write-buf" ] ~docv:"BYTES"
+             ~doc:"Unread response bytes a connection may accumulate before the \
+                   slow client is evicted (minimum 1024).")
+  in
+  let watchdog_grace =
+    Arg.(value & opt (positive_float_conv "--watchdog-grace") 1. & info [ "watchdog-grace" ]
+           ~docv:"SECONDS"
+           ~doc:"Grace past a request's deadline before the watchdog cancels its \
+                 budget; the same again before it force-answers with an error.")
+  in
+  let drain_limit =
+    Arg.(value & opt (nonneg_float_conv "--drain-limit") 5. & info [ "drain-limit" ]
+           ~docv:"SECONDS"
+           ~doc:"Graceful-shutdown window: how long in-flight solves may keep \
+                 running before the drain cancels them.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the persistent optimizer server: line-delimited JSON requests over \
@@ -663,7 +696,8 @@ let serve_cmd =
       ret
         (const run_serve $ socket $ snapshot $ snapshot_every $ cache_size $ rate $ burst
         $ max_queue $ default_limit $ max_limit $ retries $ backoff $ degrade_after
-        $ probe_every $ jobs_term $ precision_term $ cost_term $ warm_mode_term))
+        $ probe_every $ max_conns $ backlog $ max_write_buf $ watchdog_grace $ drain_limit
+        $ jobs_term $ precision_term $ cost_term $ warm_mode_term))
 
 (* ------------------------------------------------------------------ *)
 (* dp / greedy                                                          *)

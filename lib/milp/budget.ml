@@ -29,6 +29,7 @@ type t = {
   b_limit : float option;  (* seconds from [b_started] *)
   b_started : float;
   b_cancelled : bool Atomic.t;  (* shared across phase views *)
+  b_parent : t option;  (* isolated children still observe ancestor cancels *)
 }
 
 let create ?limit () =
@@ -36,7 +37,7 @@ let create ?limit () =
   | Some l when not (Float.is_finite l) || l < 0. ->
     invalid_arg "Budget.create: limit must be finite and non-negative"
   | _ -> ());
-  { b_limit = limit; b_started = now (); b_cancelled = Atomic.make false }
+  { b_limit = limit; b_started = now (); b_cancelled = Atomic.make false; b_parent = None }
 
 let limit t = t.b_limit
 
@@ -49,7 +50,9 @@ let expired t = match t.b_limit with None -> false | Some l -> elapsed t > l
 
 let cancel t = Atomic.set t.b_cancelled true
 
-let cancelled t = Atomic.get t.b_cancelled
+let rec cancelled t =
+  Atomic.get t.b_cancelled
+  || (match t.b_parent with Some p -> cancelled p | None -> false)
 
 let exhausted t = cancelled t || expired t || Faults.early_timeout ()
 
@@ -58,7 +61,7 @@ let phase t ph =
   | None -> t
   | Some l -> { t with b_limit = Some (l *. phase_fraction ph) }
 
-let sub t ?limit () =
+let sub t ?limit ?(isolate = false) () =
   (match limit with
   | Some l when not (Float.is_finite l) || l < 0. ->
     invalid_arg "Budget.sub: limit must be finite and non-negative"
@@ -80,7 +83,13 @@ let sub t ?limit () =
     | Some l, None -> Some l
     | Some l, Some r -> Some (Float.min l r)
   in
-  { b_limit = lim; b_started = started; b_cancelled = t.b_cancelled }
+  if isolate then
+    (* Own cancellation token, parent kept as an observed ancestor:
+       cancelling the child (a watchdog killing one request) leaves the
+       parent running, while cancelling the parent (one SIGTERM) still
+       winds the child down. *)
+    { b_limit = lim; b_started = started; b_cancelled = Atomic.make false; b_parent = Some t }
+  else { b_limit = lim; b_started = started; b_cancelled = t.b_cancelled; b_parent = t.b_parent }
 
 let with_sigint t f =
   match Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> cancel t)) with

@@ -62,7 +62,7 @@ val phase : t -> phase -> t
     the start instant with its parent, so cancelling either cancels
     both, and time spent before the phase counts against it. *)
 
-val sub : t -> ?limit:float -> unit -> t
+val sub : t -> ?limit:float -> ?isolate:bool -> unit -> t
 (** A child budget starting now that shares the parent's cancellation
     token: cancelling either side cancels both, which is what lets one
     SIGINT (or one batch-wide cancel) wind down every in-flight solve of
@@ -71,7 +71,14 @@ val sub : t -> ?limit:float -> unit -> t
     outlive the batch deadline; omitting [limit] inherits whatever the
     parent has left. Unlike {!phase} views, the child measures elapsed
     time from its own creation — it is a fresh deadline, not a fraction
-    of an ongoing one. *)
+    of an ongoing one.
+
+    [isolate] (default [false]) gives the child its *own* cancellation
+    token while still observing the parent's: cancelling the child
+    affects only the child, cancelling the parent winds down both. This
+    is what lets the server's request watchdog kill one wedged solve
+    without tripping the server's lifetime budget and every other
+    in-flight request with it. *)
 
 val with_sigint : t -> (unit -> 'a) -> 'a
 (** Runs the thunk with a SIGINT handler that {!cancel}s the budget

@@ -15,6 +15,8 @@ type plan = {
   f_request_stall : float;
   f_abort_every : int;
   f_warm_start_mangle : float;
+  f_wedge_after : int;
+  f_wedge_seconds : float;
 }
 
 let none =
@@ -33,6 +35,8 @@ let none =
     f_request_stall = 0.;
     f_abort_every = 0;
     f_warm_start_mangle = 0.;
+    f_wedge_after = 0;
+    f_wedge_seconds = 0.;
   }
 
 type state = {
@@ -42,6 +46,8 @@ type state = {
   mutable nodes_seen : int;
   mutable cancel_fired : bool;
   mutable requests : int;
+  mutable wedge_polls : int;
+  mutable wedge_fired : bool;
   counters : (string, int) Hashtbl.t;
 }
 
@@ -70,6 +76,8 @@ let install plan =
         nodes_seen = 0;
         cancel_fired = false;
         requests = 0;
+        wedge_polls = 0;
+        wedge_fired = false;
         counters = Hashtbl.create 8;
       };
   enabled := true;
@@ -242,6 +250,31 @@ let request_stall () =
       | Some st when st.plan.f_request_stall > 0. ->
         bump st "request_stall";
         st.plan.f_request_stall
+      | _ -> 0.
+    in
+    Mutex.unlock mu;
+    r
+  end
+
+(* Wedge exactly one request: the [f_wedge_after]-th poll returns
+   [f_wedge_seconds] once, every other poll returns 0. The caller sleeps
+   that long *ignoring its budget* — a deterministic stand-in for a solve
+   stuck between cooperative cancellation checks, which only the server's
+   watchdog can turn into an answer. *)
+let request_wedge () =
+  if not !enabled then 0.
+  else begin
+    Mutex.lock mu;
+    let r =
+      match !state with
+      | Some st when st.plan.f_wedge_after > 0 && st.plan.f_wedge_seconds > 0. ->
+        st.wedge_polls <- st.wedge_polls + 1;
+        if (not st.wedge_fired) && st.wedge_polls >= st.plan.f_wedge_after then begin
+          st.wedge_fired <- true;
+          bump st "request_wedge";
+          st.plan.f_wedge_seconds
+        end
+        else 0.
       | _ -> 0.
     in
     Mutex.unlock mu;

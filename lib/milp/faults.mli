@@ -64,10 +64,10 @@ type plan = {
       length mid-write — a crash the atomic rename did not cover; [0.]
       disables *)
   f_request_stall : float;
-  (** seconds of injected stall per served request — simulates a slow
-      client (or slow downstream disk) holding the server's loop, so
-      overload and queue-depth admission can be driven deterministically;
-      [0.] disables *)
+  (** seconds of injected stall per served request, applied inside the
+      server's *request executor* (one worker, not the I/O loop) — a
+      slow handler that must only occupy its own worker while other
+      connections keep being served; [0.] disables *)
   f_abort_every : int;
   (** raise {!Injected_abort} out of every k-th guarded request handler
       (scheduler flights, server solve attempts) — exercises in-flight
@@ -77,6 +77,13 @@ type plan = {
       before the branch & bound certifies it — simulates a stale cache
       entry or a buggy heuristic translation; the certification gate
       must reject it and fall back to a cold start; [0.] disables *)
+  f_wedge_after : int;
+  (** wedge the k-th polled request exactly once: {!request_wedge}
+      returns [f_wedge_seconds] on that poll and the caller sleeps that
+      long ignoring its budget — a solve stuck between cooperative
+      cancellation checks, which only the server's watchdog can turn
+      into an answer; [0] disables *)
+  f_wedge_seconds : float;  (** how long the wedged request sleeps *)
 }
 
 val none : plan
@@ -122,8 +129,17 @@ val mangle_snapshot : bytes -> bytes
     cache's persistence envelope) instead of solver checkpoints. *)
 
 val request_stall : unit -> float
-(** Seconds the service loop should stall before handling the next
-    request ([0.] when disabled) — the slow-client fault point. *)
+(** Seconds a request executor should stall before handling its current
+    request ([0.] when disabled) — the slow-handler fault point. The
+    stall burns one worker, never the I/O loop: with more than one
+    worker the other connections keep being answered, which is the
+    regression the server's concurrency tests pin down. *)
+
+val request_wedge : unit -> float
+(** Seconds the current request should sleep *ignoring its budget*
+    ([0.] almost always): fires exactly once, on the [f_wedge_after]-th
+    poll. The watchdog, not the request's own deadline, must convert a
+    wedged request into an honest error/degraded response. *)
 
 val request_aborts : unit -> bool
 (** Polled once per guarded request handler; [true] on every

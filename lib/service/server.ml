@@ -24,6 +24,11 @@ type config = {
   sv_precision : Thresholds.precision;
   sv_cost : Cost_enc.spec;
   sv_warm : Protocol.warm_mode;
+  sv_max_conns : int;
+  sv_backlog : int;
+  sv_max_write_buf : int;
+  sv_watchdog_grace : float;
+  sv_drain_limit : float;
 }
 
 let default_config =
@@ -44,6 +49,11 @@ let default_config =
     sv_precision = Thresholds.Medium;
     sv_cost = Cost_enc.Fixed_operator Plan.Hash_join;
     sv_warm = Protocol.Warm_cache;
+    sv_max_conns = 64;
+    sv_backlog = 16;
+    sv_max_write_buf = 4 * 1024 * 1024;
+    sv_watchdog_grace = 1.;
+    sv_drain_limit = 5.;
   }
 
 type bucket = { mutable bk_tokens : float; mutable bk_last : float }
@@ -68,12 +78,20 @@ type t = {
   cache : Plan_cache.t;
   budget : Budget.t;  (* server lifetime; every request budget is a sub of it *)
   buckets : (string, bucket) Hashtbl.t;
+  mu : Mutex.t;
+      (* guards every mutable field below: request execution is
+         concurrent, so the ladder state and the counters are shared
+         across worker domains. Never held across a solve. *)
   mutable mode : mode;
   mutable strikes : int;  (* consecutive exact-path failures/timeouts *)
   mutable probe_clock : int;  (* degraded-mode request counter, drives probing *)
   mutable since_snapshot : int;  (* admitted optimizes since the last snapshot *)
-  mutable shutdown : bool;
+  shutdown : bool Atomic.t;  (* set from signal handlers and worker domains *)
+  mutable draining : bool;
+  mutable drain_cancel : bool;  (* the drain sub-budget ran out; in-flight cancelled *)
   mutable snapshot_status : string;
+  mutable queue_depth_probe : unit -> int;  (* wired when an executor attaches *)
+  mutable queue_hwm_probe : unit -> int;
   (* counters *)
   mutable n_accepted : int;
   mutable n_rejected_rate : int;
@@ -91,6 +109,14 @@ type t = {
   mutable n_recoveries : int;
   mutable n_degradations : int;
   mutable n_snapshots : int;
+  mutable n_watchdog_cancels : int;
+  mutable n_watchdog_kills : int;
+  mutable n_late_responses : int;  (* answered by the watchdog first; worker's dropped *)
+  mutable n_slow_evictions : int;
+  mutable n_rejected_conns : int;
+  mutable n_rejected_shutdown : int;
+  mutable n_drain_completed : int;
+  mutable n_drain_cancelled : int;
   lat_parse : phase_stat;
   lat_solve : phase_stat;
   lat_request : phase_stat;
@@ -100,6 +126,15 @@ let create ?(config = default_config) () =
   if config.sv_cache_capacity < 1 then
     invalid_arg "Server.create: cache capacity must be >= 1";
   if config.sv_max_queue < 1 then invalid_arg "Server.create: max queue must be >= 1";
+  if config.sv_jobs < 1 then invalid_arg "Server.create: jobs must be >= 1";
+  if config.sv_max_conns < 1 then invalid_arg "Server.create: max conns must be >= 1";
+  if config.sv_backlog < 1 then invalid_arg "Server.create: backlog must be >= 1";
+  if config.sv_max_write_buf < 1024 then
+    invalid_arg "Server.create: max write buffer must be >= 1024 bytes";
+  if config.sv_watchdog_grace <= 0. then
+    invalid_arg "Server.create: watchdog grace must be positive";
+  if config.sv_drain_limit < 0. then
+    invalid_arg "Server.create: drain limit must be >= 0";
   let cache = Plan_cache.create ~capacity:config.sv_cache_capacity () in
   let snapshot_status =
     match config.sv_snapshot_path with
@@ -119,12 +154,17 @@ let create ?(config = default_config) () =
     cache;
     budget = Budget.create ();
     buckets = Hashtbl.create 16;
+    mu = Mutex.create ();
     mode = Exact;
     strikes = 0;
     probe_clock = 0;
     since_snapshot = 0;
-    shutdown = false;
+    shutdown = Atomic.make false;
+    draining = false;
+    drain_cancel = false;
     snapshot_status;
+    queue_depth_probe = (fun () -> 0);
+    queue_hwm_probe = (fun () -> 0);
     n_accepted = 0;
     n_rejected_rate = 0;
     n_rejected_queue = 0;
@@ -141,12 +181,34 @@ let create ?(config = default_config) () =
     n_recoveries = 0;
     n_degradations = 0;
     n_snapshots = 0;
+    n_watchdog_cancels = 0;
+    n_watchdog_kills = 0;
+    n_late_responses = 0;
+    n_slow_evictions = 0;
+    n_rejected_conns = 0;
+    n_rejected_shutdown = 0;
+    n_drain_completed = 0;
+    n_drain_cancelled = 0;
     lat_parse = phase_stat ();
     lat_solve = phase_stat ();
     lat_request = phase_stat ();
   }
 
-let shutdown_requested t = t.shutdown
+(* Short critical sections over [t.mu] — never held across a solve, a
+   sleep, or any I/O. *)
+let locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception exn ->
+    Mutex.unlock t.mu;
+    raise exn
+
+let shutdown_requested t = Atomic.get t.shutdown
+
+let request_shutdown t = Atomic.set t.shutdown true
 
 let save_snapshot t =
   match t.cfg.sv_snapshot_path with
@@ -154,18 +216,21 @@ let save_snapshot t =
   | Some path -> (
     match Plan_cache.save t.cache ~path with
     | Ok () ->
-      t.n_snapshots <- t.n_snapshots + 1;
-      t.since_snapshot <- 0;
+      locked t (fun () ->
+          t.n_snapshots <- t.n_snapshots + 1;
+          t.since_snapshot <- 0);
       Ok ()
     | Error _ as e -> e)
 
 let maybe_snapshot t =
-  t.since_snapshot <- t.since_snapshot + 1;
-  if
-    t.cfg.sv_snapshot_path <> None
-    && t.cfg.sv_snapshot_every > 0
-    && t.since_snapshot >= t.cfg.sv_snapshot_every
-  then ignore (save_snapshot t)
+  let due =
+    locked t (fun () ->
+        t.since_snapshot <- t.since_snapshot + 1;
+        t.cfg.sv_snapshot_path <> None
+        && t.cfg.sv_snapshot_every > 0
+        && t.since_snapshot >= t.cfg.sv_snapshot_every)
+  in
+  if due then ignore (save_snapshot t)
 
 (* --- admission ------------------------------------------------------ *)
 
@@ -174,7 +239,8 @@ let maybe_snapshot t =
    the overload CI storm rely on. *)
 let admit t client =
   if t.cfg.sv_burst <= 0. then true
-  else begin
+  else
+    locked t @@ fun () ->
     let now = Budget.now () in
     let bk =
       match Hashtbl.find_opt t.buckets client with
@@ -192,7 +258,6 @@ let admit t client =
       true
     end
     else false
-  end
 
 (* --- the optimize path ---------------------------------------------- *)
 
@@ -250,7 +315,7 @@ let solve_with_retries t config request_budget ~mode ?warm fp q =
       if attempt >= t.cfg.sv_retries || Budget.exhausted request_budget then
         Error (Printexc.to_string exn)
       else begin
-        t.n_retries <- t.n_retries + 1;
+        locked t (fun () -> t.n_retries <- t.n_retries + 1);
         let pause =
           match Budget.remaining request_budget with
           | Some rem -> Float.min backoff rem
@@ -299,13 +364,18 @@ let answer_of_entry fp source degraded (e : Plan_cache.entry) =
     a_true_cost = e.Plan_cache.e_true_cost;
   }
 
-(* Serve one admitted optimize request through the ladder. *)
-let optimize_answer t (p : Protocol.optimize_params) =
+(* Serve one admitted optimize request through the ladder.
+
+   [watch] is the supervision hook: called with the request's (isolated)
+   budget and deadline when the exact solve starts, returning the
+   unregister thunk. The executor's watchdog uses it to cancel — and
+   eventually force-answer — a request that blows past its deadline;
+   the synchronous [handle_line] path passes a no-op. *)
+let optimize_answer t ~watch (p : Protocol.optimize_params) =
   let config =
     { Optimizer.default_config with Optimizer.cost = Option.value ~default:t.cfg.sv_cost p.Protocol.p_cost }
     |> Optimizer.with_precision
          (Option.value ~default:t.cfg.sv_precision p.Protocol.p_precision)
-    |> Optimizer.with_jobs t.cfg.sv_jobs
   in
   let limit =
     Float.min (Option.value ~default:t.cfg.sv_default_limit p.Protocol.p_budget)
@@ -319,10 +389,10 @@ let optimize_answer t (p : Protocol.optimize_params) =
   let degraded_fallback warm =
     match warm with
     | Some entry ->
-      t.n_degraded_cache <- t.n_degraded_cache + 1;
+      locked t (fun () -> t.n_degraded_cache <- t.n_degraded_cache + 1);
       answer_of_entry fp "degraded-cache" true entry
     | None ->
-      t.n_degraded_heuristic <- t.n_degraded_heuristic + 1;
+      locked t (fun () -> t.n_degraded_heuristic <- t.n_degraded_heuristic + 1);
       let plan, cost = heuristic_answer config q in
       {
         a_source = "degraded-heuristic";
@@ -335,67 +405,91 @@ let optimize_answer t (p : Protocol.optimize_params) =
       }
   in
   let exact warm =
-    (* per-request deadline drawn from the server's lifetime budget, so
-       one SIGTERM winds down whatever is in flight *)
-    let request_budget = Budget.sub t.budget ~limit () in
-    let t0 = Budget.now () in
-    let outcome = solve_with_retries t config request_budget ~mode ?warm fp q in
-    record t.lat_solve (Budget.now () -. t0);
+    (* Per-request deadline drawn from the server's lifetime budget —
+       isolated, so the watchdog (or the drain sub-budget) can cancel
+       this one request without tripping every other in-flight solve;
+       cancelling the lifetime budget still winds it down. *)
+    let request_budget = Budget.sub t.budget ~limit ~isolate:true () in
+    let unregister = watch request_budget limit in
+    let outcome =
+      Fun.protect ~finally:unregister (fun () ->
+          (* Chaos wedge: a solve stuck between cooperative cancellation
+             checks. Registered with the watchdog above, so supervision —
+             not this request's own deadline — must produce the answer. *)
+          let wedge = Faults.request_wedge () in
+          if wedge > 0. then Unix.sleepf wedge;
+          let t0 = Budget.now () in
+          let outcome = solve_with_retries t config request_budget ~mode ?warm fp q in
+          locked t (fun () -> record t.lat_solve (Budget.now () -. t0));
+          outcome)
+    in
     match outcome with
     | Ok r -> (
       match r.Optimizer.plan with
       | Some plan ->
         let timed_out = r.Optimizer.stopped <> Milp.Branch_bound.Completed in
-        if timed_out then begin
-          t.n_timeouts <- t.n_timeouts + 1;
-          t.strikes <- t.strikes + 1
-        end
-        else t.strikes <- 0;
+        locked t (fun () ->
+            if timed_out then begin
+              t.n_timeouts <- t.n_timeouts + 1;
+              t.strikes <- t.strikes + 1
+            end
+            else t.strikes <- 0);
         let entry = entry_of_result config r plan in
         Plan_cache.add t.cache key entry;
-        t.n_exact <- t.n_exact + 1;
+        locked t (fun () -> t.n_exact <- t.n_exact + 1);
         Some (answer_of_entry fp "solved" false entry)
       | None ->
-        t.strikes <- t.strikes + 1;
+        locked t (fun () -> t.strikes <- t.strikes + 1);
         None)
     | Error _ ->
-      t.strikes <- t.strikes + 1;
+      locked t (fun () -> t.strikes <- t.strikes + 1);
       None
   in
   let answer =
     match Plan_cache.find t.cache key with
     | Plan_cache.Hit entry ->
-      t.n_cache_hits <- t.n_cache_hits + 1;
+      locked t (fun () -> t.n_cache_hits <- t.n_cache_hits + 1);
       answer_of_entry fp "cache-hit" false entry
     | (Plan_cache.Stale_precision _ | Plan_cache.Miss) as lookup -> (
       let warm =
         match lookup with Plan_cache.Stale_precision e -> Some e | _ -> None
       in
-      match t.mode with
+      match locked t (fun () -> t.mode) with
       | Exact -> (
         match exact warm with
         | Some a ->
-          if mode = Protocol.Warm_cache && warm <> None then t.n_warm <- t.n_warm + 1;
+          locked t (fun () ->
+              if mode = Protocol.Warm_cache && warm <> None then t.n_warm <- t.n_warm + 1);
           a
         | None ->
-          if t.cfg.sv_degrade_after > 0 && t.strikes >= t.cfg.sv_degrade_after then begin
-            t.mode <- Degraded;
-            t.probe_clock <- 0;
-            t.n_degradations <- t.n_degradations + 1
-          end;
+          locked t (fun () ->
+              if t.cfg.sv_degrade_after > 0 && t.strikes >= t.cfg.sv_degrade_after
+                 && t.mode = Exact
+              then begin
+                t.mode <- Degraded;
+                t.probe_clock <- 0;
+                t.n_degradations <- t.n_degradations + 1
+              end);
           degraded_fallback warm)
       | Degraded ->
         (* Probe the exact path every k-th request; a clean completion
            recovers the server, anything else keeps it degraded. *)
-        t.probe_clock <- t.probe_clock + 1;
-        if t.cfg.sv_probe_every > 0 && t.probe_clock mod t.cfg.sv_probe_every = 0 then begin
-          t.n_probes <- t.n_probes + 1;
+        let probe =
+          locked t (fun () ->
+              t.probe_clock <- t.probe_clock + 1;
+              t.cfg.sv_probe_every > 0 && t.probe_clock mod t.cfg.sv_probe_every = 0)
+        in
+        if probe then begin
+          locked t (fun () -> t.n_probes <- t.n_probes + 1);
           match exact warm with
-          | Some a when t.strikes = 0 ->
-            t.mode <- Exact;
-            t.n_recoveries <- t.n_recoveries + 1;
+          | Some a ->
+            locked t (fun () ->
+                if t.strikes = 0 && t.mode = Degraded then begin
+                  t.mode <- Exact;
+                  t.n_recoveries <- t.n_recoveries + 1
+                end);
+            (* answered exactly; recovered only on a clean completion *)
             a
-          | Some a -> a (* answered exactly, but still shaky: stay degraded *)
           | None -> degraded_fallback warm
         end
         else degraded_fallback warm)
@@ -471,6 +565,30 @@ let stats_json t =
             ("status", Json.String t.snapshot_status);
             ("written", Json.Int t.n_snapshots);
           ] );
+      ( "supervision",
+        Json.Obj
+          [
+            ("jobs", Json.Int t.cfg.sv_jobs);
+            ("watchdog_cancels", Json.Int t.n_watchdog_cancels);
+            ("watchdog_kills", Json.Int t.n_watchdog_kills);
+            ("late_responses", Json.Int t.n_late_responses);
+            ("slow_client_evictions", Json.Int t.n_slow_evictions);
+            ("connections_rejected", Json.Int t.n_rejected_conns);
+            ("queue_depth", Json.Int (t.queue_depth_probe ()));
+            ("queue_high_water", Json.Int (t.queue_hwm_probe ()));
+          ] );
+      ( "drain",
+        Json.Obj
+          [
+            ( "state",
+              Json.String
+                (if t.drain_cancel then "cancelled"
+                 else if t.draining then "draining"
+                 else "running") );
+            ("rejected_shutdown", Json.Int t.n_rejected_shutdown);
+            ("completed", Json.Int t.n_drain_completed);
+            ("cancelled", Json.Int t.n_drain_cancelled);
+          ] );
       ("cache", json_of_cache_stats (Plan_cache.stats t.cache));
       ( "latency",
         Json.Obj
@@ -483,15 +601,19 @@ let stats_json t =
 
 let ok_fields fields = ("status", Json.String "ok") :: fields
 
-let handle_line t ?(client = "default") line =
+(* A no-op supervision hook: the synchronous [handle_line] path runs
+   unsupervised (its caller blocks on it anyway). *)
+let unwatched _budget _limit = fun () -> ()
+
+let handle_line_watched t ?(client = "default") ~watch line =
   let t_req = Budget.now () in
   let t0 = Budget.now () in
   let parsed = Protocol.request_of_line line in
-  record t.lat_parse (Budget.now () -. t0);
+  locked t (fun () -> record t.lat_parse (Budget.now () -. t0));
   let resp =
     match parsed with
     | Error reason ->
-      t.n_malformed <- t.n_malformed + 1;
+      locked t (fun () -> t.n_malformed <- t.n_malformed + 1);
       (* Best effort at echoing the id even for invalid requests, so a
          client can correlate the rejection. *)
       let id =
@@ -523,16 +645,16 @@ let handle_line t ?(client = "default") line =
                ])
         | Error reason -> Protocol.error_response ~id ("snapshot failed: " ^ reason))
       | Protocol.Shutdown ->
-        t.shutdown <- true;
+        request_shutdown t;
         Protocol.response ~id (ok_fields [ ("shutting_down", Json.Bool true) ])
       | Protocol.Optimize p ->
         if not (admit t client) then begin
-          t.n_rejected_rate <- t.n_rejected_rate + 1;
+          locked t (fun () -> t.n_rejected_rate <- t.n_rejected_rate + 1);
           Protocol.rejected_response ~id "overload:rate"
         end
         else begin
-          t.n_accepted <- t.n_accepted + 1;
-          match optimize_answer t p with
+          locked t (fun () -> t.n_accepted <- t.n_accepted + 1);
+          match optimize_answer t ~watch p with
           | a ->
             Protocol.response ~id
               (ok_fields
@@ -541,7 +663,9 @@ let handle_line t ?(client = "default") line =
                    ("degraded", Json.Bool a.a_degraded);
                    ( "mode",
                      Json.String
-                       (match t.mode with Exact -> "exact" | Degraded -> "degraded") );
+                       (match locked t (fun () -> t.mode) with
+                       | Exact -> "exact"
+                       | Degraded -> "degraded") );
                    ("provenance", Json.String a.a_provenance);
                    ( "plan",
                      Json.String
@@ -556,12 +680,14 @@ let handle_line t ?(client = "default") line =
             (* The ladder itself crashed (should not happen — retries and
                fallbacks absorb solver failures): a definitive error
                response, never a dropped request. *)
-            t.n_errors <- t.n_errors + 1;
+            locked t (fun () -> t.n_errors <- t.n_errors + 1);
             Protocol.error_response ~id (Printexc.to_string exn)
         end)
   in
-  record t.lat_request (Budget.now () -. t_req);
+  locked t (fun () -> record t.lat_request (Budget.now () -. t_req));
   resp
+
+let handle_line t ?client line = handle_line_watched t ?client ~watch:unwatched line
 
 let id_of_line line =
   match Json.parse line with
@@ -575,26 +701,332 @@ let handle_batch t ?client lines =
   List.mapi
     (fun i line ->
       if i >= t.cfg.sv_max_queue then begin
-        t.n_rejected_queue <- t.n_rejected_queue + 1;
+        locked t (fun () -> t.n_rejected_queue <- t.n_rejected_queue + 1);
         Protocol.rejected_response ~id:(id_of_line line) "overload:queue"
       end
       else handle_line t ?client line)
     lines
 
-(* --- the poll loop --------------------------------------------------- *)
+(* --- the concurrent executor ------------------------------------------ *)
 
-(* Per-connection line reassembly. [cn_discard] is set once a line
-   exceeds the protocol bound: the overflow is answered with one error
-   and input is dropped until the next newline, so an unbounded
-   un-terminated line cannot balloon the heap. *)
-type conn = {
-  cn_fd : Unix.file_descr;
-  cn_client : string;
-  cn_buf : Buffer.t;
-  mutable cn_discard : bool;
+(* One admitted request line. [jb_emit] delivers the single response;
+   exactly-once is enforced by [jb_answered] under the executor mutex,
+   so a worker finishing late can never double-answer a request the
+   watchdog already force-answered. *)
+type job = {
+  jb_line : string;
+  jb_client : string;
+  jb_emit : string -> unit;
+  mutable jb_answered : bool;
+  mutable jb_budget : Budget.t option;  (* registered while a solve runs *)
+  mutable jb_deadline : float;  (* absolute: solve start + limit + grace *)
+  mutable jb_soft : bool;  (* watchdog already cancelled the budget *)
 }
 
-let make_conn fd client = { cn_fd = fd; cn_client = client; cn_buf = Buffer.create 4096; cn_discard = false }
+type exec = {
+  ex_pool : job Scheduler.Pool.t;
+  ex_mu : Mutex.t;
+  ex_running : (int, job) Hashtbl.t;  (* ticket -> supervised solve *)
+  mutable ex_ticket : int;
+  mutable ex_drained : bool;
+  ex_stop : bool Atomic.t;
+  mutable ex_watchdog : unit Domain.t option;
+}
+
+(* Deliver [resp] for [job] if nobody else has; [true] iff this caller
+   won. The loser's answer — usually a wedged worker finally returning
+   after a watchdog kill — is dropped and counted, never sent. *)
+let complete t ex job resp =
+  Mutex.lock ex.ex_mu;
+  let first = not job.jb_answered in
+  if first then job.jb_answered <- true;
+  Mutex.unlock ex.ex_mu;
+  if first then job.jb_emit resp
+  else locked t (fun () -> t.n_late_responses <- t.n_late_responses + 1);
+  first
+
+(* Begin the graceful drain: stop dequeuing and answer the whole backlog
+   [rejected:shutdown]. Called from the worker that just executed a
+   shutdown op — while it still occupies its pool slot, so lines queued
+   behind the op are deterministically rejected rather than raced — and
+   from the poll loop when a signal arrives. Idempotent. *)
+let exec_drain_begin t ex =
+  Mutex.lock ex.ex_mu;
+  let fresh = not ex.ex_drained in
+  ex.ex_drained <- true;
+  Mutex.unlock ex.ex_mu;
+  if fresh then begin
+    locked t (fun () -> t.draining <- true);
+    let backlog = Scheduler.Pool.take_queued ex.ex_pool in
+    Scheduler.Pool.shutdown ex.ex_pool;
+    List.iter
+      (fun job ->
+        if
+          complete t ex job
+            (Protocol.rejected_response ~id:(id_of_line job.jb_line) "shutdown")
+        then locked t (fun () -> t.n_rejected_shutdown <- t.n_rejected_shutdown + 1))
+      backlog
+  end
+
+(* Cancel every supervised in-flight solve — the drain deadline passed. *)
+let exec_cancel_running ex =
+  Mutex.lock ex.ex_mu;
+  Hashtbl.iter
+    (fun _ job -> match job.jb_budget with Some b -> Budget.cancel b | None -> ())
+    ex.ex_running;
+  Mutex.unlock ex.ex_mu
+
+(* Worker body: the supervision hook registers the request's isolated
+   budget with the watchdog for exactly the duration of the solve. *)
+let run_job t ex job =
+  let watch budget limit =
+    Mutex.lock ex.ex_mu;
+    let ticket = ex.ex_ticket in
+    ex.ex_ticket <- ticket + 1;
+    job.jb_budget <- Some budget;
+    job.jb_deadline <- Budget.now () +. limit +. t.cfg.sv_watchdog_grace;
+    job.jb_soft <- false;
+    Hashtbl.replace ex.ex_running ticket job;
+    Mutex.unlock ex.ex_mu;
+    fun () ->
+      Mutex.lock ex.ex_mu;
+      Hashtbl.remove ex.ex_running ticket;
+      job.jb_budget <- None;
+      Mutex.unlock ex.ex_mu
+  in
+  (* Slow-handler fault point: the stall burns this worker only; with
+     [sv_jobs > 1] the other workers keep answering — the regression
+     that used to freeze the whole select loop. *)
+  let stall = Faults.request_stall () in
+  if stall > 0. then Unix.sleepf stall;
+  let resp =
+    try handle_line_watched t ~client:job.jb_client ~watch job.jb_line
+    with exn ->
+      locked t (fun () -> t.n_errors <- t.n_errors + 1);
+      Protocol.error_response ~id:(id_of_line job.jb_line) (Printexc.to_string exn)
+  in
+  if complete t ex job resp then
+    locked t (fun () ->
+        if t.draining then
+          if t.drain_cancel then t.n_drain_cancelled <- t.n_drain_cancelled + 1
+          else t.n_drain_completed <- t.n_drain_completed + 1);
+  (* A shutdown op drains from inside the worker so that queued lines
+     behind it cannot be dequeued first. *)
+  if shutdown_requested t then exec_drain_begin t ex
+
+(* One watchdog pass: soft-cancel solves past their deadline, then
+   force-answer the ones that ignored the cancellation for another full
+   grace period. Strike/ladder updates happen outside [ex_mu] — the two
+   locks are never held together. *)
+let watchdog_tick t ex =
+  let now = Budget.now () in
+  let soft = ref 0 in
+  let kills = ref [] in
+  Mutex.lock ex.ex_mu;
+  let killed = ref [] in
+  Hashtbl.iter
+    (fun ticket job ->
+      match job.jb_budget with
+      | Some b when not job.jb_answered ->
+        if now > job.jb_deadline && not job.jb_soft then begin
+          job.jb_soft <- true;
+          Budget.cancel b;
+          incr soft
+        end;
+        if now > job.jb_deadline +. t.cfg.sv_watchdog_grace then begin
+          killed := ticket :: !killed;
+          kills := job :: !kills
+        end
+      | _ -> ())
+    ex.ex_running;
+  List.iter (fun ticket -> Hashtbl.remove ex.ex_running ticket) !killed;
+  Mutex.unlock ex.ex_mu;
+  if !soft > 0 then
+    locked t (fun () -> t.n_watchdog_cancels <- t.n_watchdog_cancels + !soft);
+  List.iter
+    (fun job ->
+      (* An honest error beats silence: the client gets a definitive
+         answer now, the wedged worker's eventual result is dropped as a
+         late response, and the ladder records a strike. *)
+      if
+        complete t ex job
+          (Protocol.error_response ~id:(id_of_line job.jb_line)
+             "watchdog: request exceeded its deadline")
+      then
+        locked t (fun () ->
+            t.n_watchdog_kills <- t.n_watchdog_kills + 1;
+            t.strikes <- t.strikes + 1;
+            if
+              t.cfg.sv_degrade_after > 0
+              && t.strikes >= t.cfg.sv_degrade_after
+              && t.mode = Exact
+            then begin
+              t.mode <- Degraded;
+              t.probe_clock <- 0;
+              t.n_degradations <- t.n_degradations + 1
+            end))
+    !kills
+
+let watchdog_loop t ex =
+  while not (Atomic.get ex.ex_stop) do
+    Unix.sleepf 0.02;
+    watchdog_tick t ex
+  done
+
+let exec_create t ~jobs =
+  let ex_ref = ref None in
+  let pool =
+    Scheduler.Pool.create ~jobs ~capacity:t.cfg.sv_max_queue ~work:(fun job ->
+        (* [ex_ref] is published before any submit: the pool mutex pair
+           (submit/pop) orders this read after the write below. *)
+        match !ex_ref with
+        | Some ex -> run_job t ex job
+        | None -> ())
+  in
+  let ex =
+    {
+      ex_pool = pool;
+      ex_mu = Mutex.create ();
+      ex_running = Hashtbl.create 32;
+      ex_ticket = 0;
+      ex_drained = false;
+      ex_stop = Atomic.make false;
+      ex_watchdog = None;
+    }
+  in
+  ex_ref := Some ex;
+  ex.ex_watchdog <- Some (Domain.spawn (fun () -> watchdog_loop t ex));
+  locked t (fun () ->
+      t.queue_depth_probe <- (fun () -> Scheduler.Pool.depth pool);
+      t.queue_hwm_probe <- (fun () -> Scheduler.Pool.high_water pool));
+  ex
+
+(* Stop the watchdog and the pool. Worker domains are joined only when
+   the pool is idle: a worker wedged past a watchdog kill must be left
+   to die with the process (its response is already dropped as late) —
+   joining it would block shutdown on exactly the fault the watchdog
+   exists to survive. *)
+let exec_stop ex =
+  Scheduler.Pool.shutdown ex.ex_pool;
+  let idle = Scheduler.Pool.idle ex.ex_pool in
+  Atomic.set ex.ex_stop true;
+  (match ex.ex_watchdog with Some d -> Domain.join d | None -> ());
+  ex.ex_watchdog <- None;
+  if idle then Scheduler.Pool.join ex.ex_pool
+
+(* --- in-process concurrent entry point -------------------------------- *)
+
+type stream_result = {
+  sr_responses : string list;
+  sr_latencies : float array;
+}
+
+let handle_stream t ?(client = "stream") ?jobs lines =
+  let jobs = match jobs with Some j -> j | None -> t.cfg.sv_jobs in
+  let lines = Array.of_list lines in
+  let n = Array.length lines in
+  let responses = Array.make n "" in
+  let starts = Array.make n 0. in
+  let latencies = Array.make n 0. in
+  let mu = Mutex.create () in
+  let cond = Condition.create () in
+  let completed = ref 0 in
+  let ex = exec_create t ~jobs in
+  let emit i resp =
+    Mutex.lock mu;
+    responses.(i) <- resp;
+    latencies.(i) <- Budget.now () -. starts.(i);
+    incr completed;
+    Condition.signal cond;
+    Mutex.unlock mu
+  in
+  for i = 0 to n - 1 do
+    starts.(i) <- Budget.now ();
+    let job =
+      {
+        jb_line = lines.(i);
+        jb_client = client;
+        jb_emit = emit i;
+        jb_answered = false;
+        jb_budget = None;
+        jb_deadline = 0.;
+        jb_soft = false;
+      }
+    in
+    if not (Scheduler.Pool.submit ~block:true ex.ex_pool job) then begin
+      (* the pool refused: a shutdown op earlier in the stream drained it *)
+      locked t (fun () -> t.n_rejected_shutdown <- t.n_rejected_shutdown + 1);
+      emit i (Protocol.rejected_response ~id:(id_of_line lines.(i)) "shutdown")
+    end
+  done;
+  Mutex.lock mu;
+  while !completed < n do
+    Condition.wait cond mu
+  done;
+  Mutex.unlock mu;
+  exec_stop ex;
+  { sr_responses = Array.to_list responses; sr_latencies = latencies }
+
+(* --- connection transport --------------------------------------------- *)
+
+(* Ordered response sink for one connection. Workers finish out of
+   order; a response enters [sk_pending] keyed by its per-connection
+   arrival index and moves to the wire buffer only in arrival order, so
+   per-connection response order holds no matter how the pool
+   interleaves. The wire buffer is bounded: a client that stops reading
+   while responses pile up is evicted instead of wedging the loop or
+   ballooning the heap. *)
+type sink = {
+  sk_mu : Mutex.t;
+  sk_pending : (int, string) Hashtbl.t;
+  mutable sk_emit_next : int;
+  sk_wire : Buffer.t;
+  mutable sk_submitted : int;
+  mutable sk_dead : bool;
+}
+
+(* Per-connection line reassembly plus the outbound staging area for
+   non-blocking writes. [cn_discard] is set once a line exceeds the
+   protocol bound: the overflow is answered with one error and input is
+   dropped until the next newline. *)
+type conn = {
+  cn_id : int;
+  cn_in : Unix.file_descr;
+  cn_out : Unix.file_descr;
+  cn_client : string;
+  cn_owned : bool;  (* loop closes the fds (accepted sockets, not stdio) *)
+  cn_buf : Buffer.t;
+  mutable cn_discard : bool;
+  mutable cn_eof : bool;
+  mutable cn_closed : bool;
+  cn_sink : sink;
+  mutable cn_stage : Bytes.t;
+  mutable cn_stage_off : int;
+}
+
+let make_conn ?out_fd ~owned fd client id =
+  {
+    cn_id = id;
+    cn_in = fd;
+    cn_out = (match out_fd with Some o -> o | None -> fd);
+    cn_client = client;
+    cn_owned = owned;
+    cn_buf = Buffer.create 4096;
+    cn_discard = false;
+    cn_eof = false;
+    cn_closed = false;
+    cn_sink =
+      {
+        sk_mu = Mutex.create ();
+        sk_pending = Hashtbl.create 8;
+        sk_emit_next = 0;
+        sk_wire = Buffer.create 4096;
+        sk_submitted = 0;
+        sk_dead = false;
+      };
+    cn_stage = Bytes.empty;
+    cn_stage_off = 0;
+  }
 
 (* Split the connection buffer into complete lines, keeping the
    unterminated tail buffered. Returns the lines plus whether the
@@ -646,108 +1078,356 @@ let read_chunk fd conn chunk =
   | n ->
     Buffer.add_subbytes conn.cn_buf chunk 0 n;
     `Data
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Again
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+    -> `Again
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Eof
 
-(* Serve every complete line currently buffered on [conn], writing
-   responses to [out_fd]. *)
-let drain_conn t conn out_fd =
+(* Deliver response [seq] — called from worker and watchdog domains.
+   Moves ready responses to the wire in arrival order and wakes the poll
+   loop through the self-pipe so it starts writing. *)
+let sink_push t conn ~wake seq resp =
+  let sk = conn.cn_sink in
+  Mutex.lock sk.sk_mu;
+  let evicted =
+    if sk.sk_dead then false
+    else begin
+      Hashtbl.replace sk.sk_pending seq resp;
+      let continue = ref true in
+      while !continue do
+        match Hashtbl.find_opt sk.sk_pending sk.sk_emit_next with
+        | Some r ->
+          Hashtbl.remove sk.sk_pending sk.sk_emit_next;
+          Buffer.add_string sk.sk_wire r;
+          Buffer.add_char sk.sk_wire '\n';
+          sk.sk_emit_next <- sk.sk_emit_next + 1
+        | None -> continue := false
+      done;
+      if Buffer.length sk.sk_wire > t.cfg.sv_max_write_buf then begin
+        (* slow client: it stopped reading while answers accumulated *)
+        sk.sk_dead <- true;
+        Buffer.clear sk.sk_wire;
+        Hashtbl.reset sk.sk_pending;
+        true
+      end
+      else false
+    end
+  in
+  Mutex.unlock sk.sk_mu;
+  if evicted then locked t (fun () -> t.n_slow_evictions <- t.n_slow_evictions + 1);
+  wake ()
+
+(* Reserve the next per-connection arrival index. *)
+let sink_seq conn =
+  let sk = conn.cn_sink in
+  Mutex.lock sk.sk_mu;
+  let seq = sk.sk_submitted in
+  sk.sk_submitted <- seq + 1;
+  Mutex.unlock sk.sk_mu;
+  seq
+
+(* Hand one parsed line to the pool; a refusal is answered immediately —
+   overload normally, shutdown during a drain — through the same ordered
+   sink, so rejections keep their place in the response order. *)
+let submit_line t ex conn ~wake line =
+  let seq = sink_seq conn in
+  let job =
+    {
+      jb_line = line;
+      jb_client = conn.cn_client;
+      jb_emit = (fun r -> sink_push t conn ~wake seq r);
+      jb_answered = false;
+      jb_budget = None;
+      jb_deadline = 0.;
+      jb_soft = false;
+    }
+  in
+  if not (Scheduler.Pool.submit ex.ex_pool job) then
+    if shutdown_requested t then begin
+      locked t (fun () -> t.n_rejected_shutdown <- t.n_rejected_shutdown + 1);
+      sink_push t conn ~wake seq
+        (Protocol.rejected_response ~id:(id_of_line line) "shutdown")
+    end
+    else begin
+      locked t (fun () -> t.n_rejected_queue <- t.n_rejected_queue + 1);
+      sink_push t conn ~wake seq
+        (Protocol.rejected_response ~id:(id_of_line line) "overload:queue")
+    end
+
+let ingest t ex conn ~wake =
   let lines, overflow = take_lines conn in
+  List.iter (submit_line t ex conn ~wake) lines;
   if overflow then begin
-    t.n_malformed <- t.n_malformed + 1;
-    (try write_line out_fd (Protocol.error_response ~id:Json.Null "request line too long")
-     with Unix.Unix_error _ -> ())
-  end;
-  if lines <> [] then begin
-    (* Slow-client fault point: a stall injected here holds the whole
-       loop, which is exactly how a real slow consumer backs the server
-       up — the admission layer is what keeps that survivable. *)
-    let stall = Faults.request_stall () in
-    if stall > 0. then Unix.sleepf stall;
-    let responses = handle_batch t ~client:conn.cn_client lines in
-    List.iter
-      (fun r -> try write_line out_fd r with Unix.Unix_error _ -> ())
-      responses
+    locked t (fun () -> t.n_malformed <- t.n_malformed + 1);
+    sink_push t conn ~wake (sink_seq conn)
+      (Protocol.error_response ~id:Json.Null "request line too long")
   end
 
+(* Move bytes wire -> stage -> fd without ever blocking the loop;
+   partial writes stay staged. EPIPE/reset marks the connection dead —
+   the client went away; its remaining answers are dropped. *)
+let flush_conn conn =
+  let sk = conn.cn_sink in
+  if conn.cn_stage_off >= Bytes.length conn.cn_stage then begin
+    Mutex.lock sk.sk_mu;
+    let data = Buffer.contents sk.sk_wire in
+    Buffer.clear sk.sk_wire;
+    Mutex.unlock sk.sk_mu;
+    conn.cn_stage <- Bytes.of_string data;
+    conn.cn_stage_off <- 0
+  end;
+  let len = Bytes.length conn.cn_stage - conn.cn_stage_off in
+  if len > 0 then begin
+    match Unix.write conn.cn_out conn.cn_stage conn.cn_stage_off len with
+    | n -> conn.cn_stage_off <- conn.cn_stage_off + n
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+    | exception
+        Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+      Mutex.lock sk.sk_mu;
+      sk.sk_dead <- true;
+      Buffer.clear sk.sk_wire;
+      Mutex.unlock sk.sk_mu;
+      conn.cn_stage <- Bytes.empty;
+      conn.cn_stage_off <- 0
+  end
+
+let conn_dead conn =
+  let sk = conn.cn_sink in
+  Mutex.lock sk.sk_mu;
+  let d = sk.sk_dead in
+  Mutex.unlock sk.sk_mu;
+  d
+
+(* Every submitted line answered and every byte flushed. *)
+let conn_flushed conn =
+  conn.cn_stage_off >= Bytes.length conn.cn_stage
+  &&
+  let sk = conn.cn_sink in
+  Mutex.lock sk.sk_mu;
+  let d = sk.sk_emit_next = sk.sk_submitted && Buffer.length sk.sk_wire = 0 in
+  Mutex.unlock sk.sk_mu;
+  d
+
+let has_output conn =
+  conn.cn_stage_off < Bytes.length conn.cn_stage
+  ||
+  let sk = conn.cn_sink in
+  Mutex.lock sk.sk_mu;
+  let p = Buffer.length sk.sk_wire > 0 in
+  Mutex.unlock sk.sk_mu;
+  p
+
+(* --- the poll loop ----------------------------------------------------- *)
+
 let with_signals t f =
-  let stop _ =
-    t.shutdown <- true;
-    Budget.cancel t.budget
-  in
+  (* Signals request a *drain*, not an abort: the loop stops accepting,
+     the queued backlog is answered [rejected:shutdown], and in-flight
+     solves finish under the drain window before being cancelled. The
+     server's lifetime budget is left alone. SIGPIPE is ignored for the
+     duration — a write to a vanished client surfaces as EPIPE and
+     closes just that connection. *)
+  let stop _ = request_shutdown t in
   let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop) in
   let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle stop) in
+  let prev_pipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
   Fun.protect
     ~finally:(fun () ->
       Sys.set_signal Sys.sigterm prev_term;
       Sys.set_signal Sys.sigint prev_int;
+      (match prev_pipe with
+      | Some p -> Sys.set_signal Sys.sigpipe p
+      | None -> ());
       (* every graceful exit path ends with a snapshot *)
       ignore (save_snapshot t))
     f
 
-let serve_fds t in_fd out_fd =
-  with_signals t (fun () ->
-      let conn = make_conn in_fd "default" in
-      let chunk = Bytes.create 65536 in
-      let eof = ref false in
-      while not (!eof || t.shutdown) do
-        match Unix.select [ in_fd ] [] [] 0.25 with
-        | [], _, _ -> ()
-        | _ -> (
-          match read_chunk in_fd conn chunk with
-          | `Eof ->
-            (* serve whatever is already buffered before stopping *)
-            Buffer.add_char conn.cn_buf '\n';
-            drain_conn t conn out_fd;
-            eof := true
-          | `Data | `Again -> drain_conn t conn out_fd)
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+(* The poll loop shared by both transports: parse and admit only —
+   execution lives on the pool's worker domains, responses come back
+   through each connection's sink and the self-pipe wake-up. Runs until
+   every connection drains (EOF mode) or a requested shutdown finishes
+   its drain window. *)
+let run_loop t ex ?listener initial_conns =
+  let conns = ref initial_conns in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let wake_byte = Bytes.make 1 '!' in
+  let wake () = try ignore (Unix.write wake_w wake_byte 0 1) with _ -> () in
+  let chunk = Bytes.create 65536 in
+  let next_conn = ref (List.length initial_conns) in
+  let accepting = ref (listener <> None) in
+  let drain_deadline = ref infinity in
+  let hard_deadline = ref infinity in
+  let close_conn conn =
+    if not conn.cn_closed then begin
+      conn.cn_closed <- true;
+      if conn.cn_owned then begin
+        (try Unix.close conn.cn_in with Unix.Unix_error _ -> ());
+        if conn.cn_out != conn.cn_in then
+          try Unix.close conn.cn_out with Unix.Unix_error _ -> ()
+      end
+    end;
+    conns := List.filter (fun c -> c != conn) !conns
+  in
+  let accept_client srv =
+    match Unix.accept srv with
+    | fd, _ ->
+      if List.length !conns >= t.cfg.sv_max_conns then begin
+        (* explicit, immediate refusal — never a silent hang *)
+        locked t (fun () -> t.n_rejected_conns <- t.n_rejected_conns + 1);
+        (try write_line fd (Protocol.rejected_response ~id:Json.Null "overload:conns")
+         with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else begin
+        Unix.set_nonblock fd;
+        incr next_conn;
+        conns :=
+          make_conn ~owned:true fd (Printf.sprintf "conn-%d" !next_conn) !next_conn
+          :: !conns
+      end
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter close_conn !conns;
+      (try Unix.close wake_r with Unix.Unix_error _ -> ());
+      try Unix.close wake_w with Unix.Unix_error _ -> ())
+    (fun () ->
+      let running = ref true in
+      while !running do
+        (* enter the drain state machine once shutdown is requested *)
+        if shutdown_requested t && !drain_deadline = infinity then begin
+          exec_drain_begin t ex;
+          accepting := false;
+          drain_deadline := Budget.now () +. t.cfg.sv_drain_limit;
+          hard_deadline :=
+            !drain_deadline +. (2. *. t.cfg.sv_watchdog_grace) +. 1.
+        end;
+        let draining = !drain_deadline < infinity in
+        if
+          draining
+          && (not (locked t (fun () -> t.drain_cancel)))
+          && Budget.now () > !drain_deadline
+        then begin
+          (* drain window over: cancel what is still running *)
+          locked t (fun () -> t.drain_cancel <- true);
+          exec_cancel_running ex
+        end;
+        (* reap finished/evicted connections *)
+        List.iter
+          (fun c ->
+            if conn_dead c then close_conn c
+            else if (c.cn_eof || draining) && conn_flushed c then close_conn c)
+          !conns;
+        (* exit conditions *)
+        if draining then begin
+          if
+            (Scheduler.Pool.idle ex.ex_pool && !conns = [])
+            || Budget.now () > !hard_deadline
+          then running := false
+        end
+        else if (not !accepting) && !conns = [] then running := false;
+        if !running then begin
+          let rfds =
+            (match listener with Some srv when !accepting -> [ srv ] | _ -> [])
+            @ wake_r
+              :: List.filter_map
+                   (fun c ->
+                     if c.cn_eof || draining then None else Some c.cn_in)
+                   !conns
+          in
+          let wfds =
+            List.filter_map
+              (fun c -> if has_output c then Some c.cn_out else None)
+              !conns
+          in
+          match Unix.select rfds wfds [] (if draining then 0.02 else 0.1) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | readable, writable, _ ->
+            if List.mem wake_r readable then begin
+              let buf = Bytes.create 256 in
+              let continue = ref true in
+              while !continue do
+                match Unix.read wake_r buf 0 256 with
+                | n -> if n < 256 then continue := false
+                | exception Unix.Unix_error _ -> continue := false
+              done
+            end;
+            (match listener with
+            | Some srv when !accepting && List.mem srv readable ->
+              accept_client srv
+            | _ -> ());
+            List.iter
+              (fun c ->
+                if
+                  (not c.cn_closed) && (not c.cn_eof)
+                  && List.mem c.cn_in readable
+                then begin
+                  match read_chunk c.cn_in c chunk with
+                  | `Eof ->
+                    (* parse whatever is buffered, then stop reading *)
+                    Buffer.add_char c.cn_buf '\n';
+                    ingest t ex c ~wake;
+                    c.cn_eof <- true
+                  | `Data -> ingest t ex c ~wake
+                  | `Again -> ()
+                end)
+              !conns;
+            List.iter
+              (fun c ->
+                if (not c.cn_closed) && List.mem c.cn_out writable then
+                  flush_conn c)
+              !conns
+        end
       done)
 
+let serve_fds t in_fd out_fd =
+  with_signals t (fun () ->
+      let ex = exec_create t ~jobs:t.cfg.sv_jobs in
+      Fun.protect
+        ~finally:(fun () -> exec_stop ex)
+        (fun () ->
+          let conn = make_conn ~out_fd ~owned:false in_fd "default" 0 in
+          run_loop t ex [ conn ]))
+
+(* A second server must fail loudly instead of silently stealing the
+   socket: probe [path] for a live listener before unlinking what might
+   be only the stale remains of a crashed predecessor. *)
+let claim_socket_path path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      try
+        Unix.connect probe (Unix.ADDR_UNIX path);
+        true
+      with Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      failwith
+        (Printf.sprintf "serve_socket: %s already has a live server listening"
+           path);
+    try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()
+  end
+
 let serve_socket t ~path =
-  (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+  claim_socket_path path;
   let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind srv (Unix.ADDR_UNIX path);
-  Unix.listen srv 16;
-  let conns : conn list ref = ref [] in
-  let next_conn = ref 0 in
-  let chunk = Bytes.create 65536 in
-  let close_conn conn =
-    conns := List.filter (fun c -> c.cn_fd != conn.cn_fd) !conns;
-    try Unix.close conn.cn_fd with Unix.Unix_error _ -> ()
-  in
+  Unix.listen srv t.cfg.sv_backlog;
+  Unix.set_nonblock srv;
   with_signals t (fun () ->
+      let ex = exec_create t ~jobs:t.cfg.sv_jobs in
       Fun.protect
         ~finally:(fun () ->
-          List.iter (fun c -> try Unix.close c.cn_fd with Unix.Unix_error _ -> ()) !conns;
+          exec_stop ex;
           (try Unix.close srv with Unix.Unix_error _ -> ());
           try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
-        (fun () ->
-          while not t.shutdown do
-            let fds = srv :: List.map (fun c -> c.cn_fd) !conns in
-            match Unix.select fds [] [] 0.25 with
-            | readable, _, _ ->
-              List.iter
-                (fun fd ->
-                  if fd == srv then begin
-                    match Unix.accept srv with
-                    | client_fd, _ ->
-                      incr next_conn;
-                      conns :=
-                        make_conn client_fd (Printf.sprintf "conn-%d" !next_conn)
-                        :: !conns
-                    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-                  end
-                  else
-                    match List.find_opt (fun c -> c.cn_fd == fd) !conns with
-                    | None -> ()
-                    | Some conn -> (
-                      match read_chunk fd conn chunk with
-                      | `Eof ->
-                        Buffer.add_char conn.cn_buf '\n';
-                        drain_conn t conn conn.cn_fd;
-                        close_conn conn
-                      | `Data | `Again -> drain_conn t conn conn.cn_fd))
-                readable
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-          done))
+        (fun () -> run_loop t ex ~listener:srv []))

@@ -8,6 +8,22 @@
     own line reassembly, so the poll loop can multiplex connections and
     notice shutdown signals between reads.
 
+    {b Concurrency and supervision.} The poll loop only parses and
+    admits: every admitted line is enqueued onto a bounded work queue
+    consumed by [sv_jobs] worker domains ({!Scheduler.Pool}), so a slow
+    or stalled request occupies one worker while every other connection
+    keeps being served. Responses re-enter the loop through a
+    per-connection ordered sink — per-connection response order and the
+    exactly-one-response-per-line invariant hold no matter how workers
+    interleave. A watchdog domain supervises every in-flight solve: past
+    its deadline plus [sv_watchdog_grace] the request's isolated budget
+    is cancelled ({!Milp.Budget.sub} with [~isolate:true]); a solve that
+    ignores the cancellation for another grace period is force-answered
+    with an honest error (a strike on the degradation ladder) and its
+    eventual result is dropped. Slow consumers are bounded too: a client
+    that stops reading while more than [sv_max_write_buf] bytes of
+    answers accumulate is evicted, never buffered without bound.
+
     Robustness layers, outermost first:
 
     - {b Admission control.} A token bucket per client ([rate] tokens
@@ -55,12 +71,25 @@ type config = {
       (** consecutive exact-path strikes before degraded mode; [0] never *)
   sv_probe_every : int;
       (** in degraded mode, retry the exact path on every k-th request *)
-  sv_jobs : int;  (** branch & bound domains per solve *)
+  sv_jobs : int;  (** concurrent request-executor worker domains *)
   sv_precision : Joinopt.Thresholds.precision;
   sv_cost : Joinopt.Cost_enc.spec;
   sv_warm : Protocol.warm_mode;
       (** warm-start mode for requests that do not name one;
           default [Warm_cache] *)
+  sv_max_conns : int;
+      (** simultaneous socket connections; further accepts are answered
+          [rejected:overload:conns] and closed *)
+  sv_backlog : int;  (** [Unix.listen] backlog of the server socket *)
+  sv_max_write_buf : int;
+      (** bytes of unread responses a connection may accumulate before
+          the slow client is evicted *)
+  sv_watchdog_grace : float;
+      (** seconds past a request's deadline before the watchdog cancels
+          its budget; the same again before it force-answers *)
+  sv_drain_limit : float;
+      (** graceful-shutdown window: seconds in-flight solves may keep
+          running before the drain cancels them *)
 }
 
 val default_config : config
@@ -86,6 +115,24 @@ val handle_batch : t -> ?client:string -> string list -> string list
     ["overload:queue"] before any processing, exactly as the poll loop
     treats a burst of input. Responses come back in request order. *)
 
+type stream_result = {
+  sr_responses : string list;
+      (** one response per input line, in input order *)
+  sr_latencies : float array;
+      (** submit-to-answer seconds, same order *)
+}
+
+val handle_stream :
+  t -> ?client:string -> ?jobs:int -> string list -> stream_result
+(** Run a batch of request lines through the full concurrent executor —
+    bounded work queue, [jobs] worker domains (default [sv_jobs]),
+    watchdog supervision — without any transport, blocking submission
+    when the queue is full instead of rejecting. Benchmarks and
+    concurrency tests use this to exercise exactly the machinery behind
+    {!serve_fds}/{!serve_socket} in process. A [shutdown] op inside the
+    stream drains the executor: lines queued behind it come back
+    [rejected:shutdown]. *)
+
 val shutdown_requested : t -> bool
 
 val save_snapshot : t -> (unit, string) result
@@ -99,12 +146,21 @@ val stats_json : t -> Json.t
 val serve_fds : t -> Unix.file_descr -> Unix.file_descr -> unit
 (** Serve until EOF, a [shutdown] request, or SIGTERM/SIGINT (handlers
     installed for the duration): read request lines from the first
-    descriptor, write response lines to the second. A final snapshot is
-    written on every graceful exit path. *)
+    descriptor, write response lines to the second. Lines execute
+    concurrently on [sv_jobs] workers; responses keep arrival order. On
+    EOF the already-admitted backlog is executed and answered normally;
+    on [shutdown]/SIGTERM it is answered [rejected:shutdown] and
+    in-flight solves get [sv_drain_limit] seconds before cancellation.
+    A final snapshot is written on every graceful exit path. *)
 
 val serve_socket : t -> path:string -> unit
-(** Bind a Unix-domain socket at [path] (replacing a stale file),
-    accept any number of concurrent connections, and serve each with
-    the same per-line protocol; connection N's default client key is
-    ["conn-N"]. Returns on [shutdown] or SIGTERM/SIGINT, removing the
-    socket file and writing a final snapshot. *)
+(** Bind a Unix-domain socket at [path], accept up to [sv_max_conns]
+    concurrent connections (listen backlog [sv_backlog]) and serve each
+    with the same per-line protocol; connection N's default client key
+    is ["conn-N"]. If [path] already has a {e live} listener the call
+    fails loudly ([Failure]) instead of stealing the socket — only a
+    stale file from a dead process is replaced. Returns on [shutdown]
+    or SIGTERM/SIGINT after the graceful drain (stop accepting, reject
+    the queued backlog, give in-flight solves [sv_drain_limit] seconds,
+    flush every connection), removing the socket file and writing a
+    final snapshot. *)

@@ -1,0 +1,398 @@
+(* Chaos soak for the concurrent server: a seeded multi-connection
+   campaign of mixed request lines under randomized fault storms
+   (per-request stalls, injected handler aborts, snapshot corruption),
+   including one SIGKILL of the server mid-flight and a restart on the
+   possibly-damaged snapshot, then a clean warm/kill/restart cycle that
+   must produce byte-identical cache hits.
+
+   Invariants checked throughout:
+   - exactly one response per submitted line, in per-connection order
+     (lines cut off by the SIGKILL get zero responses, never two);
+   - zero stranded clients: every connection always makes progress or
+     reaches EOF within a bounded window;
+   - a damaged snapshot never prevents restart (cold start instead);
+   - after the clean cycle's restart, the recorded queries come back as
+     cache hits with byte-identical plan/objective/bound/true_cost.
+
+   Deterministic in JOINOPT_SOAK_SEED (default 42); the seed is printed
+   first so a CI failure can be replayed. Standalone executable — run
+   with [dune exec test/test_chaos_soak.exe]. *)
+
+module Workload = Relalg.Workload
+module Query_file = Relalg.Query_file
+module Join_graph = Relalg.Join_graph
+module Faults = Milp.Faults
+module Json = Service.Json
+module Server = Service.Server
+
+let seed =
+  match int_of_string_opt (try Sys.getenv "JOINOPT_SOAK_SEED" with Not_found -> "42") with
+  | Some s -> s
+  | None -> 42
+
+let () = Printf.printf "chaos soak: seed=%d (set JOINOPT_SOAK_SEED to replay)\n%!" seed
+let rng = Random.State.make [| seed |]
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("SOAK FAIL: " ^ m); exit 1) fmt
+let expect cond fmt = Printf.ksprintf (fun m -> if not cond then fail "%s" m) fmt
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+let sock_path = tmp (Printf.sprintf "joinopt_soak_%d.sock" (Unix.getpid ()))
+let snap_path = tmp (Printf.sprintf "joinopt_soak_%d.snap" (Unix.getpid ()))
+
+let queries =
+  Array.init 8 (fun i ->
+      Workload.generate ~seed:(100 + i) ~shape:Join_graph.Star ~num_tables:5 ())
+
+let optimize_line ~id qi =
+  Json.to_string ~indent:false
+    (Json.Obj
+       [
+         ("op", Json.String "optimize");
+         ("id", Json.String id);
+         ("budget", Json.Float 3.);
+         ("query", Json.String (Query_file.to_string queries.(qi)));
+       ])
+
+let server_config =
+  {
+    Server.default_config with
+    Server.sv_rate = 0.;
+    sv_burst = 0.;
+    sv_max_queue = 1024;
+    sv_default_limit = 3.;
+    sv_jobs = 4;
+    sv_snapshot_path = Some snap_path;
+    sv_watchdog_grace = 0.5;
+    sv_drain_limit = 2.;
+  }
+
+(* Fork a server child; faults (if any) are installed inside the child
+   only, so the parent driver never injects into itself. *)
+let spawn_server ?faults ~snapshot_every () =
+  (try Unix.unlink sock_path with Unix.Unix_error _ | Sys_error _ -> ());
+  match Unix.fork () with
+  | 0 ->
+    (match faults with Some p -> Faults.install p | None -> Faults.clear ());
+    let server =
+      Server.create ~config:{ server_config with Server.sv_snapshot_every = snapshot_every } ()
+    in
+    (try Server.serve_socket server ~path:sock_path with _ -> ());
+    exit 0
+  | pid ->
+    let rec await n =
+      if n = 0 then fail "server socket never appeared";
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect sock (Unix.ADDR_UNIX sock_path) with
+      | () -> Unix.close sock
+      | exception Unix.Unix_error _ ->
+        Unix.close sock;
+        Unix.sleepf 0.05;
+        await (n - 1)
+    in
+    await 200;
+    pid
+
+(* --- one client connection with full accounting ----------------------- *)
+
+type client = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable sent : string list;  (* lines sent, oldest first *)
+  mutable n_sent : int;
+  mutable responses : Json.t list;  (* oldest first *)
+  mutable n_recv : int;
+  mutable eof : bool;
+  mutable last_progress : float;
+}
+
+let connect () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock_path);
+  {
+    fd;
+    buf = Buffer.create 4096;
+    sent = [];
+    n_sent = 0;
+    responses = [];
+    n_recv = 0;
+    eof = false;
+    last_progress = Milp.Budget.now ();
+  }
+
+let send c line =
+  try
+    let b = Bytes.of_string (line ^ "\n") in
+    let rec go off =
+      if off < Bytes.length b then go (off + Unix.write c.fd b off (Bytes.length b - off))
+    in
+    go 0;
+    c.sent <- c.sent @ [ line ];
+    c.n_sent <- c.n_sent + 1;
+    true
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+    (* server died (SIGKILL phase) — the line was never submitted *)
+    c.eof <- true;
+    false
+
+(* Pull whatever is readable into per-client buffers; returns true if
+   any client made progress. *)
+let pump clients timeout =
+  let live = List.filter (fun c -> not c.eof) clients in
+  if live = [] then false
+  else
+    match Unix.select (List.map (fun c -> c.fd) live) [] [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    | [], _, _ -> false
+    | readable, _, _ ->
+      let chunk = Bytes.create 65536 in
+      List.iter
+        (fun c ->
+          if List.mem c.fd readable then begin
+            (match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+            | 0 -> c.eof <- true
+            | n -> Buffer.add_subbytes c.buf chunk 0 n
+            | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+              c.eof <- true
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            c.last_progress <- Milp.Budget.now ();
+            (* split complete lines out of the buffer *)
+            let data = Buffer.contents c.buf in
+            let parts = String.split_on_char '\n' data in
+            let rec consume = function
+              | [] -> ()
+              | [ tail ] ->
+                Buffer.clear c.buf;
+                Buffer.add_string c.buf tail
+              | line :: rest ->
+                if String.trim line <> "" then begin
+                  (match Json.parse line with
+                  | Ok doc ->
+                    c.responses <- c.responses @ [ doc ];
+                    c.n_recv <- c.n_recv + 1
+                  | Error m -> fail "unparseable response %S: %s" line m)
+                end;
+                consume rest
+            in
+            consume parts
+          end)
+        live;
+      true
+
+(* Every client must keep making progress (or be done) — a client stuck
+   with pending answers and no data for [window] seconds is stranded. *)
+let check_progress clients window =
+  List.iter
+    (fun c ->
+      if (not c.eof) && c.n_recv < c.n_sent && Milp.Budget.now () -. c.last_progress > window
+      then fail "stranded client: %d sent, %d answered, no progress for %.0fs" c.n_sent c.n_recv window)
+    clients
+
+(* Per-connection order + exactly-once: response i must correspond to
+   sent line i — matching id when line i was parseable JSON with an id,
+   null id otherwise. *)
+let check_accounting c =
+  expect (c.n_recv <= c.n_sent) "client got %d responses for %d lines" c.n_recv c.n_sent;
+  List.iteri
+    (fun i doc ->
+      let line = List.nth c.sent i in
+      let sent_id =
+        match Json.parse line with
+        | Ok d -> Option.value ~default:Json.Null (Json.member "id" d)
+        | Error _ -> Json.Null
+      in
+      let got_id = Option.value ~default:Json.Null (Json.member "id" doc) in
+      if got_id <> sent_id then
+        fail "response %d out of order: sent id %s, got %s" i
+          (Json.to_string ~indent:false sent_id)
+          (Json.to_string ~indent:false got_id);
+      match Json.member "status" doc with
+      | Some (Json.String ("ok" | "error" | "rejected")) -> ()
+      | _ -> fail "non-definitive response: %s" (Json.to_string ~indent:false doc))
+    c.responses
+
+let pick_line i =
+  let r = Random.State.float rng 1. in
+  let id = Printf.sprintf "l-%d" i in
+  if r < 0.55 then Printf.sprintf {|{"op":"ping","id":"%s"}|} id
+  else if r < 0.85 then optimize_line ~id (Random.State.int rng (Array.length queries))
+  else if r < 0.93 then Printf.sprintf {|{"op":"stats","id":"%s"}|} id
+  else Printf.sprintf "malformed line %d &&&" i
+
+(* Drive [total] lines across the clients; optionally SIGKILL [pid]
+   once [kill_at_answered] responses have come back — mid-flight, with
+   real concurrent traffic behind it. Returns the number of lines that
+   were actually submitted (a dead socket refuses the rest). *)
+let drive clients ~total ?kill_at_answered ~pid () =
+  let n_conns = List.length clients in
+  let submitted = ref 0 in
+  let killed = ref false in
+  let answered () = List.fold_left (fun a c -> a + c.n_recv) 0 clients in
+  let maybe_kill () =
+    match kill_at_answered with
+    | Some k when (not !killed) && answered () >= k ->
+      Unix.kill pid Sys.sigkill;
+      killed := true
+    | _ -> ()
+  in
+  for i = 0 to total - 1 do
+    let c = List.nth clients (i mod n_conns) in
+    if (not c.eof) && send c (pick_line i) then incr submitted;
+    if i mod 8 = 0 then begin
+      ignore (pump clients 0.01);
+      maybe_kill ();
+      check_progress clients 20.
+    end
+  done;
+  (* settle: wait until every live client caught up or hit EOF *)
+  let deadline = Milp.Budget.now () +. 60. in
+  let rec settle () =
+    let pending =
+      List.exists (fun c -> (not c.eof) && c.n_recv < c.n_sent) clients
+    in
+    if pending then begin
+      if Milp.Budget.now () > deadline then fail "campaign never settled";
+      ignore (pump clients 0.2);
+      maybe_kill ();
+      check_progress clients 20.;
+      settle ()
+    end
+  in
+  settle ();
+  if kill_at_answered <> None && not !killed then
+    fail "campaign finished before the kill threshold was reached";
+  !submitted
+
+let close_all clients = List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) clients
+
+let reap pid =
+  match Unix.waitpid [] pid with
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ()
+
+(* Request/response over one client, blocking until the answer. *)
+let roundtrip c line =
+  if not (send c line) then fail "roundtrip send failed";
+  let deadline = Milp.Budget.now () +. 30. in
+  let rec await () =
+    if c.n_recv >= c.n_sent then List.nth c.responses (c.n_recv - 1)
+    else if c.eof then fail "connection closed before answer"
+    else if Milp.Budget.now () > deadline then fail "roundtrip timed out"
+    else begin
+      ignore (pump [ c ] 0.2);
+      await ()
+    end
+  in
+  await ()
+
+let cache_fields doc =
+  List.map
+    (fun k ->
+      match Json.member k doc with
+      | Some v -> Json.to_string ~indent:false v
+      | None -> fail "answer lacks %S: %s" k (Json.to_string ~indent:false doc))
+    [ "plan"; "objective"; "bound"; "true_cost" ]
+
+(* ---------------------------------------------------------------------- *)
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (try Unix.unlink snap_path with Unix.Unix_error _ | Sys_error _ -> ());
+
+  (* --- cycle 1: fault storm, SIGKILL mid-flight, restart ------------- *)
+  let storm_faults =
+    {
+      Faults.none with
+      Faults.f_seed = seed;
+      f_request_stall = 0.002;
+      f_abort_every = 7;
+      f_snapshot_corrupt = 0.25;
+    }
+  in
+  Printf.printf "cycle 1: fault storm (stall, aborts, snapshot corruption) + SIGKILL\n%!";
+  let pid = spawn_server ~faults:storm_faults ~snapshot_every:8 () in
+  let clients = List.init 6 (fun _ -> connect ()) in
+  let submitted = drive clients ~total:640 ~kill_at_answered:300 ~pid () in
+  (* after the kill every client must reach EOF — nobody hangs *)
+  let deadline = Milp.Budget.now () +. 30. in
+  let rec await_eof () =
+    if List.exists (fun c -> not c.eof) clients then begin
+      if Milp.Budget.now () > deadline then fail "client never saw EOF after SIGKILL";
+      ignore (pump clients 0.2);
+      await_eof ()
+    end
+  in
+  await_eof ();
+  List.iter check_accounting clients;
+  let answered = List.fold_left (fun a c -> a + c.n_recv) 0 clients in
+  Printf.printf "  %d submitted, %d answered before the kill, all clients EOF\n%!" submitted answered;
+  close_all clients;
+  reap pid;
+
+  (* restart on whatever the storm left of the snapshot: must serve *)
+  let pid = spawn_server ~snapshot_every:0 () in
+  let c = connect () in
+  let doc = roundtrip c {|{"op":"ping","id":"alive"}|} in
+  expect (Json.member "status" doc = Some (Json.String "ok")) "restart after storm not serving";
+  Printf.printf "  restart on post-storm snapshot: serving\n%!";
+
+  (* --- cycle 2: clean warm-up, snapshot, SIGKILL, warm restart ------- *)
+  Printf.printf "cycle 2: clean warm-up, snapshot, SIGKILL, warm restart\n%!";
+  let clients = c :: List.init 5 (fun _ -> connect ()) in
+  let _ = drive clients ~total:400 ~pid () in
+  List.iter check_accounting clients;
+  let recorder = List.hd clients in
+  let recorded =
+    Array.to_list
+      (Array.mapi
+         (fun i _ ->
+           let doc = roundtrip recorder (optimize_line ~id:(Printf.sprintf "rec-%d" i) i) in
+           expect
+             (Json.member "status" doc = Some (Json.String "ok"))
+             "recorded query %d failed: %s" i (Json.to_string ~indent:false doc);
+           cache_fields doc)
+         queries)
+  in
+  let doc = roundtrip recorder {|{"op":"snapshot","id":"snap"}|} in
+  expect (Json.member "status" doc = Some (Json.String "ok")) "explicit snapshot failed";
+  Unix.kill pid Sys.sigkill;
+  let deadline = Milp.Budget.now () +. 30. in
+  let rec await_eof () =
+    if List.exists (fun c -> not c.eof) clients then begin
+      if Milp.Budget.now () > deadline then fail "client never saw EOF after second SIGKILL";
+      ignore (pump clients 0.2);
+      await_eof ()
+    end
+  in
+  await_eof ();
+  close_all clients;
+  reap pid;
+
+  let pid = spawn_server ~snapshot_every:0 () in
+  let c = connect () in
+  List.iteri
+    (fun i fields ->
+      let doc = roundtrip c (optimize_line ~id:(Printf.sprintf "re-%d" i) i) in
+      expect
+        (Json.member "source" doc = Some (Json.String "cache-hit"))
+        "query %d not a warm cache hit after restart: %s" i (Json.to_string ~indent:false doc);
+      let now = cache_fields doc in
+      if now <> fields then
+        fail "query %d cache hit differs after restart:\n  before %s\n  after  %s" i
+          (String.concat " | " fields) (String.concat " | " now))
+    recorded;
+  Printf.printf "  %d warm cache hits byte-identical after restart\n%!" (List.length recorded);
+  let _ = roundtrip c {|{"op":"shutdown","id":"bye"}|} in
+  let deadline = Milp.Budget.now () +. 15. in
+  let rec await_eof () =
+    if not c.eof then begin
+      if Milp.Budget.now () > deadline then fail "server did not drain after shutdown";
+      ignore (pump [ c ] 0.2);
+      await_eof ()
+    end
+  in
+  await_eof ();
+  close_all [ c ];
+  reap pid;
+  (try Unix.unlink snap_path with Unix.Unix_error _ | Sys_error _ -> ());
+  Printf.printf "chaos soak PASS (seed=%d, >= 1040 lines, 6 connections, 2 kill/restart cycles)\n%!" seed

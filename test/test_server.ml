@@ -536,6 +536,373 @@ let test_serve_socket () =
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
 
 (* ------------------------------------------------------------------ *)
+(* Concurrent execution and supervision                                 *)
+(* ------------------------------------------------------------------ *)
+
+let int_at path doc =
+  let rec go doc = function
+    | [] -> ( match doc with Json.Int n -> n | _ -> Alcotest.failf "not an int at %s" (String.concat "." path))
+    | k :: rest -> (
+      match Json.member k doc with
+      | Some d -> go d rest
+      | None -> Alcotest.failf "stats lack %S" k)
+  in
+  go doc path
+
+let supervision_stat server name = int_at [ "supervision"; name ] (Server.stats_json server)
+
+(* One response per line, matched ids, mixed valid/malformed/over-budget,
+   all through the real bounded-queue + worker-domain executor. *)
+let test_stream_interleaving () =
+  let server = Server.create ~config:test_config () in
+  let qa = query 60 and qb = query 61 and qc = query 62 in
+  let lines =
+    [
+      optimize_line ~id:"i-0" qa;
+      "this is not json";
+      optimize_line ~id:"i-2" qb;
+      {|{"op":"ping","id":"i-3"}|};
+      optimize_line ~id:"i-4" qa;
+      (* duplicate: cache hit *)
+      optimize_line ~id:"i-5" ~budget:5000. qc;
+      (* over the cap: clamped, served *)
+      {|{"op":"nonsense","id":"i-6"}|};
+      optimize_line ~id:"i-7" qb;
+      (* duplicate *)
+      {|{"op":"ping","id":"i-8"}|};
+    ]
+  in
+  let result = Server.handle_stream server ~jobs:3 lines in
+  Alcotest.(check int)
+    "one response per line" (List.length lines)
+    (List.length result.Server.sr_responses);
+  List.iteri
+    (fun i r ->
+      let doc = parse_response r in
+      let expect_error = i = 1 || i = 6 in
+      Alcotest.(check string)
+        (Printf.sprintf "line %d status" i)
+        (if expect_error then "error" else "ok")
+        (status doc);
+      if i <> 1 then
+        (* every parseable line's id is echoed at its own index *)
+        Alcotest.(check bool)
+          (Printf.sprintf "line %d id echoed" i)
+          true
+          (field doc "id" = Json.String (Printf.sprintf "i-%d" i)))
+    result.Server.sr_responses;
+  (* duplicates race their originals across workers (the server has no
+     in-flight dedup), so either source is legitimate — but never an
+     error or a drop *)
+  let hit i =
+    let doc = parse_response (List.nth result.Server.sr_responses i) in
+    str_field doc "source"
+  in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "duplicate %d served" i)
+        true
+        (List.mem (hit i) [ "cache-hit"; "solved" ]))
+    [ 4; 7 ]
+
+(* The regression the refactor exists for: an injected per-request stall
+   used to freeze the whole select loop; now it burns one worker while
+   the others keep answering, so wall clock stays near stall * ceil(n /
+   jobs) instead of stall * n. *)
+let test_stall_isolation () =
+  let server = Server.create ~config:test_config () in
+  let lines = List.init 6 (fun i -> Printf.sprintf {|{"op":"ping","id":"st-%d"}|} i) in
+  let t0 = Milp.Budget.now () in
+  let result =
+    Faults.with_plan
+      { Faults.none with Faults.f_request_stall = 0.2 }
+      (fun () -> Server.handle_stream server ~jobs:3 lines)
+  in
+  let elapsed = Milp.Budget.now () -. t0 in
+  List.iter
+    (fun r -> Alcotest.(check string) "stalled ping answered" "ok" (status (parse_response r)))
+    result.Server.sr_responses;
+  (* serial execution would need 6 * 0.2 = 1.2s; 3 workers need ~0.4s *)
+  Alcotest.(check bool)
+    (Printf.sprintf "stalls overlap across workers (%.2fs)" elapsed)
+    true (elapsed < 0.9)
+
+(* A wedged solve — asleep between cooperative cancellation checks — is
+   soft-cancelled at its deadline and force-answered one grace later:
+   an honest error, never silence, and the late result is dropped. *)
+let test_watchdog_kills_wedged () =
+  let server =
+    Server.create ~config:{ test_config with Server.sv_watchdog_grace = 0.05 } ()
+  in
+  let line = optimize_line ~id:"wedged" ~budget:0.05 (query 63) in
+  let result =
+    Faults.with_plan
+      { Faults.none with Faults.f_wedge_after = 1; f_wedge_seconds = 2. }
+      (fun () -> Server.handle_stream server ~jobs:1 [ line ])
+  in
+  (match result.Server.sr_responses with
+  | [ r ] ->
+    let doc = parse_response r in
+    Alcotest.(check string) "watchdog answers with an error" "error" (status doc);
+    let reason = str_field doc "reason" in
+    Alcotest.(check bool)
+      (Printf.sprintf "reason names the watchdog: %s" reason)
+      true
+      (String.length reason >= 8 && String.sub reason 0 8 = "watchdog")
+  | rs -> Alcotest.failf "expected exactly one response, got %d" (List.length rs));
+  Alcotest.(check bool)
+    "budget was soft-cancelled first" true
+    (supervision_stat server "watchdog_cancels" >= 1);
+  Alcotest.(check bool)
+    "kill recorded" true
+    (supervision_stat server "watchdog_kills" >= 1)
+
+(* A shutdown op inside the stream drains the executor: lines queued
+   behind it are answered [rejected:shutdown], never executed, never
+   dropped. *)
+let test_stream_shutdown_drain () =
+  let server = Server.create ~config:test_config () in
+  let q = query 64 in
+  let lines =
+    [
+      optimize_line ~id:"d-0" q;
+      {|{"op":"shutdown","id":"d-1"}|};
+      optimize_line ~id:"d-2" q;
+      optimize_line ~id:"d-3" q;
+    ]
+  in
+  let result = Server.handle_stream server ~jobs:1 lines in
+  (match result.Server.sr_responses with
+  | [ a; s; b; c ] ->
+    Alcotest.(check string) "pre-shutdown optimize served" "ok" (status (parse_response a));
+    Alcotest.(check string) "shutdown acknowledged" "ok" (status (parse_response s));
+    List.iter
+      (fun r ->
+        let doc = parse_response r in
+        Alcotest.(check string) "queued-behind-shutdown rejected" "rejected" (status doc);
+        Alcotest.(check string) "shutdown reason" "shutdown" (str_field doc "reason"))
+      [ b; c ]
+  | rs -> Alcotest.failf "expected 4 responses, got %d" (List.length rs));
+  Alcotest.(check int)
+    "both backlog lines counted" 2
+    (int_at [ "drain"; "rejected_shutdown" ] (Server.stats_json server))
+
+(* ------------------------------------------------------------------ *)
+(* Socket transport under concurrency                                   *)
+(* ------------------------------------------------------------------ *)
+
+type reader = { rd_fd : Unix.file_descr; rd_buf : Buffer.t }
+
+let reader fd = { rd_fd = fd; rd_buf = Buffer.create 256 }
+
+(* Read one response line, blocking up to [timeout] seconds. *)
+let read_response ?(timeout = 20.) rd =
+  let chunk = Bytes.create 4096 in
+  let deadline = Milp.Budget.now () +. timeout in
+  let rec take () =
+    let data = Buffer.contents rd.rd_buf in
+    match String.index_opt data '\n' with
+    | Some i ->
+      Buffer.clear rd.rd_buf;
+      Buffer.add_substring rd.rd_buf data (i + 1) (String.length data - i - 1);
+      Some (String.sub data 0 i)
+    | None ->
+      if Milp.Budget.now () > deadline then None
+      else begin
+        match Unix.select [ rd.rd_fd ] [] [] 0.25 with
+        | [], _, _ -> take ()
+        | _ -> (
+          match Unix.read rd.rd_fd chunk 0 (Bytes.length chunk) with
+          | 0 -> None
+          | n ->
+            Buffer.add_subbytes rd.rd_buf chunk 0 n;
+            take ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> take ())
+      end
+  in
+  take ()
+
+let send_line fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let rec go off =
+    if off < Bytes.length b then go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let start_socket_server config =
+  let path =
+    tmp_path (Printf.sprintf "joinopt_test_%d_%d.sock" (Unix.getpid ()) (Random.bits ()))
+  in
+  let server = Server.create ~config () in
+  let domain = Domain.spawn (fun () -> Server.serve_socket server ~path) in
+  let rec await n =
+    if Sys.file_exists path then ()
+    else if n = 0 then Alcotest.fail "socket never appeared"
+    else begin
+      Unix.sleepf 0.05;
+      await (n - 1)
+    end
+  in
+  await 100;
+  (server, path, domain)
+
+let connect path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_UNIX path);
+  sock
+
+(* Per-connection response order under [sv_jobs > 1]: fast pings queued
+   behind a slow solve still come back in arrival order — the ordered
+   sink holds early finishers until their turn. *)
+let test_socket_concurrent_ordering () =
+  let server, path, domain =
+    start_socket_server { test_config with Server.sv_jobs = 3 }
+  in
+  let q = query 65 in
+  let ids = [ "o-0"; "o-1"; "o-2"; "o-3"; "o-4"; "o-5" ] in
+  let sock = connect path in
+  let rd = reader sock in
+  send_line sock (optimize_line ~id:"o-0" q);
+  send_line sock {|{"op":"ping","id":"o-1"}|};
+  send_line sock {|{"op":"ping","id":"o-2"}|};
+  send_line sock "garbage that is not json";
+  send_line sock (optimize_line ~id:"o-4" q);
+  send_line sock {|{"op":"ping","id":"o-5"}|};
+  let got =
+    List.map
+      (fun _ ->
+        match read_response rd with
+        | Some r -> parse_response r
+        | None -> Alcotest.fail "response timed out")
+      ids
+  in
+  let got_ids =
+    List.map
+      (fun doc -> match Json.member "id" doc with Some (Json.String s) -> s | _ -> "<null>")
+      got
+  in
+  (* the malformed line (index 3) echoes a null id *)
+  Alcotest.(check (list string))
+    "responses in arrival order"
+    [ "o-0"; "o-1"; "o-2"; "<null>"; "o-4"; "o-5" ]
+    got_ids;
+  send_line sock {|{"op":"shutdown","id":"bye"}|};
+  ignore (read_response rd);
+  Unix.close sock;
+  Domain.join domain;
+  ignore server
+
+(* Beyond [sv_max_conns] simultaneous connections the server answers
+   [rejected:overload:conns] and closes — an explicit refusal, never a
+   silent hang. *)
+let test_max_conns () =
+  let server, path, domain =
+    start_socket_server { test_config with Server.sv_max_conns = 2 }
+  in
+  let c1 = connect path and c2 = connect path in
+  let r1 = reader c1 and r2 = reader c2 in
+  send_line c1 {|{"op":"ping","id":"c1"}|};
+  send_line c2 {|{"op":"ping","id":"c2"}|};
+  (match (read_response r1, read_response r2) with
+  | Some _, Some _ -> ()
+  | _ -> Alcotest.fail "first two connections not served");
+  let c3 = connect path in
+  (match read_response (reader c3) with
+  | Some r ->
+    let doc = parse_response r in
+    Alcotest.(check string) "third connection rejected" "rejected" (status doc);
+    Alcotest.(check string) "conns reason" "overload:conns" (str_field doc "reason")
+  | None -> Alcotest.fail "third connection got no refusal");
+  Unix.close c3;
+  Alcotest.(check bool)
+    "refusal counted" true
+    (supervision_stat server "connections_rejected" >= 1);
+  send_line c1 {|{"op":"shutdown","id":"bye"}|};
+  ignore (read_response r1);
+  Unix.close c1;
+  Unix.close c2;
+  Domain.join domain
+
+(* A second server must fail loudly when the socket path has a live
+   listener, and leave the incumbent undisturbed. *)
+let test_socket_takeover_refused () =
+  let server, path, domain = start_socket_server test_config in
+  let second = Server.create ~config:test_config () in
+  (match Server.serve_socket second ~path with
+  | () -> Alcotest.fail "second server silently took over the socket"
+  | exception Failure msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "refusal names the path: %s" msg)
+      true
+      (String.length msg > 0));
+  (* the incumbent still serves *)
+  let sock = connect path in
+  let rd = reader sock in
+  send_line sock {|{"op":"ping","id":"alive"}|};
+  (match read_response rd with
+  | Some r -> Alcotest.(check string) "incumbent alive after takeover attempt" "ok" (status (parse_response r))
+  | None -> Alcotest.fail "incumbent stopped serving");
+  send_line sock {|{"op":"shutdown","id":"bye"}|};
+  ignore (read_response rd);
+  Unix.close sock;
+  Domain.join domain;
+  ignore server
+
+(* A client that stops reading while answers pile up is evicted once its
+   write buffer passes [sv_max_write_buf] — the server never blocks on
+   it and never buffers without bound. *)
+let test_slow_client_eviction () =
+  let server, path, domain =
+    start_socket_server
+      {
+        test_config with
+        Server.sv_jobs = 2;
+        sv_max_queue = 2048;
+        sv_max_write_buf = 4096;
+      }
+  in
+  let slow = connect path in
+  (* ~600 stats responses (a few KB each) overflow the kernel socket
+     buffer plus the 4KB write bound; the slow client reads none. The
+     server may evict mid-burst and close the socket under us — that is
+     the behavior under test, so a write failure just ends the burst. *)
+  (try
+     for i = 0 to 599 do
+       send_line slow (Printf.sprintf {|{"op":"stats","id":"s-%d"}|} i)
+     done
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+  let probe = connect path in
+  let rd = reader probe in
+  let deadline = Milp.Budget.now () +. 20. in
+  let rec await_eviction i =
+    if Milp.Budget.now () > deadline then Alcotest.fail "slow client never evicted"
+    else begin
+      send_line probe (Printf.sprintf {|{"op":"stats","id":"p-%d"}|} i);
+      match read_response rd with
+      | None -> Alcotest.fail "probe connection starved"
+      | Some r ->
+        let doc = parse_response r in
+        let evictions =
+          match Json.member "stats" doc with
+          | Some stats -> int_at [ "supervision"; "slow_client_evictions" ] stats
+          | None -> 0
+        in
+        if evictions < 1 then begin
+          Unix.sleepf 0.1;
+          await_eviction (i + 1)
+        end
+    end
+  in
+  await_eviction 0;
+  Unix.close slow;
+  send_line probe {|{"op":"shutdown","id":"bye"}|};
+  ignore (read_response rd);
+  Unix.close probe;
+  Domain.join domain;
+  ignore server
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "server"
@@ -574,5 +941,28 @@ let () =
         [
           Alcotest.test_case "serve_fds pipe loop" `Quick test_serve_fds;
           Alcotest.test_case "serve_socket" `Quick test_serve_socket;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "interleaved stream: ids, order, cache" `Quick
+            test_stream_interleaving;
+          Alcotest.test_case "stall burns one worker, not the loop" `Quick
+            test_stall_isolation;
+          Alcotest.test_case "socket response order under jobs > 1" `Quick
+            test_socket_concurrent_ordering;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "watchdog force-answers a wedged solve" `Quick
+            test_watchdog_kills_wedged;
+          Alcotest.test_case "shutdown drains the queued backlog" `Quick
+            test_stream_shutdown_drain;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "max-conns refusal" `Quick test_max_conns;
+          Alcotest.test_case "socket takeover refused" `Quick
+            test_socket_takeover_refused;
+          Alcotest.test_case "slow client evicted" `Quick test_slow_client_eviction;
         ] );
     ]
