@@ -54,7 +54,12 @@ let rec cancelled t =
   Atomic.get t.b_cancelled
   || (match t.b_parent with Some p -> cancelled p | None -> false)
 
-let exhausted t = cancelled t || expired t || Faults.early_timeout ()
+let exhausted t =
+  (* Schedule-perturbation fault point: a budget poll is where solver
+     domains naturally pause, so stretching it reorders the races
+     between cooperative cancellation and result publication. *)
+  Faults.yield_point ();
+  cancelled t || expired t || Faults.early_timeout ()
 
 let phase t ph =
   match t.b_limit with
@@ -66,6 +71,7 @@ let sub t ?limit ?(isolate = false) () =
   | Some l when not (Float.is_finite l) || l < 0. ->
     invalid_arg "Budget.sub: limit must be finite and non-negative"
   | _ -> ());
+  Faults.yield_point ();
   (* One clock read for both the clamp and the child's start: computing
      the parent's remaining first and stamping [b_started] later would
      gift the child the gap between the two reads, letting it outlive

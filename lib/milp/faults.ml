@@ -17,6 +17,7 @@ type plan = {
   f_warm_start_mangle : float;
   f_wedge_after : int;
   f_wedge_seconds : float;
+  f_yield_every : int;
 }
 
 let none =
@@ -37,6 +38,7 @@ let none =
     f_warm_start_mangle = 0.;
     f_wedge_after = 0;
     f_wedge_seconds = 0.;
+    f_yield_every = 0;
   }
 
 type state = {
@@ -65,6 +67,44 @@ let mu = Mutex.create ()
 
 let state : state option ref = ref None
 
+(* Schedule perturbation lives outside [mu] on purpose: [yield_point] is
+   called from every domain at lock-shaped fault points (pool submit,
+   flight publish, cache touch, budget poll), and routing it through the
+   plan mutex would *serialize* exactly the interleavings the hook
+   exists to perturb. The knobs are plain atomics set at install/clear;
+   the per-call cost with no plan installed stays one load and branch. *)
+let yield_every = Atomic.make 0
+
+let yield_seed = Atomic.make 0
+
+let yield_ticks = Atomic.make 0
+
+let yield_fired = Atomic.make 0
+
+let yield_point () =
+  if !enabled then begin
+    let every = Atomic.get yield_every in
+    if every > 0 then begin
+      let tick = Atomic.fetch_and_add yield_ticks 1 in
+      (* Mix (seed, tick) so *which* sites pause — and for how long —
+         changes with the seed, not just the firing rate: two runs with
+         different seeds explore different interleavings even when they
+         hit the same sequence of fault points. *)
+      let z = ((tick + 1) * 0x9E3779B9) lxor (Atomic.get yield_seed * 0x85EBCA6B) in
+      let z = (z lxor (z lsr 15)) * 0x2C1B3C6D in
+      let z = (z lxor (z lsr 13)) land 0x3FFFFFFF in
+      if z mod every = 0 then begin
+        Atomic.incr yield_fired;
+        let spins = 1 + (z / every) mod 64 in
+        for _ = 1 to spins do
+          Domain.cpu_relax ()
+        done
+      end
+    end
+  end
+
+let yields_fired () = Atomic.get yield_fired
+
 let install plan =
   Mutex.lock mu;
   state :=
@@ -80,12 +120,17 @@ let install plan =
         wedge_fired = false;
         counters = Hashtbl.create 8;
       };
+  Atomic.set yield_every plan.f_yield_every;
+  Atomic.set yield_seed plan.f_seed;
+  Atomic.set yield_ticks 0;
+  Atomic.set yield_fired 0;
   enabled := true;
   Mutex.unlock mu
 
 let clear () =
   Mutex.lock mu;
   state := None;
+  Atomic.set yield_every 0;
   enabled := false;
   Mutex.unlock mu
 
@@ -106,7 +151,12 @@ let fired () =
   let r =
     match !state with
     | None -> []
-    | Some st -> List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.counters [])
+    | Some st ->
+      let counters = Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.counters [] in
+      let counters =
+        match Atomic.get yield_fired with 0 -> counters | n -> ("yield", n) :: counters
+      in
+      List.sort compare counters
   in
   Mutex.unlock mu;
   r

@@ -84,6 +84,15 @@ type plan = {
       cancellation checks, which only the server's watchdog can turn
       into an answer; [0] disables *)
   f_wedge_seconds : float;  (** how long the wedged request sleeps *)
+  f_yield_every : int;
+  (** schedule perturbation: make roughly every k-th {!yield_point} call
+      spin on [Domain.cpu_relax] for a seed-dependent while. Yield
+      points sit at the lock-shaped seams of the concurrent machinery
+      (pool submit/drain, flight claim/publish, plan-cache touches,
+      budget polls, response completion), so a seeded plan explores
+      interleavings the unperturbed scheduler rarely produces — without
+      changing any result a correctly synchronized path computes; [0]
+      disables *)
 }
 
 val none : plan
@@ -152,6 +161,19 @@ val mangle_warm_start : float array -> float array
     certification gate must reject. Returns the array unchanged when
     disabled. *)
 
+val yield_point : unit -> unit
+(** The schedule-perturbation fault point: a no-op (one load and branch)
+    unless a plan with [f_yield_every > 0] is installed, in which case a
+    seed-and-call-count-dependent subset of calls spins on
+    [Domain.cpu_relax] before returning. Unlike every other hook this
+    one never touches the plan mutex — serializing the callers would
+    defeat the perturbation. *)
+
+val yields_fired : unit -> int
+(** How many {!yield_point} calls actually paused since {!install} —
+    lets the race harness assert a perturbed run really was perturbed. *)
+
 val fired : unit -> (string * int) list
 (** Counters of faults actually injected since {!install}, keyed by hook
-    name — lets tests assert a plan really exercised the target path. *)
+    name — lets tests assert a plan really exercised the target path.
+    Includes a ["yield"] row when {!yield_point} fired. *)

@@ -53,6 +53,9 @@ let worker t () =
     | None -> Mutex.unlock t.mu
     | Some (id, task) ->
       Mutex.unlock t.mu;
+      (* Fault point while the entry is [Running] but unlocked: a
+         concurrent demand must wait here, not recompute. *)
+      Faults.yield_point ();
       let r = t.solve task in
       Mutex.lock t.mu;
       (match Hashtbl.find_opt t.state id with
@@ -86,6 +89,9 @@ let create ~workers ~solve ~skip =
   t
 
 let offer t ~id ~key task =
+  (* Schedule-perturbation fault point: delaying an offer races it
+     against the consumer demanding (and claiming) the same id. *)
+  Faults.yield_point ();
   Mutex.lock t.mu;
   Hashtbl.replace t.state id (Open task);
   Pqueue.push t.queue key (id, task);
@@ -93,6 +99,7 @@ let offer t ~id ~key task =
   Mutex.unlock t.mu
 
 let demand t ~id =
+  Faults.yield_point ();
   Mutex.lock t.mu;
   let rec get () =
     match Hashtbl.find_opt t.state id with

@@ -116,6 +116,10 @@ let remove_node sh nd =
 (* ------------------------------------------------------------------- *)
 
 let find t k =
+  (* Schedule-perturbation fault point, deliberately *outside* the shard
+     lock: it widens the find/add race window between two requests for
+     the same key without serializing the shards themselves. *)
+  Milp.Faults.yield_point ();
   let sh = shard_of t k in
   let flat = flat_key k in
   let epoch = Atomic.get t.c_epoch in
@@ -153,6 +157,7 @@ let find t k =
         | None -> Miss))
 
 let add t k entry =
+  Milp.Faults.yield_point ();
   let sh = shard_of t k in
   let flat = flat_key k in
   let group = group_key k in

@@ -56,6 +56,9 @@ type flight = {
 type claim = First of flight | Waiter of flight
 
 let claim_flight mutex table key =
+  (* Schedule-perturbation fault point: delaying a claim here races it
+     against a concurrent publish_flight removing the entry. *)
+  Faults.yield_point ();
   Mutex.lock mutex;
   let c =
     match Hashtbl.find_opt table key with
@@ -72,12 +75,17 @@ let publish_flight mutex table key fl result =
   Mutex.lock mutex;
   Hashtbl.remove table key;
   Mutex.unlock mutex;
+  (* Fault point in the publish window: the entry is out of the table
+     but the result is not yet filled — a waiter that claimed before the
+     removal must still be woken by the broadcast below. *)
+  Faults.yield_point ();
   Mutex.lock fl.f_mutex;
   fl.f_result <- Some result;
   Condition.broadcast fl.f_cond;
   Mutex.unlock fl.f_mutex
 
 let await_flight fl =
+  Faults.yield_point ();
   Mutex.lock fl.f_mutex;
   while fl.f_result = None do
     Condition.wait fl.f_cond fl.f_mutex
@@ -335,6 +343,9 @@ module Pool = struct
         t.p_active <- t.p_active + 1;
         Condition.signal t.p_space;
         Mutex.unlock t.p_mu;
+        (* Fault point between dequeue and execution: the item is
+           counted active but not yet running — shutdown/drain races. *)
+        Faults.yield_point ();
         (try work item with _ -> ());
         Mutex.lock t.p_mu;
         t.p_active <- t.p_active - 1;
@@ -346,6 +357,7 @@ module Pool = struct
     t
 
   let submit ?(block = false) t item =
+    Faults.yield_point ();
     Mutex.lock t.p_mu;
     if block then
       while Queue.length t.p_queue >= t.p_capacity && not t.p_quit do

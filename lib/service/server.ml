@@ -737,6 +737,9 @@ type exec = {
    won. The loser's answer — usually a wedged worker finally returning
    after a watchdog kill — is dropped and counted, never sent. *)
 let complete t ex job resp =
+  (* Schedule-perturbation fault point: widens the worker-vs-watchdog
+     race to answer first — exactly-one-response must hold either way. *)
+  Faults.yield_point ();
   Mutex.lock ex.ex_mu;
   let first = not job.jb_answered in
   if first then job.jb_answered <- true;
@@ -819,6 +822,7 @@ let run_job t ex job =
    grace period. Strike/ladder updates happen outside [ex_mu] — the two
    locks are never held together. *)
 let watchdog_tick t ex =
+  Faults.yield_point ();
   let now = Budget.now () in
   let soft = ref 0 in
   let kills = ref [] in
@@ -1086,6 +1090,7 @@ let read_chunk fd conn chunk =
    Moves ready responses to the wire in arrival order and wakes the poll
    loop through the self-pipe so it starts writing. *)
 let sink_push t conn ~wake seq resp =
+  Faults.yield_point ();
   let sk = conn.cn_sink in
   Mutex.lock sk.sk_mu;
   let evicted =

@@ -1,0 +1,16 @@
+(* Blocking primitives and solver entry points reached with a lock
+   held. Pinned: S102 (twice). The third function blocks with no lock
+   held and must stay quiet. *)
+
+let stall t =
+  Mutex.lock t.mu;
+  Unix.sleepf 0.5;
+  Mutex.unlock t.mu
+
+let solve_locked t p =
+  Mutex.lock t.mu;
+  let r = Branch_bound.solve p in
+  Mutex.unlock t.mu;
+  r
+
+let fine _t = Unix.sleepf 0.1

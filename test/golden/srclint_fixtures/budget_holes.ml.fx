@@ -1,0 +1,18 @@
+(* Budget-discipline violations in a hot file (the scenario mounts this
+   at lib/milp/cuts.ml). Pinned: S201 (twice: one while loop, one
+   recursive function) and S202 (once). [polled] reaches a Budget poll
+   and must stay quiet. *)
+
+let spin () =
+  while true do
+    ignore 0
+  done
+
+let rec grind x = grind (x + 1)
+
+let polled b =
+  while not (Budget.exhausted b) do
+    ignore 0
+  done
+
+let stash t b = t.slot <- Budget.sub b 0.5

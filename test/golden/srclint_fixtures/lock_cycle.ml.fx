@@ -1,0 +1,16 @@
+(* Two top-level paths acquiring the same two mutexes in opposite
+   orders: the classic AB-BA deadlock. Pinned: S101. *)
+
+let ab t =
+  Mutex.lock t.alpha;
+  Mutex.lock t.beta;
+  t.v <- t.v + 1;
+  Mutex.unlock t.beta;
+  Mutex.unlock t.alpha
+
+let ba t =
+  Mutex.lock t.beta;
+  Mutex.lock t.alpha;
+  t.v <- t.v - 1;
+  Mutex.unlock t.alpha;
+  Mutex.unlock t.beta

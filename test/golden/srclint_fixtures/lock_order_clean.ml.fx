@@ -1,0 +1,19 @@
+(* Both paths take alpha before beta: a consistent order, no cycle.
+   The lock-reorder property test swaps the acquisitions in the second
+   half (below the SPLIT marker) and asserts S101 appears. *)
+
+let first t =
+  Mutex.lock t.alpha;
+  Mutex.lock t.beta;
+  t.v <- t.v + 1;
+  Mutex.unlock t.beta;
+  Mutex.unlock t.alpha
+
+(* SPLIT *)
+
+let second t =
+  Mutex.lock t.alpha;
+  Mutex.lock t.beta;
+  t.v <- t.v - 1;
+  Mutex.unlock t.beta;
+  Mutex.unlock t.alpha

@@ -1,0 +1,6 @@
+(* Aligned consumer for the stamp-deletion property. *)
+
+let read p =
+  let a = Problem.find_meta p "joinopt.tables" in
+  let b = Problem.find_meta p "joinopt.rows" in
+  (a, b)

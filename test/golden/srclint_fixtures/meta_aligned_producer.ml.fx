@@ -1,0 +1,7 @@
+(* Aligned producer for the stamp-deletion property: every stamped key
+   is read back by the aligned consumer, so the pair is S301/S302-clean
+   until the property test deletes a stamp. *)
+
+let stamp p =
+  Problem.set_meta p "joinopt.tables" "3";
+  Problem.set_meta p "joinopt.rows" "7"

@@ -1,0 +1,8 @@
+(* Consumer side (mounted at lib/milp/warm_start.ml). Reads
+   "joinopt.tables" (stamped) and "joinopt.ghost" (never stamped:
+   S301). *)
+
+let read p =
+  let a = Problem.find_meta p "joinopt.tables" in
+  let b = Problem.find_meta p "joinopt.ghost" in
+  (a, b)

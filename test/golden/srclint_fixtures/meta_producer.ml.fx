@@ -1,0 +1,7 @@
+(* Producer side of the joinopt.* metadata channel (mounted at a
+   lib/core path). Stamps "joinopt.tables" (consumed) and
+   "joinopt.unused" (never read: S302). *)
+
+let stamp p =
+  Problem.set_meta p "joinopt.tables" "3";
+  Problem.set_meta p "joinopt.unused" "x"

@@ -1,0 +1,10 @@
+(* Protocol parse/emit sites (mounted at lib/service/protocol.ml).
+   Parses "query" (documented) and "hidden_knob" (undocumented: S401);
+   emits "id" (documented). *)
+
+let parse doc =
+  let q = opt_string_field doc "query" in
+  let k = opt_string_field doc "hidden_knob" in
+  (q, k)
+
+let response ~id fields = Json.Obj (("id", id) :: fields)

@@ -1,0 +1,5 @@
+(* Server response emission (mounted at lib/service/server.ml). Emits
+   "secret_field" inside an ok_fields list without documenting it:
+   S403. *)
+
+let answer ~id = response ~id (ok_fields [ ("secret_field", Json.Bool true) ])

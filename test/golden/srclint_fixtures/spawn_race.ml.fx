@@ -1,0 +1,18 @@
+(* A Domain.spawn closure mutating captured state with no Mutex or
+   Atomic anywhere in its call tree. Pinned: S104 (once) — the second
+   spawn mutates under a mutex and must stay quiet. *)
+
+let counter = ref 0
+
+let racy () =
+  let d = Domain.spawn (fun () -> counter := !counter + 1) in
+  Domain.join d
+
+let safe t =
+  let d =
+    Domain.spawn (fun () ->
+        Mutex.lock t.mu;
+        t.v <- t.v + 1;
+        Mutex.unlock t.mu)
+  in
+  Domain.join d

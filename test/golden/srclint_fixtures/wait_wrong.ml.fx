@@ -1,0 +1,10 @@
+(* Condition.wait misuse. Pinned: S103 (twice) — once for waiting on a
+   mutex other than the one held, once for waiting on a mutex nothing
+   in the scanned set ever locks. *)
+
+let wrong t =
+  Mutex.lock t.mu;
+  Condition.wait t.cv t.other;
+  Mutex.unlock t.mu
+
+let never_locked t = Condition.wait t.cv t.ghost

@@ -1,8 +1,12 @@
 (* repo_lint — source-level invariant checks for this repository.
 
    Complements the MILP formulation auditor (lib/milp/lint.ml), which
-   audits generated *models*: this tool audits the *source tree* for
-   patterns that have bitten the project before. Rules:
+   audits generated *models*, and the srclint analyzer (tool/srclint/),
+   which audits concurrency and cross-layer coupling: this tool keeps
+   the original fast R-rules for patterns that have bitten the project
+   before. It now runs on srclint's shared token stream, so comments and
+   string literals never trip the rules and R4 sees expressions that
+   span lines. Rules:
 
      R1  Unix.gettimeofday outside lib/milp/budget.ml — every timing
          decision must go through the Budget monotone clock, or budget
@@ -22,9 +26,7 @@
          server's admission path can never stall on I/O; only the
          server's own poll loop (and its retry backoff) may block.
 
-   Comments and string literals are stripped before matching, so doc
-   references to the forbidden names do not trip the rules. Output is
-   file:line: rule: message, one per finding; exit 1 if any. *)
+   Output is file:line: rule: message, one per finding; exit 1 if any. *)
 
 let roots = [ "lib"; "bin"; "bench"; "test"; "examples"; "tool" ]
 
@@ -45,7 +47,9 @@ let service_blocking_tokens =
   ]
 
 let cost_path file =
-  let prefixed p = String.length file >= String.length p && String.sub file 0 (String.length p) = p in
+  let prefixed p =
+    String.length file >= String.length p && String.sub file 0 (String.length p) = p
+  in
   List.mem file
     [ "lib/core/cost_enc.ml"; "lib/core/thresholds.ml"; "lib/relalg/cost_model.ml" ]
   || prefixed "lib/dp_opt/"
@@ -59,128 +63,79 @@ let rec walk dir acc =
       else acc)
     acc (Sys.readdir dir)
 
-(* Blank out comments (nested), string literals (both ".." and {x|..|x})
-   and char literals, preserving newlines so line numbers survive. *)
-let strip src =
-  let n = String.length src in
-  let out = Bytes.of_string src in
-  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
-  let i = ref 0 in
-  let comment_depth = ref 0 in
-  while !i < n do
-    let c = src.[!i] in
-    if !comment_depth > 0 then begin
-      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-        incr comment_depth;
-        blank !i; blank (!i + 1); i := !i + 2
-      end
-      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
-        decr comment_depth;
-        blank !i; blank (!i + 1); i := !i + 2
-      end
-      else begin blank !i; incr i end
-    end
-    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-      incr comment_depth;
-      blank !i; blank (!i + 1); i := !i + 2
-    end
-    else if c = '"' then begin
-      blank !i; incr i;
-      let fin = ref false in
-      while not !fin && !i < n do
-        if src.[!i] = '\\' && !i + 1 < n then begin blank !i; blank (!i + 1); i := !i + 2 end
-        else if src.[!i] = '"' then begin blank !i; incr i; fin := true end
-        else begin blank !i; incr i end
-      done
-    end
-    else if c = '{' && !i + 1 < n && (src.[!i + 1] = '|' || (src.[!i + 1] >= 'a' && src.[!i + 1] <= 'z'))
-    then begin
-      (* possible quoted string {id|...|id} *)
-      let j = ref (!i + 1) in
-      while !j < n && src.[!j] >= 'a' && src.[!j] <= 'z' do incr j done;
-      if !j < n && src.[!j] = '|' then begin
-        let id = String.sub src (!i + 1) (!j - !i - 1) in
-        let close = "|" ^ id ^ "}" in
-        let stop = ref (!j + 1) in
-        let cl = String.length close in
-        while !stop + cl <= n && String.sub src !stop cl <> close do incr stop done;
-        let last = min n (!stop + cl) in
-        for k = !i to last - 1 do blank k done;
-        i := last
-      end
-      else incr i
-    end
-    else if c = '\'' && !i + 2 < n && src.[!i + 1] <> '\\' && src.[!i + 2] = '\'' then begin
-      (* char literal 'x' — hides '"' from the string scanner *)
-      blank !i; blank (!i + 1); blank (!i + 2); i := !i + 3
-    end
-    else if c = '\'' && !i + 3 < n && src.[!i + 1] = '\\' && src.[!i + 3] = '\'' then begin
-      for k = !i to !i + 3 do blank k done;
-      i := !i + 4
-    end
-    else incr i
-  done;
-  Bytes.to_string out
+open Srclint
 
-let contains line sub =
-  let nl = String.length line and ns = String.length sub in
-  let rec go i = i + ns <= nl && (String.sub line i ns = sub || go (i + 1)) in
-  go 0
+(* --- R4: polymorphic float comparison, on the token stream ------------- *)
 
-(* A float literal starts at position [i]: digits '.' — or infinity/nan. *)
-let float_lit_at line i =
-  let n = String.length line in
-  let starts w = i + String.length w <= n && String.sub line i (String.length w) = w in
-  if starts "infinity" || starts "nan" || starts "Float.infinity" || starts "Float.nan" then true
-  else begin
-    let j = ref i in
-    while !j < n && line.[!j] >= '0' && line.[!j] <= '9' do incr j done;
-    !j > i && !j < n && line.[!j] = '.'
-  end
+let is_float_tok = function
+  | Lexer.Float _ -> true
+  | Lexer.Ident ("infinity" | "nan" | "Float.infinity" | "Float.nan") -> true
+  | _ -> false
 
-let skip_spaces line i =
-  let n = String.length line in
-  let j = ref i in
-  while !j < n && line.[!j] = ' ' do incr j done;
-  !j
-
-(* Polymorphic comparison against a float literal. (<>) is always a
-   comparison; a bare (=) is only flagged when the line reads like a
-   test (if/when/assert/&&/||) so record fields and optional-argument
-   defaults (x = 0.) stay quiet. *)
-let float_compare_hit line =
-  if contains line "Float.compare" then false
-  else
-  let n = String.length line in
-  let testish =
-    contains line "if " || contains line "when " || contains line "assert"
-    || contains line "&&" || contains line "||"
+(* Walk back from the comparison until something decides the context:
+   [if]/[when]/[assert]/[&&]/[||] make it a test; [let]/[and]/[then]/
+   [else]/[{]/[;]/[?]/[->]/[,] make it a binding, record field or
+   optional-argument default. Bounded so pathological token runs stay
+   cheap. *)
+let testish_before toks i =
+  let rec go j left =
+    if j < 0 || left = 0 then false
+    else
+      match toks.(j).Lexer.l_tok with
+      | Lexer.Ident ("if" | "when" | "assert") | Lexer.Op ("&&" | "||") -> true
+      | Lexer.Ident ("let" | "and" | "then" | "else" | "do" | "in")
+      | Lexer.Op ("{" | ";" | "?" | "->" | "," | "<-" | ":=") ->
+        false
+      | _ -> go (j - 1) (left - 1)
   in
+  go (i - 1) 40
+
+(* ...or the comparison is the left leg of a conjunction: [x = 0.5 && y]. *)
+let testish_after toks i =
+  let n = Array.length toks in
+  let rec go j left =
+    if j >= n || left = 0 then false
+    else
+      match toks.(j).Lexer.l_tok with
+      | Lexer.Op ("&&" | "||") -> true
+      | Lexer.Ident ("then" | "in" | "do") | Lexer.Op (";" | "->" | ",") -> false
+      | _ -> go (j + 1) (left - 1)
+  in
+  go (i + 1) 8
+
+(* A [Float.compare] (or any .compare) within the neighbourhood means
+   the float test is already done properly and the [=] is incidental
+   (e.g. [Float.compare a b = 0]). *)
+let compare_nearby toks i =
+  let n = Array.length toks in
   let hit = ref false in
-  for i = 0 to n - 1 do
-    if (not !hit) && (line.[i] = '=' || (line.[i] = '<' && i + 1 < n && line.[i + 1] = '>'))
-    then begin
-      let is_neq = line.[i] = '<' in
-      let prev = if i = 0 then ' ' else line.[i - 1] in
-      let simple_eq =
-        (not is_neq) && i + 1 < n && line.[i + 1] <> '='
-        && not (String.contains "<>:=!+-*/." prev)
-      in
-      if is_neq || simple_eq then begin
-        let after = skip_spaces line (i + (if is_neq then 2 else 1)) in
-        let rhs_float = after < n && float_lit_at line after in
-        (* also catch [0. = x] / [0. <> x] *)
-        let before = ref (i - 1) in
-        while !before >= 0 && line.[!before] = ' ' do decr before done;
-        let lhs_float =
-          !before >= 1 && line.[!before] = '.' && line.[!before - 1] >= '0'
-          && line.[!before - 1] <= '9'
-        in
-        if (rhs_float || lhs_float) && (is_neq || testish) then hit := true
-      end
-    end
+  for j = max 0 (i - 6) to min (n - 1) (i + 2) do
+    match toks.(j).Lexer.l_tok with
+    | Lexer.Ident name when Lexer.last_comp name = "compare" -> hit := true
+    | _ -> ()
   done;
   !hit
+
+let float_compare_findings toks =
+  let n = Array.length toks in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    match toks.(i).Lexer.l_tok with
+    | Lexer.Op (("=" | "<>") as op) when not (compare_nearby toks i) ->
+      (* operand on either side, skipping one open paren *)
+      let operand_float j step =
+        let j = if j >= 0 && j < n
+                && (match toks.(j).Lexer.l_tok with Lexer.Op ("(" | ")") -> true | _ -> false)
+          then j + step else j
+        in
+        j >= 0 && j < n && is_float_tok toks.(j).Lexer.l_tok
+      in
+      let floaty = operand_float (i + 1) 1 || operand_float (i - 1) (-1) in
+      if floaty && (op = "<>" || testish_before toks i || testish_after toks i) then
+        out := toks.(i).Lexer.l_line :: !out
+    | _ -> ()
+  done;
+  List.rev !out
 
 let () =
   let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
@@ -197,34 +152,47 @@ let () =
       let len = in_channel_length ic in
       let src = really_input_string ic len in
       close_in ic;
-      let lines = String.split_on_char '\n' (strip src) in
-      List.iteri
-        (fun idx line ->
-          let lnum = idx + 1 in
-          if contains line "Unix.gettimeofday" && not (List.mem file gettimeofday_allowlist)
-          then
-            report file lnum "R1"
-              "Unix.gettimeofday outside lib/milp/budget.ml; use Milp.Budget.now";
-          if contains line "Random.self_init" || contains line "Random.State.make_self_init"
-          then report file lnum "R2" "self-seeded RNG breaks reproducibility; seed explicitly";
-          if contains line "Obj.magic" then report file lnum "R3" "Obj.magic is forbidden";
-          if cost_path file && float_compare_hit line then
+      let toks = Lexer.tokens src in
+      let in_service =
+        String.length file >= 12
+        && String.sub file 0 12 = "lib/service/"
+        && not (List.mem file service_blocking_allowlist)
+      in
+      Array.iter
+        (fun lx ->
+          match lx.Lexer.l_tok with
+          | Lexer.Ident name ->
+            if
+              Lexer.contains name "Unix.gettimeofday"
+              && not (List.mem file gettimeofday_allowlist)
+            then
+              report file lx.Lexer.l_line "R1"
+                "Unix.gettimeofday outside lib/milp/budget.ml; use Milp.Budget.now";
+            if
+              Lexer.contains name "Random.self_init"
+              || Lexer.contains name "Random.State.make_self_init"
+            then
+              report file lx.Lexer.l_line "R2"
+                "self-seeded RNG breaks reproducibility; seed explicitly";
+            if Lexer.contains name "Obj.magic" then
+              report file lx.Lexer.l_line "R3" "Obj.magic is forbidden";
+            if in_service then
+              List.iter
+                (fun tok ->
+                  if Lexer.contains name tok then
+                    report file lx.Lexer.l_line "R5"
+                      (tok
+                      ^ " in lib/service outside server.ml; the service layer must not \
+                         block"))
+                service_blocking_tokens
+          | _ -> ())
+        toks;
+      if cost_path file then
+        List.iter
+          (fun lnum ->
             report file lnum "R4"
-              "polymorphic (=)/(<>) on a float in a cost path; use Float.compare";
-          if
-            String.length file >= 12
-            && String.sub file 0 12 = "lib/service/"
-            && not (List.mem file service_blocking_allowlist)
-          then
-            List.iter
-              (fun tok ->
-                if contains line tok then
-                  report file lnum "R5"
-                    (tok
-                    ^ " in lib/service outside server.ml; the service layer must not \
-                       block"))
-              service_blocking_tokens)
-        lines)
+              "polymorphic (=)/(<>) on a float in a cost path; use Float.compare")
+          (float_compare_findings toks))
     files;
   match List.rev !findings with
   | [] ->

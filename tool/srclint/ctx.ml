@@ -1,0 +1,15 @@
+(* Shared pass context: the model set, the raw doc files (README/DESIGN
+   for the protocol-coupling pass) and the finding accumulator. *)
+
+type t = {
+  c_files : Model.file list;
+  c_docs : (string * string) list;  (* path, raw markdown *)
+  c_index : Model.index;
+  mutable c_findings : Findings.t list;
+}
+
+let create ~files ~docs =
+  { c_files = files; c_docs = docs; c_index = Model.index files; c_findings = [] }
+
+let emit ctx ~code ~sev ~path ~line msg =
+  ctx.c_findings <- Findings.make ~code ~sev ~path ~line ~msg :: ctx.c_findings

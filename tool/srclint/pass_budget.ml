@@ -1,0 +1,149 @@
+(* S2xx — budget discipline.
+
+   S201 error    a [while] loop or recursive function in a solver hot
+                 path (branch_bound, simplex, cuts, presolve, annealing)
+                 that cannot reach a Budget poll through any chain of
+                 same-repo calls — under deadline pressure such a loop
+                 runs to completion no matter what the budget says
+   S202 error    a [Budget.sub] child stored into mutable state
+                 ([<-] / [:=]) — a sub-budget parked in a field outlives
+                 the scope whose deadline justified it
+
+   Poll reachability walks the binding index transitively, including
+   local closures ([let out_of_time () = Budget.exhausted b] polled from
+   a hot loop counts), because that is exactly how this codebase's hot
+   paths poll. Bounded-by-construction loops that legitimately skip the
+   poll are allowlisted with written reasons, not special-cased here. *)
+
+let hot_files =
+  [ "branch_bound.ml"; "simplex.ml"; "cuts.ml"; "presolve.ml"; "annealing.ml" ]
+
+let is_hot (f : Model.file) =
+  List.mem f.Model.m_base hot_files
+  && String.length f.Model.m_path >= 4
+  && String.sub f.Model.m_path 0 4 = "lib/"
+
+let is_poll name =
+  let last = Lexer.last_comp name in
+  (Lexer.has_comp name "Budget"
+  && List.mem last [ "exhausted"; "cancelled"; "expired"; "remaining" ])
+  || (Lexer.has_comp name "Faults" && List.mem last [ "early_timeout"; "cancel_requested" ])
+
+(* Can any reference in [names] reach a poll through the binding index?
+   Same-file resolution plus cross-module (e.g. annealing calling
+   Milp.Budget would match directly; calling a simplex helper resolves
+   through the index). *)
+(* No depth cap: [visited] alone bounds the walk (each (file, name)
+   pair expands at most once), and a cap would poison [visited] — a name
+   first reached at the cap would be marked explored-but-failed and then
+   skipped when the shallow query that could prove the poll arrives. *)
+let reaches_poll ix (f : Model.file) names =
+  let visited = Hashtbl.create 32 in
+  let rec go (from_file : Model.file) names =
+    List.exists
+      (fun name ->
+        is_poll name
+        ||
+        let key = (from_file.Model.m_path, name) in
+        (not (Hashtbl.mem visited key))
+        && begin
+             Hashtbl.replace visited key ();
+             List.exists
+               (fun ((cf : Model.file), (cb : Model.binding)) ->
+                 go cf (Model.refs_in cf cb.Model.b_start cb.Model.b_stop))
+               (Model.resolve ix ~from_file name)
+           end)
+      names
+  in
+  go f names
+
+(* Extent of a while loop: from [while] to its matching [done]
+   (do/done nest for inner for/while loops). *)
+let loop_extent f i =
+  let n = Array.length f.Model.m_toks in
+  let depth = ref 0 in
+  let j = ref i in
+  let stop = ref (-1) in
+  while !stop < 0 && !j < n do
+    (match Model.tok !j f with
+    | Lexer.Ident "do" -> incr depth
+    | Lexer.Ident "done" ->
+      decr depth;
+      if !depth = 0 then stop := !j
+    | _ -> ());
+    incr j
+  done;
+  if !stop < 0 then n else !stop + 1
+
+let run ctx =
+  let ix = ctx.Ctx.c_index in
+  List.iter
+    (fun (f : Model.file) ->
+      (* S202 applies repo-wide *)
+      let n = Array.length f.Model.m_toks in
+      for i = 0 to n - 1 do
+        match Model.tok i f with
+        | Lexer.Op ("<-" | ":=") ->
+          let rec rhs j seen =
+            if j >= n || seen > 4 then ()
+            else
+              match Model.tok j f with
+              | Lexer.Ident s when Lexer.has_comp s "Budget" && Lexer.last_comp s = "sub"
+                ->
+                Ctx.emit ctx ~code:"S202" ~sev:Findings.Error ~path:f.Model.m_path
+                  ~line:f.Model.m_toks.(i).Lexer.l_line
+                  "Budget.sub child stored into mutable state — a sub-budget must not \
+                   outlive the scope whose deadline created it"
+              | Lexer.Ident ("Some" | "Option.some" | "ref") | Lexer.Op "(" ->
+                rhs (j + 1) (seen + 1)
+              | _ -> ()
+          in
+          rhs (i + 1) 0
+        | _ -> ()
+      done;
+      if is_hot f then begin
+        (* S201: while loops *)
+        for i = 0 to n - 1 do
+          match Model.tok i f with
+          | Lexer.Ident "while" ->
+            let stop = loop_extent f i in
+            let names = Model.refs_in f i stop in
+            if not (reaches_poll ix f names) then
+              Ctx.emit ctx ~code:"S201" ~sev:Findings.Error ~path:f.Model.m_path
+                ~line:f.Model.m_toks.(i).Lexer.l_line
+                "loop in a solver hot path cannot reach a Budget poll — under deadline \
+                 pressure it runs to completion regardless of the budget"
+          | _ -> ()
+        done;
+        (* S201: recursive functions *)
+        let bs = Model.bindings f in
+        List.iter
+          (fun (b : Model.binding) ->
+            let is_rec =
+              match Model.ident_at f (b.Model.b_start + 1) with
+              | Some "rec" -> true
+              | _ ->
+                (* an [and] continuation of a [let rec] group *)
+                (match Model.tok b.Model.b_start f with
+                | Lexer.Ident "and" ->
+                  List.exists
+                    (fun (b' : Model.binding) ->
+                      b'.Model.b_start < b.Model.b_start
+                      && Model.ident_at f (b'.Model.b_start + 1) = Some "rec"
+                      && b.Model.b_start < b'.Model.b_stop)
+                    bs
+                | _ -> false)
+            in
+            if is_rec then begin
+              let names = Model.refs_in f b.Model.b_start b.Model.b_stop in
+              if not (reaches_poll ix f names) then
+                Ctx.emit ctx ~code:"S201" ~sev:Findings.Error ~path:f.Model.m_path
+                  ~line:b.Model.b_line
+                  (Printf.sprintf
+                     "recursive function %s in a solver hot path cannot reach a Budget \
+                      poll — under deadline pressure it recurses regardless of the budget"
+                     b.Model.b_name)
+            end)
+          bs
+      end)
+    ctx.Ctx.c_files

@@ -1,0 +1,86 @@
+(* S3xx — plan-metadata coupling.
+
+   The MILP encoders stamp provenance onto problems via
+   [Problem.set_meta p "joinopt.<key>" ...]; warm-start translation and
+   the model linter read those keys back with [find_meta]/[meta_int]/...
+   The two sides live in different layers (lib/core vs lib/milp) and
+   nothing but convention keeps the key sets aligned.
+
+   S301 error    a consumer reads a [joinopt.*] key that no producer in
+                 lib/core ever stamps — the read silently returns None
+                 and the warm start (or lint rule) degrades
+   S302 warning  a producer stamps a key no consumer reads — dead
+                 provenance, usually a leftover from a renamed reader
+
+   Producer: a [Str "joinopt.x"] with an ident whose last component is
+   [set_meta] within the previous 6 tokens, in a lib/core file.
+   Consumer: same window, last component in [find_meta]/[meta]/
+   [meta_int]/[meta_floats], in lib/milp/warm_start.ml or lint.ml.
+   lint.ml's [emit ctx "L400" Error "joinopt.x"] diagnostic strings have
+   no meta ident in the window and are correctly not counted. *)
+
+let is_producer_file (f : Model.file) =
+  String.length f.Model.m_path >= 9 && String.sub f.Model.m_path 0 9 = "lib/core/"
+
+let is_consumer_file (f : Model.file) =
+  f.Model.m_path = "lib/milp/warm_start.ml" || f.Model.m_path = "lib/milp/lint.ml"
+
+let meta_readers = [ "find_meta"; "meta"; "meta_int"; "meta_floats" ]
+
+let key_sites (f : Model.file) ~idents =
+  let n = Array.length f.Model.m_toks in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    match Model.tok i f with
+    | Lexer.Str s
+      when String.length s > 8 && String.sub s 0 8 = "joinopt." ->
+      let hit = ref false in
+      for j = max 0 (i - 6) to i - 1 do
+        match Model.tok j f with
+        | Lexer.Ident name when List.mem (Lexer.last_comp name) idents -> hit := true
+        | _ -> ()
+      done;
+      if !hit then out := (s, f.Model.m_toks.(i).Lexer.l_line) :: !out
+    | _ -> ()
+  done;
+  List.rev !out
+
+let run ctx =
+  let producers = List.filter is_producer_file ctx.Ctx.c_files in
+  let consumers = List.filter is_consumer_file ctx.Ctx.c_files in
+  (* When analysing a partial file set (fixtures), only run the pass if
+     both sides of the contract are present — otherwise every key would
+     look orphaned. *)
+  if producers <> [] && consumers <> [] then begin
+    let produced = Hashtbl.create 16 in
+    List.iter
+      (fun f ->
+        List.iter
+          (fun (k, _) -> Hashtbl.replace produced k ())
+          (key_sites f ~idents:[ "set_meta" ]))
+      producers;
+    let consumed = Hashtbl.create 16 in
+    List.iter
+      (fun (f : Model.file) ->
+        List.iter
+          (fun (k, line) ->
+            if not (Hashtbl.mem consumed k) then Hashtbl.replace consumed k ();
+            if not (Hashtbl.mem produced k) then
+              Ctx.emit ctx ~code:"S301" ~sev:Findings.Error ~path:f.Model.m_path ~line
+                (Printf.sprintf
+                   "metadata key %S is read here but no lib/core encoder stamps it — the \
+                    read silently yields None and this consumer degrades" k))
+          (key_sites f ~idents:meta_readers))
+      consumers;
+    List.iter
+      (fun (f : Model.file) ->
+        List.iter
+          (fun (k, line) ->
+            if not (Hashtbl.mem consumed k) then
+              Ctx.emit ctx ~code:"S302" ~sev:Findings.Warning ~path:f.Model.m_path ~line
+                (Printf.sprintf
+                   "metadata key %S is stamped here but nothing reads it back — dead \
+                    provenance, usually a leftover from a renamed reader" k))
+          (key_sites f ~idents:[ "set_meta" ]))
+      producers
+  end

@@ -1,0 +1,249 @@
+(* S4xx — wire-protocol coupling.
+
+   Three views of the line protocol must agree: the fields protocol.ml
+   *parses* out of requests, the fields protocol.ml/server.ml *emit* in
+   responses, and the fields README/DESIGN *document*. Drift between
+   them ships silently (JSON readers ignore unknown keys).
+
+   S401 error    a request field parsed by protocol.ml that no doc
+                 mentions — clients cannot discover it
+   S402 error    a field documented in a request example (a ["key":]
+                 position inside a fenced block that contains ["op"])
+                 that protocol.ml never parses and server.ml never
+                 emits — the docs promise a knob the server ignores
+   S403 warning  a response field emitted by the server that no doc
+                 mentions — clients cannot rely on it
+
+   Parsed:     [Str] within 3 tokens after an ident whose last component
+               is [member] / [opt_string_field] / [opt_number_field], in
+               protocol.ml.
+   Emitted:    [( "key" , ...] pairs in protocol.ml's response builders,
+               plus the same pairs inside the bracket extent of every
+               [ok_fields [ ... ]] call in server.ml (stats sub-objects
+               are deliberately out of scope — they are nested payload,
+               not top-level response fields).
+   Documented: quoted strings inside fenced code blocks, plus word runs
+               inside inline backtick spans, across README.md/DESIGN.md. *)
+
+let parse_helpers = [ "member"; "opt_string_field"; "opt_number_field" ]
+
+(* --- source-side extraction ------------------------------------------- *)
+
+let parsed_fields (f : Model.file) =
+  let n = Array.length f.Model.m_toks in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    match Model.tok i f with
+    | Lexer.Ident name when List.mem (Lexer.last_comp name) parse_helpers ->
+      let rec seek j left =
+        if j < n && left > 0 then
+          match Model.tok j f with
+          | Lexer.Str s -> out := (s, f.Model.m_toks.(j).Lexer.l_line) :: !out
+          | _ -> seek (j + 1) (left - 1)
+      in
+      seek (i + 1) 3
+    | _ -> ()
+  done;
+  List.rev !out
+
+(* [( "key" ,] pairs between token indices [start] and [stop). *)
+let pair_fields (f : Model.file) start stop =
+  let out = ref [] in
+  for i = start to min stop (Array.length f.Model.m_toks) - 3 do
+    match (Model.tok i f, Model.tok (i + 1) f, Model.tok (i + 2) f) with
+    | Lexer.Op "(", Lexer.Str s, Lexer.Op "," ->
+      out := (s, f.Model.m_toks.(i + 1).Lexer.l_line) :: !out
+    | _ -> ()
+  done;
+  List.rev !out
+
+(* Bracket extent [i..] assuming [m_toks.(i)] is "[". *)
+let bracket_extent (f : Model.file) i =
+  let n = Array.length f.Model.m_toks in
+  let depth = ref 0 in
+  let j = ref i in
+  let stop = ref n in
+  while !stop = n && !j < n do
+    (match Model.tok !j f with
+    | Lexer.Op "[" -> incr depth
+    | Lexer.Op "]" ->
+      decr depth;
+      if !depth = 0 then stop := !j
+    | _ -> ());
+    incr j
+  done;
+  !stop
+
+let emitted_fields (f : Model.file) =
+  if f.Model.m_base = "protocol.ml" then
+    pair_fields f 0 (Array.length f.Model.m_toks)
+  else begin
+    (* server.ml: only pairs inside [ok_fields [ ... ]] argument lists *)
+    let n = Array.length f.Model.m_toks in
+    let out = ref [] in
+    for i = 0 to n - 2 do
+      match (Model.tok i f, Model.tok (i + 1) f) with
+      | Lexer.Ident "ok_fields", Lexer.Op "[" ->
+        out := pair_fields f (i + 1) (bracket_extent f (i + 1)) @ !out
+      | _ -> ()
+    done;
+    List.rev !out
+  end
+
+(* --- doc-side extraction ---------------------------------------------- *)
+
+type docset = {
+  d_words : (string, unit) Hashtbl.t;  (* everything "documented" *)
+  mutable d_request_keys : (string * string * int) list;  (* key, doc path, line *)
+}
+
+let add_word ds w = if w <> "" then Hashtbl.replace ds.d_words w ()
+
+let is_word_char c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+(* Word runs inside an inline backtick span. *)
+let scan_span ds s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if is_word_char s.[!i] then begin
+      let j = ref !i in
+      while !j < n && is_word_char s.[!j] do incr j done;
+      add_word ds (String.sub s !i (!j - !i));
+      i := !j
+    end
+    else incr i
+  done
+
+let scan_doc ds path src =
+  let lines = String.split_on_char '\n' src in
+  let in_fence = ref false in
+  let fence_buf = Buffer.create 256 in
+  let fence_start = ref 0 in
+  let flush_fence stop_line =
+    let body = Buffer.contents fence_buf in
+    Buffer.clear fence_buf;
+    (* quoted strings: every "..." counts as documented *)
+    let n = String.length body in
+    let keys = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      if body.[!i] = '"' then begin
+        let j = ref (!i + 1) in
+        while !j < n && body.[!j] <> '"' && body.[!j] <> '\n' do incr j done;
+        if !j < n && body.[!j] = '"' then begin
+          let w = String.sub body (!i + 1) (!j - !i - 1) in
+          add_word ds w;
+          (* ["key":] position -> a documented request/response field *)
+          if !j + 1 < n && body.[!j + 1] = ':' then keys := w :: !keys;
+          i := !j + 1
+        end
+        else i := !j
+      end
+      else incr i
+    done;
+    (* only fences showing request lines (they contain "op") assert that
+       the server honours the keys they exhibit *)
+    if Lexer.contains body "\"op\"" then
+      List.iter
+        (fun k ->
+          ds.d_request_keys <- (k, path, !fence_start) :: ds.d_request_keys)
+        (List.rev !keys);
+    ignore stop_line
+  in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let trimmed = String.trim line in
+      let is_fence_delim =
+        String.length trimmed >= 3 && String.sub trimmed 0 3 = "```"
+      in
+      if is_fence_delim then begin
+        if !in_fence then flush_fence lineno
+        else begin
+          fence_start := lineno;
+          Buffer.clear fence_buf
+        end;
+        in_fence := not !in_fence
+      end
+      else if !in_fence then begin
+        Buffer.add_string fence_buf line;
+        Buffer.add_char fence_buf '\n'
+      end
+      else begin
+        (* inline backtick spans *)
+        let n = String.length line in
+        let i = ref 0 in
+        while !i < n do
+          if line.[!i] = '`' then begin
+            let j = ref (!i + 1) in
+            while !j < n && line.[!j] <> '`' do incr j done;
+            if !j < n then begin
+              scan_span ds (String.sub line (!i + 1) (!j - !i - 1));
+              i := !j + 1
+            end
+            else i := n
+          end
+          else incr i
+        done
+      end)
+    lines
+
+let run ctx =
+  let proto =
+    List.find_opt (fun (f : Model.file) -> f.Model.m_path = "lib/service/protocol.ml")
+      ctx.Ctx.c_files
+  in
+  let server =
+    List.find_opt (fun (f : Model.file) -> f.Model.m_path = "lib/service/server.ml")
+      ctx.Ctx.c_files
+  in
+  match proto with
+  | None -> ()  (* partial file set (fixtures without a protocol.ml) *)
+  | Some proto ->
+    if ctx.Ctx.c_docs = [] then ()
+    else begin
+      let ds = { d_words = Hashtbl.create 64; d_request_keys = [] } in
+      List.iter (fun (path, src) -> scan_doc ds path src) ctx.Ctx.c_docs;
+      let parsed = parsed_fields proto in
+      let emitted =
+        emitted_fields proto
+        @ (match server with Some s -> emitted_fields s | None -> [])
+      in
+      let documented k = Hashtbl.mem ds.d_words k in
+      let in_set set k = List.exists (fun (k', _) -> k' = k) set in
+      let seen = Hashtbl.create 16 in
+      let once k = if Hashtbl.mem seen k then false else (Hashtbl.replace seen k (); true)
+      in
+      List.iter
+        (fun (k, line) ->
+          if (not (documented k)) && once ("p:" ^ k) then
+            Ctx.emit ctx ~code:"S401" ~sev:Findings.Error ~path:proto.Model.m_path ~line
+              (Printf.sprintf
+                 "request field %S is parsed here but documented nowhere in README/DESIGN \
+                  — clients cannot discover it" k))
+        parsed;
+      List.iter
+        (fun ((f : Model.file), fields) ->
+          List.iter
+            (fun (k, line) ->
+              if (not (documented k)) && once ("e:" ^ k) then
+                Ctx.emit ctx ~code:"S403" ~sev:Findings.Warning ~path:f.Model.m_path ~line
+                  (Printf.sprintf
+                     "response field %S is emitted here but documented nowhere in \
+                      README/DESIGN — clients cannot rely on it" k))
+            fields)
+        ((proto, emitted_fields proto)
+        :: (match server with Some s -> [ (s, emitted_fields s) ] | None -> []));
+      List.iter
+        (fun (k, doc_path, line) ->
+          if
+            (not (in_set parsed k)) && (not (in_set emitted k)) && k <> "op"
+            && once ("d:" ^ k)
+          then
+            Ctx.emit ctx ~code:"S402" ~sev:Findings.Error ~path:doc_path ~line
+              (Printf.sprintf
+                 "documented request field %S is neither parsed nor emitted by the \
+                  server — the docs promise a knob the server ignores" k))
+        (List.rev ds.d_request_keys)
+    end
