@@ -65,27 +65,57 @@ let cost_conv =
   in
   Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Cost_enc.spec_to_string c))
 
+(* Reject nonsense like --jobs 0 or --cache-size -3 at parse time with a
+   usage error, instead of leaning on the silent >= 1 clamp downstream. *)
+let positive_int_conv what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v > 0 -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "%s must be a positive integer, got %d" what v))
+    | None -> Error (`Msg (Printf.sprintf "%s must be a positive integer, got '%s'" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let query_term =
   let file =
     Arg.(value & opt (some string) None & info [ "query"; "q" ] ~docv:"FILE"
-           ~doc:"Query file (see lib/relalg/query_file.mli for the format).")
+           ~doc:"Query file (see lib/relalg/query_file.mli for the format; any number of \
+                 tables — queries past the monolithic ceiling need $(b,--decompose)).")
   in
   let shape =
     Arg.(value & opt shape_conv Join_graph.Star & info [ "shape" ] ~docv:"SHAPE"
-           ~doc:"Join graph shape for generated queries: chain, star, cycle, clique.")
+           ~doc:"Join graph shape for generated queries: chain, star, cycle, clique \
+                 (with $(b,--clusters): the intra-cluster shape).")
   in
   let tables =
     Arg.(value & opt int 10 & info [ "tables"; "n" ] ~docv:"N"
            ~doc:"Number of tables for generated queries.")
   in
+  let clusters =
+    Arg.(value & opt (some (positive_int_conv "--clusters")) None & info [ "clusters" ]
+           ~docv:"K"
+           ~doc:"Generate a clustered query of $(docv) densely-joined clusters of \
+                 $(b,--cluster-size) tables linked by weak seam predicates (the 100+-table \
+                 decomposition workload) instead of a flat $(b,--shape) query.")
+  in
+  let cluster_size =
+    Arg.(value & opt (positive_int_conv "--cluster-size") 10 & info [ "cluster-size" ]
+           ~docv:"M" ~doc:"Tables per generated cluster (only with $(b,--clusters)).")
+  in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.") in
-  let build file shape tables seed =
+  let build file shape tables clusters cluster_size seed =
     match file with
     | Some path -> (
       match Query_file.of_file path with Ok q -> Ok q | Error m -> Error (`Msg m))
-    | None -> Ok (Workload.generate ~seed ~shape ~num_tables:tables ())
+    | None -> (
+      match clusters with
+      | Some num_clusters ->
+        Ok
+          (Workload.generate_clustered ~cluster_shape:shape ~seed ~num_clusters
+             ~cluster_size ())
+      | None -> Ok (Workload.generate ~seed ~shape ~num_tables:tables ()))
   in
-  Term.(term_result (const build $ file $ shape $ tables $ seed))
+  Term.(term_result (const build $ file $ shape $ tables $ clusters $ cluster_size $ seed))
 
 let budget_term =
   Arg.(value & opt float 10. & info [ "budget"; "time-limit"; "t" ] ~docv:"SECONDS"
@@ -130,16 +160,76 @@ let warm_mode_term =
                default: prefer a translated plan-cache entry for the same canonical \
                query, falling back to the greedy seed).")
 
-(* Reject nonsense like --jobs 0 or --cache-size -3 at parse time with a
-   usage error, instead of leaning on the silent >= 1 clamp downstream. *)
-let positive_int_conv what =
+(* --- decomposition knobs (optimize / batch / serve) ----------------- *)
+
+let decomp_policy_conv =
+  let parse s =
+    match Optimizer.decomp_policy_of_string s with Ok p -> Ok p | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Optimizer.decomp_policy_to_string p))
+
+let seam_conv =
+  let parse s =
+    match Optimizer.seam_of_string s with Ok h -> Ok h | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf h -> Format.pp_print_string ppf (Optimizer.seam_to_string h))
+
+(* The same strict bounds [Optimizer.with_decomp] enforces, rejected at
+   parse time as a usage error instead of an exception mid-run. *)
+let int_at_least what lo =
   let parse s =
     match int_of_string_opt s with
-    | Some v when v > 0 -> Ok v
-    | Some v -> Error (`Msg (Printf.sprintf "%s must be a positive integer, got %d" what v))
-    | None -> Error (`Msg (Printf.sprintf "%s must be a positive integer, got '%s'" what s))
+    | Some v when v >= lo -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "%s must be >= %d, got %d" what lo v))
+    | None -> Error (`Msg (Printf.sprintf "%s must be an integer >= %d, got '%s'" what lo s))
   in
   Arg.conv (parse, Format.pp_print_int)
+
+let int_in_range what lo hi =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= lo && v <= hi -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "%s must be in [%d, %d], got %d" what lo hi v))
+    | None ->
+      Error (`Msg (Printf.sprintf "%s must be an integer in [%d, %d], got '%s'" what lo hi s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let decomp_term ~default_policy =
+  let policy =
+    Arg.(value & opt decomp_policy_conv default_policy & info [ "decompose" ] ~docv:"POLICY"
+           ~doc:"Decomposition policy: $(b,off) (monolithic only; queries past the mask \
+                 ceiling are refused), $(b,auto) (partition past $(b,--decompose-threshold) \
+                 tables, and always past the ceiling), or $(b,force) (partition every \
+                 query of three or more tables).")
+  in
+  let threshold =
+    Arg.(value & opt (int_at_least "--decompose-threshold" 2)
+           Optimizer.default_decomp.Optimizer.dc_threshold
+         & info [ "decompose-threshold" ] ~docv:"N"
+             ~doc:"With $(b,--decompose=auto): partition queries of more than $(docv) \
+                   tables. Must be >= 2.")
+  in
+  let max_cluster =
+    Arg.(value & opt
+           (int_in_range "--max-cluster-size" 2 Optimizer.max_monolithic_tables)
+           Optimizer.default_decomp.Optimizer.dc_max_cluster
+         & info [ "max-cluster-size" ] ~docv:"M"
+             ~doc:"Largest cluster the partitioner may build; each cluster is solved by \
+                   the certified MILP pipeline, so $(docv) is capped at the monolithic \
+                   table ceiling.")
+  in
+  let seam =
+    Arg.(value & opt seam_conv Optimizer.default_decomp.Optimizer.dc_seam
+         & info [ "seam" ] ~docv:"HEURISTIC"
+             ~doc:"Heuristic ordering the solved clusters at the seams: $(b,ikkbz) \
+                   (IKKBZ on the contracted cluster graph, greedy fallback on cyclic \
+                   seams) or $(b,greedy).")
+  in
+  let build dc_policy dc_threshold dc_max_cluster dc_seam =
+    { Optimizer.dc_policy; dc_threshold; dc_max_cluster; dc_seam }
+  in
+  Term.(const build $ policy $ threshold $ max_cluster $ seam)
 
 let jobs_term =
   Arg.(value & opt (positive_int_conv "--jobs") 1 & info [ "jobs"; "j" ] ~docv:"N"
@@ -186,14 +276,49 @@ let lint_term =
 (* optimize                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_optimize query budget precision cost jobs warm_start checkpoint checkpoint_every
-    resume lint verbose =
+(* The decomposition path of [optimize]: partition, solve clusters,
+   stitch, and print per-cluster provenance so the certified parts of
+   the answer are distinguishable from the heuristic seams. *)
+let run_optimize_decomposed config budget jobs query =
+  let solve_budget = Milp.Budget.create ~limit:budget () in
+  let d =
+    Milp.Budget.with_sigint solve_budget (fun () ->
+        Decomp.Decompose.optimize ~config ~budget:solve_budget ~jobs query)
+  in
+  Format.printf "decomposed: %d tables into %d clusters (seam %s%s%s) in %.2fs@."
+    (Relalg.Query.num_tables query) d.Decomp.Decompose.d_num_clusters
+    d.Decomp.Decompose.d_seam
+    (if d.Decomp.Decompose.d_seam_fallback then ", seam fallback" else "")
+    (if d.Decomp.Decompose.d_degraded then ", degraded" else "")
+    d.Decomp.Decompose.d_elapsed;
+  Array.iteri
+    (fun i (cr : Decomp.Decompose.cluster_report) ->
+      Format.printf "  cluster %d: %d tables, %s, stopped %s%s%s%s (%.2fs)@." i
+        (Array.length cr.Decomp.Decompose.cr_tables) cr.Decomp.Decompose.cr_provenance
+        cr.Decomp.Decompose.cr_stopped
+        (if cr.Decomp.Decompose.cr_certified then ", certified" else "")
+        (if cr.Decomp.Decompose.cr_degraded then ", degraded" else "")
+        (match cr.Decomp.Decompose.cr_seed with
+        | Some s -> ", seeded by " ^ s
+        | None -> "")
+        cr.Decomp.Decompose.cr_elapsed)
+    d.Decomp.Decompose.d_clusters;
+  Format.printf "plan: %a@.true cost: %.6g@." (Plan.pp_with_query query)
+    d.Decomp.Decompose.d_plan d.Decomp.Decompose.d_true_cost;
+  Format.printf "provenance: decomposed:%d:%s%s%s@." d.Decomp.Decompose.d_num_clusters
+    d.Decomp.Decompose.d_seam
+    (if d.Decomp.Decompose.d_seam_fallback then ":seam-fallback" else "")
+    (if d.Decomp.Decompose.d_degraded then ":degraded" else "")
+
+let run_optimize query budget precision cost jobs warm_start decomp checkpoint
+    checkpoint_every resume lint verbose =
   let config =
     { Optimizer.default_config with Optimizer.cost }
     |> Optimizer.with_precision precision
     |> Optimizer.with_time_limit budget
     |> Optimizer.with_jobs jobs
     |> Optimizer.with_warm_start_policy warm_start
+    |> Optimizer.with_decomp decomp
   in
   let config =
     match checkpoint with
@@ -206,6 +331,16 @@ let run_optimize query budget precision cost jobs warm_start checkpoint checkpoi
   let config =
     match lint with Some level -> Optimizer.with_lint level config | None -> config
   in
+  if Optimizer.should_decompose config query then
+    run_optimize_decomposed config budget jobs query
+  else if Relalg.Query.num_tables query > Optimizer.max_monolithic_tables then begin
+    Format.eprintf
+      "optimize: %d tables exceeds the monolithic ceiling of %d; rerun with \
+       --decompose=auto@."
+      (Relalg.Query.num_tables query) Optimizer.max_monolithic_tables;
+    exit 2
+  end
+  else begin
   Format.printf "Query: %a@." Relalg.Query.pp query;
   let on_progress =
     if verbose then
@@ -277,6 +412,7 @@ let run_optimize query budget precision cost jobs warm_start checkpoint checkpoi
     Format.printf "lint: formulation audit failed at the requested level@.";
     exit 3
   end
+  end
 
 let optimize_cmd =
   let verbose =
@@ -286,8 +422,8 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Optimize a join query through the MILP encoding")
     Term.(
       const run_optimize $ query_term $ budget_term $ precision_term $ cost_term $ jobs_term
-      $ warm_start_term $ checkpoint_term $ checkpoint_every_term $ resume_term $ lint_term
-      $ verbose)
+      $ warm_start_term $ decomp_term ~default_policy:Optimizer.Dc_off $ checkpoint_term
+      $ checkpoint_every_term $ resume_term $ lint_term $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* batch — the multi-query service front end                            *)
@@ -339,7 +475,9 @@ let batch_requests_term =
   in
   let tables =
     Arg.(value & opt (positive_int_conv "--tables") 6 & info [ "tables"; "n" ] ~docv:"N"
-           ~doc:"Number of tables for generated queries.")
+           ~doc:"Number of tables for generated queries. Sizes past the monolithic \
+                 ceiling are supported but require $(b,--decompose=auto) (the batch \
+                 refuses them up front otherwise).")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.") in
   let build files use_stdin gen dup shape tables seed =
@@ -381,6 +519,7 @@ let json_of_report query_of_label (r : Scheduler.report) =
       ("objective", json_of_opt_float r.Scheduler.o_objective);
       ("bound", Json.Float r.Scheduler.o_bound);
       ("true_cost", json_of_opt_float r.Scheduler.o_true_cost);
+      ("decomposed", Json.Bool r.Scheduler.o_decomposed);
       ("elapsed", Json.Float r.Scheduler.o_elapsed);
     ]
 
@@ -408,6 +547,13 @@ let json_of_stats (s : Scheduler.stats) =
       ("warm_starts", Json.Int s.Scheduler.s_warm_starts);
       ("shared_in_flight", Json.Int s.Scheduler.s_shared);
       ("failures", Json.Int s.Scheduler.s_failures);
+      ( "decomposition",
+        Json.Obj
+          [
+            ("queries", Json.Int s.Scheduler.s_decomposed);
+            ("clusters_solved", Json.Int s.Scheduler.s_clusters_solved);
+            ("seam_fallbacks", Json.Int s.Scheduler.s_seam_fallbacks);
+          ] );
       ("elapsed", Json.Float s.Scheduler.s_elapsed);
       ("queries_per_sec", Json.Float s.Scheduler.s_qps);
       ( "cache",
@@ -416,12 +562,37 @@ let json_of_stats (s : Scheduler.stats) =
         | None -> Json.Null );
     ]
 
-let run_batch requests jobs cache_size no_cache per_query precision cost warm bench =
+let run_batch requests jobs cache_size no_cache per_query precision cost warm decomp bench =
   let config =
     { Optimizer.default_config with Optimizer.cost }
     |> Optimizer.with_precision precision
     |> Optimizer.with_time_limit per_query
+    |> Optimizer.with_decomp decomp
   in
+  (* Fail the whole batch up front — with the offending labels — rather
+     than letting each oversized query surface as a per-request failure
+     deep in the scheduler. *)
+  (match
+     List.filter_map
+       (fun r ->
+         if
+           Relalg.Query.num_tables r.Scheduler.r_query > Optimizer.max_monolithic_tables
+           && not (Optimizer.should_decompose config r.Scheduler.r_query)
+         then Some r.Scheduler.r_label
+         else None)
+       requests
+   with
+  | [] -> ()
+  | labels ->
+    Format.eprintf
+      "batch: %d quer%s exceed%s the monolithic ceiling of %d tables (%s); rerun with \
+       --decompose=auto@."
+      (List.length labels)
+      (if List.length labels = 1 then "y" else "ies")
+      (if List.length labels = 1 then "s" else "")
+      Optimizer.max_monolithic_tables
+      (String.concat ", " labels);
+    exit 2);
   (* cache mode = the scheduler's native behavior (stale-precision cache
      entries injected as MIP starts); the other modes pin the policy and
      turn that injection off so the answer is honestly cold/greedy/raced. *)
@@ -480,10 +651,12 @@ let run_batch requests jobs cache_size no_cache per_query precision cost warm be
   print_string (Json.to_string summary);
   print_newline ();
   Format.eprintf "batch: %d queries in %.2fs (%.1f q/s): %d solved, %d cache hits, %d \
-                  warm-started, %d shared, %d failures@."
+                  warm-started, %d shared, %d decomposed (%d clusters, %d seam \
+                  fallbacks), %d failures@."
     stats.Scheduler.s_queries stats.Scheduler.s_elapsed stats.Scheduler.s_qps
     stats.Scheduler.s_solved stats.Scheduler.s_cache_hits stats.Scheduler.s_warm_starts
-    stats.Scheduler.s_shared stats.Scheduler.s_failures;
+    stats.Scheduler.s_shared stats.Scheduler.s_decomposed stats.Scheduler.s_clusters_solved
+    stats.Scheduler.s_seam_fallbacks stats.Scheduler.s_failures;
   if stats.Scheduler.s_failures > 0 then exit 1
 
 let batch_cmd =
@@ -524,7 +697,8 @@ let batch_cmd =
              provenance + cache statistics) on stdout.")
     Term.(
       const run_batch $ batch_requests_term $ jobs_term $ cache_size $ no_cache $ per_query
-      $ precision_term $ cost_term $ warm_mode_term $ bench)
+      $ precision_term $ cost_term $ warm_mode_term
+      $ decomp_term ~default_policy:Optimizer.Dc_off $ bench)
 
 (* ------------------------------------------------------------------ *)
 (* serve — the persistent server                                        *)
@@ -557,7 +731,7 @@ let nonneg_int_conv what =
 
 let run_serve socket snapshot snapshot_every cache_size rate burst max_queue default_limit
     max_limit retries backoff degrade_after probe_every max_conns backlog max_write_buf
-    watchdog_grace drain_limit jobs precision cost warm =
+    watchdog_grace drain_limit jobs precision cost warm decomp =
   if default_limit > max_limit then
     `Error
       ( false,
@@ -582,6 +756,7 @@ let run_serve socket snapshot snapshot_every cache_size rate burst max_queue def
         sv_precision = precision;
         sv_cost = cost;
         sv_warm = warm;
+        sv_decomp = decomp;
         sv_max_conns = max_conns;
         sv_backlog = backlog;
         sv_max_write_buf = max_write_buf;
@@ -697,7 +872,8 @@ let serve_cmd =
         (const run_serve $ socket $ snapshot $ snapshot_every $ cache_size $ rate $ burst
         $ max_queue $ default_limit $ max_limit $ retries $ backoff $ degrade_after
         $ probe_every $ max_conns $ backlog $ max_write_buf $ watchdog_grace $ drain_limit
-        $ jobs_term $ precision_term $ cost_term $ warm_mode_term))
+        $ jobs_term $ precision_term $ cost_term $ warm_mode_term
+        $ decomp_term ~default_policy:Optimizer.Dc_auto))
 
 (* ------------------------------------------------------------------ *)
 (* dp / greedy                                                          *)

@@ -22,12 +22,54 @@ let warm_start_of_string = function
   | "portfolio" -> Ok Ws_portfolio
   | s -> Error (Printf.sprintf "unknown warm-start policy %S (expected off|greedy|portfolio)" s)
 
+(* The monolithic encoding path (Card, Cost_model, Plan.prefix_mask,
+   the MILP itself) works in int bitmasks and tops out at this many
+   tables; anything larger must go through the decomposition subsystem
+   (lib/decomp), which never builds a monolithic mask. *)
+let max_monolithic_tables = 62
+
+type decomp_policy = Dc_off | Dc_auto | Dc_force
+
+let decomp_policy_to_string = function
+  | Dc_off -> "off"
+  | Dc_auto -> "auto"
+  | Dc_force -> "force"
+
+let decomp_policy_of_string = function
+  | "off" -> Ok Dc_off
+  | "auto" -> Ok Dc_auto
+  | "force" -> Ok Dc_force
+  | s -> Error (Printf.sprintf "unknown decomposition policy %S (expected off|auto|force)" s)
+
+type seam_heuristic = Seam_ikkbz | Seam_greedy
+
+let seam_to_string = function Seam_ikkbz -> "ikkbz" | Seam_greedy -> "greedy"
+
+let seam_of_string = function
+  | "ikkbz" -> Ok Seam_ikkbz
+  | "greedy" -> Ok Seam_greedy
+  | s -> Error (Printf.sprintf "unknown seam heuristic %S (expected ikkbz|greedy)" s)
+
+type decomp_config = {
+  dc_policy : decomp_policy;
+  dc_threshold : int;
+  dc_max_cluster : int;
+  dc_seam : seam_heuristic;
+}
+
+let default_decomp =
+  (* The auto threshold sits where the monolithic MILP stops returning
+     certified plans inside interactive budgets; the hard 62-table mask
+     ceiling applies regardless (auto always decomposes above it). *)
+  { dc_policy = Dc_off; dc_threshold = 30; dc_max_cluster = 12; dc_seam = Seam_ikkbz }
+
 type config = {
   encoding : Encoding.config;
   cost : Cost_enc.spec;
   pm : Cost_model.page_model;
   solver : Solver.params;
   warm_start : warm_start_policy;
+  decomp : decomp_config;
 }
 
 let default_config =
@@ -39,7 +81,27 @@ let default_config =
        each round costs a cold LP solve; leave them opt-in here. *)
     solver = { Solver.default_params with Solver.cut_rounds = 0 };
     warm_start = Ws_greedy;
+    decomp = default_decomp;
   }
+
+let with_decomp dc config =
+  if dc.dc_threshold < 2 then invalid_arg "Optimizer.with_decomp: threshold must be >= 2";
+  if dc.dc_max_cluster < 2 || dc.dc_max_cluster > max_monolithic_tables then
+    invalid_arg
+      (Printf.sprintf "Optimizer.with_decomp: max cluster size must be in [2, %d]"
+         max_monolithic_tables);
+  { config with decomp = dc }
+
+(* Should [q] take the decomposition path under this config? [Dc_auto]
+   decomposes past the configured threshold and always past the hard
+   mask ceiling; [Dc_force] decomposes any query that can be split
+   (>= 3 tables leaves at least two clusters or a seam worth the name). *)
+let should_decompose config q =
+  let n = Relalg.Query.num_tables q in
+  match config.decomp.dc_policy with
+  | Dc_off -> false
+  | Dc_force -> n > 2
+  | Dc_auto -> n > config.decomp.dc_threshold || n > max_monolithic_tables
 
 let with_precision precision config =
   { config with encoding = { config.encoding with Encoding.precision } }
@@ -145,6 +207,12 @@ let fallback_plan ?(allow_dp = true) config q =
       Some (plan, cost, `Fallback_heuristic))
 
 let optimize ?(config = default_config) ?budget ?resume ?on_progress q =
+  if Relalg.Query.num_tables q > max_monolithic_tables then
+    invalid_arg
+      (Printf.sprintf
+         "Optimizer.optimize: %d tables exceeds the %d-table monolithic encoding ceiling — \
+          route the query through decomposition (--decompose=auto)"
+         (Relalg.Query.num_tables q) max_monolithic_tables);
   let budget =
     match budget with
     | Some b -> b

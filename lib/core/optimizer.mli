@@ -32,17 +32,66 @@ val warm_start_of_string : string -> (warm_start_policy, string) result
 (** Parses ["off"] / ["greedy"] / ["portfolio"] (the CLI surface;
     [Ws_plan] has no textual form). *)
 
+val max_monolithic_tables : int
+(** 62 — the hard ceiling of the monolithic (bitmask-based) encoding and
+    cost paths. Larger queries must go through the decomposition
+    subsystem (lib/decomp); {!optimize} refuses them with a clear
+    [Invalid_argument]. *)
+
+(** When the decomposition subsystem takes over from the monolithic
+    MILP. The policy lives here (plain data) so one [config] describes
+    the whole pipeline; the driver that interprets it is
+    [Decomp.Decompose], which sits above this library. *)
+type decomp_policy =
+  | Dc_off  (** never decompose; queries past the ceiling are refused *)
+  | Dc_auto
+      (** decompose past [dc_threshold] tables (and always past
+          {!max_monolithic_tables}); smaller queries solve monolithically *)
+  | Dc_force  (** decompose every query of three or more tables *)
+
+val decomp_policy_to_string : decomp_policy -> string
+val decomp_policy_of_string : string -> (decomp_policy, string) result
+
+(** Which heuristic orders the clusters at the seam. *)
+type seam_heuristic =
+  | Seam_ikkbz  (** IKKBZ on the contracted cluster graph when it is a
+                    tree, greedy otherwise (counted as a seam fallback) *)
+  | Seam_greedy  (** greedy always *)
+
+val seam_to_string : seam_heuristic -> string
+val seam_of_string : string -> (seam_heuristic, string) result
+
+type decomp_config = {
+  dc_policy : decomp_policy;
+  dc_threshold : int;  (** [Dc_auto] decomposes when tables exceed this *)
+  dc_max_cluster : int;  (** largest cluster the partitioner may grow *)
+  dc_seam : seam_heuristic;
+}
+
+val default_decomp : decomp_config
+(** [Dc_off], threshold 30, clusters of at most 12 tables, IKKBZ seam. *)
+
 type config = {
   encoding : Encoding.config;
   cost : Cost_enc.spec;
   pm : Relalg.Cost_model.page_model;
   solver : Milp.Solver.params;
   warm_start : warm_start_policy;
+  decomp : decomp_config;
 }
 
 val default_config : config
 (** Medium precision, hash joins (the paper's experimental setup), greedy
-    warm start, solver defaults. *)
+    warm start, solver defaults, decomposition off. *)
+
+val with_decomp : decomp_config -> config -> config
+(** Validates the knobs: threshold >= 2, max cluster size in
+    [2, {!max_monolithic_tables}]. Raises [Invalid_argument] otherwise. *)
+
+val should_decompose : config -> Relalg.Query.t -> bool
+(** Whether this query takes the decomposition path under the config's
+    policy — the single predicate the CLI, scheduler and server consult
+    before choosing between {!optimize} and the decomposition driver. *)
 
 val with_precision : Thresholds.precision -> config -> config
 val with_time_limit : float -> config -> config
@@ -135,7 +184,8 @@ val optimize :
     checkpoint when one is present and loadable — see
     {!Milp.Solver.solve}. After a cancellation the exact-DP fallback is
     skipped so the call returns promptly with a heuristic plan if the
-    MILP produced none. *)
+    MILP produced none. Raises [Invalid_argument] for queries past
+    {!max_monolithic_tables} — those must go through decomposition. *)
 
 val exact_metric : Cost_enc.spec -> Relalg.Cost_model.metric
 (** The exact cost metric a spec's plans should be judged by. *)

@@ -1,0 +1,62 @@
+(** The decomposition driver: partitioned MILP for queries past the
+    monolithic 62-table ceiling (and for any query the config forces
+    down this path).
+
+    Pipeline: {!Partition} clusters the join graph; each multi-table
+    cluster is solved by the ordinary certified pipeline
+    ({!Joinopt.Optimizer.optimize}) under a {!Milp.Budget.sub} slice of
+    the caller's budget — clusters dispatched across
+    {!Milp.Work_pool} worker domains when [jobs > 1]; {!Seam} orders the
+    clusters; the cluster-internal orders are concatenated into one
+    global left-deep plan whose operators and true cost come from the
+    mask-free model ({!Wide_cost}).
+
+    A cluster solve that dies (exception, or the
+    {!Milp.Faults.cluster_fails} chaos hook) degrades to the greedy
+    heuristic for that cluster only — flagged in its report and in
+    [d_degraded] — so the query always gets a plan. *)
+
+type cluster_report = {
+  cr_tables : int array;  (** global table indices, ascending *)
+  cr_order : int array;  (** cluster-internal join order, global indices *)
+  cr_provenance : string;
+      (** {!Joinopt.Optimizer.provenance_to_string} of the cluster solve,
+          or ["trivial"] (single table), ["injected-failure:greedy"] /
+          ["solver-failure:greedy"] for degraded clusters *)
+  cr_objective : float option;  (** cluster MILP objective, when solved *)
+  cr_bound : float;  (** proven lower bound of the cluster solve *)
+  cr_certified : bool;  (** the cluster incumbent passed certification *)
+  cr_degraded : bool;  (** the MILP solve died; greedy supplied the order *)
+  cr_seed : string option;  (** warm-start seed source, when one was used *)
+  cr_stopped : string;
+      (** ["completed"] / ["time-limit"] / ["node-limit"] /
+          ["interrupted"] / ["failed"] *)
+  cr_elapsed : float;
+}
+
+type result = {
+  d_plan : Relalg.Plan.t;  (** the stitched global plan *)
+  d_true_cost : float;  (** its exact-model cost ({!Wide_cost.plan_cost}) *)
+  d_clusters : cluster_report array;  (** per-cluster provenance *)
+  d_num_clusters : int;
+  d_seam : string;  (** seam heuristic that actually ran *)
+  d_seam_fallback : bool;  (** the requested seam heuristic could not run *)
+  d_degraded : bool;  (** at least one cluster degraded to its fallback *)
+  d_elapsed : float;
+}
+
+val optimize :
+  ?config:Joinopt.Optimizer.config ->
+  ?budget:Milp.Budget.t ->
+  ?jobs:int ->
+  Relalg.Query.t ->
+  result
+(** [budget] shares a deadline and cancellation token with the caller
+    exactly as in {!Joinopt.Optimizer.optimize}; when absent one is
+    created from the configured solver time limit. [jobs] (default 1)
+    bounds the worker domains for parallel cluster solves; each cluster
+    solve is then pinned to a single domain. Decomposition knobs
+    (cluster size, seam heuristic) come from [config.decomp]. The
+    result is deterministic for a fixed config when [jobs = 1]; with
+    parallel dispatch the cluster *reports* may interleave differently
+    but the stitched plan is unchanged (budget slicing aside). *)

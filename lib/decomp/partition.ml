@@ -1,0 +1,213 @@
+(* Join-graph clustering for the decomposition pipeline.
+
+   Kruskal-style agglomeration over the join graph: every table starts
+   as its own cluster and edges are processed from most to least
+   selective (joins that shrink their operands the most are the ones
+   worth ordering exactly, so they belong inside a cluster where the
+   MILP sees them). A merge is accepted only while the merged cluster
+   stays solvable by the monolithic pipeline: at most [max_cluster]
+   tables AND at most 62 intra predicates plus intra correlations — the
+   [Card.estimator] ceiling counts virtual correlation predicates too,
+   so a 12-table clique fragment with 66 binary predicates must be
+   rejected on predicate count even though its table count fits.
+
+   Everything is deterministic: edges sort by (weight, endpoints), the
+   resulting clusters are listed by smallest member table and each
+   cluster's tables ascend. *)
+
+module Q = Relalg.Query
+module P = Relalg.Predicate
+
+type cluster = {
+  cl_tables : int array;
+  cl_query : Q.t;
+}
+
+type t = {
+  clusters : cluster array;
+  table_cluster : int array;
+}
+
+(* The monolithic estimator's ceiling on real + virtual predicates. *)
+let max_sub_predicates = 62
+
+(* Sub-query over [tables] (ascending global indices): the cluster's
+   tables plus every predicate and correlation fully contained in it,
+   reindexed. Ascending-to-ascending table remapping and in-order
+   predicate selection keep [pred_tables] and [corr_members] sorted, as
+   [Query.create] requires. Output columns are dropped — they reference
+   global table indices and play no role in the basic cost model. *)
+let subquery q tables =
+  let local = Hashtbl.create 16 in
+  Array.iteri (fun i t -> Hashtbl.replace local t i) tables;
+  let in_cluster t = Hashtbl.mem local t in
+  let keep = ref [] in
+  let pred_local = Hashtbl.create 16 in
+  let k = ref 0 in
+  Array.iteri
+    (fun pi p ->
+      if List.for_all in_cluster p.P.pred_tables then begin
+        Hashtbl.replace pred_local pi !k;
+        incr k;
+        keep :=
+          { p with P.pred_tables = List.map (Hashtbl.find local) p.P.pred_tables }
+          :: !keep
+      end)
+    q.Q.predicates;
+  let preds = List.rev !keep in
+  let corrs =
+    Array.to_list q.Q.correlations
+    |> List.filter_map (fun c ->
+           if List.for_all (Hashtbl.mem pred_local) c.P.corr_members then
+             Some
+               {
+                 c with
+                 P.corr_members = List.map (Hashtbl.find pred_local) c.P.corr_members;
+               }
+           else None)
+  in
+  Q.create ~predicates:preds ~correlations:corrs
+    (Array.to_list (Array.map (fun t -> q.Q.tables.(t)) tables))
+
+let partition ~max_cluster q =
+  if max_cluster < 1 then
+    invalid_arg "Partition.partition: max_cluster must be >= 1";
+  let n = Q.num_tables q in
+  let npred = Array.length q.Q.predicates in
+  let ncorr = Array.length q.Q.correlations in
+  let preds_of = Array.make n [] in
+  Array.iteri
+    (fun pi p ->
+      List.iter (fun t -> preds_of.(t) <- pi :: preds_of.(t)) p.P.pred_tables)
+    q.Q.predicates;
+  let corrs_of_pred = Array.make (max 1 npred) [] in
+  Array.iteri
+    (fun ci c ->
+      List.iter
+        (fun pi -> corrs_of_pred.(pi) <- ci :: corrs_of_pred.(pi))
+        c.P.corr_members)
+    q.Q.correlations;
+  (* Union-find with member lists at the roots. *)
+  let parent = Array.init n (fun i -> i) in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let members = Array.init n (fun i -> [ i ]) in
+  let size = Array.make n 1 in
+  (* One edge per table pair that shares a predicate; weight = product of
+     the selectivities of every predicate covering the pair. *)
+  let edge_tbl = Hashtbl.create (4 * n) in
+  Array.iter
+    (fun p ->
+      let ts = p.P.pred_tables in
+      List.iteri
+        (fun i a ->
+          List.iteri
+            (fun j b ->
+              if j > i then begin
+                let w =
+                  try Hashtbl.find edge_tbl (a, b) with Not_found -> 1.
+                in
+                Hashtbl.replace edge_tbl (a, b) (w *. p.P.selectivity)
+              end)
+            ts)
+        ts)
+    q.Q.predicates;
+  let edges = Hashtbl.fold (fun (a, b) w acc -> (w, a, b) :: acc) edge_tbl [] in
+  let edges =
+    List.sort
+      (fun (w1, a1, b1) (w2, a2, b2) ->
+        let c = Float.compare w1 w2 in
+        if c <> 0 then c
+        else
+          let c = compare a1 a2 in
+          if c <> 0 then c else compare b1 b2)
+      edges
+  in
+  (* Epoch-stamped scratch: one pass over the predicates incident to a
+     candidate union counts its intra predicates and correlations
+     without allocating per attempt. *)
+  let epoch = ref 0 in
+  let tbl_epoch = Array.make n 0 in
+  let pred_seen = Array.make (max 1 npred) 0 in
+  let pred_intra = Array.make (max 1 npred) 0 in
+  let corr_seen = Array.make (max 1 ncorr) 0 in
+  let try_merge a b =
+    let ra = find a and rb = find b in
+    if ra <> rb && size.(ra) + size.(rb) <= max_cluster then begin
+      incr epoch;
+      let e = !epoch in
+      let union = List.rev_append members.(ra) members.(rb) in
+      List.iter (fun t -> tbl_epoch.(t) <- e) union;
+      let nintra = ref 0 in
+      let cand_corrs = ref [] in
+      List.iter
+        (fun t ->
+          List.iter
+            (fun pi ->
+              if pred_seen.(pi) <> e then begin
+                pred_seen.(pi) <- e;
+                if
+                  List.for_all
+                    (fun u -> tbl_epoch.(u) = e)
+                    q.Q.predicates.(pi).P.pred_tables
+                then begin
+                  pred_intra.(pi) <- e;
+                  incr nintra;
+                  List.iter
+                    (fun ci ->
+                      if corr_seen.(ci) <> e then begin
+                        corr_seen.(ci) <- e;
+                        cand_corrs := ci :: !cand_corrs
+                      end)
+                    corrs_of_pred.(pi)
+                end
+              end)
+            preds_of.(t))
+        union;
+      List.iter
+        (fun ci ->
+          if
+            List.for_all
+              (fun pi -> pred_intra.(pi) = e)
+              q.Q.correlations.(ci).P.corr_members
+          then incr nintra)
+        !cand_corrs;
+      if !nintra <= max_sub_predicates then begin
+        let big, small = if size.(ra) >= size.(rb) then (ra, rb) else (rb, ra) in
+        parent.(small) <- big;
+        members.(big) <- List.rev_append members.(small) members.(big);
+        members.(small) <- [];
+        size.(big) <- size.(big) + size.(small)
+      end
+    end
+  in
+  List.iter (fun (_, a, b) -> try_merge a b) edges;
+  let buckets = Hashtbl.create n in
+  for t = 0 to n - 1 do
+    let r = find t in
+    let l = try Hashtbl.find buckets r with Not_found -> [] in
+    Hashtbl.replace buckets r (t :: l)
+  done;
+  let groups = Hashtbl.fold (fun _ ts acc -> List.sort compare ts :: acc) buckets [] in
+  let groups =
+    List.sort (fun g1 g2 -> compare (List.hd g1) (List.hd g2)) groups
+  in
+  let clusters =
+    Array.of_list
+      (List.map
+         (fun ts ->
+           let tables = Array.of_list ts in
+           { cl_tables = tables; cl_query = subquery q tables })
+         groups)
+  in
+  let table_cluster = Array.make n (-1) in
+  Array.iteri
+    (fun ci c -> Array.iter (fun t -> table_cluster.(t) <- ci) c.cl_tables)
+    clusters;
+  { clusters; table_cluster }

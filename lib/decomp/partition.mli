@@ -1,0 +1,33 @@
+(** Join-graph clustering: splits a wide query into clusters the
+    monolithic MILP pipeline can solve.
+
+    Kruskal-style agglomeration over the join graph, most selective
+    edges first (edge weight = product of the selectivities of every
+    predicate covering the table pair). A merge is accepted only while
+    the merged cluster stays monolithically solvable: at most
+    [max_cluster] tables and at most 62 intra predicates plus intra
+    correlations (the [Card.estimator] ceiling counts virtual
+    correlation predicates too — in dense fragments the predicate bound
+    binds before the table bound). Deterministic: ties break on table
+    indices, clusters are listed by smallest member and each cluster's
+    tables ascend. *)
+
+type cluster = {
+  cl_tables : int array;  (** member table indices in the original query, ascending *)
+  cl_query : Relalg.Query.t;
+      (** the cluster as a standalone query: its tables (local index [i]
+          is global [cl_tables.(i)]) plus every predicate and correlation
+          fully contained in the cluster, reindexed. Cross-cluster
+          predicates belong to the seam layer. Output columns are not
+          carried over. *)
+}
+
+type t = {
+  clusters : cluster array;  (** ordered by smallest member table index *)
+  table_cluster : int array;  (** global table index -> cluster index *)
+}
+
+val partition : max_cluster:int -> Relalg.Query.t -> t
+(** Raises [Invalid_argument] when [max_cluster < 1]. Singleton clusters
+    are normal (a hub table of a star query often ends up alone once its
+    neighbours' clusters fill up). *)

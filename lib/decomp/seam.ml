@@ -1,0 +1,149 @@
+(* Seam layer: orders the clusters of a partitioned query.
+
+   Cross-cluster predicates are grouped by the set of clusters they
+   span; each group contributes one virtual join predicate whose
+   selectivity is the product of its members'. When the contracted
+   cluster graph fits the monolithic machinery (at most 62 clusters and
+   62 seam groups) it is solved as an ordinary small query — each
+   cluster becomes a pseudo-table whose cardinality is the cluster's
+   estimated result size — by IKKBZ (exact on tree-shaped contracted
+   graphs under C_out) or the greedy heuristic. Past those ceilings a
+   mask-free greedy sweep orders the clusters directly.
+
+   Cross-cluster *correlations* (groups whose member predicates span
+   several clusters) are dropped from the contracted estimate: the seam
+   is a heuristic layer and the corrections would need partial-group
+   bookkeeping the pseudo-table model cannot express. The stitched
+   plan's reported true cost (Wide_cost over the original query) still
+   includes them. *)
+
+module Q = Relalg.Query
+module P = Relalg.Predicate
+module C = Relalg.Catalog
+module Optimizer = Joinopt.Optimizer
+
+type result = {
+  sm_order : int array;
+  sm_heuristic : string;
+  sm_fallback : bool;
+}
+
+(* Cross-cluster predicate groups: (sorted distinct cluster indices,
+   product of member selectivities), deterministically ordered by the
+   cluster-index key. *)
+let seam_groups q (pt : Partition.t) =
+  let tbl = Hashtbl.create 32 in
+  let keys = ref [] in
+  Array.iter
+    (fun p ->
+      let cls =
+        List.sort_uniq compare
+          (List.map (fun t -> pt.Partition.table_cluster.(t)) p.P.pred_tables)
+      in
+      match cls with
+      | [] | [ _ ] -> ()  (* intra-cluster: already inside a sub-query *)
+      | _ ->
+        let w = try Hashtbl.find tbl cls with Not_found -> (keys := cls :: !keys; 1.) in
+        Hashtbl.replace tbl cls (w *. p.P.selectivity))
+    q.Q.predicates;
+  List.sort compare !keys
+  |> List.map (fun k -> (k, Hashtbl.find tbl k))
+
+let cluster_cards (pt : Partition.t) =
+  Array.map
+    (fun c -> max 1. (Wide_cost.result_card c.Partition.cl_query))
+    pt.Partition.clusters
+
+(* Greedy sweep with no bitmask ceiling: start from the smallest
+   cluster, repeatedly append the cluster minimizing the estimated
+   intermediate size (current card x cluster card x selectivities of
+   seam groups completed by the addition). Ties break on the smaller
+   cluster index because candidates are scanned in ascending order and
+   only a strictly smaller estimate displaces the incumbent. *)
+let wide_greedy ~ccards ~groups =
+  let nc = Array.length ccards in
+  let groups =
+    List.map (fun (cls, sel) -> (Array.of_list cls, sel)) groups
+  in
+  let chosen = Array.make nc false in
+  let order = Array.make nc 0 in
+  let start = ref 0 in
+  for c = 1 to nc - 1 do
+    if Float.compare ccards.(c) ccards.(!start) < 0 then start := c
+  done;
+  order.(0) <- !start;
+  chosen.(!start) <- true;
+  let cur_card = ref ccards.(!start) in
+  let new_sels c =
+    (* selectivity of seam groups fully covered once [c] joins *)
+    List.fold_left
+      (fun acc (cls, sel) ->
+        if
+          Array.exists (fun x -> x = c) cls
+          && Array.for_all (fun x -> x = c || chosen.(x)) cls
+        then acc *. sel
+        else acc)
+      1. groups
+  in
+  for k = 1 to nc - 1 do
+    let best = ref (-1) in
+    let best_card = ref infinity in
+    for c = 0 to nc - 1 do
+      if not chosen.(c) then begin
+        let cand = !cur_card *. ccards.(c) *. new_sels c in
+        if !best < 0 || Float.compare cand !best_card < 0 then begin
+          best := c;
+          best_card := cand
+        end
+      end
+    done;
+    order.(k) <- !best;
+    chosen.(!best) <- true;
+    cur_card := !best_card
+  done;
+  order
+
+(* Ceiling of the contracted pseudo-query: the monolithic estimator
+   handles at most 62 tables and 62 predicates. *)
+let max_contracted = 62
+
+let order ~seam q (pt : Partition.t) =
+  let nc = Array.length pt.Partition.clusters in
+  if nc = 1 then { sm_order = [| 0 |]; sm_heuristic = "trivial"; sm_fallback = false }
+  else begin
+    let ccards = cluster_cards pt in
+    let groups = seam_groups q pt in
+    if nc <= max_contracted && List.length groups <= max_contracted then begin
+      let tables =
+        Array.to_list
+          (Array.mapi
+             (fun i card -> C.table (Printf.sprintf "C%d" i) card)
+             ccards)
+      in
+      let predicates = List.map (fun (cls, sel) -> P.nary cls sel) groups in
+      let cq = Q.create ~predicates tables in
+      match seam with
+      | Optimizer.Seam_greedy ->
+        { sm_order = Dp_opt.Greedy.order cq; sm_heuristic = "greedy"; sm_fallback = false }
+      | Optimizer.Seam_ikkbz -> (
+        match Dp_opt.Ikkbz.order cq with
+        | Ok o -> { sm_order = o; sm_heuristic = "ikkbz"; sm_fallback = false }
+        | Error Dp_opt.Ikkbz.Not_a_tree ->
+          (* IKKBZ needs a tree-shaped (contracted) join graph; cyclic
+             seams fall back to greedy and the stitch reports it. *)
+          {
+            sm_order = Dp_opt.Greedy.order cq;
+            sm_heuristic = "greedy";
+            sm_fallback = true;
+          })
+    end
+    else
+      (* Too many clusters or seam groups for the contracted encoding:
+         order clusters with the mask-free sweep. Counted as a fallback
+         whenever the requested heuristic could not run. *)
+      {
+        sm_order = wide_greedy ~ccards ~groups;
+        sm_heuristic = "wide-greedy";
+        sm_fallback = (match seam with Optimizer.Seam_ikkbz -> true | Optimizer.Seam_greedy -> false);
+      }
+  end

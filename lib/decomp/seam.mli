@@ -1,0 +1,24 @@
+(** Seam layer: orders the clusters of a partitioned query into the
+    global join sequence.
+
+    Cross-cluster predicates are grouped by the cluster set they span
+    (group selectivity = product of members'). When the contracted
+    cluster graph fits the monolithic machinery (<= 62 clusters and
+    <= 62 seam groups) each cluster becomes a pseudo-table of its
+    estimated result cardinality and the contracted query is ordered by
+    IKKBZ or greedy; otherwise a mask-free greedy sweep orders the
+    clusters directly. Fully deterministic. *)
+
+type result = {
+  sm_order : int array;  (** cluster indices in join order *)
+  sm_heuristic : string;
+      (** what actually ran: ["ikkbz"], ["greedy"], ["wide-greedy"], or
+          ["trivial"] for a single cluster *)
+  sm_fallback : bool;
+      (** the requested heuristic could not run — a cyclic contracted
+          graph demoted IKKBZ to greedy, or the contracted encoding's
+          ceilings forced the wide sweep *)
+}
+
+val order :
+  seam:Joinopt.Optimizer.seam_heuristic -> Relalg.Query.t -> Partition.t -> result

@@ -1,0 +1,226 @@
+(* Mask-free left-deep plan costing for queries past the 62-table
+   bitmask ceiling.
+
+   [Relalg.Cost_model] — and everything below it ([Card], the MILP
+   encoding, Selinger, greedy, annealing) — represents table and
+   predicate subsets as int bitmasks, which caps the monolithic pipeline
+   at 62 tables. The decomposition subsystem must cost *global* stitched
+   plans over 100+ tables, so this module re-implements exactly the
+   exact-model semantics of [Cost_model.plan_cost] (unary predicates at
+   scan time, every other predicate at its earliest applicable join,
+   correlation corrections once all members are applied, identical page
+   and operator formulas) over bool-array subsets instead of masks.
+
+   The float operations are performed in the same order as the masked
+   implementation — tables in index order, then predicates in index
+   order — so for any query both paths can evaluate (<= 62 tables) the
+   two costs are bit-identical; test_decomp pins that equivalence. *)
+
+module Q = Relalg.Query
+module P = Relalg.Predicate
+module C = Relalg.Catalog
+module CM = Relalg.Cost_model
+module Plan = Relalg.Plan
+
+type estimator = {
+  q : Q.t;
+  num_real : int;
+  (* real predicates then virtual correlation predicates, exactly the
+     layout of [Card.estimator] *)
+  pred_tables : int array array;
+  pred_sels : float array;
+  real_unary : bool array;  (* per predicate slot; virtuals are never unary *)
+}
+
+let estimator q =
+  let m = Q.num_predicates q in
+  let real =
+    Array.map
+      (fun p -> (Array.of_list p.P.pred_tables, p.P.selectivity))
+      q.Q.predicates
+  in
+  let virt =
+    Array.map
+      (fun c ->
+        let tables =
+          List.sort_uniq compare
+            (List.concat_map
+               (fun pi -> q.Q.predicates.(pi).P.pred_tables)
+               c.P.corr_members)
+        in
+        (Array.of_list tables, c.P.corr_correction))
+      q.Q.correlations
+  in
+  let all = Array.append real virt in
+  let real_unary =
+    Array.mapi
+      (fun pi (tables, _) -> pi < m && Array.length tables = 1)
+      all
+  in
+  {
+    q;
+    num_real = m;
+    pred_tables = Array.map fst all;
+    pred_sels = Array.map snd all;
+    real_unary;
+  }
+
+(* Predicates whose every table is present. *)
+let applicable e present =
+  Array.map (Array.for_all (fun t -> present.(t))) e.pred_tables
+
+let card e ~present ~applied =
+  let c = ref 1. in
+  Array.iteri
+    (fun t tbl -> if present.(t) then c := !c *. tbl.C.tbl_card)
+    e.q.Q.tables;
+  Array.iteri
+    (fun pi sel -> if applied.(pi) then c := !c *. sel)
+    e.pred_sels;
+  if Float.is_finite !c then !c
+  else begin
+    (* 100+ raw cardinalities multiply past DBL_MAX before the
+       selectivities pull the estimate back down — the masked pipeline
+       never sees enough tables to hit this, but wide prefixes do
+       routinely. Recompute in log space: same estimate, no transient
+       overflow. (Only reachable when the direct product is not finite,
+       so the bit-exact-vs-[Cost_model] guarantee on masked-sized
+       queries is unaffected.) *)
+    let lg = ref 0. in
+    Array.iteri
+      (fun t tbl -> if present.(t) then lg := !lg +. log tbl.C.tbl_card)
+      e.q.Q.tables;
+    Array.iteri
+      (fun pi sel -> if applied.(pi) then lg := !lg +. log sel)
+      e.pred_sels;
+    exp !lg
+  end
+
+(* Scan-filtered cardinality of one base table: raw card times its
+   applicable *real unary* predicate selectivities. *)
+let single_card e t =
+  let present = Array.make (Q.num_tables e.q) false in
+  present.(t) <- true;
+  let applied = applicable e present in
+  Array.iteri (fun pi a -> applied.(pi) <- a && e.real_unary.(pi)) applied;
+  card e ~present ~applied
+
+(* Evaluation cost of unary predicates at their scans (each tests the
+   raw table once) — same charge as [Cost_model.scan_charges]. *)
+let scan_charges q =
+  Array.fold_left
+    (fun acc p ->
+      match p.P.pred_tables with
+      | [ t ] when p.P.eval_cost > 0. ->
+        acc +. (p.P.eval_cost *. q.Q.tables.(t).C.tbl_card)
+      | _ -> acc)
+    0. q.Q.predicates
+
+(* Estimated result cardinality of the whole query with every predicate
+   and correlation applied — the pseudo-table cardinality a solved
+   cluster contributes to the seam graph. *)
+let result_card q =
+  let e = estimator q in
+  let present = Array.make (Q.num_tables q) true in
+  let applied = applicable e present in
+  card e ~present ~applied
+
+let plan_cost ?(metric = CM.Operator_costs) ?(pm = CM.default_page_model) q plan =
+  (match Plan.validate q plan with Ok () -> () | Error msg -> invalid_arg msg);
+  let e = estimator q in
+  let n = Q.num_tables q in
+  let order = plan.Plan.order in
+  let total = ref (scan_charges q) in
+  if n >= 2 then begin
+    let present = Array.make n false in
+    present.(order.(0)) <- true;
+    let app_first = applicable e present in
+    (* Outer side of the first join: the walk applies only the first
+       table's unary predicates; the fresh-predicate ledger sees the
+       full applicable set — both exactly as [Cost_model.plan_cost]. *)
+    let prev_walk =
+      ref (Array.mapi (fun pi a -> a && e.real_unary.(pi)) app_first)
+    in
+    let prev_eval = ref app_first in
+    let outer_card = ref (single_card e order.(0)) in
+    for j = 0 to n - 2 do
+      let inner = order.(j + 1) in
+      let inner_card = single_card e inner in
+      present.(inner) <- true;
+      let applied_j = applicable e present in
+      (* Tuples flowing into the predicates evaluated at this join:
+         operands joined, with everything previously applied plus the
+         inner table's scan-time unary predicates. *)
+      let prev_applied = Array.copy !prev_walk in
+      Array.iteri
+        (fun pi tables ->
+          if
+            e.real_unary.(pi)
+            && Array.for_all (fun t -> t = inner) tables
+            && Array.length tables = 1
+          then prev_applied.(pi) <- true)
+        e.pred_tables;
+      let out_before = card e ~present ~applied:prev_applied in
+      let out_after = card e ~present ~applied:applied_j in
+      (match metric with
+      | CM.Cout -> total := !total +. out_after
+      | CM.Operator_costs ->
+        total :=
+          !total
+          +. CM.join_cost plan.Plan.operators.(j) pm ~outer_card:!outer_card ~inner_card);
+      (* Non-unary predicates newly applicable at join j, charged on the
+         pre-filter output. *)
+      let jec = ref 0. in
+      for pi = 0 to e.num_real - 1 do
+        if
+          applied_j.(pi)
+          && (not !prev_eval.(pi))
+          && (not e.real_unary.(pi))
+          && e.q.Q.predicates.(pi).P.eval_cost > 0.
+        then jec := !jec +. e.q.Q.predicates.(pi).P.eval_cost
+      done;
+      (* guard the multiply: a zero charge must stay zero even when the
+         operand estimate is infinite (0 * inf is nan) *)
+      if !jec > 0. then total := !total +. (!jec *. out_before);
+      outer_card := out_after;
+      prev_walk := applied_j;
+      prev_eval := applied_j
+    done
+  end;
+  !total
+
+(* Intermediate cardinalities along a join order with every applicable
+   predicate applied as soon as possible — the wide mirror of
+   [Card.prefix_cards]. *)
+let prefix_cards q order =
+  let e = estimator q in
+  let n = Array.length order in
+  let present = Array.make (Q.num_tables q) false in
+  Array.init n (fun k ->
+      present.(order.(k)) <- true;
+      let applied = applicable e present in
+      card e ~present ~applied)
+
+let optimal_operators ?(pm = CM.default_page_model) q order =
+  let e = estimator q in
+  let cards = prefix_cards q order in
+  let n = Array.length order in
+  let operators =
+    Array.init (n - 1) (fun j ->
+        let outer_card = cards.(j) in
+        let inner_card = single_card e order.(j + 1) in
+        let candidates =
+          [ Plan.Hash_join; Plan.Sort_merge_join; Plan.Block_nested_loop ]
+        in
+        let best =
+          List.fold_left
+            (fun best op ->
+              let c = CM.join_cost op pm ~outer_card ~inner_card in
+              match best with
+              | Some (_, bc) when bc <= c -> best
+              | _ -> Some (op, c))
+            None candidates
+        in
+        match best with Some (op, _) -> op | None -> Plan.Hash_join)
+  in
+  Plan.of_order ~operators order

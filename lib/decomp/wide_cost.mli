@@ -1,0 +1,34 @@
+(** Mask-free left-deep plan costing, for queries past the 62-table
+    bitmask ceiling of the monolithic pipeline.
+
+    Semantically identical to {!Relalg.Cost_model} under the basic
+    (push-down) model — unary predicates at scan time, every other
+    predicate at its earliest applicable join, correlation corrections
+    once all members are applied, the same page and operator formulas —
+    but table/predicate subsets are bool arrays instead of int masks, so
+    any query size is supported. Float operations happen in the same
+    order as the masked implementation, so where both paths can evaluate
+    (<= 62 tables) the costs are bit-identical. *)
+
+val plan_cost :
+  ?metric:Relalg.Cost_model.metric ->
+  ?pm:Relalg.Cost_model.page_model ->
+  Relalg.Query.t ->
+  Relalg.Plan.t ->
+  float
+(** Exact-model cost of a left-deep plan of any width. Default metric
+    [Operator_costs]. Raises [Invalid_argument] when the plan does not
+    join the query's tables. *)
+
+val optimal_operators :
+  ?pm:Relalg.Cost_model.page_model -> Relalg.Query.t -> int array -> Relalg.Plan.t
+(** Completes a join order into a plan by picking the cheapest operator
+    for each join independently — the wide mirror of
+    {!Relalg.Cost_model.optimal_operators} (same candidate order, so
+    ties break identically). Raises [Invalid_argument] on a
+    non-permutation. *)
+
+val result_card : Relalg.Query.t -> float
+(** Estimated result cardinality of the whole query with every predicate
+    and correlation applied — the cardinality a solved cluster
+    contributes as a pseudo-table of the seam graph. *)

@@ -57,27 +57,29 @@ let random_move st order =
   end
 
 let iterative_improvement ?(metric = Cost_model.Operator_costs)
-    ?(pm = Cost_model.default_page_model) ?(seed = 0) ?(restarts = 10) ?time_limit q =
+    ?(pm = Cost_model.default_page_model) ?cost ?(seed = 0) ?(restarts = 10)
+    ?time_limit q =
   let n = Query.num_tables q in
+  let cost_fn = match cost with Some f -> f | None -> cost_of metric pm q in
   let st = Random.State.make [| seed; 17 |] in
   let budget = Milp.Budget.create ?limit:time_limit () in
   let out_of_time () = Milp.Budget.exhausted budget in
   let moves = ref 0 in
   let stall_limit = max 20 (3 * n * n) in
   let best_order = ref (random_order st n) in
-  let best_cost = ref (cost_of metric pm q !best_order) in
+  let best_cost = ref (cost_fn !best_order) in
   let descents = ref 0 in
   (try
      for _ = 1 to restarts do
        incr descents;
        let order = random_order st n in
-       let cost = ref (cost_of metric pm q order) in
+       let cost = ref (cost_fn order) in
        let stall = ref 0 in
        while !stall < stall_limit do
          if out_of_time () then raise Exit;
          incr moves;
          let undo = random_move st order in
-         let c = cost_of metric pm q order in
+         let c = cost_fn order in
          if c < !cost -. 1e-12 then begin
            cost := c;
            stall := 0
@@ -101,14 +103,15 @@ let iterative_improvement ?(metric = Cost_model.Operator_costs)
   }
 
 let simulated_annealing ?(metric = Cost_model.Operator_costs)
-    ?(pm = Cost_model.default_page_model) ?(seed = 0) ?initial_temperature ?(cooling = 0.9)
-    ?moves_per_temperature ?time_limit q =
+    ?(pm = Cost_model.default_page_model) ?cost ?(seed = 0) ?initial_temperature
+    ?(cooling = 0.9) ?moves_per_temperature ?time_limit q =
   let n = Query.num_tables q in
+  let cost_fn = match cost with Some f -> f | None -> cost_of metric pm q in
   let st = Random.State.make [| seed; 43 |] in
   let budget = Milp.Budget.create ?limit:time_limit () in
   let out_of_time () = Milp.Budget.exhausted budget in
   let order = random_order st n in
-  let cost = ref (cost_of metric pm q order) in
+  let cost = ref (cost_fn order) in
   let best_order = ref (Array.copy order) in
   let best_cost = ref !cost in
   let temperature = ref (match initial_temperature with Some t -> t | None -> max 1. !cost) in
@@ -128,7 +131,7 @@ let simulated_annealing ?(metric = Cost_model.Operator_costs)
          if out_of_time () then raise Exit;
          incr moves;
          let undo = random_move st order in
-         let c = cost_of metric pm q order in
+         let c = cost_fn order in
          let delta = c -. !cost in
          let accept =
            delta < 0.

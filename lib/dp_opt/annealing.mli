@@ -17,6 +17,7 @@ type result = {
 val iterative_improvement :
   ?metric:Relalg.Cost_model.metric ->
   ?pm:Relalg.Cost_model.page_model ->
+  ?cost:(int array -> float) ->
   ?seed:int ->
   ?restarts:int ->
   ?time_limit:float ->
@@ -25,11 +26,16 @@ val iterative_improvement :
 (** Random-restart local search: from a random order, apply improving
     random swap/insertion moves until a local minimum (no improvement in
     [3 n^2] consecutive tries), then restart. Defaults: hash-join costs,
-    seed 0, 10 restarts, no time limit. *)
+    seed 0, 10 restarts, no time limit. [cost] overrides the objective
+    entirely (then [metric]/[pm] are unused) — the decomposition
+    baseline passes a mask-free evaluator here so the search runs on
+    100+-table orders the bitmask cost model cannot represent; the
+    result's [cost] field is whatever the override returned. *)
 
 val simulated_annealing :
   ?metric:Relalg.Cost_model.metric ->
   ?pm:Relalg.Cost_model.page_model ->
+  ?cost:(int array -> float) ->
   ?seed:int ->
   ?initial_temperature:float ->
   ?cooling:float ->
@@ -41,4 +47,5 @@ val simulated_annealing :
     [exp (-delta / T)], geometric cooling. The initial temperature
     defaults to the starting plan's cost (accept almost anything at
     first); [cooling] defaults to 0.9, [moves_per_temperature] to
-    [4 n^2]; stops frozen (acceptance ratio ~ 0) or at the time limit. *)
+    [4 n^2]; stops frozen (acceptance ratio ~ 0) or at the time limit.
+    [cost] overrides the objective as in {!iterative_improvement}. *)

@@ -18,6 +18,7 @@ type plan = {
   f_wedge_after : int;
   f_wedge_seconds : float;
   f_yield_every : int;
+  f_cluster_fail : float;
 }
 
 let none =
@@ -39,6 +40,7 @@ let none =
     f_wedge_after = 0;
     f_wedge_seconds = 0.;
     f_yield_every = 0;
+    f_cluster_fail = 0.;
   }
 
 type state = {
@@ -342,6 +344,20 @@ let request_aborts () =
                    bump st "request_abort";
                    true
                  end
+            end)
+
+(* Veto one cluster solve of a decomposed query: the decomposition
+   driver must absorb the dead cluster with its heuristic fallback and
+   flag the stitched result degraded — never lose the whole query to
+   one cluster's crash. *)
+let cluster_fails () =
+  !enabled
+  && with_state (fun st ->
+         st.plan.f_cluster_fail > 0.
+         && next_float st < st.plan.f_cluster_fail
+         && begin
+              bump st "cluster_fail";
+              true
             end)
 
 (* Damage a warm-start assignment *after* the candidate was produced but

@@ -93,6 +93,11 @@ type plan = {
       interleavings the unperturbed scheduler rarely produces — without
       changing any result a correctly synchronized path computes; [0]
       disables *)
+  f_cluster_fail : float;
+  (** probability of vetoing a cluster solve inside the decomposition
+      driver ({!cluster_fails}) — the driver must degrade that cluster
+      to its heuristic fallback plan and flag the stitched result,
+      never lose the whole query; [0.] disables *)
 }
 
 val none : plan
@@ -153,6 +158,13 @@ val request_wedge : unit -> float
 val request_aborts : unit -> bool
 (** Polled once per guarded request handler; [true] on every
     [f_abort_every]-th poll. Callers raise {!Injected_abort}. *)
+
+val cluster_fails : unit -> bool
+(** Polled once per cluster solve of a decomposed query; [true] with
+    probability [f_cluster_fail]. The decomposition driver treats a
+    firing as that cluster's solve having died: the cluster degrades to
+    its heuristic fallback plan and the stitched result carries the
+    degraded flag. *)
 
 val mangle_warm_start : float array -> float array
 (** Applied to a warm-start candidate assignment just before the branch

@@ -10,7 +10,14 @@
     npred a b c 0.05                        # n-ary predicate
     npred a b c 0.05 cost=1.5               # n-ary and expensive
     corr 0 1 x2.0                           # predicates 0 and 1 correlate
-    v} *)
+    v}
+
+    The parser itself is size-agnostic: files with hundreds of tables
+    parse fine. Downstream, the monolithic optimizer only accepts
+    queries up to {!Joinopt.Optimizer.max_monolithic_tables} (62)
+    tables — larger instances must go through the decomposition
+    pipeline ([--decompose=auto] on the CLI, the [decompose] request
+    field on the server). *)
 
 val parse : string -> (Query.t, string) result
 (** Parses the contents of a query file. *)

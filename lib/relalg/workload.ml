@@ -65,3 +65,64 @@ let generate ?(config = default_config) ?state ~seed ~shape ~num_tables () =
 let generate_many ?(config = default_config) ~seed ~shape ~num_tables ~count () =
   List.init count (fun i ->
       generate ~config ~seed:(seed + (7919 * (i + 1))) ~shape ~num_tables ())
+
+(* Seam selectivities are drawn from a deliberately weak range: the
+   decomposition benchmarks want instances where the *strong* joins live
+   inside clusters (so a selectivity-driven partitioner recovers the
+   planted structure) while the seams barely filter. *)
+let seam_sel_min = 0.3
+let seam_sel_max = 0.9
+
+let generate_clustered ?(config = default_config)
+    ?(cluster_shape = Join_graph.Clique) ?(seam_shape = Join_graph.Chain) ~seed
+    ~num_clusters ~cluster_size () =
+  if num_clusters < 1 then
+    invalid_arg "Workload.generate_clustered: num_clusters < 1";
+  if cluster_size < 1 then
+    invalid_arg "Workload.generate_clustered: cluster_size < 1";
+  let n = num_clusters * cluster_size in
+  let state =
+    Random.State.make
+      [|
+        seed;
+        num_clusters;
+        cluster_size;
+        Hashtbl.hash cluster_shape;
+        Hashtbl.hash seam_shape;
+      |]
+  in
+  let tables =
+    List.init n (fun i ->
+        let card = Float.round (log_uniform state config.card_min config.card_max) in
+        let columns =
+          List.init config.columns_per_table (fun c ->
+              {
+                Catalog.col_name = Printf.sprintf "t%d_c%d" i c;
+                col_bytes = config.column_bytes;
+              })
+        in
+        Catalog.table ~columns (Printf.sprintf "T%d" i) (max 1. card))
+  in
+  let intra =
+    List.concat
+      (List.init num_clusters (fun c ->
+           List.map
+             (fun (a, b) -> (c * cluster_size + a, c * cluster_size + b))
+             (shape_edges cluster_shape cluster_size)))
+  in
+  let intra_preds =
+    List.map
+      (fun (a, b) ->
+        Predicate.binary a b (log_uniform state config.sel_min config.sel_max))
+      intra
+  in
+  let member c = (c * cluster_size) + Random.State.int state cluster_size in
+  let seam_preds =
+    List.map
+      (fun (ca, cb) ->
+        let a = member ca in
+        let b = member cb in
+        Predicate.binary a b (log_uniform state seam_sel_min seam_sel_max))
+      (shape_edges seam_shape num_clusters)
+  in
+  Query.create ~predicates:(intra_preds @ seam_preds) tables

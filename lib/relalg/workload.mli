@@ -47,3 +47,25 @@ val generate_many :
   unit ->
   Query.t list
 (** [count] queries with derived per-query seeds. *)
+
+val generate_clustered :
+  ?config:config ->
+  ?cluster_shape:Join_graph.shape ->
+  ?seam_shape:Join_graph.shape ->
+  seed:int ->
+  num_clusters:int ->
+  cluster_size:int ->
+  unit ->
+  Query.t
+(** A planted clusters-of-joins instance over
+    [num_clusters * cluster_size] tables for the decomposition
+    subsystem: each cluster is an internal [cluster_shape] sub-graph
+    (default [Clique]) with selectivities from [config], and the
+    clusters are connected per [seam_shape] (default [Chain]) by weak
+    predicates (selectivity in [0.3, 0.9]) between deterministic-random
+    member tables. Tables are numbered cluster-major: cluster [c] holds
+    tables [c * cluster_size .. (c+1) * cluster_size - 1]. This is the
+    100-200-table regime no monolithic path can encode; only the
+    mask-free decomposition pipeline consumes these. Deterministic for a
+    given (seed, shapes, sizes, config). Raises [Invalid_argument] when
+    either count is < 1 or a shape is [Other]. *)

@@ -7,6 +7,7 @@ type entry = {
   e_true_cost : float option;
   e_provenance : string;
   e_precision : string;
+  e_decomposed : bool;
 }
 
 type lookup = Hit of entry | Stale_precision of entry | Miss
@@ -145,9 +146,16 @@ let find t k =
         sh.sh_misses <- sh.sh_misses + 1;
         (* Same query + cost model under another precision: its plan is
            still a high-quality warm start for the re-solve. *)
+        (* Decomposed entries are excluded: their plans carry no MILP
+           assignment semantics, so they must never seed an exact
+           re-solve (the warm-start translation would certify garbage
+           against a formulation the plan never came from). *)
         let near =
           match Hashtbl.find_opt sh.sh_groups (group_key k) with
-          | Some members -> List.find_opt (fun nd -> nd.nd_epoch = epoch) !members
+          | Some members ->
+            List.find_opt
+              (fun nd -> nd.nd_epoch = epoch && not nd.nd_entry.e_decomposed)
+              !members
           | None -> None
         in
         match near with
@@ -228,7 +236,10 @@ let stats t =
 
 (* --- persistence ---------------------------------------------------- *)
 
-let snapshot_tag = "joinopt-plan-cache-v1"
+(* v2: entries gained [e_decomposed]; v1 snapshots must be rejected at
+   load (the tag check does it) rather than deserialized into a struct
+   of the wrong shape. *)
+let snapshot_tag = "joinopt-plan-cache-v2"
 
 let snapshot t =
   (* Least-recently-used first, per shard: replaying the list through

@@ -36,6 +36,13 @@ type entry = {
   e_true_cost : float option;  (** exact-model cost of the plan *)
   e_provenance : string;  (** {!Joinopt.Optimizer.provenance_to_string} *)
   e_precision : string;  (** precision the entry was solved under *)
+  e_decomposed : bool;
+      (** produced by the decomposition pipeline, not a monolithic
+          certified solve. Honest provenance: such an entry is served
+          only to requests that would themselves decompose, and is never
+          offered as a {!lookup.Stale_precision} warm start (its plan has
+          no MILP-assignment semantics to translate). An exact solve for
+          the same key simply overwrites it. *)
 }
 
 type lookup =

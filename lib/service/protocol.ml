@@ -1,5 +1,6 @@
 module Thresholds = Joinopt.Thresholds
 module Cost_enc = Joinopt.Cost_enc
+module Optimizer = Joinopt.Optimizer
 module Plan = Relalg.Plan
 module Query_file = Relalg.Query_file
 
@@ -24,6 +25,7 @@ type optimize_params = {
   p_precision : Thresholds.precision option;
   p_cost : Cost_enc.spec option;
   p_warm : warm_mode option;
+  p_decomp : Optimizer.decomp_policy option;
 }
 
 type op =
@@ -116,9 +118,22 @@ let optimize_of_doc doc =
     | None -> Ok None
     | Some s -> Result.map Option.some (warm_of_string s)
   in
+  let* decomp =
+    let* s = opt_string_field doc "decompose" in
+    match s with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (Optimizer.decomp_policy_of_string s)
+  in
   Ok
     (Optimize
-       { p_query = query; p_budget = budget; p_precision = precision; p_cost = cost; p_warm = warm })
+       {
+         p_query = query;
+         p_budget = budget;
+         p_precision = precision;
+         p_cost = cost;
+         p_warm = warm;
+         p_decomp = decomp;
+       })
 
 let request_of_line line =
   if String.length line > max_line_bytes then

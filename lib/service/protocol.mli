@@ -22,17 +22,22 @@
     [query] holds inline query-file text ({!Relalg.Query_file}), or
     [query_file] names a path to load instead. [budget] is the
     per-request deadline in seconds (clamped to the server's maximum);
-    [precision] and [cost] override the server defaults per request, and
+    [precision] and [cost] override the server defaults per request,
     [warm_start] (["off"] / ["greedy"] / ["portfolio"] / ["cache"], the
-    default) picks how the solve's initial incumbent is seeded.
+    default) picks how the solve's initial incumbent is seeded, and
+    [decompose] (["off"] / ["auto"] / ["force"]) overrides the server's
+    decomposition policy for queries past the monolithic table ceiling.
 
     Responses always carry [id] (or [null]) and a [status] of ["ok"],
     ["rejected"] (admission control; [reason] says which limit) or
     ["error"] ([reason] says what broke). Optimize answers additionally
-    carry [source], [provenance], [degraded], [plan], [objective],
-    [bound], [true_cost] and [elapsed] — with the contract that
-    [degraded:true] answers are never labeled with an exact-solve
-    provenance. *)
+    carry [source], [provenance], [degraded], [decomposed], [plan],
+    [objective], [bound], [true_cost] and [elapsed] — with the contract
+    that [degraded:true] answers are never labeled with an exact-solve
+    provenance, and [decomposed:true] answers are never labeled as
+    monolithic certified solves (their [provenance] starts with
+    ["decomposed:"] and their per-cluster certificates live in the
+    cluster reports). *)
 
 (** Per-request MIP-start policy. [Warm_cache] (the server default)
     prefers a translated plan-cache entry for the same canonical query
@@ -52,6 +57,9 @@ type optimize_params = {
   p_precision : Joinopt.Thresholds.precision option;
   p_cost : Joinopt.Cost_enc.spec option;
   p_warm : warm_mode option;  (** [warm_start] field; server default [Warm_cache] *)
+  p_decomp : Joinopt.Optimizer.decomp_policy option;
+      (** [decompose] field (["off"] / ["auto"] / ["force"]): per-request
+          override of the server's decomposition policy *)
 }
 
 type op =

@@ -27,6 +27,7 @@ type report = {
   o_true_cost : float option;
   o_provenance : string;
   o_source : source;
+  o_decomposed : bool;
   o_elapsed : float;
 }
 
@@ -38,6 +39,9 @@ type stats = {
   s_warm_starts : int;
   s_shared : int;
   s_failures : int;
+  s_decomposed : int;
+  s_clusters_solved : int;
+  s_seam_fallbacks : int;
   s_elapsed : float;
   s_qps : float;
   s_cache : Plan_cache.stats option;
@@ -125,6 +129,9 @@ let run ?(config = Optimizer.default_config) ?cache ?(cache_warm = true) ?(jobs 
   let warm_starts = Atomic.make 0 in
   let shared = Atomic.make 0 in
   let failures = Atomic.make 0 in
+  let decomposed = Atomic.make 0 in
+  let clusters_solved = Atomic.make 0 in
+  let seam_fallbacks = Atomic.make 0 in
   let fl_mutex = Mutex.create () in
   let fl_table : (string, flight) Hashtbl.t = Hashtbl.create 64 in
   (* Solve one query cold (or warm-started from a cached sibling) under
@@ -138,30 +145,64 @@ let run ?(config = Optimizer.default_config) ?cache ?(cache_warm = true) ?(jobs 
      not equivariant under renumbering.) *)
   let solve_one ?warm _fp q =
     let sub = Budget.sub budget ?limit:per_query_limit () in
-    let config =
-      match warm with
-      | Some (entry : Plan_cache.entry) ->
-        (* Cached plans are already canonical, like the query we solve. *)
-        Optimizer.with_warm_start (Some entry.Plan_cache.e_plan) config
-      | None -> config
-    in
-    let r = Optimizer.optimize ~config ~budget:sub (Fingerprint.canonical_query q) in
-    match r.Optimizer.plan with
-    | Some plan ->
+    if Optimizer.should_decompose config q then begin
+      (* The decomposition path: partitioned MILP with heuristic seams.
+         The cached warm start (if any) is not consumable here — it
+         carries no MILP assignment for the global query — and the entry
+         is flagged [e_decomposed] so it is never served as exact. *)
+      let d =
+        Decomp.Decompose.optimize ~config ~budget:sub
+          (Fingerprint.canonical_query q)
+      in
+      Atomic.incr decomposed;
+      ignore
+        (Atomic.fetch_and_add clusters_solved d.Decomp.Decompose.d_num_clusters);
+      if d.Decomp.Decompose.d_seam_fallback then Atomic.incr seam_fallbacks;
       Ok
         {
-          Plan_cache.e_plan = plan;
-          e_objective = r.Optimizer.objective;
-          e_bound = r.Optimizer.bound;
-          e_true_cost = r.Optimizer.true_cost;
+          Plan_cache.e_plan = d.Decomp.Decompose.d_plan;
+          e_objective = None;
+          e_bound = 0.;
+          e_true_cost = Some d.Decomp.Decompose.d_true_cost;
           e_provenance =
-            (match r.Optimizer.provenance with
-            | Some p -> Optimizer.provenance_to_string p
-            | None -> "none");
+            Printf.sprintf "decomposed:%d:%s%s%s"
+              d.Decomp.Decompose.d_num_clusters d.Decomp.Decompose.d_seam
+              (if d.Decomp.Decompose.d_seam_fallback then ":seam-fallback"
+               else "")
+              (if d.Decomp.Decompose.d_degraded then ":degraded" else "");
           e_precision =
-            Thresholds.precision_to_string config.Optimizer.encoding.Encoding.precision;
+            Thresholds.precision_to_string
+              config.Optimizer.encoding.Encoding.precision;
+          e_decomposed = true;
         }
-    | None -> Error "no plan produced within the per-query budget"
+    end
+    else begin
+      let config =
+        match warm with
+        | Some (entry : Plan_cache.entry) ->
+          (* Cached plans are already canonical, like the query we solve. *)
+          Optimizer.with_warm_start (Some entry.Plan_cache.e_plan) config
+        | None -> config
+      in
+      let r = Optimizer.optimize ~config ~budget:sub (Fingerprint.canonical_query q) in
+      match r.Optimizer.plan with
+      | Some plan ->
+        Ok
+          {
+            Plan_cache.e_plan = plan;
+            e_objective = r.Optimizer.objective;
+            e_bound = r.Optimizer.bound;
+            e_true_cost = r.Optimizer.true_cost;
+            e_provenance =
+              (match r.Optimizer.provenance with
+              | Some p -> Optimizer.provenance_to_string p
+              | None -> "none");
+            e_precision =
+              Thresholds.precision_to_string config.Optimizer.encoding.Encoding.precision;
+            e_decomposed = false;
+          }
+      | None -> Error "no plan produced within the per-query budget"
+    end
   in
   let process i =
     let req = reqs.(i) in
@@ -181,6 +222,7 @@ let run ?(config = Optimizer.default_config) ?cache ?(cache_warm = true) ?(jobs 
             o_true_cost = e.Plan_cache.e_true_cost;
             o_provenance = e.Plan_cache.e_provenance;
             o_source = source;
+            o_decomposed = e.Plan_cache.e_decomposed;
             o_elapsed = Budget.now () -. t0;
           }
         | Error msg ->
@@ -194,6 +236,7 @@ let run ?(config = Optimizer.default_config) ?cache ?(cache_warm = true) ?(jobs 
             o_true_cost = None;
             o_provenance = "error: " ^ msg;
             o_source = source;
+            o_decomposed = false;
             o_elapsed = Budget.now () -. t0;
           }
       in
@@ -201,6 +244,18 @@ let run ?(config = Optimizer.default_config) ?cache ?(cache_warm = true) ?(jobs 
     in
     let lookup =
       match cache with Some c -> Plan_cache.find c key | None -> Plan_cache.Miss
+    in
+    (* Honest-provenance gate: a decomposed entry answers only requests
+       that would themselves take the decomposition path; an exact
+       request falls through to a fresh solve (which then overwrites the
+       decomposed entry under the same key). *)
+    let lookup =
+      match lookup with
+      | Plan_cache.Hit e
+        when e.Plan_cache.e_decomposed
+             && not (Optimizer.should_decompose config req.r_query) ->
+        Plan_cache.Miss
+      | l -> l
     in
     match lookup with
     | Plan_cache.Hit entry ->
@@ -267,6 +322,7 @@ let run ?(config = Optimizer.default_config) ?cache ?(cache_warm = true) ?(jobs 
                o_true_cost = None;
                o_provenance = "error: " ^ Printexc.to_string exn;
                o_source = Solved;
+               o_decomposed = false;
                o_elapsed = 0.;
              });
       worker ()
@@ -289,6 +345,9 @@ let run ?(config = Optimizer.default_config) ?cache ?(cache_warm = true) ?(jobs 
       s_warm_starts = Atomic.get warm_starts;
       s_shared = Atomic.get shared;
       s_failures = Atomic.get failures;
+      s_decomposed = Atomic.get decomposed;
+      s_clusters_solved = Atomic.get clusters_solved;
+      s_seam_fallbacks = Atomic.get seam_fallbacks;
       s_elapsed = elapsed;
       s_qps = (if elapsed > 0. then float_of_int n /. elapsed else 0.);
       s_cache = Option.map Plan_cache.stats cache;
@@ -296,126 +355,12 @@ let run ?(config = Optimizer.default_config) ?cache ?(cache_warm = true) ?(jobs 
 
 (* --- bounded work-queue domain pool ---------------------------------- *)
 
-(* The generic executor behind the server's concurrent request path: a
-   FIFO queue with a hard capacity, consumed by a fixed set of domains.
-   Capacity is the admission boundary — a non-blocking [submit] that
-   returns [false] is the caller's cue to answer "overload" instead of
-   queueing unboundedly. Workers never die: [work] exceptions are
-   swallowed (the server's work closures produce their own definitive
-   error responses), so a poisoned item cannot shrink the pool. *)
-module Pool = struct
-  type 'a t = {
-    p_mu : Mutex.t;
-    p_nonempty : Condition.t;  (* workers: queue has work, or quitting *)
-    p_space : Condition.t;  (* blocking submitters: room freed up *)
-    p_queue : 'a Queue.t;
-    p_capacity : int;
-    mutable p_quit : bool;
-    mutable p_active : int;  (* items popped but not yet finished *)
-    mutable p_high_water : int;
-    mutable p_workers : unit Domain.t list;
-  }
-
-  let create ~jobs ~capacity ~work =
-    if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
-    if capacity < 1 then invalid_arg "Pool.create: capacity must be >= 1";
-    let t =
-      {
-        p_mu = Mutex.create ();
-        p_nonempty = Condition.create ();
-        p_space = Condition.create ();
-        p_queue = Queue.create ();
-        p_capacity = capacity;
-        p_quit = false;
-        p_active = 0;
-        p_high_water = 0;
-        p_workers = [];
-      }
-    in
-    let rec worker () =
-      Mutex.lock t.p_mu;
-      while Queue.is_empty t.p_queue && not t.p_quit do
-        Condition.wait t.p_nonempty t.p_mu
-      done;
-      if Queue.is_empty t.p_queue then Mutex.unlock t.p_mu (* quitting, queue drained *)
-      else begin
-        let item = Queue.pop t.p_queue in
-        t.p_active <- t.p_active + 1;
-        Condition.signal t.p_space;
-        Mutex.unlock t.p_mu;
-        (* Fault point between dequeue and execution: the item is
-           counted active but not yet running — shutdown/drain races. *)
-        Faults.yield_point ();
-        (try work item with _ -> ());
-        Mutex.lock t.p_mu;
-        t.p_active <- t.p_active - 1;
-        Mutex.unlock t.p_mu;
-        worker ()
-      end
-    in
-    t.p_workers <- List.init jobs (fun _ -> Domain.spawn worker);
-    t
-
-  let submit ?(block = false) t item =
-    Faults.yield_point ();
-    Mutex.lock t.p_mu;
-    if block then
-      while Queue.length t.p_queue >= t.p_capacity && not t.p_quit do
-        Condition.wait t.p_space t.p_mu
-      done;
-    let accepted = (not t.p_quit) && Queue.length t.p_queue < t.p_capacity in
-    if accepted then begin
-      Queue.push item t.p_queue;
-      if Queue.length t.p_queue > t.p_high_water then
-        t.p_high_water <- Queue.length t.p_queue;
-      Condition.signal t.p_nonempty
-    end;
-    Mutex.unlock t.p_mu;
-    accepted
-
-  let depth t =
-    Mutex.lock t.p_mu;
-    let d = Queue.length t.p_queue in
-    Mutex.unlock t.p_mu;
-    d
-
-  let active t =
-    Mutex.lock t.p_mu;
-    let a = t.p_active in
-    Mutex.unlock t.p_mu;
-    a
-
-  let idle t =
-    Mutex.lock t.p_mu;
-    let i = Queue.is_empty t.p_queue && t.p_active = 0 in
-    Mutex.unlock t.p_mu;
-    i
-
-  let high_water t =
-    Mutex.lock t.p_mu;
-    let h = t.p_high_water in
-    Mutex.unlock t.p_mu;
-    h
-
-  let take_queued t =
-    Mutex.lock t.p_mu;
-    let items = List.of_seq (Queue.to_seq t.p_queue) in
-    Queue.clear t.p_queue;
-    Condition.broadcast t.p_space;
-    Mutex.unlock t.p_mu;
-    items
-
-  let shutdown t =
-    Mutex.lock t.p_mu;
-    t.p_quit <- true;
-    Condition.broadcast t.p_nonempty;
-    Condition.broadcast t.p_space;
-    Mutex.unlock t.p_mu
-
-  let join t =
-    List.iter Domain.join t.p_workers;
-    t.p_workers <- []
-end
+(* The generic executor behind the server's concurrent request path.
+   The implementation moved to {!Milp.Work_pool} so the decomposition
+   subsystem (lib/decomp, which sits below the service layer) can solve
+   clusters on the same worker-domain machinery; the alias keeps every
+   existing caller compiling unchanged. *)
+module Pool = Milp.Work_pool
 
 let synthetic_batch ?(dup_fraction = 0.5) ~seed ~shape ~num_tables ~count () =
   if dup_fraction < 0. || dup_fraction > 1. then

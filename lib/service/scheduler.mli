@@ -13,7 +13,11 @@
     - identical fingerprints *in flight* are solved once: the second
       arrival blocks on the first solve's completion and shares its
       result instead of duplicating the work;
-    - everything else is a cold solve.
+    - everything else is a cold solve;
+    - a request for which {!Joinopt.Optimizer.should_decompose} holds is
+      routed through the decomposition pipeline ({!Decomp.Decompose})
+      instead of the monolithic solver; its cache entry and report carry
+      an explicit [decomposed] flag and never mix with exact answers.
 
     Each solve runs under {!Milp.Budget.sub} of the shared budget with
     an optional per-query sub-deadline, so one pathological query
@@ -48,6 +52,9 @@ type report = {
       (** {!Joinopt.Optimizer.provenance_to_string} of the producing
           solve, or ["error: …"] when it raised *)
   o_source : source;
+  o_decomposed : bool;
+      (** answered by the decomposition pipeline (possibly via a cached
+          decomposed entry) rather than a monolithic certified solve *)
   o_elapsed : float;  (** seconds spent on this request *)
 }
 
@@ -59,6 +66,10 @@ type stats = {
   s_warm_starts : int;
   s_shared : int;
   s_failures : int;  (** requests whose solve raised; [o_plan = None] *)
+  s_decomposed : int;  (** queries routed through the decomposition pipeline *)
+  s_clusters_solved : int;  (** total clusters across decomposed solves *)
+  s_seam_fallbacks : int;
+      (** decomposed solves whose requested seam heuristic could not run *)
   s_elapsed : float;  (** batch wall clock *)
   s_qps : float;
   s_cache : Plan_cache.stats option;  (** [None] when caching is off *)
@@ -92,48 +103,10 @@ val run :
     whatever remains of the shared budget. *)
 
 (** Bounded work-queue domain pool — the generic executor behind the
-    server's concurrent request path. A fixed set of worker domains
-    consumes a FIFO queue with a hard capacity; the non-blocking
-    {!Pool.submit} returning [false] is the caller's admission signal
-    (answer "overload", don't queue unboundedly). Workers survive
-    anything [work] raises, so a poisoned item cannot shrink the pool. *)
-module Pool : sig
-  type 'a t
-
-  val create : jobs:int -> capacity:int -> work:('a -> unit) -> 'a t
-  (** Spawn [jobs] worker domains consuming the queue. [work] runs on a
-      worker domain; its exceptions are swallowed — produce definitive
-      failure results inside [work] itself. *)
-
-  val submit : ?block:bool -> 'a t -> 'a -> bool
-  (** Enqueue one item. With [block = false] (default) a full queue
-      refuses immediately; with [block = true] the submitter waits for
-      room. [false] after {!shutdown} or (non-blocking) when full. *)
-
-  val depth : 'a t -> int
-  (** Items queued, not yet picked up. *)
-
-  val active : 'a t -> int
-  (** Items currently being worked. *)
-
-  val idle : 'a t -> bool
-  (** No queued and no active items. *)
-
-  val high_water : 'a t -> int
-  (** Deepest the queue has ever been. *)
-
-  val take_queued : 'a t -> 'a list
-  (** Atomically remove and return everything still queued (in FIFO
-      order) — the graceful-drain path answers these [rejected:shutdown]
-      instead of executing them. In-flight items are unaffected. *)
-
-  val shutdown : 'a t -> unit
-  (** Stop accepting; workers finish whatever is queued and exit. Call
-      {!take_queued} first to reject instead of executing the backlog. *)
-
-  val join : 'a t -> unit
-  (** Wait for every worker domain to exit (after {!shutdown}). *)
-end
+    server's concurrent request path, now shared with the decomposition
+    subsystem's parallel cluster solves. See {!Milp.Work_pool} for the
+    full contract; this alias keeps the service-layer name stable. *)
+module Pool = Milp.Work_pool
 
 val synthetic_batch :
   ?dup_fraction:float ->

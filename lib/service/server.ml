@@ -24,6 +24,7 @@ type config = {
   sv_precision : Thresholds.precision;
   sv_cost : Cost_enc.spec;
   sv_warm : Protocol.warm_mode;
+  sv_decomp : Optimizer.decomp_config;
   sv_max_conns : int;
   sv_backlog : int;
   sv_max_write_buf : int;
@@ -49,6 +50,11 @@ let default_config =
     sv_precision = Thresholds.Medium;
     sv_cost = Cost_enc.Fixed_operator Plan.Hash_join;
     sv_warm = Protocol.Warm_cache;
+    (* [Dc_auto]: small queries keep the exact certified path; queries
+       past the decomposition threshold (or the hard mask ceiling, which
+       the monolithic optimizer refuses outright) are partitioned
+       instead of erroring. *)
+    sv_decomp = { Optimizer.default_decomp with Optimizer.dc_policy = Optimizer.Dc_auto };
     sv_max_conns = 64;
     sv_backlog = 16;
     sv_max_write_buf = 4 * 1024 * 1024;
@@ -103,6 +109,9 @@ type t = {
   mutable n_warm : int;
   mutable n_degraded_cache : int;
   mutable n_degraded_heuristic : int;
+  mutable n_decomposed : int;
+  mutable n_clusters_solved : int;
+  mutable n_seam_fallbacks : int;
   mutable n_timeouts : int;
   mutable n_retries : int;
   mutable n_probes : int;
@@ -175,6 +184,9 @@ let create ?(config = default_config) () =
     n_warm = 0;
     n_degraded_cache = 0;
     n_degraded_heuristic = 0;
+    n_decomposed = 0;
+    n_clusters_solved = 0;
+    n_seam_fallbacks = 0;
     n_timeouts = 0;
     n_retries = 0;
     n_probes = 0;
@@ -281,6 +293,7 @@ let entry_of_result config (r : Optimizer.result) plan =
       | None -> "none");
     e_precision =
       Thresholds.precision_to_string config.Optimizer.encoding.Encoding.precision;
+    e_decomposed = false;
   }
 
 (* One exact attempt; raises on injected aborts and transient crashes,
@@ -344,6 +357,7 @@ let heuristic_answer (config : Optimizer.config) q =
 type answer = {
   a_source : string;
   a_degraded : bool;
+  a_decomposed : bool;
   a_provenance : string;
   a_plan : Plan.t;  (* in the request's own numbering *)
   a_objective : float option;
@@ -355,6 +369,7 @@ let answer_of_entry fp source degraded (e : Plan_cache.entry) =
   {
     a_source = source;
     a_degraded = degraded;
+    a_decomposed = e.Plan_cache.e_decomposed;
     a_provenance =
       (if degraded then "degraded:cache(" ^ e.Plan_cache.e_provenance ^ ")"
        else e.Plan_cache.e_provenance);
@@ -376,6 +391,10 @@ let optimize_answer t ~watch (p : Protocol.optimize_params) =
     { Optimizer.default_config with Optimizer.cost = Option.value ~default:t.cfg.sv_cost p.Protocol.p_cost }
     |> Optimizer.with_precision
          (Option.value ~default:t.cfg.sv_precision p.Protocol.p_precision)
+    |> Optimizer.with_decomp
+         (match p.Protocol.p_decomp with
+         | Some policy -> { t.cfg.sv_decomp with Optimizer.dc_policy = policy }
+         | None -> t.cfg.sv_decomp)
   in
   let limit =
     Float.min (Option.value ~default:t.cfg.sv_default_limit p.Protocol.p_budget)
@@ -384,6 +403,7 @@ let optimize_answer t ~watch (p : Protocol.optimize_params) =
   let config = Optimizer.with_time_limit limit config in
   let q = p.Protocol.p_query in
   let mode = Option.value ~default:t.cfg.sv_warm p.Protocol.p_warm in
+  let decomposing = Optimizer.should_decompose config q in
   let fp = Fingerprint.of_query q in
   let key = cache_key config fp in
   let degraded_fallback warm =
@@ -391,12 +411,35 @@ let optimize_answer t ~watch (p : Protocol.optimize_params) =
     | Some entry ->
       locked t (fun () -> t.n_degraded_cache <- t.n_degraded_cache + 1);
       answer_of_entry fp "degraded-cache" true entry
+    | None when decomposing ->
+      (* Greedy's bitmask estimator cannot touch a 100+-table query, so
+         the bottom rung for a decomposing request is the mask-free wide
+         model over the identity order: always a valid plan, honestly
+         labeled, in microseconds. *)
+      locked t (fun () -> t.n_degraded_heuristic <- t.n_degraded_heuristic + 1);
+      let order = Array.init (Query.num_tables q) (fun i -> i) in
+      let plan = Decomp.Wide_cost.optimal_operators q order in
+      let cost =
+        Decomp.Wide_cost.plan_cost
+          ~metric:(Optimizer.exact_metric config.Optimizer.cost) q plan
+      in
+      {
+        a_source = "degraded-heuristic";
+        a_degraded = true;
+        a_decomposed = true;
+        a_provenance = "degraded:wide-identity";
+        a_plan = plan;
+        a_objective = None;
+        a_bound = 0.;
+        a_true_cost = Some cost;
+      }
     | None ->
       locked t (fun () -> t.n_degraded_heuristic <- t.n_degraded_heuristic + 1);
       let plan, cost = heuristic_answer config q in
       {
         a_source = "degraded-heuristic";
         a_degraded = true;
+        a_decomposed = false;
         a_provenance = "degraded:greedy";
         a_plan = plan;
         a_objective = None;
@@ -445,11 +488,84 @@ let optimize_answer t ~watch (p : Protocol.optimize_params) =
       locked t (fun () -> t.strikes <- t.strikes + 1);
       None
   in
+  (* The decomposition path: partition, solve clusters under budget
+     slices, stitch. [Decompose.optimize] degrades cluster-by-cluster
+     internally, so a [None] here means the pipeline itself died. *)
+  let solve_decomposed () =
+    let request_budget = Budget.sub t.budget ~limit ~isolate:true () in
+    let unregister = watch request_budget limit in
+    let outcome =
+      Fun.protect ~finally:unregister (fun () ->
+          let wedge = Faults.request_wedge () in
+          if wedge > 0. then Unix.sleepf wedge;
+          let t0 = Budget.now () in
+          let outcome =
+            try
+              Ok
+                (Decomp.Decompose.optimize ~config ~budget:request_budget
+                   ~jobs:t.cfg.sv_jobs (Fingerprint.canonical_query q))
+            with exn -> Error (Printexc.to_string exn)
+          in
+          locked t (fun () -> record t.lat_solve (Budget.now () -. t0));
+          outcome)
+    in
+    match outcome with
+    | Ok d ->
+      locked t (fun () ->
+          t.n_decomposed <- t.n_decomposed + 1;
+          t.n_clusters_solved <- t.n_clusters_solved + d.Decomp.Decompose.d_num_clusters;
+          if d.Decomp.Decompose.d_seam_fallback then
+            t.n_seam_fallbacks <- t.n_seam_fallbacks + 1;
+          if not d.Decomp.Decompose.d_degraded then t.strikes <- 0);
+      let entry =
+        {
+          Plan_cache.e_plan = d.Decomp.Decompose.d_plan;
+          e_objective = None;
+          e_bound = 0.;
+          e_true_cost = Some d.Decomp.Decompose.d_true_cost;
+          e_provenance =
+            Printf.sprintf "decomposed:%d:%s%s%s"
+              d.Decomp.Decompose.d_num_clusters d.Decomp.Decompose.d_seam
+              (if d.Decomp.Decompose.d_seam_fallback then ":seam-fallback" else "")
+              (if d.Decomp.Decompose.d_degraded then ":degraded" else "");
+          e_precision = key.Plan_cache.k_precision;
+          e_decomposed = true;
+        }
+      in
+      Plan_cache.add t.cache key entry;
+      locked t (fun () -> t.n_exact <- t.n_exact + 1);
+      Some (answer_of_entry fp "decomposed" false entry)
+    | Error _ ->
+      locked t (fun () -> t.strikes <- t.strikes + 1);
+      None
+  in
   let answer =
-    match Plan_cache.find t.cache key with
+    let lookup =
+      match Plan_cache.find t.cache key with
+      (* Honest provenance: a decomposed entry never answers a request
+         that expects a monolithic certified solve — fall through to the
+         exact path (whose insert then overwrites the decomposed entry
+         under the same key). *)
+      | Plan_cache.Hit e when e.Plan_cache.e_decomposed && not decomposing ->
+        Plan_cache.Miss
+      | l -> l
+    in
+    match lookup with
     | Plan_cache.Hit entry ->
       locked t (fun () -> t.n_cache_hits <- t.n_cache_hits + 1);
       answer_of_entry fp "cache-hit" false entry
+    | (Plan_cache.Stale_precision _ | Plan_cache.Miss) as lookup when decomposing
+      -> (
+      (* Decomposing requests bypass the exact retry/probe ladder: the
+         decomposition driver already degrades per cluster under its own
+         budget slices. A stale-precision exact entry is still a valid
+         (honestly-labeled) fallback plan if the pipeline dies. *)
+      let warm =
+        match lookup with Plan_cache.Stale_precision e -> Some e | _ -> None
+      in
+      match solve_decomposed () with
+      | Some a -> a
+      | None -> degraded_fallback warm)
     | (Plan_cache.Stale_precision _ | Plan_cache.Miss) as lookup -> (
       let warm =
         match lookup with Plan_cache.Stale_precision e -> Some e | _ -> None
@@ -550,6 +666,13 @@ let stats_json t =
             ("degraded_heuristic", Json.Int t.n_degraded_heuristic);
             ("timeouts", Json.Int t.n_timeouts);
             ("retries", Json.Int t.n_retries);
+          ] );
+      ( "decomposition",
+        Json.Obj
+          [
+            ("queries", Json.Int t.n_decomposed);
+            ("clusters_solved", Json.Int t.n_clusters_solved);
+            ("seam_fallbacks", Json.Int t.n_seam_fallbacks);
           ] );
       ( "degradation",
         Json.Obj
@@ -661,6 +784,7 @@ let handle_line_watched t ?(client = "default") ~watch line =
                  [
                    ("source", Json.String a.a_source);
                    ("degraded", Json.Bool a.a_degraded);
+                   ("decomposed", Json.Bool a.a_decomposed);
                    ( "mode",
                      Json.String
                        (match locked t (fun () -> t.mode) with

@@ -48,6 +48,13 @@
       without touching the MILP at all, probing the exact path every
       [probe_every]-th request to recover. Degraded plans are never
       inserted into the cache.
+    - {b Decomposition.} A request whose query falls under the server's
+      (or its own [decompose] field's) decomposition policy is
+      partitioned and solved cluster-by-cluster ({!Decomp.Decompose})
+      instead of hitting the monolithic solver; the answer and its cache
+      entry carry [decomposed:true], a ["decomposed:…"] provenance, and
+      are never served to requests expecting a monolithic certified
+      solve.
     - {b Crash-safe persistence.} The plan cache is snapshotted through
       the {!Milp.Checkpoint} envelope every [snapshot_every] admitted
       optimize requests and at graceful shutdown; a damaged or
@@ -77,6 +84,13 @@ type config = {
   sv_warm : Protocol.warm_mode;
       (** warm-start mode for requests that do not name one;
           default [Warm_cache] *)
+  sv_decomp : Joinopt.Optimizer.decomp_config;
+      (** decomposition policy for requests that do not name one; the
+          default is {!Joinopt.Optimizer.default_decomp} with policy
+          [Dc_auto], so queries past the monolithic ceiling are
+          partitioned instead of refused. A request's [decompose] field
+          overrides only the policy; cluster-size and seam knobs stay
+          server-wide. *)
   sv_max_conns : int;
       (** simultaneous socket connections; further accepts are answered
           [rejected:overload:conns] and closed *)

@@ -1,0 +1,11 @@
+(* Cluster-solve budget discipline (the scenario mounts this at
+   lib/decomp/decompose.ml). Pinned: S203 once — [runaway] hands the
+   whole parent budget to the optimizer; [sliced] solves its cluster
+   under a Budget.sub slice and must stay quiet. *)
+
+let runaway config budget cl = Optimizer.optimize ~config ~budget cl.cl_query
+
+let sliced config budget slice cl =
+  Optimizer.optimize ~config
+    ~budget:(Budget.sub budget ?limit:slice ())
+    cl.cl_query

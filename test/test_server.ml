@@ -377,6 +377,7 @@ let snapshot_roundtrip_prop =
                 e_true_cost = Some (Random.State.float state 1e6);
                 e_provenance = "milp-certified";
                 e_precision = "medium";
+                e_decomposed = false;
               }
             in
             Plan_cache.add cache key entry;
@@ -903,6 +904,70 @@ let test_slow_client_eviction () =
   ignore server
 
 (* ------------------------------------------------------------------ *)
+(* Decomposition                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A request's "decompose":"force" field routes even a small query
+   through the partitioned pipeline; the answer and its cache entry are
+   tagged decomposed:true, and the honest-provenance gate never serves
+   that entry to a request expecting a monolithic solve. *)
+let test_decompose_protocol () =
+  let server = Server.create ~config:test_config () in
+  let q = query ~tables:8 41 in
+  let send ?decompose id =
+    let line =
+      Json.to_string ~indent:false
+        (Json.Obj
+           ([ ("op", Json.String "optimize"); ("id", Json.String id) ]
+           @ (match decompose with
+             | Some d -> [ ("decompose", Json.String d) ]
+             | None -> [])
+           @ [ ("query", Json.String (Query_file.to_string q)) ]))
+    in
+    parse_response (Server.handle_line server line)
+  in
+  let forced = send ~decompose:"force" "dc1" in
+  Alcotest.(check string) "forced decomposition ok" "ok" (status forced);
+  Alcotest.(check string) "decomposed source" "decomposed" (str_field forced "source");
+  Alcotest.(check bool)
+    "tagged decomposed" true
+    (field forced "decomposed" = Json.Bool true);
+  let prov = str_field forced "provenance" in
+  Alcotest.(check bool)
+    "decomposed provenance" true
+    (String.length prov >= 11 && String.sub prov 0 11 = "decomposed:");
+  (* an unknown policy string is rejected at parse time *)
+  let bad =
+    parse_response
+      (Server.handle_line server
+         {|{"op":"optimize","id":"dc-bad","query":"table a 1","decompose":"maybe"}|})
+  in
+  Alcotest.(check string) "bad policy is an error" "error" (status bad);
+  (* The decomposed answer was cached, but a plain request for the same
+     query must not be served from it: the gate forces a fresh exact
+     solve instead of mislabeling a stitched plan as monolithic. *)
+  let plain = send "dc2" in
+  Alcotest.(check string) "gate forces exact solve" "solved" (str_field plain "source");
+  Alcotest.(check bool)
+    "exact answer not decomposed" true
+    (field plain "decomposed" = Json.Bool false);
+  (* the exact entry overwrote the decomposed one and now hits... *)
+  let again = send "dc3" in
+  Alcotest.(check string) "exact answer cached" "cache-hit" (str_field again "source");
+  (* ...and an exact certified answer may serve a decomposing request *)
+  let forced2 = send ~decompose:"force" "dc4" in
+  Alcotest.(check string)
+    "exact entry serves decomposing request" "cache-hit"
+    (str_field forced2 "source");
+  Alcotest.(check bool)
+    "served answer is the exact one" true
+    (field forced2 "decomposed" = Json.Bool false);
+  (* stats surface the decomposition counters *)
+  let stats = parse_response (Server.handle_line server {|{"op":"stats"}|}) in
+  let n = int_at [ "stats"; "decomposition"; "queries" ] stats in
+  Alcotest.(check bool) "decomposition counter advanced" true (n >= 1)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "server"
@@ -931,6 +996,11 @@ let () =
             test_corrupted_snapshot_cold_start;
           Alcotest.test_case "fault-injected corruption" `Quick test_fault_injected_snapshot;
           QCheck_alcotest.to_alcotest snapshot_roundtrip_prop;
+        ] );
+      ( "decomposition",
+        [
+          Alcotest.test_case "protocol field, honest gate, counters" `Quick
+            test_decompose_protocol;
         ] );
       ( "scheduler",
         [

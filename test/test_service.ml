@@ -179,6 +179,7 @@ let entry ?(precision = "medium") obj =
     e_true_cost = Some obj;
     e_provenance = "milp-certified";
     e_precision = precision;
+    e_decomposed = false;
   }
 
 let key ?(fp = "fp") ?(precision = "medium") () =

@@ -46,6 +46,7 @@ let scenarios =
     ("wait_wrong", [ ("wait_wrong.ml.fx", "lib/service/fx_wait.ml") ], None);
     ("spawn_race", [ ("spawn_race.ml.fx", "lib/service/fx_spawn.ml") ], None);
     ("budget_holes", [ ("budget_holes.ml.fx", "lib/milp/cuts.ml") ], None);
+    ("decomp_budget", [ ("decomp_budget.ml.fx", "lib/decomp/decompose.ml") ], None);
     ( "meta",
       [
         ("meta_producer.ml.fx", "lib/core/fx_enc.ml");

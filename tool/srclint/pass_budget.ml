@@ -8,6 +8,12 @@
    S202 error    a [Budget.sub] child stored into mutable state
                  ([<-] / [:=]) — a sub-budget parked in a field outlives
                  the scope whose deadline justified it
+   S203 error    a cluster solve in lib/decomp calling
+                 [Optimizer.optimize] without a [Budget.sub] slice in
+                 the call's immediate neighborhood — the decomposition
+                 contract is that every cluster runs under a slice of
+                 the decomposition budget, so one runaway cluster can
+                 never consume the whole deadline
 
    Poll reachability walks the binding index transitively, including
    local closures ([let out_of_time () = Budget.exhausted b] polled from
@@ -22,6 +28,16 @@ let is_hot (f : Model.file) =
   List.mem f.Model.m_base hot_files
   && String.length f.Model.m_path >= 4
   && String.sub f.Model.m_path 0 4 = "lib/"
+
+let in_decomp (f : Model.file) =
+  String.length f.Model.m_path >= 11
+  && String.sub f.Model.m_path 0 11 = "lib/decomp/"
+
+(* S203 window: the slice is part of the call itself (a [~budget:]
+   argument), so "immediate neighborhood" means within the argument
+   list — 30 tokens is generous for that and still far too tight for a
+   Budget.sub belonging to some unrelated later expression. *)
+let s203_window = 30
 
 let is_poll name =
   let last = Lexer.last_comp name in
@@ -101,6 +117,40 @@ let run ctx =
           rhs (i + 1) 0
         | _ -> ()
       done;
+      (* S203: cluster solves must run under a Budget.sub slice. The
+         window is additionally clamped to the enclosing binding so a
+         [Budget.sub] belonging to the next definition can never vouch
+         for this call. *)
+      (if in_decomp f then
+        let bs = Model.bindings f in
+        for i = 0 to n - 1 do
+          match Model.tok i f with
+          | Lexer.Ident s
+            when Lexer.has_comp s "Optimizer" && Lexer.last_comp s = "optimize" ->
+            let enclosing_stop =
+              List.fold_left
+                (fun acc (b : Model.binding) ->
+                  if b.Model.b_start <= i && i < b.Model.b_stop then
+                    min acc b.Model.b_stop
+                  else acc)
+                n bs
+            in
+            let stop = min enclosing_stop (i + 1 + s203_window) in
+            let sliced = ref false in
+            for j = i + 1 to stop - 1 do
+              match Model.tok j f with
+              | Lexer.Ident s'
+                when Lexer.has_comp s' "Budget" && Lexer.last_comp s' = "sub" ->
+                sliced := true
+              | _ -> ()
+            done;
+            if not !sliced then
+              Ctx.emit ctx ~code:"S203" ~sev:Findings.Error ~path:f.Model.m_path
+                ~line:f.Model.m_toks.(i).Lexer.l_line
+                "cluster solve calls Optimizer.optimize without a Budget.sub slice — \
+                 one runaway cluster would consume the whole decomposition deadline"
+          | _ -> ()
+        done);
       if is_hot f then begin
         (* S201: while loops *)
         for i = 0 to n - 1 do
